@@ -1,0 +1,219 @@
+//! The empirical `Exp^freq` experiment.
+//!
+//! The harness plays the security game of §2.4 many times against a concrete encrypted
+//! table: it samples a ciphertext cell combination uniformly from the rows that carry
+//! original data, hands the adversary the public knowledge (ciphertext frequency plus
+//! the full plaintext frequency distribution), and scores the guess against the ground
+//! truth known from the encryption provenance. Dividing successes by trials estimates
+//! `Pr[Exp^freq = 1]`, which α-security upper-bounds by α.
+
+use crate::{Adversary, AdversaryKnowledge};
+use f2_core::EncryptionOutcome;
+use f2_relation::{AttrSet, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of an attack experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackOutcome {
+    /// Number of game rounds played.
+    pub trials: usize,
+    /// Rounds the adversary won.
+    pub successes: usize,
+}
+
+impl AttackOutcome {
+    /// Empirical success probability.
+    pub fn success_rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+}
+
+/// An experiment binding a plaintext table, an encrypted table, and the ground-truth
+/// correspondence between their rows.
+#[derive(Debug, Clone)]
+pub struct AttackExperiment {
+    /// The attribute set the game is played over (typically a MAS).
+    pub attrs: AttrSet,
+    knowledge: AdversaryKnowledge,
+    /// (ciphertext combination, true plaintext combination) for every original row.
+    ground_truth: Vec<(Vec<Value>, Vec<Value>)>,
+}
+
+impl AttackExperiment {
+    /// Build the experiment for an F² encryption outcome: the ground truth pairs each
+    /// original row's ciphertext combination with its plaintext combination.
+    pub fn for_f2_outcome(plain: &Table, outcome: &EncryptionOutcome, attrs: AttrSet) -> Self {
+        let ground_truth = outcome
+            .provenance
+            .real_rows()
+            .into_iter()
+            .map(|(out_row, orig_row)| {
+                let cipher = outcome
+                    .encrypted
+                    .row(out_row)
+                    .expect("provenance row exists")
+                    .project(attrs);
+                let plain_combo = plain
+                    .row(orig_row)
+                    .expect("original row exists")
+                    .project(attrs);
+                (cipher, plain_combo)
+            })
+            .collect();
+        Self::from_parts(plain, &outcome.encrypted, attrs, ground_truth)
+    }
+
+    /// Build the experiment for any cell-wise encryption where output row `i`
+    /// corresponds to plaintext row `i` (e.g. the deterministic AES baseline).
+    pub fn for_row_aligned(plain: &Table, encrypted: &Table, attrs: AttrSet) -> Self {
+        assert_eq!(plain.row_count(), encrypted.row_count());
+        let ground_truth = (0..plain.row_count())
+            .map(|r| {
+                (
+                    encrypted.row(r).expect("row").project(attrs),
+                    plain.row(r).expect("row").project(attrs),
+                )
+            })
+            .collect();
+        Self::from_parts(plain, encrypted, attrs, ground_truth)
+    }
+
+    fn from_parts(
+        plain: &Table,
+        encrypted: &Table,
+        attrs: AttrSet,
+        ground_truth: Vec<(Vec<Value>, Vec<Value>)>,
+    ) -> Self {
+        let knowledge = AdversaryKnowledge {
+            plaintext_frequencies: plain.frequency_histogram(attrs),
+            ciphertext_frequencies: encrypted.frequency_histogram(attrs),
+        };
+        AttackExperiment { attrs, knowledge, ground_truth }
+    }
+
+    /// The adversary's background knowledge.
+    pub fn knowledge(&self) -> &AdversaryKnowledge {
+        &self.knowledge
+    }
+
+    /// Play the game `trials` times with the given adversary.
+    pub fn run(&self, adversary: &dyn Adversary, trials: usize, seed: u64) -> AttackOutcome {
+        if self.ground_truth.is_empty() {
+            return AttackOutcome { trials: 0, successes: 0 };
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut successes = 0;
+        for _ in 0..trials {
+            let idx = (rng.next_u64() % self.ground_truth.len() as u64) as usize;
+            let (cipher, truth) = &self.ground_truth[idx];
+            let freq = self
+                .knowledge
+                .ciphertext_frequencies
+                .get(cipher)
+                .copied()
+                .unwrap_or(1);
+            if let Some(guess) = adversary.guess(&self.knowledge, cipher, freq) {
+                if &guess == truth {
+                    successes += 1;
+                }
+            }
+        }
+        AttackOutcome { trials, successes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrequencyAttacker, KerckhoffsAttacker};
+    use f2_core::{F2Config, F2Encryptor};
+    use f2_crypto::{DeterministicCipher, MasterKey};
+    use f2_relation::{Record, Schema};
+
+    /// A skewed single-MAS table: one dominant value, several rare ones.
+    fn skewed_table() -> Table {
+        let schema = Schema::from_names(["A", "B"]).unwrap();
+        let mut rows = Vec::new();
+        for _ in 0..12 {
+            rows.push(Record::new(vec![Value::text("a1"), Value::text("b1")]));
+        }
+        for i in 0..4 {
+            rows.push(Record::new(vec![
+                Value::text(format!("x{i}")),
+                Value::text(format!("y{i}")),
+            ]));
+            rows.push(Record::new(vec![
+                Value::text(format!("x{i}")),
+                Value::text(format!("y{i}")),
+            ]));
+        }
+        Table::new(schema, rows).unwrap()
+    }
+
+    fn deterministic_encrypt(plain: &Table) -> Table {
+        let master = MasterKey::from_seed(3);
+        let ciphers: Vec<DeterministicCipher> = (0..plain.arity())
+            .map(|a| DeterministicCipher::new(&master.deterministic_key(a)))
+            .collect();
+        let records = plain
+            .rows()
+            .iter()
+            .map(|r| {
+                Record::new(
+                    r.values()
+                        .iter()
+                        .enumerate()
+                        .map(|(a, v)| ciphers[a].encrypt_value(v))
+                        .collect(),
+                )
+            })
+            .collect();
+        Table::new(plain.schema().encrypted(), records).unwrap()
+    }
+
+    #[test]
+    fn frequency_attack_breaks_deterministic_encryption() {
+        let plain = skewed_table();
+        let encrypted = deterministic_encrypt(&plain);
+        let exp = AttackExperiment::for_row_aligned(&plain, &encrypted, AttrSet::all(2));
+        let outcome = exp.run(&FrequencyAttacker, 400, 1);
+        // The dominant value (12 of 20 rows) is always identified, so the success rate
+        // is well above one half.
+        assert!(outcome.success_rate() > 0.55, "rate = {}", outcome.success_rate());
+    }
+
+    #[test]
+    fn f2_bounds_attack_success_by_alpha() {
+        let plain = skewed_table();
+        let alpha = 0.5;
+        let enc = F2Encryptor::new(F2Config::new(alpha, 2).unwrap(), MasterKey::from_seed(9));
+        let out = enc.encrypt(&plain).unwrap();
+        let mas = out.mas_sets[0];
+        let exp = AttackExperiment::for_f2_outcome(&plain, &out, mas);
+        for adversary in [&FrequencyAttacker as &dyn Adversary, &KerckhoffsAttacker] {
+            let outcome = exp.run(adversary, 600, 2);
+            // Allow statistical slack over the exact α bound.
+            assert!(
+                outcome.success_rate() <= alpha + 0.12,
+                "{} broke alpha: {}",
+                adversary.name(),
+                outcome.success_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_experiment() {
+        let plain = Table::empty(Schema::from_names(["A"]).unwrap());
+        let enc = deterministic_encrypt(&plain);
+        let exp = AttackExperiment::for_row_aligned(&plain, &enc, AttrSet::all(1));
+        let outcome = exp.run(&FrequencyAttacker, 10, 3);
+        assert_eq!(outcome.trials, 0);
+        assert_eq!(outcome.success_rate(), 0.0);
+    }
+}

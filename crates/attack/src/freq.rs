@@ -1,0 +1,88 @@
+//! The classic frequency-matching adversary.
+//!
+//! Against a deterministic encryption scheme the ciphertext frequency of a value equals
+//! its plaintext frequency, so the adversary simply returns the plaintext combination
+//! whose frequency is closest to the observed ciphertext frequency (ties broken towards
+//! the most frequent candidate, which maximises the success probability). This is the
+//! attack that breaks the naive scheme of Figure 1(b).
+
+use crate::{Adversary, AdversaryKnowledge};
+use f2_relation::Value;
+
+/// Frequency-matching adversary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrequencyAttacker;
+
+impl Adversary for FrequencyAttacker {
+    fn guess(
+        &self,
+        knowledge: &AdversaryKnowledge,
+        _ciphertext: &[Value],
+        ciphertext_frequency: usize,
+    ) -> Option<Vec<Value>> {
+        knowledge
+            .plaintext_frequencies
+            .iter()
+            .min_by_key(|(p, &f)| {
+                let dist = f.abs_diff(ciphertext_frequency);
+                // Prefer the closest frequency; among equally close candidates prefer
+                // the most frequent one, then a deterministic value order.
+                (dist, usize::MAX - f, (*p).clone())
+            })
+            .map(|(p, _)| p.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "frequency-matching"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn knowledge(plain: &[(&str, usize)]) -> AdversaryKnowledge {
+        AdversaryKnowledge {
+            plaintext_frequencies: plain
+                .iter()
+                .map(|(v, f)| (vec![Value::text(*v)], *f))
+                .collect(),
+            ciphertext_frequencies: HashMap::new(),
+        }
+    }
+
+    #[test]
+    fn exact_frequency_match_wins() {
+        let k = knowledge(&[("a", 10), ("b", 4), ("c", 1)]);
+        let attacker = FrequencyAttacker;
+        assert_eq!(
+            attacker.guess(&k, &[Value::bytes(vec![1])], 4),
+            Some(vec![Value::text("b")])
+        );
+        assert_eq!(
+            attacker.guess(&k, &[Value::bytes(vec![2])], 10),
+            Some(vec![Value::text("a")])
+        );
+    }
+
+    #[test]
+    fn closest_frequency_is_chosen() {
+        let k = knowledge(&[("a", 10), ("b", 4)]);
+        let attacker = FrequencyAttacker;
+        assert_eq!(
+            attacker.guess(&k, &[Value::bytes(vec![1])], 9),
+            Some(vec![Value::text("a")])
+        );
+    }
+
+    #[test]
+    fn empty_knowledge_concedes() {
+        let attacker = FrequencyAttacker;
+        assert_eq!(
+            attacker.guess(&AdversaryKnowledge::default(), &[Value::bytes(vec![1])], 3),
+            None
+        );
+        assert_eq!(attacker.name(), "frequency-matching");
+    }
+}

@@ -1,0 +1,137 @@
+//! The Kerckhoffs adversary of §4.2.
+//!
+//! This adversary knows the F² algorithm (but neither the key nor the owner's α and ϖ)
+//! and runs the paper's four-step procedure:
+//!
+//! 1. **Estimate the split factor**: `ϖ' = f^E_max / f^P_max`, the ratio of the maximum
+//!    ciphertext frequency to the maximum plaintext frequency.
+//! 2. **Find the ECGs**: bucket ciphertext combinations by their (homogenised)
+//!    frequency — every bucket corresponds to one equivalence class group.
+//! 3. **Match ECGs to candidate plaintexts**: a plaintext `p` is a candidate for a
+//!    bucket of frequency `f` if `ϖ'·freq_D(p) ≥ …` — more precisely the paper uses
+//!    `f_{D̂}(e) ≥ ϖ·f_D(p)`… inverted, the candidates of `e` are the plaintexts whose
+//!    scaled frequency does not exceed the bucket frequency.
+//! 4. **Guess**: map the target ciphertext to one of the candidates. We let the
+//!    adversary pick the candidate with the highest plaintext frequency (the best
+//!    deterministic strategy absent further information); §4.2 shows the success
+//!    probability is at most `1/y ≤ α` regardless.
+
+use crate::{Adversary, AdversaryKnowledge};
+use f2_relation::Value;
+
+/// The four-step Kerckhoffs adversary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KerckhoffsAttacker;
+
+impl KerckhoffsAttacker {
+    /// Step 1: estimate the split factor from the two frequency distributions.
+    pub fn estimate_split_factor(knowledge: &AdversaryKnowledge) -> f64 {
+        let max_plain = knowledge.plaintext_frequencies.values().copied().max().unwrap_or(1);
+        let max_cipher = knowledge
+            .ciphertext_frequencies
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(max_plain);
+        if max_plain == 0 {
+            1.0
+        } else {
+            (max_cipher as f64 / max_plain as f64).max(f64::MIN_POSITIVE)
+        }
+    }
+
+    /// Step 3: the candidate plaintext combinations for a ciphertext of frequency `f`.
+    pub fn candidates(
+        knowledge: &AdversaryKnowledge,
+        ciphertext_frequency: usize,
+        split_estimate: f64,
+    ) -> Vec<(Vec<Value>, usize)> {
+        knowledge
+            .plaintext_frequencies
+            .iter()
+            .filter(|(_, &fp)| split_estimate * fp as f64 >= ciphertext_frequency as f64 * 0.999)
+            .map(|(p, &f)| (p.clone(), f))
+            .collect()
+    }
+}
+
+impl Adversary for KerckhoffsAttacker {
+    fn guess(
+        &self,
+        knowledge: &AdversaryKnowledge,
+        _ciphertext: &[Value],
+        ciphertext_frequency: usize,
+    ) -> Option<Vec<Value>> {
+        let split = Self::estimate_split_factor(knowledge);
+        let mut candidates = Self::candidates(knowledge, ciphertext_frequency, split);
+        if candidates.is_empty() {
+            // Fall back to the full plaintext set (the true plaintext is always a
+            // possible mapping).
+            candidates = knowledge
+                .plaintext_frequencies
+                .iter()
+                .map(|(p, &f)| (p.clone(), f))
+                .collect();
+        }
+        candidates
+            .into_iter()
+            .max_by(|(pa, fa), (pb, fb)| fa.cmp(fb).then_with(|| pa.cmp(pb)))
+            .map(|(p, _)| p)
+    }
+
+    fn name(&self) -> &'static str {
+        "kerckhoffs-4-step"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knowledge(plain: &[(&str, usize)], cipher_freqs: &[usize]) -> AdversaryKnowledge {
+        AdversaryKnowledge {
+            plaintext_frequencies: plain
+                .iter()
+                .map(|(v, f)| (vec![Value::text(*v)], *f))
+                .collect(),
+            ciphertext_frequencies: cipher_freqs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| (vec![Value::Int(i as i64)], *f))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn split_factor_estimation() {
+        // Max plaintext frequency 8, max ciphertext frequency 4 → ϖ' = 0.5 (split 2).
+        let k = knowledge(&[("a", 8), ("b", 2)], &[4, 4, 2]);
+        let est = KerckhoffsAttacker::estimate_split_factor(&k);
+        assert!((est - 0.5).abs() < 1e-9);
+        // No ciphertext knowledge → neutral estimate 1.
+        let k2 = knowledge(&[("a", 5)], &[]);
+        assert!((KerckhoffsAttacker::estimate_split_factor(&k2) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_filtering() {
+        let k = knowledge(&[("a", 8), ("b", 4), ("c", 1)], &[4, 4, 4]);
+        // ϖ' = 4/8 = 0.5; a bucket of frequency 4 admits plaintexts with 0.5·f ≥ 4,
+        // i.e. f ≥ 8 → only "a".
+        let cands = KerckhoffsAttacker::candidates(&k, 4, 0.5);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].0, vec![Value::text("a")]);
+        // A bucket of frequency 1 admits everything with 0.5·f ≥ 1 (a and b).
+        let cands = KerckhoffsAttacker::candidates(&k, 1, 0.5);
+        assert_eq!(cands.len(), 2);
+    }
+
+    #[test]
+    fn guess_returns_some_plaintext() {
+        let k = knowledge(&[("a", 8), ("b", 4), ("c", 1)], &[4, 4, 4, 2]);
+        let attacker = KerckhoffsAttacker;
+        let g = attacker.guess(&k, &[Value::Int(0)], 4).unwrap();
+        assert_eq!(g, vec![Value::text("a")]);
+        assert_eq!(attacker.name(), "kerckhoffs-4-step");
+    }
+}

@@ -1,0 +1,73 @@
+//! # f2-attack — the frequency-analysis adversary and the α-security experiment
+//!
+//! Section 2.4 of the paper defines the frequency analysis attack as a game
+//! `Exp^freq_{A,Π}`: the adversary is given one ciphertext value `e`, its frequency in
+//! the encrypted data, and the full frequency distribution of the plaintext data, and
+//! must output the plaintext hidden by `e`. A scheme is **α-secure** if no adversary
+//! wins with probability above α (Definition 2.1). Section 4 additionally analyses the
+//! attack *under Kerckhoffs's principle*: the adversary also knows every detail of the
+//! F² algorithm (but not the key) and runs a four-step procedure — estimate the split
+//! factor, bucket ciphertexts into ECGs by frequency, match ECGs to candidate plaintext
+//! values, and finally guess a mapping.
+//!
+//! This crate implements both adversaries and an empirical harness that plays the game
+//! many times against a real encrypted table:
+//!
+//! * [`FrequencyAttacker`] — the classic frequency-matching adversary, which breaks
+//!   deterministic encryption (the paper's Figure 1(b) discussion);
+//! * [`KerckhoffsAttacker`] — the four-step procedure of §4.2;
+//! * [`experiment`] — ground-truth construction and success-rate measurement, used by
+//!   the `security` section of the benchmark report and by integration tests that check
+//!   the measured success rate never exceeds α.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod freq;
+pub mod kerckhoffs;
+
+pub use experiment::{AttackExperiment, AttackOutcome};
+pub use freq::FrequencyAttacker;
+pub use kerckhoffs::KerckhoffsAttacker;
+
+use f2_relation::Value;
+use std::collections::HashMap;
+
+/// The background knowledge handed to every adversary: the exact frequency of every
+/// plaintext value combination in the original data (the paper's conservative
+/// assumption), plus the observable frequency of every ciphertext combination.
+#[derive(Debug, Clone, Default)]
+pub struct AdversaryKnowledge {
+    /// `freq(P)`: plaintext combination → number of occurrences in `D`.
+    pub plaintext_frequencies: HashMap<Vec<Value>, usize>,
+    /// Observable ciphertext combination → number of occurrences in `D̂`.
+    pub ciphertext_frequencies: HashMap<Vec<Value>, usize>,
+}
+
+/// An adversary playing `Exp^freq`: given one ciphertext combination and its frequency,
+/// output a guess for the hidden plaintext combination.
+pub trait Adversary {
+    /// Produce the guess. Returning `None` concedes the round.
+    fn guess(
+        &self,
+        knowledge: &AdversaryKnowledge,
+        ciphertext: &[Value],
+        ciphertext_frequency: usize,
+    ) -> Option<Vec<Value>>;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knowledge_default_is_empty() {
+        let k = AdversaryKnowledge::default();
+        assert!(k.plaintext_frequencies.is_empty());
+        assert!(k.ciphertext_frequencies.is_empty());
+    }
+}

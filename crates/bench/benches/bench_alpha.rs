@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 6: full F² encryption time as a function of α.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f2_core::{F2Config, F2Encryptor};
+use f2_crypto::MasterKey;
+use f2_datagen::Dataset;
+
+fn bench_alpha(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_encrypt_vs_alpha");
+    group.sample_size(10);
+    for dataset in [Dataset::Synthetic, Dataset::Orders] {
+        let table = dataset.generate(2_000, 42);
+        for denom in [5usize, 10, 20] {
+            let alpha = 1.0 / denom as f64;
+            group.bench_with_input(
+                BenchmarkId::new(dataset.name(), format!("alpha_1_{denom}")),
+                &alpha,
+                |b, &alpha| {
+                    let enc =
+                        F2Encryptor::new(F2Config::new(alpha, 2).unwrap(), MasterKey::from_seed(7));
+                    b.iter(|| enc.encrypt(&table).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha);
+criterion_main!(benches);

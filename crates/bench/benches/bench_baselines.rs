@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 8: F² vs the deterministic AES baseline vs Paillier.
+//!
+//! Paillier is benchmarked per cell (not per table): encrypting whole tables with a
+//! 512-bit modulus would take hours, exactly the point the paper makes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use f2_bench::time_aes_baseline;
+use f2_core::{F2Config, F2Encryptor};
+use f2_crypto::{MasterKey, PaillierKeyPair};
+use f2_datagen::Dataset;
+use f2_relation::Value;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_baselines(c: &mut Criterion) {
+    let table = Dataset::Orders.generate(1_000, 42);
+
+    let mut group = c.benchmark_group("fig8_baselines");
+    group.sample_size(10);
+
+    group.bench_function("f2_encrypt_1k_rows", |b| {
+        let enc = F2Encryptor::new(F2Config::new(0.2, 2).unwrap(), MasterKey::from_seed(7));
+        b.iter(|| enc.encrypt(&table).unwrap());
+    });
+
+    group.bench_function("aes_deterministic_1k_rows", |b| {
+        b.iter(|| time_aes_baseline(&table, 7));
+    });
+
+    group.bench_function("paillier_512_per_cell", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        let kp = PaillierKeyPair::generate(512, &mut rng).unwrap();
+        let v = Value::text("4-NOT SPECIFIED");
+        b.iter(|| kp.public().encrypt_value(&v, &mut rng).unwrap());
+    });
+
+    group.bench_function("prf_probabilistic_per_cell", |b| {
+        let cipher =
+            f2_crypto::ProbabilisticCipher::new(&MasterKey::from_seed(7).attribute_key(0));
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = Value::text("4-NOT SPECIFIED");
+        b.iter(|| cipher.encrypt_value(&v, &mut rng));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

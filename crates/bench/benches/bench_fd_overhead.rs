@@ -1,0 +1,33 @@
+//! Criterion bench for Figure 10 and §5.4: TANE on the plaintext vs on the encrypted
+//! table, and TANE vs F² encryption (local computation vs outsourcing preparation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use f2_bench::time_fd_discovery;
+use f2_core::{F2Config, F2Encryptor};
+use f2_crypto::MasterKey;
+use f2_datagen::Dataset;
+use f2_fd::tane::{Tane, TaneConfig};
+
+fn bench_fd_overhead(c: &mut Criterion) {
+    let plain = Dataset::Orders.generate(1_500, 42);
+    let outcome = F2Encryptor::new(F2Config::new(0.2, 2).unwrap(), MasterKey::from_seed(7))
+        .encrypt(&plain)
+        .unwrap();
+
+    let mut group = c.benchmark_group("fig10_fd_discovery");
+    group.sample_size(10);
+    let tane = Tane::with_config(TaneConfig { max_lhs_size: Some(3) });
+    group.bench_function("tane_on_plaintext", |b| b.iter(|| tane.discover(&plain)));
+    group.bench_function("tane_on_encrypted", |b| b.iter(|| tane.discover(&outcome.encrypted)));
+    group.bench_function("f2_encrypt_same_table", |b| {
+        let enc = F2Encryptor::new(F2Config::new(0.2, 2).unwrap(), MasterKey::from_seed(7));
+        b.iter(|| enc.encrypt(&plain).unwrap());
+    });
+    group.finish();
+
+    // Sanity use of the helper so the two paths stay in sync.
+    let _ = time_fd_discovery(&plain, Some(2));
+}
+
+criterion_group!(benches, bench_fd_overhead);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 7: full F² encryption time as a function of data size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use f2_core::{F2Config, F2Encryptor};
+use f2_crypto::MasterKey;
+use f2_datagen::Dataset;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_encrypt_vs_size");
+    group.sample_size(10);
+    for dataset in [Dataset::Synthetic, Dataset::Orders] {
+        for rows in [500usize, 1_000, 2_000, 4_000] {
+            let table = dataset.generate(rows, 42);
+            group.throughput(Throughput::Elements(rows as u64));
+            group.bench_with_input(
+                BenchmarkId::new(dataset.name(), rows),
+                &table,
+                |b, table| {
+                    let enc =
+                        F2Encryptor::new(F2Config::new(0.2, 2).unwrap(), MasterKey::from_seed(7));
+                    b.iter(|| enc.encrypt(table).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

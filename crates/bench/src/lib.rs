@@ -1,0 +1,166 @@
+//! # f2-bench — harness reproducing the F² evaluation (paper §5)
+//!
+//! The `report` binary regenerates every table and figure of the paper's evaluation
+//! section on generated workloads (see DESIGN.md §4 for the experiment index), and the
+//! Criterion benches under `benches/` provide statistically sound timings for the same
+//! measurements. Absolute numbers differ from the paper (different hardware, Java vs
+//! Rust, generated vs dumped data); the *shapes* — which step dominates on which
+//! dataset, how overhead reacts to α and to data size, how F² compares to the AES and
+//! Paillier baselines — are the reproduction target and are recorded in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use f2_core::{EncryptionReport, F2Config, F2Encryptor};
+use f2_crypto::{DeterministicCipher, MasterKey, PaillierKeyPair};
+use f2_datagen::Dataset;
+use f2_fd::tane::{Tane, TaneConfig};
+use f2_relation::{Record, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Measurement of one F² encryption run.
+#[derive(Debug, Clone)]
+pub struct RunMeasurement {
+    /// The dataset name.
+    pub dataset: &'static str,
+    /// Rows of the plaintext table.
+    pub rows: usize,
+    /// Plaintext size in bytes.
+    pub plain_bytes: usize,
+    /// The α used.
+    pub alpha: f64,
+    /// The full encryption report (timings + overhead).
+    pub report: EncryptionReport,
+    /// Rows of the encrypted table.
+    pub encrypted_rows: usize,
+}
+
+/// Run F² once on `rows` rows of `dataset` with the given parameters.
+pub fn measure_f2(dataset: Dataset, rows: usize, alpha: f64, split: usize, seed: u64) -> RunMeasurement {
+    let table = dataset.generate(rows, seed);
+    measure_f2_on(&table, dataset.name(), alpha, split, seed)
+}
+
+/// Run F² once on an already-generated table.
+pub fn measure_f2_on(
+    table: &Table,
+    dataset: &'static str,
+    alpha: f64,
+    split: usize,
+    seed: u64,
+) -> RunMeasurement {
+    let config = F2Config::new(alpha, split).expect("valid config").with_seed(seed);
+    let encryptor = F2Encryptor::new(config, MasterKey::from_seed(seed));
+    let outcome = encryptor.encrypt(table).expect("encryption succeeds");
+    RunMeasurement {
+        dataset,
+        rows: table.row_count(),
+        plain_bytes: table.size_bytes(),
+        alpha,
+        report: outcome.report,
+        encrypted_rows: outcome.encrypted.row_count(),
+    }
+}
+
+/// Encrypt every cell with the deterministic AES baseline and return the wall time.
+pub fn time_aes_baseline(table: &Table, seed: u64) -> Duration {
+    let master = MasterKey::from_seed(seed);
+    let ciphers: Vec<DeterministicCipher> = (0..table.arity())
+        .map(|a| DeterministicCipher::new(&master.deterministic_key(a)))
+        .collect();
+    let start = Instant::now();
+    let mut out = Vec::with_capacity(table.row_count());
+    for (_, rec) in table.iter() {
+        out.push(Record::new(
+            rec.values()
+                .iter()
+                .enumerate()
+                .map(|(a, v)| ciphers[a].encrypt_value(v))
+                .collect(),
+        ));
+    }
+    std::hint::black_box(&out);
+    start.elapsed()
+}
+
+/// Encrypt a sample of cells with Paillier and extrapolate to the whole table.
+///
+/// Textbook Paillier at realistic modulus sizes is so slow that encrypting every cell
+/// of even a small table would take hours (the paper makes the same observation:
+/// "Paillier … cannot finish within one day when the data size reaches 0.653GB"), so
+/// the harness measures `sample_cells` cells and scales linearly.
+pub fn time_paillier_baseline_extrapolated(
+    table: &Table,
+    modulus_bits: usize,
+    sample_cells: usize,
+    seed: u64,
+) -> Duration {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keypair = PaillierKeyPair::generate(modulus_bits, &mut rng).expect("keygen");
+    let total_cells = table.row_count() * table.arity();
+    if total_cells == 0 {
+        return Duration::ZERO;
+    }
+    let sample = sample_cells.min(total_cells).max(1);
+    let start = Instant::now();
+    let mut done = 0usize;
+    'outer: for (_, rec) in table.iter() {
+        for v in rec.values() {
+            let c = keypair.public().encrypt_value(v, &mut rng).expect("encrypt");
+            std::hint::black_box(&c);
+            done += 1;
+            if done >= sample {
+                break 'outer;
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    elapsed.mul_f64(total_cells as f64 / done as f64)
+}
+
+/// Time TANE FD discovery on a table (optionally capping the LHS size so wide tables
+/// stay tractable; the same cap is applied to plaintext and ciphertext so the overhead
+/// ratio of Figure 10 is meaningful).
+pub fn time_fd_discovery(table: &Table, max_lhs: Option<usize>) -> (Duration, usize) {
+    let tane = Tane::with_config(TaneConfig { max_lhs_size: max_lhs });
+    let start = Instant::now();
+    let fds = tane.discover(table);
+    (start.elapsed(), fds.len())
+}
+
+/// Format a duration in seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_f2_produces_consistent_report() {
+        let m = measure_f2(Dataset::Synthetic, 150, 0.5, 2, 3);
+        assert_eq!(m.rows, 150);
+        assert_eq!(m.encrypted_rows, m.report.overhead.total_rows());
+        assert!(m.report.mas_count >= 1);
+        assert!(m.plain_bytes > 0);
+    }
+
+    #[test]
+    fn baselines_produce_nonzero_times() {
+        let t = Dataset::Orders.generate(60, 1);
+        assert!(time_aes_baseline(&t, 1) > Duration::ZERO);
+        let p = time_paillier_baseline_extrapolated(&t, 128, 20, 1);
+        assert!(p > Duration::ZERO);
+        let (d, fds) = time_fd_discovery(&t, Some(2));
+        assert!(d > Duration::ZERO);
+        assert!(fds > 0);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500s");
+    }
+}

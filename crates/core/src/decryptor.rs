@@ -1,0 +1,207 @@
+//! Decryption (data-owner side).
+//!
+//! Every ciphertext cell is self-contained (`⟨r, F_k(r) ⊕ p⟩`), so cell-wise decryption
+//! only needs the master key. Recovering the *original table* additionally uses the
+//! owner's [`Provenance`]: artificial rows (scaling copies, fake equivalence classes,
+//! conflict companions, false-positive records) are dropped, and cells that conflict
+//! resolution replaced with fresh values are patched back from their companion rows.
+
+use crate::fake::is_artificial_value;
+use crate::provenance::Provenance;
+use crate::{EncryptionOutcome, F2Error, Result};
+use f2_crypto::{MasterKey, ProbabilisticCipher};
+use f2_relation::{Record, Schema, Table, Value};
+
+/// The F² decryptor.
+#[derive(Debug, Clone)]
+pub struct F2Decryptor {
+    master: MasterKey,
+}
+
+impl F2Decryptor {
+    /// Create a decryptor from the owner's master key.
+    pub fn new(master: MasterKey) -> Self {
+        F2Decryptor { master }
+    }
+
+    fn ciphers(&self, arity: usize) -> Vec<ProbabilisticCipher> {
+        (0..arity)
+            .map(|a| ProbabilisticCipher::new(&self.master.attribute_key(a)))
+            .collect()
+    }
+
+    /// Decrypt every cell of an encrypted table. Artificial rows are retained (their
+    /// cells decrypt to reserved fresh values); use [`F2Decryptor::recover_original`]
+    /// to rebuild the original table exactly.
+    pub fn decrypt_table(&self, encrypted: &Table) -> Result<Table> {
+        let arity = encrypted.arity();
+        let ciphers = self.ciphers(arity);
+        let schema = Schema::from_names(encrypted.schema().names())?;
+        let mut records = Vec::with_capacity(encrypted.row_count());
+        for (_, rec) in encrypted.iter() {
+            let mut values = Vec::with_capacity(arity);
+            for (a, cell) in rec.values().iter().enumerate() {
+                values.push(ciphers[a].decrypt_cell(cell)?);
+            }
+            records.push(Record::new(values));
+        }
+        Ok(Table::new(schema, records)?)
+    }
+
+    /// Decrypt and drop every row that contains an artificial value. This is the
+    /// "lossy" recovery available without provenance: rows rewritten by conflict
+    /// resolution are dropped too, so the result is a subset of the original table.
+    pub fn decrypt_dropping_artificial(&self, encrypted: &Table) -> Result<Table> {
+        let decrypted = self.decrypt_table(encrypted)?;
+        let mut out = Table::empty(decrypted.schema().clone());
+        for (_, rec) in decrypted.iter() {
+            if rec.values().iter().any(is_artificial_value) {
+                continue;
+            }
+            out.push_row(rec.clone())?;
+        }
+        Ok(out)
+    }
+
+    /// Recover the original table exactly, using the owner's provenance.
+    pub fn recover_original(
+        &self,
+        encrypted: &Table,
+        provenance: &Provenance,
+        plaintext_schema: &Schema,
+    ) -> Result<Table> {
+        if provenance.len() != encrypted.row_count() {
+            return Err(F2Error::ProvenanceMismatch(format!(
+                "provenance describes {} rows but the table has {}",
+                provenance.len(),
+                encrypted.row_count()
+            )));
+        }
+        let arity = encrypted.arity();
+        if plaintext_schema.arity() != arity {
+            return Err(F2Error::ProvenanceMismatch(
+                "plaintext schema arity differs from the encrypted table".into(),
+            ));
+        }
+        let ciphers = self.ciphers(arity);
+        let real = provenance.real_rows();
+        let mut rows: Vec<(usize, Vec<Value>)> = Vec::with_capacity(real.len());
+        for (out_row, original_row) in real {
+            let rec = encrypted.row(out_row)?;
+            let mut values = Vec::with_capacity(arity);
+            for (a, cell) in rec.values().iter().enumerate() {
+                values.push(ciphers[a].decrypt_cell(cell)?);
+            }
+            // Patch cells replaced during conflict resolution from their companions.
+            if let Some(patches) = provenance.patches.get(&original_row) {
+                for &(attr, companion_row) in patches {
+                    let companion_cell = encrypted.cell(companion_row, attr)?;
+                    values[attr] = ciphers[attr].decrypt_cell(companion_cell)?;
+                }
+            }
+            rows.push((original_row, values));
+        }
+        rows.sort_by_key(|(orig, _)| *orig);
+        let records = rows.into_iter().map(|(_, v)| Record::new(v)).collect();
+        Ok(Table::new(plaintext_schema.clone(), records)?)
+    }
+
+    /// Convenience: recover the original table from a full [`EncryptionOutcome`].
+    pub fn recover_from_outcome(&self, outcome: &EncryptionOutcome) -> Result<Table> {
+        self.recover_original(
+            &outcome.encrypted,
+            &outcome.provenance,
+            &outcome.plaintext_schema,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{F2Config, F2Encryptor};
+    use f2_relation::table;
+
+    fn roundtrip_table() -> Table {
+        table! {
+            ["Zip", "City", "Name"];
+            ["07030", "Hoboken", "alice"],
+            ["07030", "Hoboken", "bob"],
+            ["07030", "Hoboken", "carol"],
+            ["10001", "NewYork", "dave"],
+            ["10001", "NewYork", "erin"],
+            ["08540", "Princeton", "frank"],
+            ["08540", "Princeton", "grace"],
+        }
+    }
+
+    #[test]
+    fn exact_roundtrip_with_provenance() {
+        let t = roundtrip_table();
+        for (alpha, split) in [(1.0, 1), (0.5, 2), (0.34, 3), (0.25, 2)] {
+            let enc = F2Encryptor::new(F2Config::new(alpha, split).unwrap(), MasterKey::from_seed(5));
+            let dec = F2Decryptor::new(MasterKey::from_seed(5));
+            let out = enc.encrypt(&t).unwrap();
+            let recovered = dec.recover_from_outcome(&out).unwrap();
+            assert!(
+                recovered.multiset_eq(&t),
+                "roundtrip failed for alpha={alpha} split={split}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_fails_or_garbles() {
+        let t = roundtrip_table();
+        let enc = F2Encryptor::new(F2Config::new(0.5, 2).unwrap(), MasterKey::from_seed(5));
+        let out = enc.encrypt(&t).unwrap();
+        let wrong = F2Decryptor::new(MasterKey::from_seed(6));
+        match wrong.recover_from_outcome(&out) {
+            Ok(recovered) => assert!(!recovered.multiset_eq(&t)),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn lossy_recovery_is_subset_of_original() {
+        let t = roundtrip_table();
+        let enc = F2Encryptor::new(F2Config::new(0.34, 2).unwrap(), MasterKey::from_seed(5));
+        let dec = F2Decryptor::new(MasterKey::from_seed(5));
+        let out = enc.encrypt(&t).unwrap();
+        let lossy = dec.decrypt_dropping_artificial(&out.encrypted).unwrap();
+        assert!(lossy.row_count() <= t.row_count());
+        let originals = t.all_values();
+        for (_, rec) in lossy.iter() {
+            for v in rec.values() {
+                assert!(originals.contains(v), "unexpected value {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn provenance_mismatch_is_detected() {
+        let t = roundtrip_table();
+        let enc = F2Encryptor::new(F2Config::new(0.5, 2).unwrap(), MasterKey::from_seed(5));
+        let dec = F2Decryptor::new(MasterKey::from_seed(5));
+        let out = enc.encrypt(&t).unwrap();
+        let mut bad = out.provenance.clone();
+        bad.origins.pop();
+        assert!(dec
+            .recover_original(&out.encrypted, &bad, &out.plaintext_schema)
+            .is_err());
+        let bad_schema = Schema::from_names(["A"]).unwrap();
+        assert!(dec
+            .recover_original(&out.encrypted, &out.provenance, &bad_schema)
+            .is_err());
+    }
+
+    #[test]
+    fn full_decrypt_keeps_all_rows() {
+        let t = roundtrip_table();
+        let enc = F2Encryptor::new(F2Config::new(0.5, 2).unwrap(), MasterKey::from_seed(5));
+        let dec = F2Decryptor::new(MasterKey::from_seed(5));
+        let out = enc.encrypt(&t).unwrap();
+        let full = dec.decrypt_table(&out.encrypted).unwrap();
+        assert_eq!(full.row_count(), out.encrypted.row_count());
+    }
+}

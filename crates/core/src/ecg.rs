@@ -1,0 +1,272 @@
+//! Step 2.1 — grouping of equivalence classes into ECGs (§3.2.1).
+//!
+//! Every equivalence class of a MAS partition is placed into exactly one *equivalence
+//! class group* (ECG). To provide α-security each ECG must contain at least
+//! `k = ⌈1/α⌉` classes, and for security under Kerckhoffs's principle the classes of a
+//! group must be pairwise **collision-free**: no two of them share a value on any MAS
+//! attribute (Definition 3.4). Classes of similar size are grouped together to minimise
+//! the copies the scaling phase has to add; when not enough collision-free classes are
+//! available, *fake* classes with values that do not exist in the dataset are added.
+
+use crate::fake::FreshValueGenerator;
+use f2_relation::{EquivalenceClass, RowId, Value};
+
+/// One member of an ECG: either a real equivalence class or a fake one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcEntry {
+    /// The (plaintext) representative value on the MAS attributes, in ascending
+    /// attribute-index order.
+    pub representative: Vec<Value>,
+    /// The original rows belonging to the class (empty for fake classes).
+    pub rows: Vec<RowId>,
+    /// Size of the class when it is fake (real classes use `rows.len()`).
+    fake_size: usize,
+}
+
+impl EcEntry {
+    /// Build an entry from a real equivalence class.
+    pub fn real(class: &EquivalenceClass) -> Self {
+        EcEntry { representative: class.representative.clone(), rows: class.rows.clone(), fake_size: 0 }
+    }
+
+    /// Build a fake entry of the given size with fresh values.
+    pub fn fake(size: usize, attr_count: usize, fresh: &mut FreshValueGenerator) -> Self {
+        EcEntry { representative: fresh.take(attr_count), rows: Vec::new(), fake_size: size.max(1) }
+    }
+
+    /// Number of (real or virtual) tuples in the class — the paper's frequency `f`.
+    pub fn size(&self) -> usize {
+        if self.rows.is_empty() {
+            self.fake_size
+        } else {
+            self.rows.len()
+        }
+    }
+
+    /// True if the entry is a fake class added by grouping.
+    pub fn is_fake(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Collision test (Definition 3.4): two classes collide if they share a value on
+    /// any single attribute position.
+    pub fn collides_with(&self, other: &EcEntry) -> bool {
+        self.representative
+            .iter()
+            .zip(other.representative.iter())
+            .any(|(a, b)| a == b)
+    }
+}
+
+/// An equivalence class group.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Ecg {
+    /// Members, sorted by ascending size.
+    pub members: Vec<EcEntry>,
+}
+
+impl Ecg {
+    /// Number of member classes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Number of fake member classes.
+    pub fn fake_members(&self) -> usize {
+        self.members.iter().filter(|m| m.is_fake()).count()
+    }
+
+    /// True if all members are pairwise collision-free.
+    pub fn is_collision_free(&self) -> bool {
+        for i in 0..self.members.len() {
+            for j in (i + 1)..self.members.len() {
+                if self.members[i].collides_with(&self.members[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Group the equivalence classes of one MAS partition into collision-free ECGs of at
+/// least `k` members each, adding fake classes where necessary.
+pub fn group_equivalence_classes(
+    classes: &[EquivalenceClass],
+    k: usize,
+    attr_count: usize,
+    fresh: &mut FreshValueGenerator,
+) -> Vec<Ecg> {
+    assert!(k >= 1, "ECG size must be at least 1");
+    // Sort by ascending size (ties broken by representative for determinism).
+    let mut order: Vec<usize> = (0..classes.len()).collect();
+    order.sort_by(|&a, &b| {
+        classes[a]
+            .size()
+            .cmp(&classes[b].size())
+            .then_with(|| classes[a].representative.cmp(&classes[b].representative))
+    });
+    let mut assigned = vec![false; classes.len()];
+    let mut groups = Vec::new();
+    for (pos, &start) in order.iter().enumerate() {
+        if assigned[start] {
+            continue;
+        }
+        let mut group = Ecg { members: vec![EcEntry::real(&classes[start])] };
+        assigned[start] = true;
+        // Greedily add the closest-size collision-free classes.
+        if k > 1 {
+            for &cand in order.iter().skip(pos + 1) {
+                if group.len() >= k {
+                    break;
+                }
+                if assigned[cand] {
+                    continue;
+                }
+                let entry = EcEntry::real(&classes[cand]);
+                if group.members.iter().all(|m| !m.collides_with(&entry)) {
+                    group.members.push(entry);
+                    assigned[cand] = true;
+                }
+            }
+        }
+        // Pad with fake classes of the group's minimum size.
+        let min_size = group.members.iter().map(EcEntry::size).min().unwrap_or(1);
+        while group.len() < k {
+            group.members.push(EcEntry::fake(min_size, attr_count, fresh));
+        }
+        // Keep members sorted by size (split-point selection expects ascending order).
+        group.members.sort_by_key(EcEntry::size);
+        groups.push(group);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_relation::Value;
+
+    fn ec(rep: &[&str], rows: &[usize]) -> EquivalenceClass {
+        EquivalenceClass {
+            representative: rep.iter().map(|s| Value::text(*s)).collect(),
+            rows: rows.to_vec(),
+        }
+    }
+
+    /// The five classes of Figure 2.
+    fn figure2_classes() -> Vec<EquivalenceClass> {
+        vec![
+            ec(&["a1", "b1"], &[0, 3, 4, 6, 11]),
+            ec(&["a1", "b2"], &[1, 5, 7, 13]),
+            ec(&["a2", "b2"], &[2, 8, 15]),
+            ec(&["a2", "b1"], &[9, 10]),
+            ec(&["a3", "b3"], &[12, 14]),
+        ]
+    }
+
+    #[test]
+    fn figure2_grouping_with_one_third_security() {
+        // α = 1/3 → k = 3. The paper groups {C1, C3, fake} and {C2, C4, C5}.
+        let classes = figure2_classes();
+        let mut fresh = FreshValueGenerator::new();
+        let groups = group_equivalence_classes(&classes, 3, 2, &mut fresh);
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            assert!(g.len() >= 3, "each ECG must have at least k classes");
+            assert!(g.is_collision_free(), "ECG members must be collision-free");
+        }
+        // Exactly one fake class is needed in total (5 real classes → 6 slots).
+        let fakes: usize = groups.iter().map(Ecg::fake_members).sum();
+        assert_eq!(fakes, 1);
+        // C1 = (a1,b1) and C2 = (a1,b2) must not share a group (collision on a1);
+        // likewise C2/C3 (b2) and C3/C4 (a2).
+        for g in &groups {
+            let reps: Vec<&Vec<Value>> =
+                g.members.iter().filter(|m| !m.is_fake()).map(|m| &m.representative).collect();
+            for i in 0..reps.len() {
+                for j in (i + 1)..reps.len() {
+                    assert!(
+                        reps[i].iter().zip(reps[j].iter()).all(|(a, b)| a != b),
+                        "collision inside an ECG"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_class_is_assigned_exactly_once() {
+        let classes = figure2_classes();
+        let mut fresh = FreshValueGenerator::new();
+        let groups = group_equivalence_classes(&classes, 2, 2, &mut fresh);
+        let mut all_rows: Vec<usize> = groups
+            .iter()
+            .flat_map(|g| g.members.iter().flat_map(|m| m.rows.clone()))
+            .collect();
+        all_rows.sort_unstable();
+        assert_eq!(all_rows, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn k_equal_one_means_singleton_groups_without_fakes() {
+        let classes = figure2_classes();
+        let mut fresh = FreshValueGenerator::new();
+        let groups = group_equivalence_classes(&classes, 1, 2, &mut fresh);
+        assert_eq!(groups.len(), classes.len());
+        assert!(groups.iter().all(|g| g.fake_members() == 0));
+        assert_eq!(fresh.issued(), 0);
+    }
+
+    #[test]
+    fn colliding_classes_force_fakes() {
+        // All classes share value "x" on attribute 0 → no two can share a group.
+        let classes = vec![
+            ec(&["x", "1"], &[0, 1]),
+            ec(&["x", "2"], &[2, 3]),
+            ec(&["x", "3"], &[4, 5, 6]),
+        ];
+        let mut fresh = FreshValueGenerator::new();
+        let groups = group_equivalence_classes(&classes, 2, 2, &mut fresh);
+        assert_eq!(groups.len(), 3);
+        for g in &groups {
+            assert_eq!(g.len(), 2);
+            assert_eq!(g.fake_members(), 1);
+            assert!(g.is_collision_free());
+            // The fake class copies the group's minimum size.
+            let real_size = g.members.iter().find(|m| !m.is_fake()).unwrap().size();
+            let fake_size = g.members.iter().find(|m| m.is_fake()).unwrap().size();
+            assert_eq!(fake_size, real_size);
+        }
+    }
+
+    #[test]
+    fn members_are_sorted_by_size() {
+        let classes = figure2_classes();
+        let mut fresh = FreshValueGenerator::new();
+        for g in group_equivalence_classes(&classes, 3, 2, &mut fresh) {
+            let sizes: Vec<usize> = g.members.iter().map(EcEntry::size).collect();
+            let mut sorted = sizes.clone();
+            sorted.sort_unstable();
+            assert_eq!(sizes, sorted);
+        }
+    }
+
+    #[test]
+    fn fake_entry_properties() {
+        let mut fresh = FreshValueGenerator::new();
+        let fake = EcEntry::fake(4, 3, &mut fresh);
+        assert!(fake.is_fake());
+        assert_eq!(fake.size(), 4);
+        assert_eq!(fake.representative.len(), 3);
+        let real = EcEntry::real(&ec(&["a"], &[7]));
+        assert!(!real.is_fake());
+        assert_eq!(real.size(), 1);
+        assert!(!fake.collides_with(&real));
+    }
+}

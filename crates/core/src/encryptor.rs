@@ -1,0 +1,465 @@
+//! The F² encryption pipeline (data-owner side).
+//!
+//! [`F2Encryptor::encrypt`] runs the four steps of the scheme end to end:
+//!
+//! 1. **MAX** — discover the maximal attribute sets ([`f2_fd::mas`]);
+//! 2. **SSE** — per MAS, group the equivalence classes, choose split points, and assign
+//!    every original row to a ciphertext *instance* ([`crate::sse`]); materialise the
+//!    instances as probabilistic ciphertexts (`⟨r, F_k(r) ⊕ p⟩`, one fresh nonce per
+//!    instance and attribute) plus the scaling/fake-EC rows;
+//! 3. **SYN** — resolve conflicts between overlapping MASs: when a tuple belongs to
+//!    equivalence classes of size > 1 in two overlapping MASs, it is replaced by two
+//!    tuples as in §3.3.2 (the original keeps the first MAS's assignment, a companion
+//!    row carries the second's); when one side is a singleton class it simply adopts
+//!    the other's ciphertext;
+//! 4. **FP** — insert artificial record pairs that re-violate false-positive FDs
+//!    ([`crate::fpfd`]).
+//!
+//! The output is the encrypted table (every cell an opaque byte string), the owner-side
+//! [`Provenance`], and an [`EncryptionReport`] with the per-step timings and artificial
+//! record counts that the benchmark harness turns into the paper's figures.
+
+use crate::config::F2Config;
+use crate::fake::FreshValueGenerator;
+use crate::fpfd::plan_false_positive_elimination;
+use crate::provenance::{Provenance, RowOrigin};
+use crate::report::{EncryptionReport, OverheadBreakdown, StepTimings};
+use crate::sse::{build_mas_plan, MasPlan};
+use crate::{F2Error, Result};
+use f2_crypto::{MasterKey, ProbabilisticCipher};
+use f2_fd::mas::find_mas;
+use f2_relation::{AttrSet, Record, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Where an already-assigned ciphertext cell of an original row came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CellSource {
+    /// Assigned from a MAS plan instance; `multi` records whether the originating
+    /// equivalence class had more than one original tuple.
+    Instance { mas: usize, instance: usize, multi: bool },
+    /// Filled with a fresh value during conflict resolution.
+    Fresh,
+}
+
+#[derive(Debug, Clone)]
+struct CellState {
+    value: Value,
+    source: CellSource,
+}
+
+/// Result of encrypting one table with F².
+#[derive(Debug, Clone)]
+pub struct EncryptionOutcome {
+    /// The encrypted table to be outsourced to the server.
+    pub encrypted: Table,
+    /// Owner-side provenance (never shared with the server).
+    pub provenance: Provenance,
+    /// Per-step timings and overhead measurements.
+    pub report: EncryptionReport,
+    /// The maximal attribute sets discovered in Step 1.
+    pub mas_sets: Vec<AttrSet>,
+    /// The plaintext schema (needed to rebuild the original table on decryption).
+    pub plaintext_schema: Schema,
+}
+
+/// The F² encryptor: configuration plus the data owner's master key.
+#[derive(Debug, Clone)]
+pub struct F2Encryptor {
+    config: F2Config,
+    master: MasterKey,
+}
+
+impl F2Encryptor {
+    /// Create an encryptor.
+    pub fn new(config: F2Config, master: MasterKey) -> Self {
+        F2Encryptor { config, master }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &F2Config {
+        &self.config
+    }
+
+    /// Encrypt a table with the full four-step F² pipeline.
+    pub fn encrypt(&self, table: &Table) -> Result<EncryptionOutcome> {
+        self.config.validate()?;
+        if table.arity() == 0 {
+            return Err(F2Error::UnsupportedInput("table has no attributes".into()));
+        }
+        let arity = table.arity();
+        let n = table.row_count();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let ciphers: Vec<ProbabilisticCipher> = (0..arity)
+            .map(|a| ProbabilisticCipher::new(&self.master.attribute_key(a)))
+            .collect();
+        let mut fresh = FreshValueGenerator::for_table(table);
+
+        // ---- Step 1: MAX ---------------------------------------------------------
+        let t_max = Instant::now();
+        let mas_set = find_mas(table);
+        let max_time = t_max.elapsed();
+
+        // ---- Step 2: SSE (plans + assembly) and Step 3: SYN -----------------------
+        let t_sse = Instant::now();
+        let mut syn_time = std::time::Duration::ZERO;
+        let plans: Vec<MasPlan> = mas_set
+            .sets
+            .iter()
+            .map(|&m| build_mas_plan(table, m, &self.config, &mut fresh))
+            .collect();
+
+        let mut cells: Vec<Vec<Option<CellState>>> = vec![vec![None; arity]; n];
+        // Artificial rows under construction: per-attribute optional ciphertext cells.
+        let mut extra_rows: Vec<(Vec<Option<Value>>, RowOrigin)> = Vec::new();
+        // Extra rows belonging to each (mas, instance), so singleton-adoption overwrites
+        // can be propagated to the instance's scale copies.
+        let mut instance_extras: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        let mut patches: HashMap<usize, Vec<(usize, usize)>> = HashMap::new();
+        let mut syn_rows = 0usize;
+        let mut group_rows = 0usize;
+        let mut scale_rows = 0usize;
+
+        for (mi, plan) in plans.iter().enumerate() {
+            let attrs: Vec<usize> = plan.mas.iter().collect();
+            for (ii, inst) in plan.instances.iter().enumerate() {
+                // One ciphertext per attribute, shared by every row of the instance.
+                let inst_cts: Vec<Value> = attrs
+                    .iter()
+                    .zip(inst.values.iter())
+                    .map(|(&a, v)| ciphers[a].encrypt_value_to_cell(v, &mut rng))
+                    .collect();
+                let multi = inst.ec_real_size > 1;
+
+                for &r in &inst.rows {
+                    // Type-2 conflict (§3.3.2): the row is already claimed on some
+                    // overlapping attribute by another MAS's multi-tuple class, and this
+                    // class is multi-tuple too.
+                    let conflict = multi
+                        && attrs.iter().any(|&a| {
+                            matches!(
+                                cells[r][a],
+                                Some(CellState { source: CellSource::Instance { multi: true, .. }, .. })
+                            )
+                        });
+                    if conflict {
+                        let t_conflict = Instant::now();
+                        // The original row keeps its earlier assignment; its unassigned
+                        // attributes of this MAS receive fresh values so its projection
+                        // does not partially join this instance.
+                        for (pos, &a) in attrs.iter().enumerate() {
+                            if cells[r][a].is_none() {
+                                let fv = fresh.next_value();
+                                cells[r][a] = Some(CellState {
+                                    value: ciphers[a].encrypt_value_to_cell(&fv, &mut rng),
+                                    source: CellSource::Fresh,
+                                });
+                                // The row's real ciphertext for this attribute lives on
+                                // the companion row created below.
+                                patches
+                                    .entry(r)
+                                    .or_default()
+                                    .push((a, n + extra_rows.len()));
+                            }
+                            let _ = pos;
+                        }
+                        // Companion row: this MAS's instance on its attributes, fresh
+                        // values elsewhere (filled in the finalisation pass).
+                        let mut row: Vec<Option<Value>> = vec![None; arity];
+                        for (pos, &a) in attrs.iter().enumerate() {
+                            row[a] = Some(inst_cts[pos].clone());
+                        }
+                        extra_rows.push((row, RowOrigin::ConflictCompanion { original_row: r }));
+                        syn_rows += 1;
+                        syn_time += t_conflict.elapsed();
+                        continue;
+                    }
+                    for (pos, &a) in attrs.iter().enumerate() {
+                        match &cells[r][a] {
+                            None => {
+                                cells[r][a] = Some(CellState {
+                                    value: inst_cts[pos].clone(),
+                                    source: CellSource::Instance { mas: mi, instance: ii, multi },
+                                });
+                            }
+                            Some(CellState { source, .. }) if multi => {
+                                // The earlier owner was a singleton class (or a fresh
+                                // filler): it adopts this instance's ciphertext. Any
+                                // scale copies of the earlier singleton instance adopt
+                                // it too, so its frequency stays homogeneous.
+                                if let CellSource::Instance { mas, instance, multi: false } = *source
+                                {
+                                    if let Some(extras) = instance_extras.get(&(mas, instance)) {
+                                        for &er in extras {
+                                            extra_rows[er].0[a] = Some(inst_cts[pos].clone());
+                                        }
+                                    }
+                                }
+                                cells[r][a] = Some(CellState {
+                                    value: inst_cts[pos].clone(),
+                                    source: CellSource::Instance { mas: mi, instance: ii, multi },
+                                });
+                            }
+                            Some(_) => {
+                                // This class is a singleton: it adopts whatever the
+                                // earlier MAS assigned (no conflict, §3.3.2).
+                            }
+                        }
+                    }
+                }
+
+                // Scaling copies and fake-EC rows are entirely artificial rows. They
+                // must mirror what the instance's rows actually carry: a singleton
+                // class may have *adopted* another MAS's ciphertext on the overlap
+                // (the no-conflict case of §3.3.2), in which case its copies adopt it
+                // too so the instance keeps one homogeneous value combination.
+                let copy_cts: Vec<Value> = if inst.rows.len() == 1 && !multi {
+                    let r = inst.rows[0];
+                    attrs
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &a)| {
+                            cells[r][a]
+                                .as_ref()
+                                .map(|c| c.value.clone())
+                                .unwrap_or_else(|| inst_cts[pos].clone())
+                        })
+                        .collect()
+                } else {
+                    inst_cts.clone()
+                };
+                let extra_count = inst.scale_copies + inst.fake_rows;
+                if extra_count > 0 {
+                    let slot = instance_extras.entry((mi, ii)).or_default();
+                    for c in 0..extra_count {
+                        let mut row: Vec<Option<Value>> = vec![None; arity];
+                        for (pos, &a) in attrs.iter().enumerate() {
+                            row[a] = Some(copy_cts[pos].clone());
+                        }
+                        let origin = if c < inst.scale_copies {
+                            scale_rows += 1;
+                            RowOrigin::ScaleCopy { mas_index: mi }
+                        } else {
+                            group_rows += 1;
+                            RowOrigin::GroupFake { mas_index: mi }
+                        };
+                        slot.push(extra_rows.len());
+                        extra_rows.push((row, origin));
+                    }
+                }
+            }
+        }
+
+        // Finalisation: encrypt the cells not covered by any MAS (unique attributes)
+        // and fill the artificial rows' remaining attributes with fresh values.
+        for (r, row_cells) in cells.iter_mut().enumerate() {
+            for (a, cell) in row_cells.iter_mut().enumerate() {
+                if cell.is_none() {
+                    let v = table.cell(r, a)?.clone();
+                    *cell = Some(CellState {
+                        value: ciphers[a].encrypt_value_to_cell(&v, &mut rng),
+                        source: CellSource::Fresh,
+                    });
+                }
+            }
+        }
+        for (row, _) in extra_rows.iter_mut() {
+            for (a, cell) in row.iter_mut().enumerate() {
+                if cell.is_none() {
+                    let fv = fresh.next_value();
+                    *cell = Some(ciphers[a].encrypt_value_to_cell(&fv, &mut rng));
+                }
+            }
+        }
+        let sse_time = t_sse.elapsed().saturating_sub(syn_time);
+
+        // ---- Step 4: FP ------------------------------------------------------------
+        let t_fp = Instant::now();
+        let fp_plan = plan_false_positive_elimination(
+            table,
+            &mas_set.sets,
+            self.config.ecg_size(),
+            &mut fresh,
+        );
+        let mut fp_rows = 0usize;
+        for pair in &fp_plan.pairs {
+            // Row 1: every cell freshly encrypted.
+            let row1: Vec<Option<Value>> = pair
+                .row1
+                .iter()
+                .enumerate()
+                .map(|(a, v)| Some(ciphers[a].encrypt_value_to_cell(v, &mut rng)))
+                .collect();
+            // Row 2: shares the *ciphertext* on the FD's LHS so the server observes the
+            // violation; all other cells are freshly encrypted.
+            let row2: Vec<Option<Value>> = pair
+                .row2
+                .iter()
+                .enumerate()
+                .map(|(a, v)| {
+                    if pair.shared_attrs.contains(a) {
+                        row1[a].clone()
+                    } else {
+                        Some(ciphers[a].encrypt_value_to_cell(v, &mut rng))
+                    }
+                })
+                .collect();
+            extra_rows.push((row1, RowOrigin::FalsePositive { mas_index: pair.mas_index }));
+            extra_rows.push((row2, RowOrigin::FalsePositive { mas_index: pair.mas_index }));
+            fp_rows += 2;
+        }
+        let fp_time = t_fp.elapsed();
+
+        // ---- Assemble the output table ----------------------------------------------
+        let encrypted_schema = table.schema().encrypted();
+        let mut records = Vec::with_capacity(n + extra_rows.len());
+        let mut origins = Vec::with_capacity(n + extra_rows.len());
+        for (r, row_cells) in cells.into_iter().enumerate() {
+            records.push(Record::new(
+                row_cells.into_iter().map(|c| c.expect("cell assigned").value).collect(),
+            ));
+            origins.push(RowOrigin::Real { original_row: r });
+        }
+        for (row, origin) in extra_rows {
+            records.push(Record::new(
+                row.into_iter().map(|c| c.expect("cell filled")).collect(),
+            ));
+            origins.push(origin);
+        }
+        let encrypted = Table::new(encrypted_schema, records)?;
+
+        let report = EncryptionReport {
+            timings: StepTimings { max: max_time, sse: sse_time, syn: syn_time, fp: fp_time },
+            overhead: OverheadBreakdown {
+                original_rows: n,
+                group_rows,
+                scale_rows,
+                syn_rows,
+                fp_rows,
+            },
+            mas_count: mas_set.len(),
+            overlapping_mas_pairs: mas_set.overlapping_pairs().len(),
+            equivalence_classes: plans.iter().map(|p| p.ec_count).sum(),
+            false_positive_fds: fp_plan.max_false_positives,
+        };
+        Ok(EncryptionOutcome {
+            encrypted,
+            provenance: Provenance { origins, patches },
+            report,
+            mas_sets: mas_set.sets,
+            plaintext_schema: table.schema().clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_relation::table;
+
+    fn small_table() -> Table {
+        table! {
+            ["Zip", "City", "Name"];
+            ["07030", "Hoboken", "alice"],
+            ["07030", "Hoboken", "bob"],
+            ["07030", "Hoboken", "carol"],
+            ["10001", "NewYork", "dave"],
+            ["10001", "NewYork", "erin"],
+            ["08540", "Princeton", "frank"],
+        }
+    }
+
+    fn encryptor(alpha: f64, split: usize) -> F2Encryptor {
+        F2Encryptor::new(F2Config::new(alpha, split).unwrap(), MasterKey::from_seed(11))
+    }
+
+    #[test]
+    fn encrypts_to_opaque_cells() {
+        let t = small_table();
+        let out = encryptor(0.5, 2).encrypt(&t).unwrap();
+        assert_eq!(out.encrypted.arity(), 3);
+        assert!(out.encrypted.row_count() >= t.row_count());
+        for (_, rec) in out.encrypted.iter() {
+            for v in rec.values() {
+                assert!(v.is_bytes(), "every cell must be ciphertext");
+            }
+        }
+        // No plaintext value survives in the encrypted table.
+        let plain_values = t.all_values();
+        for (_, rec) in out.encrypted.iter() {
+            for v in rec.values() {
+                assert!(!plain_values.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn provenance_covers_every_output_row() {
+        let t = small_table();
+        let out = encryptor(0.5, 2).encrypt(&t).unwrap();
+        assert_eq!(out.provenance.len(), out.encrypted.row_count());
+        assert_eq!(out.provenance.real_rows().len(), t.row_count());
+        let (scale, group, conflict, fp) = out.provenance.artificial_breakdown();
+        let o = &out.report.overhead;
+        assert_eq!(scale, o.scale_rows);
+        assert_eq!(group, o.group_rows);
+        assert_eq!(conflict, o.syn_rows);
+        assert_eq!(fp, o.fp_rows);
+        assert_eq!(out.encrypted.row_count(), o.total_rows());
+    }
+
+    #[test]
+    fn report_is_populated() {
+        let t = small_table();
+        let out = encryptor(0.5, 2).encrypt(&t).unwrap();
+        assert!(out.report.mas_count >= 1);
+        assert!(out.report.equivalence_classes >= 1);
+        assert!(out.report.timings.total() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn frequencies_are_flattened() {
+        // In the encrypted table, group ciphertext combinations over each MAS: every
+        // combination originating from the same ECG must appear equally often. We check
+        // a weaker but observable property: the most frequent MAS combination in the
+        // plaintext no longer dominates the ciphertext distribution.
+        let t = table! {
+            ["A", "B"];
+            ["a1", "b1"], ["a1", "b1"], ["a1", "b1"], ["a1", "b1"],
+            ["a1", "b1"], ["a1", "b1"], ["a1", "b1"], ["a1", "b1"],
+            ["a2", "b2"], ["a2", "b2"],
+            ["a3", "b3"], ["a3", "b3"],
+            ["a4", "b4"], ["a5", "b5"],
+        };
+        let out = encryptor(0.5, 2).encrypt(&t).unwrap();
+        let mas = out.mas_sets[0];
+        let hist = out.encrypted.frequency_histogram(mas);
+        let max_cipher_freq = hist.values().copied().max().unwrap();
+        let plain_hist = t.frequency_histogram(mas);
+        let max_plain_freq = plain_hist.values().copied().max().unwrap();
+        assert!(max_cipher_freq < max_plain_freq, "{max_cipher_freq} !< {max_plain_freq}");
+    }
+
+    #[test]
+    fn empty_schema_rejected_and_empty_table_ok() {
+        let empty_schema = Schema::new(vec![]).unwrap();
+        let t = Table::empty(empty_schema);
+        assert!(encryptor(0.5, 2).encrypt(&t).is_err());
+
+        let t = Table::empty(Schema::from_names(["A", "B"]).unwrap());
+        let out = encryptor(0.5, 2).encrypt(&t).unwrap();
+        assert_eq!(out.encrypted.row_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_key() {
+        let t = small_table();
+        let e = encryptor(0.5, 2);
+        let a = e.encrypt(&t).unwrap();
+        let b = e.encrypt(&t).unwrap();
+        assert_eq!(a.encrypted, b.encrypted);
+        assert_eq!(a.provenance, b.provenance);
+    }
+}

@@ -1,0 +1,104 @@
+//! Generation of artificial ("fake") plaintext values.
+//!
+//! Three of the four F² steps need values "that do not exist in the original dataset":
+//! fake equivalence classes added during grouping (§3.2.1), the fresh values `v_X`,
+//! `v_Y` used by conflict resolution (§3.3), and the artificial record pairs that
+//! eliminate false-positive FDs (§3.4). The server cannot distinguish them from real
+//! values because everything is encrypted before outsourcing; the data owner recognises
+//! them after decryption by their reserved prefix.
+
+use f2_relation::{Table, Value};
+use std::collections::HashSet;
+
+/// Reserved prefix identifying artificial plaintext values.
+pub const FAKE_PREFIX: &str = "\u{1}f2:";
+
+/// A generator of plaintext values guaranteed to be fresh: distinct from every value in
+/// the original dataset and from every previously generated fake value.
+#[derive(Debug, Clone)]
+pub struct FreshValueGenerator {
+    counter: u64,
+    existing: HashSet<Value>,
+}
+
+impl FreshValueGenerator {
+    /// Create a generator that avoids every value occurring in `table`.
+    pub fn for_table(table: &Table) -> Self {
+        FreshValueGenerator { counter: 0, existing: table.all_values() }
+    }
+
+    /// Create a generator with no exclusions (for tests).
+    pub fn new() -> Self {
+        FreshValueGenerator { counter: 0, existing: HashSet::new() }
+    }
+
+    /// Produce the next fresh value.
+    pub fn next_value(&mut self) -> Value {
+        loop {
+            let v = Value::text(format!("{FAKE_PREFIX}{:08x}", self.counter));
+            self.counter += 1;
+            if !self.existing.contains(&v) {
+                return v;
+            }
+        }
+    }
+
+    /// Produce `n` fresh values.
+    pub fn take(&mut self, n: usize) -> Vec<Value> {
+        (0..n).map(|_| self.next_value()).collect()
+    }
+
+    /// Number of fresh values handed out so far.
+    pub fn issued(&self) -> u64 {
+        self.counter
+    }
+}
+
+impl Default for FreshValueGenerator {
+    fn default() -> Self {
+        FreshValueGenerator::new()
+    }
+}
+
+/// Is this plaintext value one of the artificial values produced by
+/// [`FreshValueGenerator`]? (Only meaningful on the data-owner side, after decryption.)
+pub fn is_artificial_value(value: &Value) -> bool {
+    matches!(value, Value::Text(s) if s.starts_with(FAKE_PREFIX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_relation::table;
+
+    #[test]
+    fn fresh_values_are_distinct() {
+        let mut g = FreshValueGenerator::new();
+        let vs = g.take(100);
+        let set: HashSet<_> = vs.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert_eq!(g.issued(), 100);
+        assert!(vs.iter().all(is_artificial_value));
+    }
+
+    #[test]
+    fn fresh_values_avoid_table_values() {
+        let t = table! {
+            ["A"];
+            ["x"],
+            ["y"],
+        };
+        let mut g = FreshValueGenerator::for_table(&t);
+        for _ in 0..50 {
+            let v = g.next_value();
+            assert!(!t.all_values().contains(&v));
+        }
+    }
+
+    #[test]
+    fn artificial_detection() {
+        assert!(is_artificial_value(&Value::text(format!("{FAKE_PREFIX}0001"))));
+        assert!(!is_artificial_value(&Value::text("Hoboken")));
+        assert!(!is_artificial_value(&Value::Int(3)));
+    }
+}

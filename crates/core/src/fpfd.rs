@@ -1,0 +1,230 @@
+//! Step 4 — eliminating false-positive FDs (§3.4).
+//!
+//! Steps 1–3 make every equivalence class group collision-free, which can *create* FDs
+//! in the encrypted table that do not hold in the original data (Example 3.1). The data
+//! owner walks the FD lattice of every MAS (Figure 5); for every *maximum false
+//! positive* `X → Y` (violated in the plaintext, hence accidentally satisfied in the
+//! ciphertext) she inserts `k = ⌈1/α⌉` pairs of artificial records that share a fresh
+//! value on `X` but disagree on `Y`, which re-violates the FD in the encrypted table.
+//! Inserting `k` pairs rather than one keeps the artificial records indistinguishable
+//! under the α-security argument of Section 4.
+
+use crate::fake::FreshValueGenerator;
+use f2_fd::lattice::FdLattice;
+use f2_relation::{AttrSet, Partition, Table, Value};
+use std::collections::HashMap;
+
+/// A pair of artificial plaintext records that re-violates one false-positive FD.
+///
+/// Both rows are full-arity plaintext rows made entirely of fresh values; they share
+/// the same values on `shared_attrs` (the FD's left-hand side) and differ everywhere
+/// else. The encryptor must encrypt the shared cells to the *same ciphertext* so the
+/// server observes the violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FpRecordPair {
+    /// The MAS whose lattice produced this pair.
+    pub mas_index: usize,
+    /// Attributes on which the two rows share a value (the false-positive FD's LHS).
+    pub shared_attrs: AttrSet,
+    /// First artificial row (full arity).
+    pub row1: Vec<Value>,
+    /// Second artificial row (full arity).
+    pub row2: Vec<Value>,
+}
+
+/// The Step-4 plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FpPlan {
+    /// Artificial record pairs to insert.
+    pub pairs: Vec<FpRecordPair>,
+    /// Number of maximum false-positive FDs that were eliminated.
+    pub max_false_positives: usize,
+}
+
+impl FpPlan {
+    /// Total number of artificial records (2 per pair).
+    pub fn record_count(&self) -> usize {
+        self.pairs.len() * 2
+    }
+}
+
+/// Identify the maximum false-positive FDs of every MAS and build the artificial
+/// records that eliminate them. `k` is ⌈1/α⌉.
+pub fn plan_false_positive_elimination(
+    table: &Table,
+    mas_sets: &[AttrSet],
+    k: usize,
+    fresh: &mut FreshValueGenerator,
+) -> FpPlan {
+    let arity = table.arity();
+    let mut plan = FpPlan::default();
+    for (mas_index, &mas) in mas_sets.iter().enumerate() {
+        if mas.len() < 2 {
+            continue;
+        }
+        // Representative tuples of π_M: the violation check of §3.4 only needs one row
+        // per equivalence class.
+        let partition = Partition::compute(table, mas);
+        let reps: Vec<Vec<Value>> = partition
+            .classes()
+            .iter()
+            .map(|c| c.representative.clone())
+            .collect();
+        let mas_attrs: Vec<usize> = mas.iter().collect();
+        let position_of: HashMap<usize, usize> =
+            mas_attrs.iter().enumerate().map(|(p, &a)| (a, p)).collect();
+
+        let lattice = FdLattice::new(mas);
+        let violated_nodes = lattice.find_maximum_false_positives(|lhs, rhs| {
+            violated_among_representatives(&reps, &position_of, lhs, rhs)
+        });
+
+        for node in violated_nodes {
+            plan.max_false_positives += 1;
+            for _ in 0..k {
+                // Shared fresh values on X; everything else fresh and distinct.
+                let shared: HashMap<usize, Value> =
+                    node.lhs.iter().map(|a| (a, fresh.next_value())).collect();
+                let make_row = |fresh: &mut FreshValueGenerator| {
+                    (0..arity)
+                        .map(|a| shared.get(&a).cloned().unwrap_or_else(|| fresh.next_value()))
+                        .collect::<Vec<Value>>()
+                };
+                let row1 = make_row(fresh);
+                let row2 = make_row(fresh);
+                plan.pairs.push(FpRecordPair {
+                    mas_index,
+                    shared_attrs: node.lhs,
+                    row1,
+                    row2,
+                });
+            }
+        }
+    }
+    plan
+}
+
+/// Does there exist a pair of equivalence classes agreeing on `lhs` but differing on
+/// `rhs`? (I.e. is the FD `lhs → rhs` violated among the class representatives?)
+fn violated_among_representatives(
+    reps: &[Vec<Value>],
+    position_of: &HashMap<usize, usize>,
+    lhs: AttrSet,
+    rhs: usize,
+) -> bool {
+    let lhs_pos: Vec<usize> = lhs.iter().map(|a| position_of[&a]).collect();
+    let rhs_pos = position_of[&rhs];
+    let mut seen: HashMap<Vec<&Value>, &Value> = HashMap::with_capacity(reps.len());
+    for rep in reps {
+        let key: Vec<&Value> = lhs_pos.iter().map(|&p| &rep[p]).collect();
+        let y = &rep[rhs_pos];
+        match seen.get(&key) {
+            Some(prev) if *prev != y => return true,
+            Some(_) => {}
+            None => {
+                seen.insert(key, y);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_relation::table;
+
+    #[test]
+    fn figure4_example_produces_pairs() {
+        // Figure 4(a): A → B does not hold in D ({a1,b1} vs {a1,b2} collide on A), so it
+        // is a false positive after Steps 1–3 and must be eliminated with k pairs.
+        let t = table! {
+            ["A", "B"];
+            ["a1", "b1"], ["a1", "b1"], ["a1", "b1"], ["a1", "b1"], ["a1", "b1"],
+            ["a2", "b3"], ["a2", "b3"],
+            ["a1", "b2"], ["a1", "b2"], ["a1", "b2"], ["a1", "b2"],
+            ["a2", "b4"], ["a2", "b4"], ["a2", "b4"],
+        };
+        let mas = AttrSet::all(2);
+        let mut fresh = FreshValueGenerator::for_table(&t);
+        let k = 3;
+        let plan = plan_false_positive_elimination(&t, &[mas], k, &mut fresh);
+        // A → B is violated in D (a1 maps to both b1 and b2) while B → A holds, so
+        // exactly one maximum false positive is eliminated with k pairs.
+        assert_eq!(plan.max_false_positives, 1);
+        assert_eq!(plan.pairs.len(), k);
+        assert_eq!(plan.record_count(), 2 * k);
+        for pair in &plan.pairs {
+            // Shared on X, different on the rest, all values fresh.
+            for a in pair.shared_attrs.iter() {
+                assert_eq!(pair.row1[a], pair.row2[a]);
+            }
+            let other: Vec<usize> =
+                (0..2).filter(|a| !pair.shared_attrs.contains(*a)).collect();
+            for a in other {
+                assert_ne!(pair.row1[a], pair.row2[a]);
+            }
+            for v in pair.row1.iter().chain(pair.row2.iter()) {
+                assert!(crate::fake::is_artificial_value(v));
+                assert!(!t.all_values().contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn true_fds_are_not_eliminated() {
+        // Zip → City holds, so the node Zip : City must NOT trigger artificial records;
+        // Name-related FDs (violated) must.
+        let t = table! {
+            ["Zip", "City"];
+            ["07030", "Hoboken"],
+            ["07030", "Hoboken"],
+            ["10001", "NewYork"],
+            ["10001", "NewYork"],
+        };
+        let mas = AttrSet::all(2);
+        let mut fresh = FreshValueGenerator::for_table(&t);
+        let plan = plan_false_positive_elimination(&t, &[mas], 2, &mut fresh);
+        // Both Zip → City and City → Zip hold in this instance, so no false positives.
+        assert_eq!(plan.max_false_positives, 0);
+        assert!(plan.pairs.is_empty());
+    }
+
+    #[test]
+    fn theorem_3_6_lower_bound() {
+        // With one MAS whose ECs have collisions, at least 2k artificial records are
+        // added (Theorem 3.6 lower bound).
+        let t = table! {
+            ["A", "B"];
+            ["x", "1"], ["x", "1"],
+            ["x", "2"], ["x", "2"],
+        };
+        let k = 4;
+        let mut fresh = FreshValueGenerator::for_table(&t);
+        let plan = plan_false_positive_elimination(&t, &[AttrSet::all(2)], k, &mut fresh);
+        assert!(plan.record_count() >= 2 * k);
+    }
+
+    #[test]
+    fn single_attribute_mas_is_skipped() {
+        let t = table! {
+            ["A", "B"];
+            ["x", "1"], ["x", "2"], ["y", "3"],
+        };
+        let mut fresh = FreshValueGenerator::for_table(&t);
+        let plan = plan_false_positive_elimination(&t, &[AttrSet::single(0)], 3, &mut fresh);
+        assert_eq!(plan.max_false_positives, 0);
+    }
+
+    #[test]
+    fn violation_check() {
+        let reps = vec![
+            vec![Value::text("a1"), Value::text("b1")],
+            vec![Value::text("a1"), Value::text("b2")],
+            vec![Value::text("a2"), Value::text("b3")],
+        ];
+        let positions: HashMap<usize, usize> = [(0usize, 0usize), (1, 1)].into_iter().collect();
+        assert!(violated_among_representatives(&reps, &positions, AttrSet::single(0), 1));
+        assert!(!violated_among_representatives(&reps, &positions, AttrSet::single(1), 0));
+    }
+}

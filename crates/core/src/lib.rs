@@ -1,0 +1,69 @@
+//! # f2-core — the F² frequency-hiding, FD-preserving encryption scheme
+//!
+//! This crate implements the paper's primary contribution (Dong & Wang, ICDE 2017):
+//! an encryption scheme that lets a data owner outsource a relational table to an
+//! honest-but-curious server such that
+//!
+//! * the server can still discover the table's functional dependencies (FDs are
+//!   preserved exactly — no FD is lost and no false-positive FD is introduced,
+//!   Theorem 3.7), and
+//! * the ciphertext value frequencies are flattened, so the scheme is α-secure against
+//!   the frequency analysis attack even under Kerckhoffs's principle (Section 4).
+//!
+//! The scheme's four steps map to the modules of this crate:
+//!
+//! | paper step | module |
+//! |---|---|
+//! | Step 1 — find maximal attribute sets | [`f2_fd::mas`] (invoked from [`encryptor`]) |
+//! | Step 2.1 — group equivalence classes  | [`ecg`] |
+//! | Step 2.2 — splitting & scaling        | [`split`], [`sse`] |
+//! | Step 3 — conflict resolution          | [`encryptor`] (assembly) |
+//! | Step 4 — eliminate false-positive FDs | [`fpfd`] |
+//!
+//! The entry points are [`F2Encryptor`] (data-owner side, produces the encrypted table
+//! plus private [`Provenance`]) and [`F2Decryptor`] (data-owner side, recovers the
+//! original table). The server side only ever sees the encrypted [`f2_relation::Table`].
+//!
+//! ```
+//! use f2_core::{F2Config, F2Encryptor};
+//! use f2_crypto::MasterKey;
+//! use f2_relation::table;
+//!
+//! let data = table! {
+//!     ["Zip", "City", "Name"];
+//!     ["07030", "Hoboken", "alice"],
+//!     ["07030", "Hoboken", "bob"],
+//!     ["10001", "NewYork", "carol"],
+//!     ["10001", "NewYork", "dave"],
+//! };
+//! let config = F2Config::new(0.5, 2).unwrap();
+//! let encryptor = F2Encryptor::new(config, MasterKey::from_seed(7));
+//! let outcome = encryptor.encrypt(&data).unwrap();
+//! assert!(outcome.encrypted.row_count() >= data.row_count());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod decryptor;
+pub mod ecg;
+pub mod encryptor;
+pub mod error;
+pub mod fake;
+pub mod fpfd;
+pub mod provenance;
+pub mod report;
+pub mod split;
+pub mod sse;
+
+pub use config::F2Config;
+pub use decryptor::F2Decryptor;
+pub use encryptor::{EncryptionOutcome, F2Encryptor};
+pub use error::F2Error;
+pub use fake::FreshValueGenerator;
+pub use provenance::{Provenance, RowOrigin};
+pub use report::{EncryptionReport, OverheadBreakdown, StepTimings};
+
+/// Result alias for F² operations.
+pub type Result<T> = std::result::Result<T, F2Error>;

@@ -1,0 +1,144 @@
+//! Provenance metadata kept by the data owner.
+//!
+//! F² changes the shape of the outsourced table: rows are duplicated by scaling, fake
+//! equivalence classes and artificial records are injected, and conflict resolution
+//! replaces a tuple with two tuples. The *server* must not be able to tell these rows
+//! apart (they are all encrypted), but the *data owner* needs to recover the original
+//! table exactly. [`Provenance`] records, for every output row, where it came from —
+//! it never leaves the owner's side.
+
+use std::collections::HashMap;
+
+/// Origin of one row of the encrypted table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RowOrigin {
+    /// The row carries (the encryption of) original row `original_row`. Some of its
+    /// cells may have been replaced by fresh values during conflict resolution; those
+    /// are listed in [`Provenance::patches`].
+    Real {
+        /// Index of the source row in the original table.
+        original_row: usize,
+    },
+    /// An artificial copy added by the scaling phase (Step 2.2) to homogenise
+    /// ciphertext frequencies within an ECG.
+    ScaleCopy {
+        /// Index of the MAS whose scaling produced the copy.
+        mas_index: usize,
+    },
+    /// A row of a fake equivalence class added by the grouping phase (Step 2.1).
+    GroupFake {
+        /// Index of the MAS whose grouping produced the row.
+        mas_index: usize,
+    },
+    /// The companion row created by type-2 conflict resolution (Step 3): it carries the
+    /// conflicting MAS's ciphertext instance for original row `original_row`.
+    ConflictCompanion {
+        /// Index of the original row whose conflict it resolves.
+        original_row: usize,
+    },
+    /// An artificial record inserted by Step 4 to eliminate a false-positive FD.
+    FalsePositive {
+        /// Index of the MAS whose FD lattice produced the record.
+        mas_index: usize,
+    },
+}
+
+impl RowOrigin {
+    /// True if the row corresponds to an original tuple (possibly patched).
+    pub fn is_real(&self) -> bool {
+        matches!(self, RowOrigin::Real { .. })
+    }
+}
+
+/// Owner-side secret metadata describing the encrypted table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// One entry per row of the encrypted table, in row order.
+    pub origins: Vec<RowOrigin>,
+    /// For original rows whose cells were replaced during conflict resolution:
+    /// `original_row → [(attribute, output_row_carrying_the_real_ciphertext)]`.
+    pub patches: HashMap<usize, Vec<(usize, usize)>>,
+}
+
+impl Provenance {
+    /// Number of output rows described.
+    pub fn len(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// True if no rows are described.
+    pub fn is_empty(&self) -> bool {
+        self.origins.is_empty()
+    }
+
+    /// Indices of output rows that carry original tuples.
+    pub fn real_rows(&self) -> Vec<(usize, usize)> {
+        self.origins
+            .iter()
+            .enumerate()
+            .filter_map(|(out, o)| match o {
+                RowOrigin::Real { original_row } => Some((out, *original_row)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of artificial (non-real) rows.
+    pub fn artificial_count(&self) -> usize {
+        self.origins.iter().filter(|o| !o.is_real()).count()
+    }
+
+    /// Per-category counts of artificial rows: (scale copies, group fakes, conflict
+    /// companions, false-positive records).
+    pub fn artificial_breakdown(&self) -> (usize, usize, usize, usize) {
+        let mut scale = 0;
+        let mut group = 0;
+        let mut conflict = 0;
+        let mut fp = 0;
+        for o in &self.origins {
+            match o {
+                RowOrigin::ScaleCopy { .. } => scale += 1,
+                RowOrigin::GroupFake { .. } => group += 1,
+                RowOrigin::ConflictCompanion { .. } => conflict += 1,
+                RowOrigin::FalsePositive { .. } => fp += 1,
+                RowOrigin::Real { .. } => {}
+            }
+        }
+        (scale, group, conflict, fp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_and_real_rows() {
+        let p = Provenance {
+            origins: vec![
+                RowOrigin::Real { original_row: 0 },
+                RowOrigin::ScaleCopy { mas_index: 0 },
+                RowOrigin::Real { original_row: 1 },
+                RowOrigin::GroupFake { mas_index: 1 },
+                RowOrigin::ConflictCompanion { original_row: 1 },
+                RowOrigin::FalsePositive { mas_index: 0 },
+            ],
+            patches: HashMap::new(),
+        };
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+        assert_eq!(p.real_rows(), vec![(0, 0), (2, 1)]);
+        assert_eq!(p.artificial_count(), 4);
+        assert_eq!(p.artificial_breakdown(), (1, 1, 1, 1));
+        assert!(RowOrigin::Real { original_row: 3 }.is_real());
+        assert!(!RowOrigin::ScaleCopy { mas_index: 0 }.is_real());
+    }
+
+    #[test]
+    fn empty_provenance() {
+        let p = Provenance::default();
+        assert!(p.is_empty());
+        assert_eq!(p.artificial_count(), 0);
+        assert_eq!(p.artificial_breakdown(), (0, 0, 0, 0));
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-run measurements: step timings and artificial-record overhead.
+//!
+//! These are exactly the quantities the paper's evaluation plots: Figures 6–8 report
+//! per-step encryption time (MAX, SSE, SYN, FP) and Figure 9 reports the amount of
+//! artificial records added by each step (GROUP, SCALE, SYN, FP) as a fraction of the
+//! data size.
+
+use std::time::Duration;
+
+/// Wall-clock time spent in each of the four F² steps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepTimings {
+    /// Step 1: finding maximal attribute sets (the paper's "MAX").
+    pub max: Duration,
+    /// Step 2: grouping + splitting-and-scaling encryption (the paper's "SSE").
+    pub sse: Duration,
+    /// Step 3: conflict resolution (the paper's "SYN").
+    pub syn: Duration,
+    /// Step 4: eliminating false-positive FDs (the paper's "FP").
+    pub fp: Duration,
+}
+
+impl StepTimings {
+    /// Total encryption time.
+    pub fn total(&self) -> Duration {
+        self.max + self.sse + self.syn + self.fp
+    }
+}
+
+/// Number of artificial records added by each phase, and the resulting space overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverheadBreakdown {
+    /// Rows of the original table.
+    pub original_rows: usize,
+    /// Rows added by the grouping phase (fake equivalence classes), "GROUP".
+    pub group_rows: usize,
+    /// Rows added by the scaling phase, "SCALE".
+    pub scale_rows: usize,
+    /// Rows added by conflict resolution, "SYN".
+    pub syn_rows: usize,
+    /// Rows added by false-positive-FD elimination, "FP".
+    pub fp_rows: usize,
+}
+
+impl OverheadBreakdown {
+    /// Total rows of the encrypted table.
+    pub fn total_rows(&self) -> usize {
+        self.original_rows + self.added_rows()
+    }
+
+    /// Total artificial rows.
+    pub fn added_rows(&self) -> usize {
+        self.group_rows + self.scale_rows + self.syn_rows + self.fp_rows
+    }
+
+    /// The paper's overhead ratio `r = (s' − s) / s` measured in rows.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.original_rows == 0 {
+            return 0.0;
+        }
+        self.added_rows() as f64 / self.original_rows as f64
+    }
+
+    /// Per-step overhead ratios `(GROUP, SCALE, SYN, FP)`, each relative to the
+    /// original size — the stacked bars of Figure 9.
+    pub fn per_step_ratios(&self) -> (f64, f64, f64, f64) {
+        if self.original_rows == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let n = self.original_rows as f64;
+        (
+            self.group_rows as f64 / n,
+            self.scale_rows as f64 / n,
+            self.syn_rows as f64 / n,
+            self.fp_rows as f64 / n,
+        )
+    }
+}
+
+/// Full measurement report for one encryption run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EncryptionReport {
+    /// Per-step wall-clock times.
+    pub timings: StepTimings,
+    /// Artificial record counts.
+    pub overhead: OverheadBreakdown,
+    /// Number of MASs discovered (Step 1).
+    pub mas_count: usize,
+    /// Number of overlapping MAS pairs (`h` of Theorem 3.3).
+    pub overlapping_mas_pairs: usize,
+    /// Total number of equivalence classes across all MAS partitions (the paper's `t`,
+    /// which governs the quadratic cost of the SSE step).
+    pub equivalence_classes: usize,
+    /// Number of maximum false-positive FDs eliminated by Step 4.
+    pub false_positive_fds: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_total() {
+        let t = StepTimings {
+            max: Duration::from_millis(10),
+            sse: Duration::from_millis(20),
+            syn: Duration::from_millis(5),
+            fp: Duration::from_millis(15),
+        };
+        assert_eq!(t.total(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn overhead_ratios() {
+        let o = OverheadBreakdown {
+            original_rows: 100,
+            group_rows: 2,
+            scale_rows: 3,
+            syn_rows: 1,
+            fp_rows: 4,
+        };
+        assert_eq!(o.added_rows(), 10);
+        assert_eq!(o.total_rows(), 110);
+        assert!((o.overhead_ratio() - 0.1).abs() < 1e-12);
+        let (g, s, c, f) = o.per_step_ratios();
+        assert!((g - 0.02).abs() < 1e-12);
+        assert!((s - 0.03).abs() < 1e-12);
+        assert!((c - 0.01).abs() < 1e-12);
+        assert!((f - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_overhead_is_zero() {
+        let o = OverheadBreakdown::default();
+        assert_eq!(o.overhead_ratio(), 0.0);
+        assert_eq!(o.per_step_ratios(), (0.0, 0.0, 0.0, 0.0));
+    }
+}

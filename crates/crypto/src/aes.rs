@@ -1,0 +1,302 @@
+//! AES-128 block cipher (FIPS-197), implemented from first principles.
+//!
+//! The S-box and its inverse are *derived* (multiplicative inverse in GF(2⁸) followed
+//! by the affine transform) rather than hard-coded, and the whole cipher is validated
+//! against the FIPS-197 appendix test vectors, so a table typo cannot silently corrupt
+//! the scheme.
+
+/// Number of 32-bit words in an AES-128 key.
+const NK: usize = 4;
+/// Number of rounds for AES-128.
+const NR: usize = 10;
+
+/// Multiply two elements of GF(2⁸) with the AES reduction polynomial x⁸+x⁴+x³+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 == 1 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2⁸) (0 maps to 0), by exponentiation to the 254th power.
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    // a^254 = a^(2+4+8+16+32+64+128)
+    let mut result = 1u8;
+    let mut power = a;
+    let mut exp = 254u8;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            result = gf_mul(result, power);
+        }
+        power = gf_mul(power, power);
+        exp >>= 1;
+    }
+    result
+}
+
+/// Generate the AES S-box: affine transform of the field inverse.
+fn generate_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    for (i, slot) in sbox.iter_mut().enumerate() {
+        let inv = gf_inv(i as u8);
+        let mut x = inv;
+        let mut res = inv;
+        for _ in 0..4 {
+            x = x.rotate_left(1);
+            res ^= x;
+        }
+        *slot = res ^ 0x63;
+    }
+    sbox
+}
+
+fn invert_sbox(sbox: &[u8; 256]) -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &v) in sbox.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+/// An expanded AES-128 key, ready to encrypt or decrypt 16-byte blocks.
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; NR + 1],
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "Aes128 {{ .. }}")
+    }
+}
+
+impl Aes128 {
+    /// Expand a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let sbox = generate_sbox();
+        let inv_sbox = invert_sbox(&sbox);
+        let mut w = [[0u8; 4]; 4 * (NR + 1)];
+        for i in 0..NK {
+            w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
+        }
+        let mut rcon = 1u8;
+        for i in NK..4 * (NR + 1) {
+            let mut temp = w[i - 1];
+            if i % NK == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - NK][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; NR + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Aes128 { round_keys, sbox, inv_sbox }
+    }
+
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    fn sub_bytes(&self, state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = self.sbox[*b as usize];
+        }
+    }
+
+    fn inv_sub_bytes(&self, state: &mut [u8; 16]) {
+        for b in state.iter_mut() {
+            *b = self.inv_sbox[*b as usize];
+        }
+    }
+
+    /// State layout: column-major, state[r + 4c].
+    fn shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        let s = *state;
+        for r in 1..4 {
+            for c in 0..4 {
+                state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+        }
+    }
+
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+            state[4 * c] =
+                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+            state[4 * c + 1] =
+                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+            state[4 * c + 2] =
+                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+            state[4 * c + 3] =
+                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+        }
+    }
+
+    /// Encrypt one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[0]);
+        for round in 1..NR {
+            self.sub_bytes(block);
+            Self::shift_rows(block);
+            Self::mix_columns(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+        }
+        self.sub_bytes(block);
+        Self::shift_rows(block);
+        Self::add_round_key(block, &self.round_keys[NR]);
+    }
+
+    /// Decrypt one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        Self::add_round_key(block, &self.round_keys[NR]);
+        for round in (1..NR).rev() {
+            Self::inv_shift_rows(block);
+            self.inv_sub_bytes(block);
+            Self::add_round_key(block, &self.round_keys[round]);
+            Self::inv_mix_columns(block);
+        }
+        Self::inv_shift_rows(block);
+        self.inv_sub_bytes(block);
+        Self::add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypt a copy of the block and return it.
+    pub fn encrypt_block_copy(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn sbox_matches_known_entries() {
+        let sbox = generate_sbox();
+        // Spot-check well-known S-box entries from FIPS-197 Figure 7.
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7c);
+        assert_eq!(sbox[0x53], 0xed);
+        assert_eq!(sbox[0xff], 0x16);
+        let inv = invert_sbox(&sbox);
+        for i in 0..=255u8 {
+            assert_eq!(inv[sbox[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn gf_arithmetic() {
+        // Examples from FIPS-197 §4.2.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "inverse failed for {a}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        let key: [u8; 16] = hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap();
+        let mut block: [u8; 16] = hex("3243f6a8885a308d313198a2e0370734").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        let key: [u8; 16] = hex("000102030405060708090a0b0c0d0e0f").try_into().unwrap();
+        let mut block: [u8; 16] = hex("00112233445566778899aabbccddeeff").try_into().unwrap();
+        let aes = Aes128::new(&key);
+        aes.encrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block.to_vec(), hex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_many_blocks() {
+        let aes = Aes128::new(&[7u8; 16]);
+        for i in 0..64u8 {
+            let mut block = [i; 16];
+            block[0] = i.wrapping_mul(17);
+            let orig = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, orig, "ciphertext must differ from plaintext");
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
+    }
+
+    #[test]
+    fn different_keys_give_different_ciphertexts() {
+        let a = Aes128::new(&[1u8; 16]);
+        let b = Aes128::new(&[2u8; 16]);
+        let block = [0u8; 16];
+        assert_ne!(a.encrypt_block_copy(&block), b.encrypt_block_copy(&block));
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes128::new(&[9u8; 16]);
+        let dbg = format!("{aes:?}");
+        assert!(!dbg.contains('9'));
+    }
+}

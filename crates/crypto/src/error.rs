@@ -1,0 +1,51 @@
+//! Error type for cryptographic operations.
+
+use std::fmt;
+
+/// Errors raised by the cryptographic substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A ciphertext was malformed (wrong length, bad framing, …).
+    InvalidCiphertext(String),
+    /// Decryption produced bytes that do not decode to a valid plaintext value.
+    DecryptionFailed,
+    /// A key had the wrong length or structure.
+    InvalidKey(String),
+    /// The requested security parameter is not supported.
+    UnsupportedParameter(String),
+    /// A Paillier message was out of range (must be smaller than the modulus).
+    MessageOutOfRange,
+    /// Paillier key generation failed (e.g. could not find primes).
+    KeyGeneration(String),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidCiphertext(msg) => write!(f, "invalid ciphertext: {msg}"),
+            CryptoError::DecryptionFailed => write!(f, "decryption failed"),
+            CryptoError::InvalidKey(msg) => write!(f, "invalid key: {msg}"),
+            CryptoError::UnsupportedParameter(msg) => {
+                write!(f, "unsupported security parameter: {msg}")
+            }
+            CryptoError::MessageOutOfRange => {
+                write!(f, "Paillier message must be smaller than the modulus")
+            }
+            CryptoError::KeyGeneration(msg) => write!(f, "key generation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(CryptoError::DecryptionFailed.to_string().contains("decryption"));
+        assert!(CryptoError::InvalidKey("short".into()).to_string().contains("short"));
+        assert!(CryptoError::MessageOutOfRange.to_string().contains("modulus"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # f2-crypto — cryptographic substrate for the F² encryption scheme
+//!
+//! The paper relies on three cryptographic building blocks, all implemented here from
+//! scratch (the offline crate set contains no cryptography crates — see DESIGN.md):
+//!
+//! * **AES-128** ([`aes`]) — the block cipher underlying both the deterministic
+//!   baseline ("the AES baseline approach uses the well-known AES algorithm for the
+//!   deterministic encryption", §5.1) and the pseudorandom function of the
+//!   probabilistic scheme. Validated against the FIPS-197 test vectors.
+//! * **PRF-based probabilistic encryption** ([`prob`]) — the paper's cell cipher
+//!   `e = ⟨r, F_k(r) ⊕ p⟩` where `r` is a fresh random string and `F` a pseudorandom
+//!   function (§2.3, §3.2.2). `F_k` is instantiated as AES-128 in counter mode.
+//! * **Paillier** ([`paillier`]) — the probabilistic public-key baseline of Figure 8,
+//!   built on an arbitrary-precision integer implementation ([`bigint`]) with
+//!   Miller–Rabin prime generation, so that its per-cell cost has the realistic
+//!   "orders of magnitude slower than symmetric encryption" shape.
+//!
+//! Key management ([`keys`]) derives independent per-attribute sub-keys from a master
+//! key so that equal plaintexts in different columns never produce related ciphertexts.
+//!
+//! ## Security caveat
+//!
+//! This crate is a faithful *reproduction substrate* for a research paper: the
+//! primitives are implemented for correctness and benchmarking shape, not for
+//! side-channel resistance or production deployment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod bigint;
+pub mod ciphertext;
+pub mod det;
+pub mod error;
+pub mod keys;
+pub mod paillier;
+pub mod prf;
+pub mod prob;
+
+pub use aes::Aes128;
+pub use bigint::BigUint;
+pub use ciphertext::Ciphertext;
+pub use det::DeterministicCipher;
+pub use error::CryptoError;
+pub use keys::{KeyMaterial, MasterKey, SecretKey};
+pub use paillier::{PaillierCiphertext, PaillierKeyPair, PaillierPublicKey};
+pub use prf::Prf;
+pub use prob::ProbabilisticCipher;
+
+/// Result alias for cryptographic operations.
+pub type Result<T> = std::result::Result<T, CryptoError>;

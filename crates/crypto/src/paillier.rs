@@ -1,0 +1,222 @@
+//! Paillier public-key encryption — the probabilistic baseline of Figure 8.
+//!
+//! The paper compares F² against "the asymmetric Paillier encryption for the
+//! probabilistic encryption" (§5.1) and observes that Paillier is orders of magnitude
+//! slower (it "cannot finish within one day when the data size reaches 0.653GB"). To
+//! reproduce that comparison without an external crypto crate we implement textbook
+//! Paillier on top of [`crate::BigUint`]:
+//!
+//! * key generation with two random primes `p`, `q` (Miller–Rabin),
+//! * encryption `c = (1 + m·n) · rⁿ mod n²` using the standard `g = n + 1` shortcut,
+//! * decryption `m = L(c^λ mod n²) · μ mod n`,
+//! * the additive homomorphism `E(m₁)·E(m₂) = E(m₁+m₂)`.
+//!
+//! The default modulus size is 512 bits — small by modern deployment standards but
+//! large enough that the *relative* cost of Paillier versus AES-based encryption
+//! matches the paper's qualitative result (see DESIGN.md, substitutions table).
+
+use crate::bigint::BigUint;
+use crate::error::CryptoError;
+use crate::Result;
+use f2_relation::Value;
+use rand::Rng;
+use std::cmp::Ordering;
+
+/// Default modulus size (bits) used by the benchmark harness.
+pub const DEFAULT_MODULUS_BITS: usize = 512;
+
+/// Paillier public key `(n, n²)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaillierPublicKey {
+    n: BigUint,
+    n_squared: BigUint,
+}
+
+/// Paillier ciphertext: an element of `Z*_{n²}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaillierCiphertext(BigUint);
+
+/// A Paillier key pair (public key plus the private `λ`, `μ`).
+#[derive(Debug, Clone)]
+pub struct PaillierKeyPair {
+    public: PaillierPublicKey,
+    lambda: BigUint,
+    mu: BigUint,
+}
+
+impl PaillierPublicKey {
+    /// The modulus `n`.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Encrypt a message `m < n` with fresh randomness.
+    pub fn encrypt(&self, m: &BigUint, rng: &mut impl Rng) -> Result<PaillierCiphertext> {
+        if m.cmp_to(&self.n) != Ordering::Less {
+            return Err(CryptoError::MessageOutOfRange);
+        }
+        // r uniformly random in [1, n) and coprime with n (overwhelmingly likely).
+        let r = loop {
+            let candidate = BigUint::random_below(&self.n, rng);
+            if candidate.gcd(&self.n).is_one() {
+                break candidate;
+            }
+        };
+        // g^m = (n+1)^m = 1 + m*n (mod n^2)
+        let g_m = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared);
+        let r_n = r.mod_pow(&self.n, &self.n_squared);
+        Ok(PaillierCiphertext(g_m.mul_mod(&r_n, &self.n_squared)))
+    }
+
+    /// Encrypt a relational [`Value`]: the value's encoding is folded into an integer
+    /// smaller than `n`. This is the per-cell operation timed in Figure 8.
+    pub fn encrypt_value(&self, value: &Value, rng: &mut impl Rng) -> Result<PaillierCiphertext> {
+        let m = fold_value(value, &self.n);
+        self.encrypt(&m, rng)
+    }
+
+    /// Homomorphic addition: `E(m1) ⊕ E(m2) = E(m1 + m2 mod n)`.
+    pub fn add_ciphertexts(
+        &self,
+        a: &PaillierCiphertext,
+        b: &PaillierCiphertext,
+    ) -> PaillierCiphertext {
+        PaillierCiphertext(a.0.mul_mod(&b.0, &self.n_squared))
+    }
+}
+
+impl PaillierKeyPair {
+    /// Generate a key pair with the given modulus size in bits.
+    pub fn generate(modulus_bits: usize, rng: &mut impl Rng) -> Result<Self> {
+        if modulus_bits < 16 || modulus_bits % 2 != 0 {
+            return Err(CryptoError::KeyGeneration(format!(
+                "modulus size {modulus_bits} must be an even number of bits ≥ 16"
+            )));
+        }
+        let half = modulus_bits / 2;
+        let (p, q) = loop {
+            let p = BigUint::generate_prime(half, rng);
+            let q = BigUint::generate_prime(half, rng);
+            if p != q {
+                break (p, q);
+            }
+        };
+        let n = p.mul(&q);
+        let n_squared = n.mul(&n);
+        let one = BigUint::one();
+        let lambda = p.sub(&one).lcm(&q.sub(&one));
+        // mu = (L(g^lambda mod n^2))^{-1} mod n, with g = n + 1:
+        // g^lambda mod n^2 = 1 + lambda*n (mod n^2), so L(..) = lambda mod n.
+        let g = n.add(&one);
+        let g_lambda = g.mod_pow(&lambda, &n_squared);
+        let l = l_function(&g_lambda, &n)?;
+        let mu = l
+            .mod_inverse(&n)
+            .ok_or_else(|| CryptoError::KeyGeneration("L(g^λ) not invertible".into()))?;
+        Ok(PaillierKeyPair { public: PaillierPublicKey { n, n_squared }, lambda, mu })
+    }
+
+    /// The public key.
+    pub fn public(&self) -> &PaillierPublicKey {
+        &self.public
+    }
+
+    /// Decrypt a ciphertext back to the message `m < n`.
+    pub fn decrypt(&self, c: &PaillierCiphertext) -> Result<BigUint> {
+        let x = c.0.mod_pow(&self.lambda, &self.public.n_squared);
+        let l = l_function(&x, &self.public.n)?;
+        Ok(l.mul_mod(&self.mu, &self.public.n))
+    }
+}
+
+/// Paillier's `L(x) = (x - 1) / n`; fails if `x ≡ 0 (mod n)` never happens for valid input.
+fn l_function(x: &BigUint, n: &BigUint) -> Result<BigUint> {
+    if x.is_zero() {
+        return Err(CryptoError::InvalidCiphertext("L(0) undefined".into()));
+    }
+    let (q, r) = x.sub(&BigUint::one()).div_rem(n);
+    if !r.is_zero() {
+        return Err(CryptoError::InvalidCiphertext("x - 1 not divisible by n".into()));
+    }
+    Ok(q)
+}
+
+/// Fold an arbitrary value encoding into an integer `< n`.
+fn fold_value(value: &Value, n: &BigUint) -> BigUint {
+    let bytes = value.encode();
+    BigUint::from_bytes_be(&bytes).rem(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_keypair(seed: u64) -> PaillierKeyPair {
+        let mut rng = StdRng::seed_from_u64(seed);
+        PaillierKeyPair::generate(128, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn keygen_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(PaillierKeyPair::generate(15, &mut rng).is_err());
+        assert!(PaillierKeyPair::generate(14, &mut rng).is_err());
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let kp = small_keypair(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for m in [0u64, 1, 42, 9999, 123_456_789] {
+            let msg = BigUint::from_u64(m);
+            let c = kp.public().encrypt(&msg, &mut rng).unwrap();
+            assert_eq!(kp.decrypt(&c).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let kp = small_keypair(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = BigUint::from_u64(77);
+        let c1 = kp.public().encrypt(&m, &mut rng).unwrap();
+        let c2 = kp.public().encrypt(&m, &mut rng).unwrap();
+        assert_ne!(c1, c2, "Paillier must be probabilistic");
+        assert_eq!(kp.decrypt(&c1).unwrap(), kp.decrypt(&c2).unwrap());
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let kp = small_keypair(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = BigUint::from_u64(1000);
+        let b = BigUint::from_u64(2345);
+        let ca = kp.public().encrypt(&a, &mut rng).unwrap();
+        let cb = kp.public().encrypt(&b, &mut rng).unwrap();
+        let sum = kp.public().add_ciphertexts(&ca, &cb);
+        assert_eq!(kp.decrypt(&sum).unwrap(), BigUint::from_u64(3345));
+    }
+
+    #[test]
+    fn message_out_of_range_rejected() {
+        let kp = small_keypair(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let too_big = kp.public().modulus().clone();
+        assert_eq!(
+            kp.public().encrypt(&too_big, &mut rng).unwrap_err(),
+            CryptoError::MessageOutOfRange
+        );
+    }
+
+    #[test]
+    fn value_encryption() {
+        let kp = small_keypair(9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let c = kp.public().encrypt_value(&Value::text("Hoboken NJ"), &mut rng).unwrap();
+        // Decrypts to the folded integer (lossy by design — only timing matters for the
+        // baseline), and decryption must succeed.
+        assert!(kp.decrypt(&c).is_ok());
+    }
+}

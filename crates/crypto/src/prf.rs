@@ -1,0 +1,118 @@
+//! Pseudorandom function `F_k` used by the probabilistic encryption scheme.
+//!
+//! The paper instantiates its cell cipher as `e = ⟨r, F_k(r) ⊕ p⟩` (§2.3). We realise
+//! `F_k` as AES-128 in counter mode keyed by `k` and seeded by the 16-byte random
+//! string `r`: the i-th keystream block is `AES_k(r ⊞ i)` where `⊞` is addition on the
+//! last 8 bytes. This yields an arbitrary-length keystream so plaintexts of any length
+//! can be masked.
+
+use crate::aes::Aes128;
+use crate::keys::SecretKey;
+
+/// A keyed pseudorandom function with extendable output.
+#[derive(Clone)]
+pub struct Prf {
+    cipher: Aes128,
+}
+
+impl std::fmt::Debug for Prf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Prf {{ .. }}")
+    }
+}
+
+impl Prf {
+    /// Create a PRF from a secret key.
+    pub fn new(key: &SecretKey) -> Self {
+        Prf { cipher: Aes128::new(key.as_bytes()) }
+    }
+
+    /// Evaluate `F_k(r)` producing `len` bytes of keystream.
+    pub fn keystream(&self, r: &[u8; 16], len: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(len);
+        let mut counter: u64 = 0;
+        while out.len() < len {
+            let mut block = *r;
+            // Mix the counter into the low 8 bytes (wrapping addition).
+            let low = u64::from_le_bytes(block[8..16].try_into().expect("8 bytes"));
+            block[8..16].copy_from_slice(&low.wrapping_add(counter).to_le_bytes());
+            self.cipher.encrypt_block(&mut block);
+            out.extend_from_slice(&block);
+            counter += 1;
+        }
+        out.truncate(len);
+        out
+    }
+
+    /// XOR `data` with `F_k(r)`. Applying it twice recovers the original bytes.
+    pub fn mask(&self, r: &[u8; 16], data: &[u8]) -> Vec<u8> {
+        let ks = self.keystream(r, data.len());
+        data.iter().zip(ks.iter()).map(|(d, k)| d ^ k).collect()
+    }
+
+    /// Evaluate the PRF on a single 16-byte block (used for sub-key derivation).
+    pub fn block(&self, input: &[u8; 16]) -> [u8; 16] {
+        self.cipher.encrypt_block_copy(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prf() -> Prf {
+        Prf::new(&SecretKey::from_bytes([0x42; 16]))
+    }
+
+    #[test]
+    fn keystream_is_deterministic_and_length_exact() {
+        let p = prf();
+        let r = [1u8; 16];
+        for len in [0usize, 1, 15, 16, 17, 33, 100] {
+            let a = p.keystream(&r, len);
+            let b = p.keystream(&r, len);
+            assert_eq!(a.len(), len);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn keystream_differs_across_nonces_and_keys() {
+        let p = prf();
+        let a = p.keystream(&[1u8; 16], 32);
+        let b = p.keystream(&[2u8; 16], 32);
+        assert_ne!(a, b);
+        let other = Prf::new(&SecretKey::from_bytes([0x43; 16]));
+        assert_ne!(a, other.keystream(&[1u8; 16], 32));
+    }
+
+    #[test]
+    fn keystream_blocks_are_distinct() {
+        // Counter mode: consecutive blocks of the same keystream must differ.
+        let p = prf();
+        let ks = p.keystream(&[9u8; 16], 64);
+        assert_ne!(&ks[0..16], &ks[16..32]);
+        assert_ne!(&ks[16..32], &ks[32..48]);
+    }
+
+    #[test]
+    fn mask_is_an_involution() {
+        let p = prf();
+        let r = [7u8; 16];
+        let data = b"functional dependencies are preserved".to_vec();
+        let masked = p.mask(&r, &data);
+        assert_ne!(masked, data);
+        let unmasked = p.mask(&r, &masked);
+        assert_eq!(unmasked, data);
+    }
+
+    #[test]
+    fn prefix_property() {
+        // The first bytes of a longer keystream equal a shorter keystream.
+        let p = prf();
+        let r = [3u8; 16];
+        let long = p.keystream(&r, 48);
+        let short = p.keystream(&r, 20);
+        assert_eq!(&long[..20], &short[..]);
+    }
+}

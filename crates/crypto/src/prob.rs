@@ -1,0 +1,157 @@
+//! The paper's probabilistic cell cipher: `e = ⟨r, F_k(r) ⊕ p⟩` (§2.3, §3.2.2).
+//!
+//! Encrypting the same plaintext twice draws two independent random strings `r`, hence
+//! produces two unlinkable ciphertexts — this is exactly the property F² uses to split
+//! an equivalence class into several ciphertext instances (Requirement 2 of
+//! Definition 3.1). Decryption recomputes `F_k(r)` from the stored `r` and XORs it away.
+
+use crate::ciphertext::{Ciphertext, NONCE_LEN};
+use crate::error::CryptoError;
+use crate::keys::SecretKey;
+use crate::prf::Prf;
+use crate::Result;
+use f2_relation::Value;
+use rand::Rng;
+
+/// Probabilistic, symmetric, frequency-hiding cell cipher.
+#[derive(Debug, Clone)]
+pub struct ProbabilisticCipher {
+    prf: Prf,
+}
+
+impl ProbabilisticCipher {
+    /// Create a cipher from a secret key.
+    pub fn new(key: &SecretKey) -> Self {
+        ProbabilisticCipher { prf: Prf::new(key) }
+    }
+
+    /// Encrypt raw plaintext bytes with a caller-supplied random string `r`.
+    ///
+    /// Exposed so that F² can reuse *one* ciphertext for all rows of the same
+    /// ciphertext instance (the instance is sampled once, then copied).
+    pub fn encrypt_bytes_with_nonce(&self, nonce: [u8; NONCE_LEN], plaintext: &[u8]) -> Ciphertext {
+        let body = self.prf.mask(&nonce, plaintext);
+        Ciphertext::new(nonce, body)
+    }
+
+    /// Encrypt raw plaintext bytes with a fresh random string.
+    pub fn encrypt_bytes(&self, plaintext: &[u8], rng: &mut impl Rng) -> Ciphertext {
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        self.encrypt_bytes_with_nonce(nonce, plaintext)
+    }
+
+    /// Decrypt to raw plaintext bytes.
+    pub fn decrypt_bytes(&self, ciphertext: &Ciphertext) -> Vec<u8> {
+        self.prf.mask(ciphertext.nonce(), ciphertext.body())
+    }
+
+    /// Encrypt a relational [`Value`] (the plaintext is its self-describing encoding).
+    pub fn encrypt_value(&self, value: &Value, rng: &mut impl Rng) -> Ciphertext {
+        self.encrypt_bytes(&value.encode(), rng)
+    }
+
+    /// Encrypt a relational [`Value`] and return it framed as a ciphertext cell.
+    pub fn encrypt_value_to_cell(&self, value: &Value, rng: &mut impl Rng) -> Value {
+        Value::bytes(self.encrypt_value(value, rng).to_cell())
+    }
+
+    /// Decrypt a ciphertext back to the original [`Value`].
+    pub fn decrypt_value(&self, ciphertext: &Ciphertext) -> Result<Value> {
+        Value::decode(&self.decrypt_bytes(ciphertext)).ok_or(CryptoError::DecryptionFailed)
+    }
+
+    /// Decrypt a ciphertext cell (as stored in the encrypted table) back to a [`Value`].
+    pub fn decrypt_cell(&self, cell: &Value) -> Result<Value> {
+        let bytes = cell
+            .as_bytes()
+            .ok_or_else(|| CryptoError::InvalidCiphertext("cell is not a byte string".into()))?;
+        let ct = Ciphertext::from_bytes(bytes)?;
+        self.decrypt_value(&ct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cipher() -> ProbabilisticCipher {
+        ProbabilisticCipher::new(&SecretKey::from_bytes([3u8; 16]))
+    }
+
+    #[test]
+    fn roundtrip_values() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in [
+            Value::Null,
+            Value::Int(12345),
+            Value::text("Hoboken"),
+            Value::money(199),
+            Value::Date(42),
+            Value::bytes(vec![0u8; 40]),
+        ] {
+            let ct = c.encrypt_value(&v, &mut rng);
+            assert_eq!(c.decrypt_value(&ct).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn probabilistic_encryption_hides_equality() {
+        // Same plaintext, two encryptions → different ciphertexts (frequency hiding).
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(2);
+        let v = Value::text("a1");
+        let e1 = c.encrypt_value(&v, &mut rng);
+        let e2 = c.encrypt_value(&v, &mut rng);
+        assert_ne!(e1, e2);
+        assert_eq!(c.decrypt_value(&e1).unwrap(), c.decrypt_value(&e2).unwrap());
+    }
+
+    #[test]
+    fn same_nonce_same_ciphertext() {
+        // F² reuses one ciphertext for all members of a ciphertext instance.
+        let c = cipher();
+        let v = Value::text("instance");
+        let e1 = c.encrypt_bytes_with_nonce([9u8; 16], &v.encode());
+        let e2 = c.encrypt_bytes_with_nonce([9u8; 16], &v.encode());
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn wrong_key_does_not_decrypt() {
+        let c = cipher();
+        let other = ProbabilisticCipher::new(&SecretKey::from_bytes([4u8; 16]));
+        let mut rng = StdRng::seed_from_u64(3);
+        let ct = c.encrypt_value(&Value::text("secret"), &mut rng);
+        // With the wrong key the mask is wrong; decoding either fails or yields a
+        // different value.
+        match other.decrypt_value(&ct) {
+            Ok(v) => assert_ne!(v, Value::text("secret")),
+            Err(e) => assert_eq!(e, CryptoError::DecryptionFailed),
+        }
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = Value::Int(-9);
+        let cell = c.encrypt_value_to_cell(&v, &mut rng);
+        assert!(cell.is_bytes());
+        assert_eq!(c.decrypt_cell(&cell).unwrap(), v);
+        assert!(c.decrypt_cell(&Value::text("not bytes")).is_err());
+        assert!(c.decrypt_cell(&Value::bytes(vec![1, 2])).is_err());
+    }
+
+    #[test]
+    fn ciphertext_length_tracks_plaintext_length() {
+        let c = cipher();
+        let mut rng = StdRng::seed_from_u64(5);
+        let short = c.encrypt_value(&Value::text("ab"), &mut rng);
+        let long = c.encrypt_value(&Value::text("abcdefghijklmnop"), &mut rng);
+        assert!(long.len() > short.len());
+    }
+}

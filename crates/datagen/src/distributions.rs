@@ -1,0 +1,138 @@
+//! Sampling helpers shared by the generators.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over ranks `1..=n`.
+///
+/// TPC workloads and real relational data are heavily skewed; the frequency analysis
+/// attack the paper defends against is only interesting when value frequencies are
+/// uneven, so the generators draw categorical values from a Zipf distribution.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Create a Zipf distribution over `n` ranks with exponent `theta` (0 = uniform).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut weights = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            let w = 1.0 / (rank as f64).powf(theta);
+            total += w;
+            weights.push(total);
+        }
+        let cdf = weights.into_iter().map(|w| w / total).collect();
+        Zipf { cdf }
+    }
+
+    /// Draw a rank in `0..n` (0 is the most frequent).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u = (rng.next_u64() as f64) / (u64::MAX as f64);
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+/// A pool of synthetic categorical strings, e.g. `city_017`.
+#[derive(Debug, Clone)]
+pub struct TextPool {
+    prefix: String,
+    size: usize,
+}
+
+impl TextPool {
+    /// Create a pool of `size` distinct strings sharing a prefix.
+    pub fn new(prefix: impl Into<String>, size: usize) -> Self {
+        assert!(size > 0);
+        TextPool { prefix: prefix.into(), size }
+    }
+
+    /// The string at a given index (wraps around).
+    pub fn get(&self, index: usize) -> String {
+        format!("{}_{:05}", self.prefix, index % self.size)
+    }
+
+    /// Draw a uniformly random member.
+    pub fn sample(&self, rng: &mut impl Rng) -> String {
+        self.get((rng.next_u64() % self.size as u64) as usize)
+    }
+
+    /// Number of distinct members.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+/// The TPC-C `C_LAST` name generator: three syllables indexed by a number 0..999.
+pub fn tpcc_last_name(index: usize) -> String {
+    const SYLLABLES: [&str; 10] = [
+        "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+    ];
+    let i = index % 1000;
+    format!("{}{}{}", SYLLABLES[i / 100], SYLLABLES[(i / 10) % 10], SYLLABLES[i % 10])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(100, 1.0);
+        assert_eq!(z.ranks(), 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must be sampled far more often than rank 99.
+        assert!(counts[0] > counts[99] * 5, "{} vs {}", counts[0], counts[99]);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "uniform-ish expected, got {c}");
+        }
+    }
+
+    #[test]
+    fn text_pool() {
+        let p = TextPool::new("city", 10);
+        assert_eq!(p.get(3), "city_00003");
+        assert_eq!(p.get(13), "city_00003");
+        assert_eq!(p.size(), 10);
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = p.sample(&mut rng);
+        assert!(v.starts_with("city_"));
+    }
+
+    #[test]
+    fn tpcc_names() {
+        assert_eq!(tpcc_last_name(0), "BARBARBAR");
+        assert_eq!(tpcc_last_name(999), "EINGEINGEING");
+        assert_eq!(tpcc_last_name(371), "PRICALLYOUGHT");
+        assert_eq!(tpcc_last_name(1371), tpcc_last_name(371));
+        // Exactly 1000 distinct names.
+        let distinct: std::collections::HashSet<String> = (0..2000).map(tpcc_last_name).collect();
+        assert_eq!(distinct.len(), 1000);
+    }
+}

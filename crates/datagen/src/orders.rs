@@ -1,0 +1,177 @@
+//! TPC-H-style `ORDERS` generator (9 attributes).
+//!
+//! The structural properties that matter for reproducing the paper's Orders results:
+//!
+//! * several attributes with *tiny* domains — `OrderStatus` (3 values), `OrderPriority`
+//!   (5), `ShipPriority` (constant) — so that equivalence classes collide heavily and
+//!   the GROUP step has to inject fake ECs (Figure 9(b));
+//! * moderate-domain attributes (`OrderDate`, `Clerk`, a bucketed `TotalPrice`) so that
+//!   MASs of four-to-five attributes exist and overlap pairwise (§5.1);
+//! * unique attributes (`OrderKey`, `Comment`) outside every MAS.
+
+use crate::distributions::{TextPool, Zipf};
+use f2_relation::{Attribute, DataType, Record, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the Orders generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdersConfig {
+    /// Number of rows to generate.
+    pub rows: usize,
+    /// RNG seed (generation is fully deterministic given the config).
+    pub seed: u64,
+    /// Number of distinct customers.
+    pub customers: usize,
+    /// Number of distinct order dates.
+    pub dates: usize,
+    /// Number of distinct clerks.
+    pub clerks: usize,
+    /// Number of distinct (bucketed) total prices.
+    pub price_buckets: usize,
+    /// Zipf skew applied to categorical attributes.
+    pub skew: f64,
+}
+
+impl Default for OrdersConfig {
+    fn default() -> Self {
+        OrdersConfig {
+            rows: 10_000,
+            seed: 42,
+            customers: 1_500,
+            dates: 60,
+            clerks: 25,
+            price_buckets: 80,
+            skew: 0.8,
+        }
+    }
+}
+
+/// Generator for the Orders dataset.
+#[derive(Debug, Clone)]
+pub struct OrdersGenerator {
+    config: OrdersConfig,
+}
+
+impl OrdersGenerator {
+    /// Create a generator.
+    pub fn new(config: OrdersConfig) -> Self {
+        OrdersGenerator { config }
+    }
+
+    /// The Orders schema (9 attributes, mirroring TPC-H ORDERS).
+    pub fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("OrderKey", DataType::Int),
+            Attribute::new("CustKey", DataType::Int),
+            Attribute::new("OrderStatus", DataType::Text),
+            Attribute::new("TotalPrice", DataType::Decimal),
+            Attribute::new("OrderDate", DataType::Date),
+            Attribute::new("OrderPriority", DataType::Text),
+            Attribute::new("Clerk", DataType::Text),
+            Attribute::new("ShipPriority", DataType::Int),
+            Attribute::new("Comment", DataType::Text),
+        ])
+        .expect("static schema is valid")
+    }
+
+    /// Generate the table.
+    pub fn generate(&self) -> Table {
+        let c = &self.config;
+        let mut rng = StdRng::seed_from_u64(c.seed);
+        let statuses = ["F", "O", "P"];
+        let priorities = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+        let status_dist = Zipf::new(statuses.len(), c.skew);
+        let priority_dist = Zipf::new(priorities.len(), c.skew);
+        let date_dist = Zipf::new(c.dates.max(1), c.skew);
+        let clerk_pool = TextPool::new("Clerk#", c.clerks.max(1));
+        let clerk_dist = Zipf::new(c.clerks.max(1), c.skew);
+        let price_dist = Zipf::new(c.price_buckets.max(1), c.skew);
+        let comment_pool = TextPool::new("comment", usize::MAX / 2);
+
+        let mut records = Vec::with_capacity(c.rows);
+        for i in 0..c.rows {
+            let status = statuses[status_dist.sample(&mut rng)];
+            let priority = priorities[priority_dist.sample(&mut rng)];
+            let date = date_dist.sample(&mut rng) as i32 + 8_000;
+            let clerk = clerk_pool.get(clerk_dist.sample(&mut rng));
+            let price_bucket = price_dist.sample(&mut rng) as i64;
+            let custkey = (rng.next_u64() % c.customers.max(1) as u64) as i64 + 1;
+            records.push(Record::new(vec![
+                Value::Int(i as i64 + 1),
+                Value::Int(custkey),
+                Value::text(status),
+                Value::money((price_bucket + 1) * 137_50),
+                Value::Date(date),
+                Value::text(priority),
+                Value::text(clerk),
+                Value::Int(0),
+                Value::text(comment_pool.get(i)),
+            ]));
+        }
+        Table::new(Self::schema(), records).expect("generated rows match the schema")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_relation::AttrSet;
+
+    #[test]
+    fn schema_matches_table_1() {
+        assert_eq!(OrdersGenerator::schema().arity(), 9);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = OrdersConfig { rows: 200, seed: 7, ..OrdersConfig::default() };
+        let a = OrdersGenerator::new(cfg).generate();
+        let b = OrdersGenerator::new(cfg).generate();
+        assert_eq!(a, b);
+        let c = OrdersGenerator::new(OrdersConfig { seed: 8, ..cfg }).generate();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn domain_sizes_match_the_papers_description() {
+        let t = OrdersGenerator::new(OrdersConfig { rows: 3_000, ..OrdersConfig::default() })
+            .generate();
+        let schema = t.schema().clone();
+        let status = schema.index_of("OrderStatus").unwrap();
+        let priority = schema.index_of("OrderPriority").unwrap();
+        let ship = schema.index_of("ShipPriority").unwrap();
+        let key = schema.index_of("OrderKey").unwrap();
+        // "the OrderStatus and OrderPriority attributes only have 3 and 5 unique values"
+        assert_eq!(t.distinct_count(status), 3);
+        assert_eq!(t.distinct_count(priority), 5);
+        assert_eq!(t.distinct_count(ship), 1);
+        assert_eq!(t.distinct_count(key), 3_000);
+    }
+
+    #[test]
+    fn orders_has_overlapping_small_domain_structure() {
+        let t = OrdersGenerator::new(OrdersConfig { rows: 2_000, ..OrdersConfig::default() })
+            .generate();
+        let schema = t.schema().clone();
+        // {OrderStatus, OrderPriority, ShipPriority} must be non-unique (heavy collisions).
+        let set = schema
+            .attr_set(["OrderStatus", "OrderPriority", "ShipPriority"])
+            .unwrap();
+        assert!(t.partition(set).has_duplicates());
+        // The unique key on its own is never part of a MAS.
+        let key = AttrSet::single(schema.index_of("OrderKey").unwrap());
+        assert!(!t.partition(key).has_duplicates());
+    }
+
+    #[test]
+    fn row_count_and_size_scale() {
+        let small = OrdersGenerator::new(OrdersConfig { rows: 100, ..OrdersConfig::default() })
+            .generate();
+        let large = OrdersGenerator::new(OrdersConfig { rows: 400, ..OrdersConfig::default() })
+            .generate();
+        assert_eq!(small.row_count(), 100);
+        assert_eq!(large.row_count(), 400);
+        assert!(large.size_bytes() > small.size_bytes() * 3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Functional dependencies.
+
+use f2_relation::{AttrSet, Schema, StrippedPartition, Table};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A functional dependency `X → A` with a single right-hand-side attribute.
+///
+/// The paper (§2.2) assumes WLOG that every FD has a single attribute on the right-hand
+/// side, since `X → YZ` decomposes into `X → Y` and `X → Z`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd {
+    /// Left-hand side (determinant) attribute set.
+    pub lhs: AttrSet,
+    /// Right-hand side attribute index.
+    pub rhs: usize,
+}
+
+impl Fd {
+    /// Construct an FD.
+    pub fn new(lhs: AttrSet, rhs: usize) -> Self {
+        Fd { lhs, rhs }
+    }
+
+    /// True if the FD is trivial (`A ∈ X` for `X → A`).
+    pub fn is_trivial(&self) -> bool {
+        self.lhs.contains(self.rhs)
+    }
+
+    /// Check whether the FD holds in a table by the partition-refinement criterion:
+    /// `X → A` holds iff the stripped partition over `X` has the same error measure as
+    /// the stripped partition over `X ∪ {A}` (Huhtala et al., §2 of the paper's
+    /// Theorem 3.7 proof).
+    pub fn holds_in(&self, table: &Table) -> bool {
+        if self.is_trivial() {
+            return true;
+        }
+        let px = StrippedPartition::for_attrs(table, self.lhs);
+        let pxa = StrippedPartition::for_attrs(table, self.lhs.with(self.rhs));
+        px.stripped_excess() == pxa.stripped_excess()
+    }
+
+    /// Render the FD with attribute names, e.g. `{Zip} → City`.
+    pub fn display(&self, schema: &Schema) -> String {
+        let names = schema.names();
+        let rhs = names
+            .get(self.rhs)
+            .cloned()
+            .unwrap_or_else(|| format!("#{}", self.rhs));
+        format!("{} → {}", self.lhs.display_with(&names), rhs)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} → {}", self.lhs, self.rhs)
+    }
+}
+
+/// An ordered, duplicate-free set of FDs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FdSet {
+    fds: BTreeSet<Fd>,
+}
+
+impl FdSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        FdSet::default()
+    }
+
+    /// Build from an iterator of FDs (duplicates are collapsed).
+    pub fn from_iter<I: IntoIterator<Item = Fd>>(iter: I) -> Self {
+        FdSet { fds: iter.into_iter().collect() }
+    }
+
+    /// Add an FD.
+    pub fn insert(&mut self, fd: Fd) {
+        self.fds.insert(fd);
+    }
+
+    /// Number of FDs.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, fd: &Fd) -> bool {
+        self.fds.contains(fd)
+    }
+
+    /// Iterate in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Fd> {
+        self.fds.iter()
+    }
+
+    /// FDs present in `self` but not in `other`.
+    pub fn difference(&self, other: &FdSet) -> Vec<Fd> {
+        self.fds.difference(&other.fds).copied().collect()
+    }
+
+    /// True if an FD with this exact LHS/RHS or a *smaller* LHS (subset) and the same
+    /// RHS is present — i.e. the given FD is implied by minimality.
+    pub fn implies(&self, fd: &Fd) -> bool {
+        self.fds
+            .iter()
+            .any(|f| f.rhs == fd.rhs && f.lhs.is_subset_of(fd.lhs))
+    }
+
+    /// Render all FDs with attribute names.
+    pub fn display(&self, schema: &Schema) -> String {
+        self.fds
+            .iter()
+            .map(|f| f.display(schema))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl IntoIterator for FdSet {
+    type Item = Fd;
+    type IntoIter = std::collections::btree_set::IntoIter<Fd>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.fds.into_iter()
+    }
+}
+
+impl FromIterator<Fd> for FdSet {
+    fn from_iter<T: IntoIterator<Item = Fd>>(iter: T) -> Self {
+        FdSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_relation::table;
+
+    fn zip_city() -> Table {
+        table! {
+            ["Zip", "City", "Name"];
+            ["07030", "Hoboken", "alice"],
+            ["07030", "Hoboken", "bob"],
+            ["10001", "NewYork", "carol"],
+            ["10001", "NewYork", "dave"],
+            ["07030", "Hoboken", "erin"],
+        }
+    }
+
+    #[test]
+    fn fd_holds_detection() {
+        let t = zip_city();
+        // Zip → City holds.
+        assert!(Fd::new(AttrSet::single(0), 1).holds_in(&t));
+        // City → Zip holds too in this instance.
+        assert!(Fd::new(AttrSet::single(1), 0).holds_in(&t));
+        // Zip → Name does not hold.
+        assert!(!Fd::new(AttrSet::single(0), 2).holds_in(&t));
+        // Name → Zip holds (Name is a key).
+        assert!(Fd::new(AttrSet::single(2), 0).holds_in(&t));
+        // Trivial FD always holds.
+        assert!(Fd::new(AttrSet::from_indices([0, 1]), 0).holds_in(&t));
+    }
+
+    #[test]
+    fn triviality() {
+        assert!(Fd::new(AttrSet::from_indices([0, 1]), 1).is_trivial());
+        assert!(!Fd::new(AttrSet::from_indices([0, 1]), 2).is_trivial());
+    }
+
+    #[test]
+    fn display_with_schema() {
+        let t = zip_city();
+        let fd = Fd::new(AttrSet::single(0), 1);
+        assert_eq!(fd.display(t.schema()), "{Zip} → City");
+        assert_eq!(fd.to_string(), "{0} → 1");
+    }
+
+    #[test]
+    fn fdset_operations() {
+        let a = Fd::new(AttrSet::single(0), 1);
+        let b = Fd::new(AttrSet::single(1), 0);
+        let c = Fd::new(AttrSet::from_indices([0, 2]), 1);
+        let mut set = FdSet::new();
+        assert!(set.is_empty());
+        set.insert(a);
+        set.insert(a);
+        set.insert(b);
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&a));
+        assert!(!set.contains(&c));
+        // a has lhs {0} ⊆ {0,2} and same rhs → c is implied.
+        assert!(set.implies(&c));
+        assert!(!set.implies(&Fd::new(AttrSet::single(2), 0)));
+        let other = FdSet::from_iter([b]);
+        assert_eq!(set.difference(&other), vec![a]);
+    }
+}

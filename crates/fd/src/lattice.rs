@@ -1,0 +1,214 @@
+//! The FD lattice used by Step 4 of F² to eliminate false-positive FDs (§3.4, Fig. 5).
+//!
+//! Each MAS `M` roots one lattice. The level-2 nodes have the form `X : Y` with
+//! `Y ∈ M` a single attribute and `X = M \ {Y}`; the children of `X : Y` are
+//! `X' : Y` for every `X' ⊂ X` with `|X'| = |X| − 1`. The data owner walks the
+//! lattice top-down; whenever a node is identified as a *maximum false-positive FD*
+//! (the corresponding FD is violated in the plaintext data) the node **and all of its
+//! descendants** are marked as checked, because the artificial records inserted for the
+//! node also break every FD with a smaller left-hand side and the same right-hand side.
+
+use f2_relation::AttrSet;
+
+/// The FD lattice rooted at one MAS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdLattice {
+    mas: AttrSet,
+}
+
+/// A lattice node `X : Y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LatticeNode {
+    /// Left-hand side.
+    pub lhs: AttrSet,
+    /// Right-hand side attribute.
+    pub rhs: usize,
+}
+
+impl FdLattice {
+    /// Build the lattice for a MAS.
+    pub fn new(mas: AttrSet) -> Self {
+        FdLattice { mas }
+    }
+
+    /// The MAS this lattice is rooted at.
+    pub fn mas(&self) -> AttrSet {
+        self.mas
+    }
+
+    /// All level-2 nodes `M \ {Y} : Y`.
+    pub fn top_nodes(&self) -> Vec<LatticeNode> {
+        self.mas
+            .iter()
+            .map(|y| LatticeNode { lhs: self.mas.without(y), rhs: y })
+            .filter(|n| !n.lhs.is_empty())
+            .collect()
+    }
+
+    /// Total number of nodes from level 2 downwards (used to sanity-check the
+    /// Theorem 3.6 bound in tests): for each rhs `Y` there are `2^(|M|-1) - 1`
+    /// non-empty LHS subsets.
+    pub fn node_count(&self) -> usize {
+        let m = self.mas.len();
+        if m < 2 {
+            return 0;
+        }
+        m * ((1usize << (m - 1)) - 1)
+    }
+
+    /// Walk the lattice top-down (levels of decreasing LHS size). For each unchecked
+    /// node the `is_violated` callback decides whether the FD `X → Y` is violated in
+    /// the plaintext data (hence would be a false positive in the encrypted table). If
+    /// it returns `true`, the node is reported as a *maximum false-positive FD* and the
+    /// node plus all of its descendants are marked checked; otherwise only the node
+    /// itself is marked checked.
+    ///
+    /// Returns the maximum false-positive FDs in traversal order.
+    pub fn find_maximum_false_positives<F>(&self, mut is_violated: F) -> Vec<LatticeNode>
+    where
+        F: FnMut(AttrSet, usize) -> bool,
+    {
+        let mut covered: Vec<LatticeNode> = Vec::new();
+        let mut result: Vec<LatticeNode> = Vec::new();
+        let m = self.mas.len();
+        if m < 2 {
+            return result;
+        }
+        // Level ℓ has LHS size |M| - ℓ + 1... we simply iterate LHS sizes from |M|-1
+        // down to 1.
+        for lhs_size in (1..m).rev() {
+            for y in self.mas.iter() {
+                let pool = self.mas.without(y);
+                for lhs in subsets_of_size(pool, lhs_size) {
+                    let node = LatticeNode { lhs, rhs: y };
+                    // Skip nodes covered by an ancestor already identified as a maximum
+                    // false positive (same RHS, LHS ⊆ ancestor LHS).
+                    if covered
+                        .iter()
+                        .any(|c| c.rhs == y && lhs.is_subset_of(c.lhs))
+                    {
+                        continue;
+                    }
+                    if is_violated(lhs, y) {
+                        covered.push(node);
+                        result.push(node);
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+/// Enumerate all subsets of `pool` with exactly `size` attributes.
+pub fn subsets_of_size(pool: AttrSet, size: usize) -> Vec<AttrSet> {
+    let attrs: Vec<usize> = pool.iter().collect();
+    let mut out = Vec::new();
+    if size > attrs.len() {
+        return out;
+    }
+    // Iterative combination enumeration.
+    let mut idx: Vec<usize> = (0..size).collect();
+    loop {
+        out.push(AttrSet::from_indices(idx.iter().map(|&i| attrs[i])));
+        // Advance the combination.
+        let mut i = size;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + attrs.len() - size {
+                idx[i] += 1;
+                for j in i + 1..size {
+                    idx[j] = idx[j - 1] + 1;
+                }
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_enumeration() {
+        let pool = AttrSet::from_indices([1, 3, 5]);
+        let s2 = subsets_of_size(pool, 2);
+        assert_eq!(s2.len(), 3);
+        assert!(s2.contains(&AttrSet::from_indices([1, 3])));
+        assert!(s2.contains(&AttrSet::from_indices([1, 5])));
+        assert!(s2.contains(&AttrSet::from_indices([3, 5])));
+        assert_eq!(subsets_of_size(pool, 0), vec![AttrSet::EMPTY]);
+        assert_eq!(subsets_of_size(pool, 4), Vec::<AttrSet>::new());
+        assert_eq!(subsets_of_size(pool, 3), vec![pool]);
+    }
+
+    #[test]
+    fn top_nodes_of_three_attribute_mas() {
+        // Figure 5: MAS {A,B,C} has level-2 nodes AB:C, AC:B, BC:A.
+        let lattice = FdLattice::new(AttrSet::all(3));
+        let tops = lattice.top_nodes();
+        assert_eq!(tops.len(), 3);
+        assert!(tops.contains(&LatticeNode { lhs: AttrSet::from_indices([0, 1]), rhs: 2 }));
+        assert!(tops.contains(&LatticeNode { lhs: AttrSet::from_indices([0, 2]), rhs: 1 }));
+        assert!(tops.contains(&LatticeNode { lhs: AttrSet::from_indices([1, 2]), rhs: 0 }));
+    }
+
+    #[test]
+    fn node_count_matches_enumeration() {
+        for m in 2..6 {
+            let lattice = FdLattice::new(AttrSet::all(m));
+            let mut count = 0;
+            for y in 0..m {
+                for size in 1..m {
+                    count += subsets_of_size(AttrSet::all(m).without(y), size).len();
+                }
+            }
+            assert_eq!(lattice.node_count(), count, "m = {m}");
+        }
+        assert_eq!(FdLattice::new(AttrSet::single(0)).node_count(), 0);
+    }
+
+    #[test]
+    fn descendants_of_violated_nodes_are_skipped() {
+        // MAS {A,B,C}. Pretend every FD is violated: only the three top nodes should be
+        // reported (their descendants are covered).
+        let lattice = FdLattice::new(AttrSet::all(3));
+        let mut asked = Vec::new();
+        let fps = lattice.find_maximum_false_positives(|lhs, rhs| {
+            asked.push((lhs, rhs));
+            true
+        });
+        assert_eq!(fps.len(), 3);
+        assert!(fps.iter().all(|n| n.lhs.len() == 2));
+        // The callback must never have been asked about a covered descendant.
+        assert_eq!(asked.len(), 3);
+    }
+
+    #[test]
+    fn non_violated_nodes_descend() {
+        // MAS {A,B,C}; only single-attribute LHS nodes are violated.
+        let lattice = FdLattice::new(AttrSet::all(3));
+        let fps = lattice.find_maximum_false_positives(|lhs, _| lhs.len() == 1);
+        // Each rhs contributes its two single-attribute LHS nodes.
+        assert_eq!(fps.len(), 6);
+        assert!(fps.iter().all(|n| n.lhs.len() == 1));
+    }
+
+    #[test]
+    fn nothing_violated_nothing_reported() {
+        let lattice = FdLattice::new(AttrSet::all(4));
+        let fps = lattice.find_maximum_false_positives(|_, _| false);
+        assert!(fps.is_empty());
+        // Every node must have been visited exactly once.
+        let mut visits = 0;
+        lattice.find_maximum_false_positives(|_, _| {
+            visits += 1;
+            false
+        });
+        assert_eq!(visits, lattice.node_count());
+    }
+}

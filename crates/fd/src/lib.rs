@@ -1,0 +1,32 @@
+//! # f2-fd — functional-dependency and maximal-attribute-set discovery
+//!
+//! The F² pipeline (Dong & Wang, ICDE 2017) needs two discovery substrates:
+//!
+//! * **MAS discovery** (Step 1, §3.1): find every *maximal attribute set* — a maximal
+//!   attribute combination whose projection still contains duplicates (equivalently, a
+//!   maximal non-unique column combination in the sense of Heise et al.'s DUCC). The
+//!   data owner runs this before encrypting; its cost is what makes F² cheaper than
+//!   discovering the FDs locally. Implemented in [`mas`] with a GenMax-style
+//!   depth-first search with subsumption pruning ([`mas::MasFinder`]), validated
+//!   against a brute-force oracle.
+//! * **FD discovery** (the server side, §5.4): the paper uses TANE (Huhtala et al.) to
+//!   discover FDs both on the plaintext table and on the encrypted table, and reports
+//!   the overhead of the latter (Figure 10). Implemented in [`tane`].
+//!
+//! The [`lattice`] module implements the FD lattice of §3.4 that Step 4 of F² walks to
+//! eliminate false-positive FDs, and [`oracle`] contains exhaustive reference
+//! implementations used by the property-test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fdep;
+pub mod lattice;
+pub mod mas;
+pub mod oracle;
+pub mod tane;
+
+pub use fdep::{Fd, FdSet};
+pub use lattice::FdLattice;
+pub use mas::{MasFinder, MasSet};
+pub use tane::{Tane, TaneConfig};

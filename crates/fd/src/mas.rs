@@ -1,0 +1,297 @@
+//! Maximal attribute set (MAS) discovery — Step 1 of F² (§3.1, Definition 3.2).
+//!
+//! A MAS is an attribute set `A` such that (1) some instance of `A` occurs more than
+//! once (the projection has duplicates — `A` is *non-unique*), and (2) no proper
+//! superset of `A` has this property. The paper observes that MASs coincide with the
+//! *maximal non-unique column combinations* of Heise et al. (DUCC) and adopts that
+//! algorithm; here we implement the same search as a GenMax-style depth-first
+//! enumeration over the attribute lattice:
+//!
+//! * non-uniqueness is anti-monotone (a subset of a non-unique set is non-unique), so
+//!   the maximal non-unique sets form a border that can be enumerated depth-first;
+//! * partitions are computed incrementally along the DFS path by stripped-partition
+//!   products (cost O(n) per visited node);
+//! * two prunings keep the visited set close to the border: the *HUT* check (if the
+//!   current set plus its whole candidate tail is subsumed by a known MAS, the subtree
+//!   cannot contribute a new maximal set) and leaf subsumption against already-found
+//!   MASs.
+//!
+//! The search is exact: [`crate::oracle::brute_force_mas`] is the reference the
+//! property tests compare against.
+
+use f2_relation::{AttrSet, Partition, StrippedPartition, Table};
+
+/// The collection of MASs of a table, plus discovery statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MasSet {
+    /// The maximal attribute sets, in canonical (bit-pattern) order.
+    pub sets: Vec<AttrSet>,
+    /// Number of partition intersections the search had to perform (a proxy for the
+    /// cost of the MAX step in Figure 6).
+    pub partition_checks: usize,
+}
+
+impl MasSet {
+    /// Number of MASs.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// True if the table has no MAS (every attribute combination is unique).
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Iterate over the MASs.
+    pub fn iter(&self) -> impl Iterator<Item = &AttrSet> {
+        self.sets.iter()
+    }
+
+    /// The MASs that contain the given attribute.
+    pub fn covering(&self, attr: usize) -> Vec<AttrSet> {
+        self.sets.iter().copied().filter(|m| m.contains(attr)).collect()
+    }
+
+    /// All attributes covered by at least one MAS.
+    pub fn covered_attributes(&self) -> AttrSet {
+        self.sets
+            .iter()
+            .fold(AttrSet::EMPTY, |acc, m| acc.union(*m))
+    }
+
+    /// Pairs of overlapping MASs (the `h` of Theorem 3.3).
+    pub fn overlapping_pairs(&self) -> Vec<(AttrSet, AttrSet)> {
+        let mut out = Vec::new();
+        for i in 0..self.sets.len() {
+            for j in (i + 1)..self.sets.len() {
+                if self.sets[i].overlaps(self.sets[j]) {
+                    out.push((self.sets[i], self.sets[j]));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Is the attribute set non-unique (does its projection contain duplicates)?
+pub fn is_non_unique(table: &Table, attrs: AttrSet) -> bool {
+    Partition::compute(table, attrs).has_duplicates()
+}
+
+/// Is the attribute set a MAS of the table (non-unique and maximal)?
+pub fn is_mas(table: &Table, attrs: AttrSet) -> bool {
+    if attrs.is_empty() || !is_non_unique(table, attrs) {
+        return false;
+    }
+    let universe = table.schema().all_attrs();
+    attrs
+        .direct_supersets(universe)
+        .all(|sup| !is_non_unique(table, sup))
+}
+
+/// GenMax-style depth-first MAS finder.
+#[derive(Debug)]
+pub struct MasFinder<'a> {
+    table: &'a Table,
+    singles: Vec<StrippedPartition>,
+    found: Vec<AttrSet>,
+    partition_checks: usize,
+}
+
+impl<'a> MasFinder<'a> {
+    /// Prepare a finder for the given table, computing per-attribute stripped
+    /// partitions (in parallel when the table is large).
+    pub fn new(table: &'a Table) -> Self {
+        let arity = table.arity();
+        let singles = if table.row_count() >= 20_000 && arity >= 4 {
+            parallel_single_partitions(table)
+        } else {
+            (0..arity)
+                .map(|a| StrippedPartition::for_attribute(table, a))
+                .collect()
+        };
+        MasFinder { table, singles, found: Vec::new(), partition_checks: 0 }
+    }
+
+    /// Run the search and return all MASs.
+    pub fn find(mut self) -> MasSet {
+        let arity = self.table.arity();
+        // Seed items: attributes whose own partition already has duplicates. Attributes
+        // that are unique on their own cannot appear in any non-unique set... they can:
+        // uniqueness of {A} means no duplicates on A alone, and any superset of {A}
+        // then has no duplicates either (anti-monotonicity), so indeed such attributes
+        // never participate in a MAS.
+        let items: Vec<usize> = (0..arity).filter(|&a| self.singles[a].has_duplicates()).collect();
+        for (pos, &a) in items.iter().enumerate() {
+            let tail: Vec<usize> = items[pos + 1..].to_vec();
+            let part = self.singles[a].clone();
+            self.dfs(AttrSet::single(a), part, &tail);
+        }
+        self.found.sort_by_key(|s| s.bits());
+        MasSet { sets: self.found, partition_checks: self.partition_checks }
+    }
+
+    fn dfs(&mut self, set: AttrSet, part: StrippedPartition, tail: &[usize]) {
+        // HUT pruning: if even the union of this set with its entire candidate tail is
+        // contained in a known MAS, nothing new can be found below.
+        let hut = tail.iter().fold(set, |acc, &a| acc.with(a));
+        if self.found.iter().any(|m| hut.is_subset_of(*m)) {
+            return;
+        }
+        // Compute the frequent (non-unique) extensions.
+        let mut extensions: Vec<(usize, StrippedPartition)> = Vec::new();
+        for &a in tail {
+            let candidate = part.product(&self.singles[a]);
+            self.partition_checks += 1;
+            if candidate.has_duplicates() {
+                extensions.push((a, candidate));
+            }
+        }
+        if extensions.is_empty() {
+            // `set` is maximal among sets whose extra attributes come after its own in
+            // the item order; global maximality is ensured by the subsumption check
+            // against MASs found in earlier branches.
+            if !self.found.iter().any(|m| set.is_subset_of(*m)) {
+                self.found.push(set);
+            }
+            return;
+        }
+        let attrs_only: Vec<usize> = extensions.iter().map(|(a, _)| *a).collect();
+        for (idx, (a, p)) in extensions.into_iter().enumerate() {
+            let new_tail: Vec<usize> = attrs_only[idx + 1..].to_vec();
+            self.dfs(set.with(a), p, &new_tail);
+        }
+    }
+}
+
+/// Convenience wrapper: discover all MASs of a table.
+pub fn find_mas(table: &Table) -> MasSet {
+    MasFinder::new(table).find()
+}
+
+fn parallel_single_partitions(table: &Table) -> Vec<StrippedPartition> {
+    let arity = table.arity();
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(arity);
+    let chunk = arity.div_ceil(workers);
+    let mut out: Vec<Option<StrippedPartition>> = vec![None; arity];
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(arity);
+            if start >= end {
+                continue;
+            }
+            handles.push(s.spawn(move || {
+                (start..end)
+                    .map(|a| (a, StrippedPartition::for_attribute(table, a)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (a, p) in h.join().expect("partition worker panicked") {
+                out[a] = Some(p);
+            }
+        }
+    });
+    out.into_iter().map(|p| p.expect("all attributes computed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_relation::table;
+
+    #[test]
+    fn figure1_base_table_mas() {
+        // Figure 1(a): MAS is {A, B, C} (the tuple (a1,b1,c1) appears twice).
+        let t = table! {
+            ["A", "B", "C"];
+            ["a1", "b1", "c1"],
+            ["a1", "b1", "c2"],
+            ["a1", "b1", "c3"],
+            ["a1", "b1", "c1"],
+        };
+        let mas = find_mas(&t);
+        assert_eq!(mas.len(), 1);
+        assert_eq!(mas.sets[0], AttrSet::all(3));
+        assert!(is_mas(&t, AttrSet::all(3)));
+        assert!(!is_mas(&t, AttrSet::from_indices([0, 1])));
+    }
+
+    #[test]
+    fn figure3_table_has_two_overlapping_mas() {
+        // Figure 3(a): MASs are X = {A, B} and Y = {B, C}.
+        let t = table! {
+            ["A", "B", "C"];
+            ["a3", "b2", "c1"],
+            ["a1", "b2", "c1"],
+            ["a2", "b2", "c1"],
+            ["a2", "b2", "c2"],
+            ["a3", "b2", "c2"],
+            ["a1", "b1", "c3"],
+        };
+        let mas = find_mas(&t);
+        assert_eq!(mas.len(), 2);
+        assert!(mas.sets.contains(&AttrSet::from_indices([0, 1])));
+        assert!(mas.sets.contains(&AttrSet::from_indices([1, 2])));
+        assert_eq!(mas.overlapping_pairs().len(), 1);
+        assert_eq!(mas.covered_attributes(), AttrSet::all(3));
+        assert_eq!(mas.covering(1).len(), 2);
+        assert_eq!(mas.covering(0).len(), 1);
+    }
+
+    #[test]
+    fn unique_table_has_no_mas() {
+        let t = table! {
+            ["A", "B"];
+            ["a1", "b1"],
+            ["a2", "b2"],
+            ["a3", "b3"],
+        };
+        let mas = find_mas(&t);
+        assert!(mas.is_empty());
+        assert!(!is_mas(&t, AttrSet::single(0)));
+    }
+
+    #[test]
+    fn duplicate_rows_make_full_schema_the_only_mas() {
+        let t = table! {
+            ["A", "B", "C", "D"];
+            ["x", "y", "z", "w"],
+            ["x", "y", "z", "w"],
+            ["p", "q", "r", "s"],
+        };
+        let mas = find_mas(&t);
+        assert_eq!(mas.len(), 1);
+        assert_eq!(mas.sets[0], AttrSet::all(4));
+    }
+
+    #[test]
+    fn non_unique_check() {
+        let t = table! {
+            ["A", "B"];
+            ["x", "1"],
+            ["x", "2"],
+            ["y", "3"],
+        };
+        assert!(is_non_unique(&t, AttrSet::single(0)));
+        assert!(!is_non_unique(&t, AttrSet::single(1)));
+        assert!(!is_non_unique(&t, AttrSet::all(2)));
+        let mas = find_mas(&t);
+        assert_eq!(mas.sets, vec![AttrSet::single(0)]);
+    }
+
+    #[test]
+    fn partition_checks_are_counted() {
+        let t = table! {
+            ["A", "B", "C"];
+            ["a", "b", "c"],
+            ["a", "b", "d"],
+            ["a", "e", "c"],
+        };
+        let finder = MasFinder::new(&t);
+        let mas = finder.find();
+        assert!(mas.partition_checks > 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Exhaustive reference implementations ("oracles").
+//!
+//! These are deliberately naive — exponential enumeration with direct definition
+//! checks — and exist solely so that the efficient algorithms ([`crate::tane`],
+//! [`crate::mas`]) can be validated against ground truth on small relations by unit
+//! and property tests.
+
+use crate::fdep::{Fd, FdSet};
+use f2_relation::{AttrSet, Partition, Table};
+
+/// Enumerate every non-trivial *minimal* FD of the table by brute force.
+///
+/// Complexity is `O(m · 2^m · n)` for `m` attributes — only usable on small schemas.
+pub fn brute_force_fds(table: &Table) -> FdSet {
+    let arity = table.arity();
+    let mut result = FdSet::new();
+    if table.row_count() == 0 {
+        return result;
+    }
+    for rhs in 0..arity {
+        let pool = table.schema().all_attrs().without(rhs);
+        // Enumerate candidate LHS by increasing size so minimality is easy to enforce.
+        let mut holding: Vec<AttrSet> = Vec::new();
+        for size in 0..=pool.len() {
+            for lhs in crate::lattice::subsets_of_size(pool, size) {
+                if holding.iter().any(|h| h.is_subset_of(lhs)) {
+                    continue; // implied by a smaller FD — not minimal
+                }
+                if fd_holds_by_definition(table, lhs, rhs) {
+                    holding.push(lhs);
+                    result.insert(Fd::new(lhs, rhs));
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Check `X → A` directly from Definition 2.2: every pair of rows agreeing on `X`
+/// agrees on `A`.
+pub fn fd_holds_by_definition(table: &Table, lhs: AttrSet, rhs: usize) -> bool {
+    if lhs.is_empty() {
+        // ∅ → A holds iff A is constant.
+        return table.distinct_count(rhs) <= 1;
+    }
+    let partition = Partition::compute(table, lhs);
+    for class in partition.classes() {
+        if class.size() < 2 {
+            continue;
+        }
+        let first = table
+            .row(class.rows[0])
+            .expect("row exists")
+            .get(rhs)
+            .cloned();
+        for &r in &class.rows[1..] {
+            if table.row(r).expect("row exists").get(rhs).cloned() != first {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Enumerate every MAS of the table by brute force (check every attribute subset).
+pub fn brute_force_mas(table: &Table) -> Vec<AttrSet> {
+    let arity = table.arity();
+    assert!(arity <= 20, "brute-force MAS oracle is limited to 20 attributes");
+    let mut non_unique: Vec<AttrSet> = Vec::new();
+    for bits in 1u64..(1u64 << arity) {
+        let set = AttrSet::from_indices((0..arity).filter(|&a| (bits >> a) & 1 == 1));
+        if Partition::compute(table, set).has_duplicates() {
+            non_unique.push(set);
+        }
+    }
+    let mut maximal: Vec<AttrSet> = Vec::new();
+    for &s in &non_unique {
+        if !non_unique.iter().any(|&t| s != t && s.is_subset_of(t)) {
+            maximal.push(s);
+        }
+    }
+    maximal.sort_by_key(|s| s.bits());
+    maximal
+}
+
+/// Compare the FDs of two tables and return (missing, spurious) relative to `expected`:
+/// FDs of `expected` not holding in `actual`, and FDs of `actual` not holding in
+/// `expected`. Both tables are brute-forced, so keep them small.
+pub fn fd_delta(expected: &Table, actual: &Table) -> (Vec<Fd>, Vec<Fd>) {
+    let e = brute_force_fds(expected);
+    let a = brute_force_fds(actual);
+    (e.difference(&a), a.difference(&e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mas::find_mas;
+    use f2_relation::table;
+    use proptest::prelude::*;
+
+    #[test]
+    fn definition_check() {
+        let t = table! {
+            ["A", "B"];
+            ["1", "x"],
+            ["1", "x"],
+            ["2", "y"],
+        };
+        assert!(fd_holds_by_definition(&t, AttrSet::single(0), 1));
+        assert!(fd_holds_by_definition(&t, AttrSet::single(1), 0));
+        assert!(!fd_holds_by_definition(&t, AttrSet::EMPTY, 0));
+        let t2 = table! { ["A", "B"]; ["1", "x"], ["1", "y"] };
+        assert!(!fd_holds_by_definition(&t2, AttrSet::single(0), 1));
+        assert!(fd_holds_by_definition(&t2, AttrSet::EMPTY, 0));
+    }
+
+    #[test]
+    fn brute_force_minimality() {
+        let t = table! {
+            ["A", "B", "C"];
+            ["1", "x", "p"],
+            ["1", "x", "q"],
+            ["2", "y", "p"],
+        };
+        let fds = brute_force_fds(&t);
+        // A → B is minimal; {A,C} → B must not be reported (non-minimal).
+        assert!(fds.contains(&Fd::new(AttrSet::single(0), 1)));
+        assert!(!fds.contains(&Fd::new(AttrSet::from_indices([0, 2]), 1)));
+    }
+
+    #[test]
+    fn oracle_mas_on_figure3() {
+        let t = table! {
+            ["A", "B", "C"];
+            ["a3", "b2", "c1"],
+            ["a1", "b2", "c1"],
+            ["a2", "b2", "c1"],
+            ["a2", "b2", "c2"],
+            ["a3", "b2", "c2"],
+            ["a1", "b1", "c3"],
+        };
+        let oracle = brute_force_mas(&t);
+        assert_eq!(oracle.len(), 2);
+        assert_eq!(oracle, find_mas(&t).sets);
+    }
+
+    #[test]
+    fn fd_delta_identical_tables() {
+        let t = table! { ["A", "B"]; ["1", "x"], ["1", "x"], ["2", "y"] };
+        let (missing, spurious) = fd_delta(&t, &t);
+        assert!(missing.is_empty());
+        assert!(spurious.is_empty());
+    }
+
+    /// Strategy: small random tables with up to 5 attributes, 12 rows, values from a
+    /// domain of 3 — small enough for the oracle, rich enough to exercise edge cases.
+    fn small_table_strategy() -> impl Strategy<Value = Table> {
+        (2usize..=5, 1usize..=12).prop_flat_map(|(arity, rows)| {
+            proptest::collection::vec(
+                proptest::collection::vec(0u8..3, arity),
+                rows..=rows,
+            )
+            .prop_map(move |rowvals| {
+                let names: Vec<String> = (0..arity).map(|i| format!("A{i}")).collect();
+                let schema = f2_relation::Schema::from_names(names).unwrap();
+                let records = rowvals
+                    .into_iter()
+                    .map(|r| {
+                        f2_relation::Record::new(
+                            r.into_iter().map(|v| f2_relation::Value::Int(v as i64)).collect(),
+                        )
+                    })
+                    .collect();
+                Table::new(schema, records).unwrap()
+            })
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn mas_finder_matches_oracle(t in small_table_strategy()) {
+            let fast = find_mas(&t).sets;
+            let oracle = brute_force_mas(&t);
+            prop_assert_eq!(fast, oracle);
+        }
+
+        #[test]
+        fn tane_matches_oracle(t in small_table_strategy()) {
+            let tane = crate::tane::discover_fds(&t);
+            let oracle = brute_force_fds(&t);
+            prop_assert_eq!(tane, oracle);
+        }
+
+        #[test]
+        fn every_fd_is_inside_some_mas(t in small_table_strategy()) {
+            // The paper's key observation (§3.1): for each FD F there is a MAS M with
+            // LHS(F) ∪ RHS(F) ⊆ M — provided the FD's attribute closure is non-unique.
+            // Minimal non-trivial FDs with a non-constant RHS satisfy this.
+            let mas = find_mas(&t).sets;
+            let fds = brute_force_fds(&t);
+            for fd in fds.iter() {
+                if fd.lhs.is_empty() {
+                    continue; // constant attributes need not lie in a MAS
+                }
+                let span = fd.lhs.with(fd.rhs);
+                let non_unique = Partition::compute(&t, span).has_duplicates();
+                if non_unique {
+                    prop_assert!(
+                        mas.iter().any(|m| span.is_subset_of(*m)),
+                        "FD {} not covered by any MAS", fd
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,331 @@
+//! Compact attribute sets.
+//!
+//! The paper manipulates attribute sets constantly: the `X`, `Y` of a functional
+//! dependency, the maximal attribute sets (MAS, Definition 3.2), the overlap `Z = X ∩ Y`
+//! of two MASs, and the nodes of the FD lattice (Section 3.4). [`AttrSet`] is a 64-bit
+//! bit-set over attribute *indices* that supports all of those operations in O(1).
+
+use std::fmt;
+
+/// A set of attribute indices (0-based positions in a [`crate::Schema`]).
+///
+/// At most 64 attributes are supported, which comfortably covers the paper's datasets
+/// (9, 21 and 7 attributes).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AttrSet(u64);
+
+impl AttrSet {
+    /// Maximum number of attributes representable.
+    pub const MAX_ATTRS: usize = 64;
+
+    /// The empty set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Create an empty set.
+    pub fn new() -> Self {
+        AttrSet(0)
+    }
+
+    /// Create a singleton set `{attr}`.
+    ///
+    /// # Panics
+    /// Panics if `attr >= 64`.
+    pub fn single(attr: usize) -> Self {
+        assert!(attr < Self::MAX_ATTRS, "attribute index {attr} out of range");
+        AttrSet(1u64 << attr)
+    }
+
+    /// Create the full set `{0, …, arity-1}`.
+    pub fn all(arity: usize) -> Self {
+        assert!(arity <= Self::MAX_ATTRS);
+        if arity == Self::MAX_ATTRS {
+            AttrSet(u64::MAX)
+        } else {
+            AttrSet((1u64 << arity) - 1)
+        }
+    }
+
+    /// Build a set from attribute indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = AttrSet::new();
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Raw bit representation (useful for canonical ordering).
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Number of attributes in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Insert an attribute index.
+    pub fn insert(&mut self, attr: usize) {
+        assert!(attr < Self::MAX_ATTRS, "attribute index {attr} out of range");
+        self.0 |= 1u64 << attr;
+    }
+
+    /// Remove an attribute index.
+    pub fn remove(&mut self, attr: usize) {
+        if attr < Self::MAX_ATTRS {
+            self.0 &= !(1u64 << attr);
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(self, attr: usize) -> bool {
+        attr < Self::MAX_ATTRS && (self.0 >> attr) & 1 == 1
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// `self \ other`.
+    pub fn difference(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// `self ∪ {attr}` (non-mutating).
+    pub fn with(self, attr: usize) -> AttrSet {
+        let mut s = self;
+        s.insert(attr);
+        s
+    }
+
+    /// `self \ {attr}` (non-mutating).
+    pub fn without(self, attr: usize) -> AttrSet {
+        let mut s = self;
+        s.remove(attr);
+        s
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset_of(self, other: AttrSet) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// True if `self ⊇ other`.
+    pub fn is_superset_of(self, other: AttrSet) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// True if `self ⊊ other`.
+    pub fn is_proper_subset_of(self, other: AttrSet) -> bool {
+        self != other && self.is_subset_of(other)
+    }
+
+    /// True if the two sets share at least one attribute (the paper's definition of
+    /// *overlapping* MASs, Section 3.3).
+    pub fn overlaps(self, other: AttrSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Iterate over member attribute indices in ascending order.
+    pub fn iter(self) -> AttrSetIter {
+        AttrSetIter(self.0)
+    }
+
+    /// The lowest attribute index, if non-empty.
+    pub fn first(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterate over all direct subsets obtained by removing one attribute
+    /// (the children of a lattice node).
+    pub fn direct_subsets(self) -> impl Iterator<Item = AttrSet> {
+        self.iter().map(move |a| self.without(a))
+    }
+
+    /// Iterate over all direct supersets within `universe` obtained by adding one
+    /// attribute not already present.
+    pub fn direct_supersets(self, universe: AttrSet) -> impl Iterator<Item = AttrSet> {
+        universe
+            .difference(self)
+            .iter()
+            .map(move |a| self.with(a))
+    }
+
+    /// Render the set using schema attribute names, e.g. `{City, Zip}`.
+    pub fn display_with<'a>(&self, names: &'a [String]) -> String {
+        let mut parts = Vec::with_capacity(self.len());
+        for a in self.iter() {
+            if a < names.len() {
+                parts.push(names[a].clone());
+            } else {
+                parts.push(format!("#{a}"));
+            }
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+/// Iterator over the attribute indices of an [`AttrSet`].
+pub struct AttrSetIter(u64);
+
+impl Iterator for AttrSetIter {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let idx = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(idx)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrSetIter {}
+
+impl FromIterator<usize> for AttrSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        AttrSet::from_indices(iter)
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AttrSet{{")?;
+        let mut first = true;
+        for a in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for a in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_set_operations() {
+        let a = AttrSet::from_indices([0, 2, 5]);
+        let b = AttrSet::from_indices([2, 3]);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(2));
+        assert!(!a.contains(1));
+        assert_eq!(a.union(b), AttrSet::from_indices([0, 2, 3, 5]));
+        assert_eq!(a.intersect(b), AttrSet::single(2));
+        assert_eq!(a.difference(b), AttrSet::from_indices([0, 5]));
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(AttrSet::single(7)));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = AttrSet::from_indices([1, 2]);
+        let b = AttrSet::from_indices([1, 2, 3]);
+        assert!(a.is_subset_of(b));
+        assert!(a.is_proper_subset_of(b));
+        assert!(b.is_superset_of(a));
+        assert!(!b.is_subset_of(a));
+        assert!(a.is_subset_of(a));
+        assert!(!a.is_proper_subset_of(a));
+        assert!(AttrSet::EMPTY.is_subset_of(a));
+    }
+
+    #[test]
+    fn iteration_order_is_ascending() {
+        let a = AttrSet::from_indices([5, 1, 9]);
+        let v: Vec<usize> = a.iter().collect();
+        assert_eq!(v, vec![1, 5, 9]);
+        assert_eq!(a.first(), Some(1));
+        assert_eq!(AttrSet::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn all_and_single() {
+        assert_eq!(AttrSet::all(3), AttrSet::from_indices([0, 1, 2]));
+        assert_eq!(AttrSet::all(0), AttrSet::EMPTY);
+        assert_eq!(AttrSet::all(64).len(), 64);
+        assert_eq!(AttrSet::single(63).len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_out_of_range_panics() {
+        let _ = AttrSet::single(64);
+    }
+
+    #[test]
+    fn direct_neighbours() {
+        let a = AttrSet::from_indices([0, 1]);
+        let subs: Vec<AttrSet> = a.direct_subsets().collect();
+        assert_eq!(subs.len(), 2);
+        assert!(subs.contains(&AttrSet::single(0)));
+        assert!(subs.contains(&AttrSet::single(1)));
+
+        let sups: Vec<AttrSet> = a.direct_supersets(AttrSet::all(4)).collect();
+        assert_eq!(sups.len(), 2);
+        assert!(sups.contains(&AttrSet::from_indices([0, 1, 2])));
+        assert!(sups.contains(&AttrSet::from_indices([0, 1, 3])));
+    }
+
+    #[test]
+    fn display_with_names() {
+        let names = vec!["A".to_string(), "B".to_string(), "C".to_string()];
+        let s = AttrSet::from_indices([0, 2]);
+        assert_eq!(s.display_with(&names), "{A, C}");
+        assert_eq!(format!("{s}"), "{0,2}");
+    }
+
+    #[test]
+    fn remove_and_without() {
+        let mut a = AttrSet::from_indices([0, 1, 2]);
+        a.remove(1);
+        assert_eq!(a, AttrSet::from_indices([0, 2]));
+        assert_eq!(a.without(0), AttrSet::single(2));
+        assert_eq!(a.with(5), AttrSet::from_indices([0, 2, 5]));
+        // removing a non-member or out-of-range index is a no-op
+        a.remove(40);
+        a.remove(64);
+        assert_eq!(a, AttrSet::from_indices([0, 2]));
+    }
+}

@@ -1,0 +1,116 @@
+//! Ergonomic table construction.
+
+use crate::{Attribute, DataType, Record, Result, Schema, Table, Value};
+
+/// Incremental builder for [`Table`]s.
+///
+/// Used by the workload generators and by tests/examples to assemble small relations
+/// without hand-writing `Schema`/`Record` plumbing.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    attrs: Vec<Attribute>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl TableBuilder {
+    /// Start an empty builder.
+    pub fn new() -> Self {
+        TableBuilder::default()
+    }
+
+    /// Declare a column.
+    pub fn column(mut self, name: impl Into<String>, data_type: DataType) -> Self {
+        self.attrs.push(Attribute::new(name, data_type));
+        self
+    }
+
+    /// Declare a text column (the most common case in the paper's datasets).
+    pub fn text_column(self, name: impl Into<String>) -> Self {
+        self.column(name, DataType::Text)
+    }
+
+    /// Declare an integer column.
+    pub fn int_column(self, name: impl Into<String>) -> Self {
+        self.column(name, DataType::Int)
+    }
+
+    /// Append a row of values.
+    pub fn row<I: IntoIterator<Item = Value>>(mut self, values: I) -> Self {
+        self.rows.push(values.into_iter().collect());
+        self
+    }
+
+    /// Append a row of text values (convenience for tests).
+    pub fn text_row<S: AsRef<str>, I: IntoIterator<Item = S>>(self, values: I) -> Self {
+        self.row(values.into_iter().map(|s| Value::text(s.as_ref())))
+    }
+
+    /// Finish building, validating arity of every row against the declared columns.
+    pub fn build(self) -> Result<Table> {
+        let schema = Schema::new(self.attrs)?;
+        let records = self.rows.into_iter().map(Record::new).collect();
+        Table::new(schema, records)
+    }
+}
+
+/// Build a small table from string literals in one expression — heavily used in unit
+/// tests and documentation examples:
+///
+/// ```
+/// let t = f2_relation::table! {
+///     ["Zip", "City"];
+///     ["07030", "Hoboken"],
+///     ["07030", "Hoboken"],
+///     ["10001", "New York"],
+/// };
+/// assert_eq!(t.row_count(), 3);
+/// ```
+#[macro_export]
+macro_rules! table {
+    ([$($col:expr),+ $(,)?]; $([$($cell:expr),+ $(,)?]),+ $(,)?) => {{
+        let mut b = $crate::TableBuilder::new();
+        $( b = b.text_column($col); )+
+        $( b = b.text_row([$($cell),+]); )+
+        b.build().expect("table! literal must be well-formed")
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_table() {
+        let t = TableBuilder::new()
+            .text_column("A")
+            .int_column("B")
+            .row([Value::text("x"), Value::Int(1)])
+            .row([Value::text("y"), Value::Int(2)])
+            .build()
+            .unwrap();
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.schema().index_of("B").unwrap(), 1);
+        assert_eq!(t.schema().attribute(1).unwrap().data_type, DataType::Int);
+    }
+
+    #[test]
+    fn builder_rejects_bad_arity() {
+        let r = TableBuilder::new()
+            .text_column("A")
+            .row([Value::text("x"), Value::Int(1)])
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn table_macro() {
+        let t = crate::table! {
+            ["A", "B", "C"];
+            ["a1", "b1", "c1"],
+            ["a1", "b1", "c2"],
+        };
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.cell(1, 2).unwrap(), &Value::text("c2"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by table construction, projection, and CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A record had a different arity than the schema.
+    ArityMismatch {
+        /// Number of attributes declared by the schema.
+        expected: usize,
+        /// Number of values supplied by the record.
+        got: usize,
+    },
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// An attribute index was out of range.
+    AttributeIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of attributes in the schema.
+        arity: usize,
+    },
+    /// A row index was out of range.
+    RowOutOfRange {
+        /// The offending row id.
+        row: usize,
+        /// Number of rows in the table.
+        rows: usize,
+    },
+    /// A value could not be parsed into the declared data type.
+    TypeError {
+        /// Attribute whose type was violated.
+        attribute: String,
+        /// Human-readable description of the offending value.
+        value: String,
+    },
+    /// The schema declared more attributes than [`crate::AttrSet`] supports (64).
+    TooManyAttributes(usize),
+    /// Two schemas that were expected to be identical differ.
+    SchemaMismatch,
+    /// Malformed CSV input.
+    Csv(String),
+    /// Duplicate attribute name in a schema.
+    DuplicateAttribute(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::ArityMismatch { expected, got } => {
+                write!(f, "record arity {got} does not match schema arity {expected}")
+            }
+            RelationError::UnknownAttribute(name) => {
+                write!(f, "unknown attribute `{name}`")
+            }
+            RelationError::AttributeIndexOutOfRange { index, arity } => {
+                write!(f, "attribute index {index} out of range (schema has {arity} attributes)")
+            }
+            RelationError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range (table has {rows} rows)")
+            }
+            RelationError::TypeError { attribute, value } => {
+                write!(f, "value `{value}` violates the type of attribute `{attribute}`")
+            }
+            RelationError::TooManyAttributes(n) => {
+                write!(f, "schema has {n} attributes; at most 64 are supported")
+            }
+            RelationError::SchemaMismatch => write!(f, "schemas differ"),
+            RelationError::Csv(msg) => write!(f, "CSV error: {msg}"),
+            RelationError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("arity 2"));
+        let e = RelationError::UnknownAttribute("Zip".into());
+        assert!(e.to_string().contains("Zip"));
+        let e = RelationError::TooManyAttributes(70);
+        assert!(e.to_string().contains("70"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            RelationError::SchemaMismatch,
+            RelationError::SchemaMismatch
+        );
+        assert_ne!(
+            RelationError::Csv("a".into()),
+            RelationError::Csv("b".into())
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! # f2-relation — in-memory relational substrate for the F² encryption scheme
+//!
+//! The F² paper (Dong & Wang, ICDE 2017) operates on a private relational table `D`
+//! with `m` attributes and `n` records, encrypts it cell-by-cell, and reasons about
+//! *partitions* (equivalence classes of tuples that agree on an attribute set).
+//!
+//! This crate provides that substrate:
+//!
+//! * [`Value`] — a typed, hashable, orderable cell value (integers, text, decimals,
+//!   raw ciphertext bytes, null),
+//! * [`Schema`] / [`Attribute`] — named, typed columns,
+//! * [`Record`] and [`Table`] — row-major in-memory relations,
+//! * [`AttrSet`] — a compact bit-set over attribute indices (the `X`, `Y`, `A` of the
+//!   paper's definitions),
+//! * [`Partition`] / [`EquivalenceClass`] — Definition 3.3 of the paper, plus stripped
+//!   partitions and partition products as used by TANE and the MAS finder,
+//! * CSV import/export and table statistics.
+//!
+//! Everything is deterministic and free of external dependencies beyond `bytes`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attrset;
+pub mod builder;
+pub mod csv;
+pub mod error;
+pub mod partition;
+pub mod record;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use attrset::AttrSet;
+pub use builder::TableBuilder;
+pub use error::RelationError;
+pub use partition::{EquivalenceClass, Partition, StrippedPartition};
+pub use record::Record;
+pub use schema::{Attribute, DataType, Schema};
+pub use stats::{AttributeStats, TableStats};
+pub use table::{RowId, Table};
+pub use value::Value;
+
+/// Convenient `Result` alias used throughout the relational substrate.
+pub type Result<T> = std::result::Result<T, RelationError>;

@@ -1,0 +1,400 @@
+//! Partitions and equivalence classes (Definition 3.3 of the paper).
+//!
+//! The partition `π_X` of a table `D` under an attribute set `X` groups rows that agree
+//! on every attribute of `X`. Partitions are the workhorse of the whole system:
+//!
+//! * a **MAS** is an attribute set whose partition contains at least one equivalence
+//!   class of size > 1, and that is maximal with this property (Definition 3.2);
+//! * **TANE** decides `X → A` by checking whether `π_X` *refines* `π_{X∪{A}}`
+//!   (equivalently, whether they have the same number of stripped tuples);
+//! * the **splitting-and-scaling** step of F² operates on the equivalence classes of a
+//!   MAS partition.
+
+use crate::{AttrSet, RowId, Table, Value};
+use std::collections::HashMap;
+
+/// One equivalence class: the rows sharing a representative value on some attribute set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceClass {
+    /// The shared projection `r[X]` (ascending attribute-index order).
+    pub representative: Vec<Value>,
+    /// Row ids of the members, in ascending order.
+    pub rows: Vec<RowId>,
+}
+
+impl EquivalenceClass {
+    /// Number of member rows (the paper's EC *size* / frequency `f`).
+    pub fn size(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// The partition `π_X` of a table under an attribute set `X`.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    attrs: AttrSet,
+    classes: Vec<EquivalenceClass>,
+    /// Total number of rows covered (the size of the table it was computed from).
+    row_count: usize,
+}
+
+impl Partition {
+    /// Compute `π_attrs` over the given table.
+    pub fn compute(table: &Table, attrs: AttrSet) -> Partition {
+        let mut map: HashMap<Vec<Value>, Vec<RowId>> = HashMap::with_capacity(table.row_count());
+        for (id, rec) in table.iter() {
+            map.entry(rec.project(attrs)).or_default().push(id);
+        }
+        let mut classes: Vec<EquivalenceClass> = map
+            .into_iter()
+            .map(|(representative, rows)| EquivalenceClass { representative, rows })
+            .collect();
+        // Deterministic order: by representative value.
+        classes.sort_by(|a, b| a.representative.cmp(&b.representative));
+        Partition { attrs, classes, row_count: table.row_count() }
+    }
+
+    /// The attribute set this partition was computed over.
+    pub fn attrs(&self) -> AttrSet {
+        self.attrs
+    }
+
+    /// All equivalence classes.
+    pub fn classes(&self) -> &[EquivalenceClass] {
+        &self.classes
+    }
+
+    /// Number of equivalence classes (the paper's `t`).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of rows covered by the partition.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// True if at least one equivalence class has more than one member — i.e. the
+    /// attribute set is *non-unique* (has duplicate projections). This is condition (1)
+    /// of the MAS definition.
+    pub fn has_duplicates(&self) -> bool {
+        self.classes.iter().any(|c| c.size() > 1)
+    }
+
+    /// Number of rows that live in equivalence classes of size > 1.
+    pub fn duplicated_row_count(&self) -> usize {
+        self.classes
+            .iter()
+            .filter(|c| c.size() > 1)
+            .map(EquivalenceClass::size)
+            .sum()
+    }
+
+    /// The largest equivalence class size.
+    pub fn max_class_size(&self) -> usize {
+        self.classes.iter().map(EquivalenceClass::size).max().unwrap_or(0)
+    }
+
+    /// Map each row id to the index of its equivalence class.
+    pub fn row_to_class(&self) -> Vec<usize> {
+        let mut out = vec![usize::MAX; self.row_count];
+        for (ci, c) in self.classes.iter().enumerate() {
+            for &r in &c.rows {
+                if r < out.len() {
+                    out[r] = ci;
+                }
+            }
+        }
+        out
+    }
+
+    /// True if this partition *refines* `other`: every equivalence class of `self` is
+    /// contained in some class of `other`. `π_X` refines `π_Y` whenever `Y ⊆ X`, and
+    /// `X → A` holds iff `π_X` refines `π_{A}` (Huhtala et al., used in Theorem 3.7).
+    pub fn refines(&self, other: &Partition) -> bool {
+        if self.row_count != other.row_count {
+            return false;
+        }
+        let other_class_of = other.row_to_class();
+        for c in &self.classes {
+            let first = match c.rows.first() {
+                Some(&r) => other_class_of.get(r).copied().unwrap_or(usize::MAX),
+                None => continue,
+            };
+            if first == usize::MAX {
+                return false;
+            }
+            if c
+                .rows
+                .iter()
+                .any(|&r| other_class_of.get(r).copied().unwrap_or(usize::MAX) != first)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Convert to a stripped partition (singleton classes dropped), the representation
+    /// used by TANE and the MAS search for efficiency.
+    pub fn stripped(&self) -> StrippedPartition {
+        let classes: Vec<Vec<RowId>> = self
+            .classes
+            .iter()
+            .filter(|c| c.size() > 1)
+            .map(|c| c.rows.clone())
+            .collect();
+        StrippedPartition::from_classes(classes, self.row_count)
+    }
+}
+
+/// A *stripped* partition: only the equivalence classes of size > 1 are kept.
+///
+/// TANE's key insight is that singleton classes carry no information for FD checking,
+/// and that stripped partitions can be intersected ("product") in time linear in the
+/// number of stripped rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrippedPartition {
+    classes: Vec<Vec<RowId>>,
+    row_count: usize,
+    element_count: usize,
+}
+
+impl StrippedPartition {
+    /// Build from explicit classes (all of size ≥ 2) and the total row count.
+    pub fn from_classes(classes: Vec<Vec<RowId>>, row_count: usize) -> Self {
+        let element_count = classes.iter().map(Vec::len).sum();
+        StrippedPartition { classes, row_count, element_count }
+    }
+
+    /// Compute the stripped partition of a table under a single attribute.
+    pub fn for_attribute(table: &Table, attr: usize) -> Self {
+        Partition::compute(table, AttrSet::single(attr)).stripped()
+    }
+
+    /// Compute the stripped partition of a table under an attribute set.
+    pub fn for_attrs(table: &Table, attrs: AttrSet) -> Self {
+        Partition::compute(table, attrs).stripped()
+    }
+
+    /// The non-singleton classes.
+    pub fn classes(&self) -> &[Vec<RowId>] {
+        &self.classes
+    }
+
+    /// Number of non-singleton classes.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of rows appearing in non-singleton classes (`‖π‖` in TANE's notation).
+    pub fn element_count(&self) -> usize {
+        self.element_count
+    }
+
+    /// Total rows of the underlying table.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// TANE's error measure `e(X) = (‖π_X‖ − |π_X|) / |r|` numerator: the minimum number
+    /// of rows to remove so the attribute set becomes a key.
+    pub fn stripped_excess(&self) -> usize {
+        self.element_count - self.class_count()
+    }
+
+    /// True if some class has more than one row (i.e. the attribute set is non-unique).
+    pub fn has_duplicates(&self) -> bool {
+        !self.classes.is_empty()
+    }
+
+    /// Partition product `π_X · π_Y = π_{X∪Y}` computed in O(‖π_X‖) time
+    /// (TANE, Huhtala et al. 1999, Algorithm "STRIPPED_PRODUCT").
+    pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        debug_assert_eq!(self.row_count, other.row_count);
+        let mut lookup: Vec<Option<usize>> = vec![None; self.row_count];
+        for (ci, class) in other.classes.iter().enumerate() {
+            for &r in class {
+                if r < lookup.len() {
+                    lookup[r] = Some(ci);
+                }
+            }
+        }
+        let mut out: Vec<Vec<RowId>> = Vec::new();
+        let mut bucket: HashMap<usize, Vec<RowId>> = HashMap::new();
+        for class in &self.classes {
+            bucket.clear();
+            for &r in class {
+                if let Some(Some(ci)) = lookup.get(r) {
+                    bucket.entry(*ci).or_default().push(r);
+                }
+            }
+            for (_, rows) in bucket.drain() {
+                if rows.len() > 1 {
+                    let mut rows = rows;
+                    rows.sort_unstable();
+                    out.push(rows);
+                }
+            }
+        }
+        out.sort();
+        StrippedPartition::from_classes(out, self.row_count)
+    }
+
+    /// True if, whenever two rows share a class here, they also share a class in
+    /// `other` — i.e. this (stripped) partition refines the other. For stripped
+    /// partitions over `X` and `X ∪ {A}` this is exactly the TANE FD test `X → A`.
+    pub fn refines_within(&self, other: &StrippedPartition) -> bool {
+        let mut lookup: Vec<Option<usize>> = vec![None; self.row_count];
+        for (ci, class) in other.classes.iter().enumerate() {
+            for &r in class {
+                if r < lookup.len() {
+                    lookup[r] = Some(ci);
+                }
+            }
+        }
+        for class in &self.classes {
+            let mut iter = class.iter();
+            let first = match iter.next() {
+                Some(&r) => lookup.get(r).copied().flatten(),
+                None => continue,
+            };
+            if first.is_none() {
+                return false;
+            }
+            if iter.any(|&r| lookup.get(r).copied().flatten() != first) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record;
+    use crate::Schema;
+
+    /// The base table of Figure 1(a): FD A → B holds; MAS is {A, B, C}... actually the
+    /// paper states the MASs of this table include {A,B,C} because (a1,b1,c1) repeats.
+    fn figure1_table() -> Table {
+        let schema = Schema::from_names(["A", "B", "C"]).unwrap();
+        Table::new(
+            schema,
+            vec![
+                record!["a1", "b1", "c1"],
+                record!["a1", "b1", "c2"],
+                record!["a1", "b1", "c3"],
+                record!["a1", "b1", "c1"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn partition_of_single_attribute() {
+        let t = figure1_table();
+        let p = t.partition(AttrSet::single(2));
+        assert_eq!(p.class_count(), 3);
+        assert_eq!(p.max_class_size(), 2);
+        assert!(p.has_duplicates());
+        assert_eq!(p.duplicated_row_count(), 2);
+        assert_eq!(p.row_count(), 4);
+    }
+
+    #[test]
+    fn partition_of_attribute_set() {
+        let t = figure1_table();
+        let p = t.partition(AttrSet::from_indices([0, 1]));
+        // (a1, b1) appears four times → one class of size 4.
+        assert_eq!(p.class_count(), 1);
+        assert_eq!(p.classes()[0].size(), 4);
+        let p_abc = t.partition(AttrSet::all(3));
+        // {A,B,C}: (a1,b1,c1) twice, the others once → 3 classes.
+        assert_eq!(p_abc.class_count(), 3);
+        assert!(p_abc.has_duplicates());
+    }
+
+    #[test]
+    fn row_to_class_is_consistent() {
+        let t = figure1_table();
+        let p = t.partition(AttrSet::single(2));
+        let r2c = p.row_to_class();
+        assert_eq!(r2c.len(), 4);
+        // rows 0 and 3 share c1.
+        assert_eq!(r2c[0], r2c[3]);
+        assert_ne!(r2c[0], r2c[1]);
+    }
+
+    #[test]
+    fn refinement_captures_fds() {
+        let t = figure1_table();
+        // FD A → B holds: π_A refines π_B.
+        let pa = t.partition(AttrSet::single(0));
+        let pb = t.partition(AttrSet::single(1));
+        let pc = t.partition(AttrSet::single(2));
+        assert!(pa.refines(&pb));
+        // C → A holds too (all A values equal).
+        assert!(pc.refines(&pa));
+        // A → C does not hold.
+        assert!(!pa.refines(&pc));
+    }
+
+    #[test]
+    fn stripped_partition_product_equals_direct_computation() {
+        let schema = Schema::from_names(["A", "B"]).unwrap();
+        let t = Table::new(
+            schema,
+            vec![
+                record!["x", "1"],
+                record!["x", "1"],
+                record!["x", "2"],
+                record!["y", "2"],
+                record!["y", "2"],
+                record!["z", "3"],
+            ],
+        )
+        .unwrap();
+        let sa = StrippedPartition::for_attribute(&t, 0);
+        let sb = StrippedPartition::for_attribute(&t, 1);
+        let direct = StrippedPartition::for_attrs(&t, AttrSet::from_indices([0, 1]));
+        let via_product = sa.product(&sb);
+        assert_eq!(direct, via_product);
+        assert_eq!(via_product.classes().len(), 2);
+        assert_eq!(via_product.element_count(), 4);
+        assert_eq!(via_product.stripped_excess(), 2);
+    }
+
+    #[test]
+    fn stripped_refinement_detects_fd() {
+        let t = figure1_table();
+        let sa = StrippedPartition::for_attribute(&t, 0);
+        let sab = StrippedPartition::for_attrs(&t, AttrSet::from_indices([0, 1]));
+        let sac = StrippedPartition::for_attrs(&t, AttrSet::from_indices([0, 2]));
+        // A → B: stripped π_A refines stripped π_{AB}.
+        assert!(sa.refines_within(&sab));
+        // A → C does not hold.
+        assert!(!sa.refines_within(&sac));
+    }
+
+    #[test]
+    fn empty_table_partition() {
+        let t = Table::empty(Schema::from_names(["A"]).unwrap());
+        let p = t.partition(AttrSet::single(0));
+        assert_eq!(p.class_count(), 0);
+        assert!(!p.has_duplicates());
+        assert_eq!(p.max_class_size(), 0);
+        assert!(!p.stripped().has_duplicates());
+    }
+
+    #[test]
+    fn stripped_drops_singletons() {
+        let t = figure1_table();
+        let p = t.partition(AttrSet::single(2));
+        let s = p.stripped();
+        assert_eq!(s.class_count(), 1);
+        assert_eq!(s.element_count(), 2);
+        assert_eq!(s.row_count(), 4);
+    }
+}

@@ -1,0 +1,230 @@
+//! Relation schemas: named, typed attributes.
+
+use crate::{AttrSet, RelationError, Result};
+use std::fmt;
+use std::sync::Arc;
+
+/// Logical data type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integers.
+    Int,
+    /// Fixed-point decimals.
+    Decimal,
+    /// UTF-8 strings.
+    Text,
+    /// Dates (days since epoch).
+    Date,
+    /// Raw byte strings (ciphertext cells).
+    Bytes,
+    /// Any value type is accepted. Encrypted tables use this, since every cell becomes
+    /// a ciphertext byte string regardless of its plaintext type.
+    Any,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "int",
+            DataType::Decimal => "decimal",
+            DataType::Text => "text",
+            DataType::Date => "date",
+            DataType::Bytes => "bytes",
+            DataType::Any => "any",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single named attribute (column).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Declared data type.
+    pub data_type: DataType,
+}
+
+impl Attribute {
+    /// Construct an attribute.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Attribute { name: name.into(), data_type }
+    }
+}
+
+/// An ordered list of attributes.
+///
+/// Schemas are cheaply cloneable (`Arc` inside) because every table, partition, and
+/// report references one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Arc<Vec<Attribute>>,
+}
+
+impl Schema {
+    /// Build a schema from a list of attributes.
+    ///
+    /// Fails if there are more than 64 attributes or duplicate names.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self> {
+        if attrs.len() > AttrSet::MAX_ATTRS {
+            return Err(RelationError::TooManyAttributes(attrs.len()));
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(RelationError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Schema { attrs: Arc::new(attrs) })
+    }
+
+    /// Convenience constructor: every attribute gets type [`DataType::Any`].
+    pub fn from_names<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Result<Self> {
+        Schema::new(
+            names
+                .into_iter()
+                .map(|n| Attribute::new(n, DataType::Any))
+                .collect(),
+        )
+    }
+
+    /// Number of attributes (the paper's `m`).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Access attribute metadata by index.
+    pub fn attribute(&self, idx: usize) -> Result<&Attribute> {
+        self.attrs.get(idx).ok_or(RelationError::AttributeIndexOutOfRange {
+            index: idx,
+            arity: self.arity(),
+        })
+    }
+
+    /// All attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// All attribute names in order.
+    pub fn names(&self) -> Vec<String> {
+        self.attrs.iter().map(|a| a.name.clone()).collect()
+    }
+
+    /// Resolve a name to an index.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| RelationError::UnknownAttribute(name.to_owned()))
+    }
+
+    /// Resolve several names to an [`AttrSet`].
+    pub fn attr_set<S: AsRef<str>, I: IntoIterator<Item = S>>(&self, names: I) -> Result<AttrSet> {
+        let mut s = AttrSet::new();
+        for n in names {
+            s.insert(self.index_of(n.as_ref())?);
+        }
+        Ok(s)
+    }
+
+    /// The set of all attribute indices.
+    pub fn all_attrs(&self) -> AttrSet {
+        AttrSet::all(self.arity())
+    }
+
+    /// Render an attribute set with this schema's names.
+    pub fn display_set(&self, set: AttrSet) -> String {
+        set.display_with(&self.names())
+    }
+
+    /// Derive the schema of the encrypted table `D̂`: same attribute names, every type
+    /// replaced by [`DataType::Bytes`].
+    pub fn encrypted(&self) -> Schema {
+        Schema {
+            attrs: Arc::new(
+                self.attrs
+                    .iter()
+                    .map(|a| Attribute::new(a.name.clone(), DataType::Bytes))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let s = Schema::new(vec![
+            Attribute::new("Zip", DataType::Text),
+            Attribute::new("City", DataType::Text),
+            Attribute::new("Pop", DataType::Int),
+        ])
+        .unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("City").unwrap(), 1);
+        assert!(s.index_of("Nope").is_err());
+        assert_eq!(s.attribute(2).unwrap().data_type, DataType::Int);
+        assert!(s.attribute(3).is_err());
+        assert_eq!(s.names(), vec!["Zip", "City", "Pop"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::from_names(["A", "B", "A"]).unwrap_err();
+        assert_eq!(err, RelationError::DuplicateAttribute("A".into()));
+    }
+
+    #[test]
+    fn too_many_attributes_rejected() {
+        let names: Vec<String> = (0..65).map(|i| format!("a{i}")).collect();
+        assert!(matches!(
+            Schema::from_names(names).unwrap_err(),
+            RelationError::TooManyAttributes(65)
+        ));
+    }
+
+    #[test]
+    fn attr_set_resolution() {
+        let s = Schema::from_names(["A", "B", "C", "D"]).unwrap();
+        let set = s.attr_set(["B", "D"]).unwrap();
+        assert_eq!(set, AttrSet::from_indices([1, 3]));
+        assert_eq!(s.display_set(set), "{B, D}");
+        assert_eq!(s.all_attrs(), AttrSet::all(4));
+        assert!(s.attr_set(["B", "Z"]).is_err());
+    }
+
+    #[test]
+    fn encrypted_schema_has_bytes_types() {
+        let s = Schema::new(vec![
+            Attribute::new("A", DataType::Int),
+            Attribute::new("B", DataType::Text),
+        ])
+        .unwrap();
+        let e = s.encrypted();
+        assert_eq!(e.arity(), 2);
+        assert_eq!(e.attribute(0).unwrap().data_type, DataType::Bytes);
+        assert_eq!(e.attribute(1).unwrap().name, "B");
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::from_names(["A", "B"]).unwrap();
+        assert_eq!(s.to_string(), "(A: any, B: any)");
+    }
+}

@@ -1,0 +1,117 @@
+//! Table statistics.
+//!
+//! The evaluation section of the paper characterises its datasets by attribute count,
+//! tuple count and size (Table 1), and explains its results through per-attribute
+//! domain sizes ("the OrderStatus and OrderPriority attributes only have 3 and 5 unique
+//! values") and the number of equivalence classes per MAS. These statistics are
+//! computed here so the benchmark harness can print a faithful Table 1 and the
+//! explanatory quantities alongside each figure.
+
+use crate::{AttrSet, Table};
+
+/// Statistics for a single attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeStats {
+    /// Attribute name.
+    pub name: String,
+    /// Number of distinct values.
+    pub distinct: usize,
+    /// Size of the largest equivalence class of the attribute.
+    pub max_frequency: usize,
+    /// Whether every value is unique (the attribute is a key on its own).
+    pub is_unique: bool,
+}
+
+/// Whole-table statistics, in the spirit of Table 1 of the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableStats {
+    /// Number of attributes (`m`).
+    pub attributes: usize,
+    /// Number of tuples (`n`).
+    pub tuples: usize,
+    /// Serialized size in bytes.
+    pub size_bytes: usize,
+    /// Per-attribute statistics.
+    pub per_attribute: Vec<AttributeStats>,
+}
+
+impl TableStats {
+    /// Compute statistics for a table.
+    pub fn compute(table: &Table) -> TableStats {
+        let names = table.schema().names();
+        let mut per_attribute = Vec::with_capacity(names.len());
+        for (idx, name) in names.iter().enumerate() {
+            let p = table.partition(AttrSet::single(idx));
+            let distinct = p.class_count();
+            let max_frequency = p.max_class_size();
+            per_attribute.push(AttributeStats {
+                name: name.clone(),
+                distinct,
+                max_frequency,
+                is_unique: max_frequency <= 1,
+            });
+        }
+        TableStats {
+            attributes: table.arity(),
+            tuples: table.row_count(),
+            size_bytes: table.size_bytes(),
+            per_attribute,
+        }
+    }
+
+    /// Human-readable size, e.g. `1.64GB`, matching the units used in Table 1.
+    pub fn human_size(&self) -> String {
+        human_bytes(self.size_bytes)
+    }
+}
+
+/// Format a byte count the way the paper's Table 1 does (KB/MB/GB).
+pub fn human_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= GB {
+        format!("{:.2}GB", b / GB)
+    } else if b >= MB {
+        format!("{:.1}MB", b / MB)
+    } else if b >= KB {
+        format!("{:.1}KB", b / KB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn stats_reflect_domain_sizes() {
+        let t = crate::table! {
+            ["Status", "Id"];
+            ["O", "1"],
+            ["O", "2"],
+            ["F", "3"],
+            ["P", "4"],
+        };
+        let s = TableStats::compute(&t);
+        assert_eq!(s.attributes, 2);
+        assert_eq!(s.tuples, 4);
+        assert!(s.size_bytes > 0);
+        let status = &s.per_attribute[0];
+        assert_eq!(status.distinct, 3);
+        assert_eq!(status.max_frequency, 2);
+        assert!(!status.is_unique);
+        let id = &s.per_attribute[1];
+        assert_eq!(id.distinct, 4);
+        assert!(id.is_unique);
+    }
+
+    #[test]
+    fn human_sizes() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0KB");
+        assert!(human_bytes(5 * 1024 * 1024).starts_with("5.0MB"));
+        assert!(human_bytes(2 * 1024 * 1024 * 1024).ends_with("GB"));
+    }
+}

@@ -1,0 +1,377 @@
+//! Cell values.
+//!
+//! F² encrypts a table *cell by cell* (Section 2.1 of the paper), so the substrate
+//! needs a value type that can represent both plaintext domain values (integers,
+//! strings, fixed-point decimals, dates) and raw ciphertext bytes produced by the
+//! probabilistic encryption scheme.
+
+use bytes::Bytes;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A single cell value.
+///
+/// `Value` implements total ordering and hashing so that it can be used as the key of
+/// partition maps (Definition 3.3) and frequency histograms (the attacker's background
+/// knowledge in Section 2.4).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL / missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Fixed-point decimal stored as scaled integer (`digits`, `scale`): the logical
+    /// value is `digits / 10^scale`. TPC-H monetary columns use scale 2.
+    Decimal {
+        /// Scaled integral representation.
+        digits: i64,
+        /// Number of fractional digits.
+        scale: u8,
+    },
+    /// UTF-8 text.
+    Text(String),
+    /// Calendar date encoded as days since 1970-01-01 (proleptic Gregorian).
+    Date(i32),
+    /// Raw bytes — used for ciphertext cells in the encrypted table `D̂`.
+    Bytes(Bytes),
+}
+
+impl Value {
+    /// Build a text value.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Build a byte-string value (used for ciphertexts).
+    pub fn bytes(b: impl Into<Bytes>) -> Self {
+        Value::Bytes(b.into())
+    }
+
+    /// Build a decimal with two fractional digits (cents), the TPC-H convention.
+    pub fn money(cents: i64) -> Self {
+        Value::Decimal { digits: cents, scale: 2 }
+    }
+
+    /// True if this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True if this value is a ciphertext byte string.
+    pub fn is_bytes(&self) -> bool {
+        matches!(self, Value::Bytes(_))
+    }
+
+    /// Return the contained integer, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Return the contained text, if any.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Return the contained bytes, if any.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Approximate in-memory / serialized size of the value in bytes. Used to report
+    /// dataset sizes comparable to Table 1 of the paper.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Decimal { .. } => 9,
+            Value::Text(s) => s.len(),
+            Value::Date(_) => 4,
+            Value::Bytes(b) => b.len(),
+        }
+    }
+
+    /// A small integer identifying the variant, used to order across variants.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Decimal { .. } => 2,
+            Value::Text(_) => 3,
+            Value::Date(_) => 4,
+            Value::Bytes(_) => 5,
+        }
+    }
+
+    /// Serialize the value to a self-describing byte string. This is the plaintext fed
+    /// to the probabilistic encryption scheme `e = ⟨r, F_k(r) ⊕ p⟩`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.size_bytes());
+        match self {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(1);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Decimal { digits, scale } => {
+                out.push(2);
+                out.extend_from_slice(&digits.to_le_bytes());
+                out.push(*scale);
+            }
+            Value::Text(s) => {
+                out.push(3);
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Date(d) => {
+                out.push(4);
+                out.extend_from_slice(&d.to_le_bytes());
+            }
+            Value::Bytes(b) => {
+                out.push(5);
+                out.extend_from_slice(b);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`Value::encode`]. Returns `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<Value> {
+        let (&tag, rest) = buf.split_first()?;
+        match tag {
+            0 => {
+                if rest.is_empty() {
+                    Some(Value::Null)
+                } else {
+                    None
+                }
+            }
+            1 => {
+                let arr: [u8; 8] = rest.try_into().ok()?;
+                Some(Value::Int(i64::from_le_bytes(arr)))
+            }
+            2 => {
+                if rest.len() != 9 {
+                    return None;
+                }
+                let digits = i64::from_le_bytes(rest[..8].try_into().ok()?);
+                Some(Value::Decimal { digits, scale: rest[8] })
+            }
+            3 => Some(Value::Text(String::from_utf8(rest.to_vec()).ok()?)),
+            4 => {
+                let arr: [u8; 4] = rest.try_into().ok()?;
+                Some(Value::Date(i32::from_le_bytes(arr)))
+            }
+            5 => Some(Value::Bytes(Bytes::copy_from_slice(rest))),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (
+                Value::Decimal { digits: a, scale: sa },
+                Value::Decimal { digits: b, scale: sb },
+            ) => a == b && sa == sb,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            (Value::Date(a), Value::Date(b)) => a == b,
+            (Value::Bytes(a), Value::Bytes(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Int(i) => i.hash(state),
+            Value::Decimal { digits, scale } => {
+                digits.hash(state);
+                scale.hash(state);
+            }
+            Value::Text(s) => s.hash(state),
+            Value::Date(d) => d.hash(state),
+            Value::Bytes(b) => b.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (
+                Value::Decimal { digits: a, scale: sa },
+                Value::Decimal { digits: b, scale: sb },
+            ) => sa.cmp(sb).then(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            (Value::Date(a), Value::Date(b)) => a.cmp(b),
+            (Value::Bytes(a), Value::Bytes(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, ""),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Decimal { digits, scale } => {
+                let pow = 10i64.pow(u32::from(*scale));
+                let whole = digits / pow;
+                let frac = (digits % pow).abs();
+                write!(f, "{whole}.{frac:0width$}", width = *scale as usize)
+            }
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "@{d}"),
+            Value::Bytes(b) => {
+                write!(f, "0x")?;
+                for byte in b.iter().take(8) {
+                    write!(f, "{byte:02x}")?;
+                }
+                if b.len() > 8 {
+                    write!(f, "..")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_within_variants() {
+        assert_eq!(Value::Int(5), Value::Int(5));
+        assert_ne!(Value::Int(5), Value::Int(6));
+        assert_eq!(Value::text("a"), Value::text("a"));
+        assert_ne!(Value::text("a"), Value::text("b"));
+        assert_ne!(Value::Int(5), Value::text("5"));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Int(42)));
+        assert_eq!(hash_of(&Value::text("x")), hash_of(&Value::text("x")));
+        assert_ne!(hash_of(&Value::Int(1)), hash_of(&Value::text("1")));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut vs = vec![
+            Value::text("b"),
+            Value::Int(3),
+            Value::Null,
+            Value::Int(1),
+            Value::text("a"),
+            Value::bytes(vec![1, 2]),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Int(1));
+        assert_eq!(vs[2], Value::Int(3));
+        assert_eq!(vs[3], Value::text("a"));
+    }
+
+    #[test]
+    fn decimal_display() {
+        assert_eq!(Value::money(123456).to_string(), "1234.56");
+        assert_eq!(Value::money(5).to_string(), "0.05");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases = vec![
+            Value::Null,
+            Value::Int(-77),
+            Value::Int(i64::MAX),
+            Value::money(999),
+            Value::text("hello world"),
+            Value::text(""),
+            Value::Date(19000),
+            Value::bytes(vec![0, 1, 2, 255]),
+        ];
+        for v in cases {
+            let enc = v.encode();
+            let dec = Value::decode(&enc).expect("decode");
+            assert_eq!(v, dec, "roundtrip failed for {v:?}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Value::decode(&[]), None);
+        assert_eq!(Value::decode(&[9, 1, 2]), None);
+        assert_eq!(Value::decode(&[1, 1, 2]), None); // short int
+    }
+
+    #[test]
+    fn size_bytes_reasonable() {
+        assert_eq!(Value::Int(1).size_bytes(), 8);
+        assert_eq!(Value::text("abcd").size_bytes(), 4);
+        assert_eq!(Value::Null.size_bytes(), 1);
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = 7i64.into();
+        assert_eq!(v, Value::Int(7));
+        let v: Value = "hi".into();
+        assert_eq!(v, Value::text("hi"));
+        assert!(Value::bytes(vec![1]).is_bytes());
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::text("t").as_text(), Some("t"));
+        assert_eq!(Value::bytes(vec![9]).as_bytes(), Some(&[9u8][..]));
+    }
+}

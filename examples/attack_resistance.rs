@@ -1,0 +1,76 @@
+//! Frequency-analysis attack demo: deterministic encryption leaks, F² does not.
+//!
+//! Reproduces the motivation of Figure 1: the same skewed table is encrypted with (a)
+//! the deterministic AES baseline and (b) F², and both are attacked with the
+//! frequency-matching adversary and the Kerckhoffs 4-step adversary of §4.2.
+//!
+//! Run with `cargo run --release --example attack_resistance`.
+
+use f2::attack::{Adversary, AttackExperiment, FrequencyAttacker, KerckhoffsAttacker};
+use f2::crypto::{DeterministicCipher, MasterKey};
+use f2::relation::{Record, Table};
+use f2::{F2Config, F2Encryptor};
+use f2_datagen::{OrdersConfig, OrdersGenerator};
+
+fn deterministic_encrypt(plain: &Table, master: &MasterKey) -> Table {
+    let ciphers: Vec<DeterministicCipher> = (0..plain.arity())
+        .map(|a| DeterministicCipher::new(&master.deterministic_key(a)))
+        .collect();
+    let rows = plain
+        .rows()
+        .iter()
+        .map(|r| {
+            Record::new(
+                r.values()
+                    .iter()
+                    .enumerate()
+                    .map(|(a, v)| ciphers[a].encrypt_value(v))
+                    .collect(),
+            )
+        })
+        .collect();
+    Table::new(plain.schema().encrypted(), rows).expect("same arity")
+}
+
+fn main() {
+    let plain = OrdersGenerator::new(OrdersConfig { rows: 1_500, seed: 3, ..OrdersConfig::default() })
+        .generate();
+    let master = MasterKey::from_seed(55);
+    let alpha = 0.2;
+
+    // Attack target: the small-domain attribute pair the adversary cares about.
+    let attrs = plain
+        .schema()
+        .attr_set(["OrderStatus", "OrderPriority"])
+        .expect("attributes exist");
+
+    println!("Playing Exp^freq over {} …\n", plain.schema().display_set(attrs));
+
+    // (a) Deterministic baseline.
+    let det = deterministic_encrypt(&plain, &master);
+    let det_experiment = AttackExperiment::for_row_aligned(&plain, &det, attrs);
+
+    // (b) F² with α = 0.2.
+    let outcome = F2Encryptor::new(F2Config::new(alpha, 2).unwrap(), master.clone())
+        .encrypt(&plain)
+        .expect("encrypt");
+    let mas = outcome
+        .mas_sets
+        .iter()
+        .copied()
+        .find(|m| attrs.is_subset_of(*m))
+        .unwrap_or(outcome.mas_sets[0]);
+    let f2_experiment = AttackExperiment::for_f2_outcome(&plain, &outcome, mas);
+
+    let adversaries: [&dyn Adversary; 2] = [&FrequencyAttacker, &KerckhoffsAttacker];
+    println!("{:<22} {:>22} {:>14}", "adversary", "deterministic (AES)", "F² (α=0.2)");
+    for adv in adversaries {
+        let det_rate = det_experiment.run(adv, 2_000, 9).success_rate();
+        let f2_rate = f2_experiment.run(adv, 2_000, 9).success_rate();
+        println!("{:<22} {:>21.1}% {:>13.1}%", adv.name(), det_rate * 100.0, f2_rate * 100.0);
+    }
+    println!(
+        "\nF² keeps every adversary at or below α = {alpha} (α-security, Definition 2.1),\n\
+         while deterministic encryption surrenders the frequent values immediately."
+    );
+}

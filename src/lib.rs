@@ -1,0 +1,65 @@
+//! # F² — Frequency-Hiding, Functional-Dependency-Preserving Encryption
+//!
+//! A Rust implementation of the scheme from *"Frequency-Hiding Dependency-Preserving
+//! Encryption for Outsourced Databases"* (Boxiang Dong and Hui (Wendy) Wang, ICDE
+//! 2017).
+//!
+//! This facade crate re-exports the whole workspace behind one dependency:
+//!
+//! * [`relation`] — the relational substrate (tables, schemas, partitions, CSV I/O);
+//! * [`crypto`] — AES-128, the PRF-based probabilistic cell cipher, the deterministic
+//!   baseline and a from-scratch Paillier implementation;
+//! * [`fd`] — TANE FD discovery, maximal-attribute-set (MAS) discovery, and the FD
+//!   lattice;
+//! * [`core`] — the F² scheme itself ([`F2Encryptor`] / [`F2Decryptor`]);
+//! * [`attack`] — the frequency-analysis and Kerckhoffs adversaries and the empirical
+//!   α-security experiment;
+//! * [`datagen`] — TPC-H/TPC-C-style and synthetic workload generators used by the
+//!   evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use f2::{F2Config, F2Decryptor, F2Encryptor};
+//! use f2::crypto::MasterKey;
+//! use f2::fd::tane::discover_fds;
+//! use f2::relation::table;
+//!
+//! // The data owner's private table: Zip → City holds.
+//! let data = table! {
+//!     ["Zip", "City", "Name"];
+//!     ["07030", "Hoboken",  "alice"],
+//!     ["07030", "Hoboken",  "bob"],
+//!     ["10001", "NewYork",  "carol"],
+//!     ["10001", "NewYork",  "dave"],
+//! };
+//!
+//! // Encrypt with α = 1/2 and split factor 2, without knowing any FD.
+//! let key = MasterKey::from_seed(42);
+//! let encryptor = F2Encryptor::new(F2Config::new(0.5, 2).unwrap(), key.clone());
+//! let outcome = encryptor.encrypt(&data).unwrap();
+//!
+//! // The (untrusted) server discovers FDs directly on the encrypted table …
+//! let server_fds = discover_fds(&outcome.encrypted);
+//! assert!(!server_fds.is_empty());
+//!
+//! // … and the owner can still recover her table exactly.
+//! let recovered = F2Decryptor::new(key).recover_from_outcome(&outcome).unwrap();
+//! assert!(recovered.multiset_eq(&data));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use f2_attack as attack;
+pub use f2_core as core;
+pub use f2_crypto as crypto;
+pub use f2_datagen as datagen;
+pub use f2_fd as fd;
+pub use f2_relation as relation;
+
+pub use f2_core::{
+    EncryptionOutcome, EncryptionReport, F2Config, F2Decryptor, F2Encryptor, F2Error, Provenance,
+    RowOrigin,
+};
+pub use f2_relation::{AttrSet, Record, Schema, Table, Value};
