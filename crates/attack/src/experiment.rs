@@ -8,7 +8,7 @@
 //! `Pr[Exp^freq = 1]`, which α-security upper-bounds by α.
 
 use crate::{Adversary, AdversaryKnowledge};
-use f2_core::EncryptionOutcome;
+use f2_core::{EncryptionOutcome, F2Error, Scheme, SchemeOutcome};
 use f2_relation::{AttrSet, Table, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -45,6 +45,41 @@ pub struct AttackExperiment {
 }
 
 impl AttackExperiment {
+    /// Build the experiment for **any** encryption backend: the scheme's
+    /// [`Scheme::real_rows`] mapping pairs each output row carrying original data with
+    /// its source row, which becomes the game's ground truth. This is how the
+    /// α-security experiment runs over `&dyn Scheme` — F², the deterministic AES
+    /// baseline, and the probabilistic ciphers are all attacked through the same code
+    /// path.
+    ///
+    /// Errors if the outcome does not belong to `scheme` (wrong backend's owner
+    /// state), or if the claimed row mapping does not fit `plain`/`outcome` — e.g. a
+    /// cell-wise scheme handed an F² outcome whose table has extra artificial rows.
+    pub fn for_scheme(
+        plain: &Table,
+        scheme: &dyn Scheme,
+        outcome: &SchemeOutcome,
+        attrs: AttrSet,
+    ) -> Result<Self, F2Error> {
+        let mapping = scheme.real_rows(outcome)?;
+        let mut ground_truth = Vec::with_capacity(mapping.len());
+        for (out_row, orig_row) in mapping {
+            if out_row >= outcome.encrypted.row_count() || orig_row >= plain.row_count() {
+                return Err(F2Error::ProvenanceMismatch(format!(
+                    "scheme `{}` maps output row {out_row} to original row {orig_row}, \
+                     outside the {}-row encrypted / {}-row plaintext tables",
+                    scheme.name(),
+                    outcome.encrypted.row_count(),
+                    plain.row_count()
+                )));
+            }
+            let cipher = outcome.encrypted.row(out_row).expect("bounds checked").project(attrs);
+            let plain_combo = plain.row(orig_row).expect("bounds checked").project(attrs);
+            ground_truth.push((cipher, plain_combo));
+        }
+        Ok(Self::from_parts(plain, &outcome.encrypted, attrs, ground_truth))
+    }
+
     /// Build the experiment for an F² encryption outcome: the ground truth pairs each
     /// original row's ciphertext combination with its plaintext combination.
     pub fn for_f2_outcome(plain: &Table, outcome: &EncryptionOutcome, attrs: AttrSet) -> Self {
@@ -53,15 +88,9 @@ impl AttackExperiment {
             .real_rows()
             .into_iter()
             .map(|(out_row, orig_row)| {
-                let cipher = outcome
-                    .encrypted
-                    .row(out_row)
-                    .expect("provenance row exists")
-                    .project(attrs);
-                let plain_combo = plain
-                    .row(orig_row)
-                    .expect("original row exists")
-                    .project(attrs);
+                let cipher =
+                    outcome.encrypted.row(out_row).expect("provenance row exists").project(attrs);
+                let plain_combo = plain.row(orig_row).expect("original row exists").project(attrs);
                 (cipher, plain_combo)
             })
             .collect();
@@ -111,12 +140,7 @@ impl AttackExperiment {
         for _ in 0..trials {
             let idx = (rng.next_u64() % self.ground_truth.len() as u64) as usize;
             let (cipher, truth) = &self.ground_truth[idx];
-            let freq = self
-                .knowledge
-                .ciphertext_frequencies
-                .get(cipher)
-                .copied()
-                .unwrap_or(1);
+            let freq = self.knowledge.ciphertext_frequencies.get(cipher).copied().unwrap_or(1);
             if let Some(guess) = adversary.guess(&self.knowledge, cipher, freq) {
                 if &guess == truth {
                     successes += 1;
@@ -205,6 +229,31 @@ mod tests {
                 outcome.success_rate()
             );
         }
+    }
+
+    #[test]
+    fn for_scheme_runs_the_same_game_over_any_backend() {
+        use f2_core::{DetScheme, Scheme, F2};
+        let plain = skewed_table();
+        let attrs = AttrSet::all(2);
+
+        // Deterministic backend through the trait: broken exactly like the manual
+        // row-aligned construction above.
+        let det = DetScheme::new(MasterKey::from_seed(3));
+        let det_outcome = det.encrypt(&plain).unwrap();
+        let exp = AttackExperiment::for_scheme(&plain, &det, &det_outcome, attrs).unwrap();
+        let det_rate = exp.run(&FrequencyAttacker, 400, 1).success_rate();
+        assert!(det_rate > 0.55, "rate = {det_rate}");
+
+        // F² through the trait: bounded by α (with statistical slack).
+        let alpha = 0.5;
+        let f2 = F2::builder().alpha(alpha).split_factor(2).seed(9).build().unwrap();
+        let f2_outcome = f2.encrypt(&plain).unwrap();
+        let mas = f2_outcome.f2_state().unwrap().mas_sets[0];
+        let exp = AttackExperiment::for_scheme(&plain, &f2, &f2_outcome, mas).unwrap();
+        let f2_rate = exp.run(&FrequencyAttacker, 600, 2).success_rate();
+        assert!(f2_rate <= alpha + 0.12, "rate = {f2_rate}");
+        assert!(f2_rate < det_rate);
     }
 
     #[test]

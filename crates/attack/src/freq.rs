@@ -44,10 +44,7 @@ mod tests {
 
     fn knowledge(plain: &[(&str, usize)]) -> AdversaryKnowledge {
         AdversaryKnowledge {
-            plaintext_frequencies: plain
-                .iter()
-                .map(|(v, f)| (vec![Value::text(*v)], *f))
-                .collect(),
+            plaintext_frequencies: plain.iter().map(|(v, f)| (vec![Value::text(*v)], *f)).collect(),
             ciphertext_frequencies: HashMap::new(),
         }
     }
@@ -56,24 +53,15 @@ mod tests {
     fn exact_frequency_match_wins() {
         let k = knowledge(&[("a", 10), ("b", 4), ("c", 1)]);
         let attacker = FrequencyAttacker;
-        assert_eq!(
-            attacker.guess(&k, &[Value::bytes(vec![1])], 4),
-            Some(vec![Value::text("b")])
-        );
-        assert_eq!(
-            attacker.guess(&k, &[Value::bytes(vec![2])], 10),
-            Some(vec![Value::text("a")])
-        );
+        assert_eq!(attacker.guess(&k, &[Value::bytes(vec![1])], 4), Some(vec![Value::text("b")]));
+        assert_eq!(attacker.guess(&k, &[Value::bytes(vec![2])], 10), Some(vec![Value::text("a")]));
     }
 
     #[test]
     fn closest_frequency_is_chosen() {
         let k = knowledge(&[("a", 10), ("b", 4)]);
         let attacker = FrequencyAttacker;
-        assert_eq!(
-            attacker.guess(&k, &[Value::bytes(vec![1])], 9),
-            Some(vec![Value::text("a")])
-        );
+        assert_eq!(attacker.guess(&k, &[Value::bytes(vec![1])], 9), Some(vec![Value::text("a")]));
     }
 
     #[test]

@@ -27,12 +27,8 @@ impl KerckhoffsAttacker {
     /// Step 1: estimate the split factor from the two frequency distributions.
     pub fn estimate_split_factor(knowledge: &AdversaryKnowledge) -> f64 {
         let max_plain = knowledge.plaintext_frequencies.values().copied().max().unwrap_or(1);
-        let max_cipher = knowledge
-            .ciphertext_frequencies
-            .values()
-            .copied()
-            .max()
-            .unwrap_or(max_plain);
+        let max_cipher =
+            knowledge.ciphertext_frequencies.values().copied().max().unwrap_or(max_plain);
         if max_plain == 0 {
             1.0
         } else {
@@ -67,11 +63,8 @@ impl Adversary for KerckhoffsAttacker {
         if candidates.is_empty() {
             // Fall back to the full plaintext set (the true plaintext is always a
             // possible mapping).
-            candidates = knowledge
-                .plaintext_frequencies
-                .iter()
-                .map(|(p, &f)| (p.clone(), f))
-                .collect();
+            candidates =
+                knowledge.plaintext_frequencies.iter().map(|(p, &f)| (p.clone(), f)).collect();
         }
         candidates
             .into_iter()
@@ -90,10 +83,7 @@ mod tests {
 
     fn knowledge(plain: &[(&str, usize)], cipher_freqs: &[usize]) -> AdversaryKnowledge {
         AdversaryKnowledge {
-            plaintext_frequencies: plain
-                .iter()
-                .map(|(v, f)| (vec![Value::text(*v)], *f))
-                .collect(),
+            plaintext_frequencies: plain.iter().map(|(v, f)| (vec![Value::text(*v)], *f)).collect(),
             ciphertext_frequencies: cipher_freqs
                 .iter()
                 .enumerate()

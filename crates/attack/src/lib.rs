@@ -19,6 +19,11 @@
 //! * [`experiment`] — ground-truth construction and success-rate measurement, used by
 //!   the `security` section of the benchmark report and by integration tests that check
 //!   the measured success rate never exceeds α.
+//!
+//! The experiment is backend-agnostic: [`AttackExperiment::for_scheme`] builds the
+//! game for **any** [`f2_core::Scheme`] from the scheme's own output-row ↔ source-row
+//! mapping, so the same harness attacks F², the deterministic AES baseline, and the
+//! probabilistic ciphers.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,8 +1,7 @@
 //! Criterion bench for Figure 6: full F² encryption time as a function of α.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use f2_core::{F2Config, F2Encryptor};
-use f2_crypto::MasterKey;
+use f2_core::{Scheme, F2};
 use f2_datagen::Dataset;
 
 fn bench_alpha(c: &mut Criterion) {
@@ -16,9 +15,9 @@ fn bench_alpha(c: &mut Criterion) {
                 BenchmarkId::new(dataset.name(), format!("alpha_1_{denom}")),
                 &alpha,
                 |b, &alpha| {
-                    let enc =
-                        F2Encryptor::new(F2Config::new(alpha, 2).unwrap(), MasterKey::from_seed(7));
-                    b.iter(|| enc.encrypt(&table).unwrap());
+                    let scheme =
+                        F2::builder().alpha(alpha).split_factor(2).seed(7).build().unwrap();
+                    b.iter(|| scheme.encrypt(&table).unwrap());
                 },
             );
         }

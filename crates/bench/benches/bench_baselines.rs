@@ -1,11 +1,12 @@
-//! Criterion bench for Figure 8: F² vs the deterministic AES baseline vs Paillier.
+//! Criterion bench for Figure 8: every backend of the registry on the same table.
 //!
-//! Paillier is benchmarked per cell (not per table): encrypting whole tables with a
-//! 512-bit modulus would take hours, exactly the point the paper makes.
+//! Backends the registry marks as sampled (Paillier) are benchmarked on their sample
+//! row count rather than the full table: encrypting whole tables with a 512-bit
+//! modulus would take hours, exactly the point the paper makes. Two per-cell
+//! micro-benchmarks of the underlying probabilistic primitives complete the picture.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use f2_bench::time_aes_baseline;
-use f2_core::{F2Config, F2Encryptor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f2_bench::backend_registry;
 use f2_crypto::{MasterKey, PaillierKeyPair};
 use f2_datagen::Dataset;
 use f2_relation::Value;
@@ -18,14 +19,17 @@ fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_baselines");
     group.sample_size(10);
 
-    group.bench_function("f2_encrypt_1k_rows", |b| {
-        let enc = F2Encryptor::new(F2Config::new(0.2, 2).unwrap(), MasterKey::from_seed(7));
-        b.iter(|| enc.encrypt(&table).unwrap());
-    });
-
-    group.bench_function("aes_deterministic_1k_rows", |b| {
-        b.iter(|| time_aes_baseline(&table, 7));
-    });
+    for backend in backend_registry(0.2, 2, 7) {
+        let bench_table = match backend.sample_rows {
+            Some(rows) => table.truncated(rows),
+            None => table.clone(),
+        };
+        group.bench_with_input(
+            BenchmarkId::new(backend.scheme.name(), format!("{}_rows", bench_table.row_count())),
+            &bench_table,
+            |b, t| b.iter(|| backend.scheme.encrypt(t).unwrap()),
+        );
+    }
 
     group.bench_function("paillier_512_per_cell", |b| {
         let mut rng = StdRng::seed_from_u64(7);
@@ -35,8 +39,7 @@ fn bench_baselines(c: &mut Criterion) {
     });
 
     group.bench_function("prf_probabilistic_per_cell", |b| {
-        let cipher =
-            f2_crypto::ProbabilisticCipher::new(&MasterKey::from_seed(7).attribute_key(0));
+        let cipher = f2_crypto::ProbabilisticCipher::new(&MasterKey::from_seed(7).attribute_key(0));
         let mut rng = StdRng::seed_from_u64(7);
         let v = Value::text("4-NOT SPECIFIED");
         b.iter(|| cipher.encrypt_value(&v, &mut rng));

@@ -19,9 +19,7 @@ fn bench_components(c: &mut Criterion) {
     group.bench_function("mas_discovery_orders_4k", |b| b.iter(|| find_mas(&orders)));
 
     let mas = find_mas(&orders).sets[0];
-    group.bench_function("partition_orders_4k", |b| {
-        b.iter(|| Partition::compute(&orders, mas))
-    });
+    group.bench_function("partition_orders_4k", |b| b.iter(|| Partition::compute(&orders, mas)));
 
     let partition = Partition::compute(&orders, mas);
     group.bench_function("ecg_grouping_k5", |b| {

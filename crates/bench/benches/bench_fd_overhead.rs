@@ -3,16 +3,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use f2_bench::time_fd_discovery;
-use f2_core::{F2Config, F2Encryptor};
-use f2_crypto::MasterKey;
+use f2_core::{Scheme, F2};
 use f2_datagen::Dataset;
 use f2_fd::tane::{Tane, TaneConfig};
 
 fn bench_fd_overhead(c: &mut Criterion) {
     let plain = Dataset::Orders.generate(1_500, 42);
-    let outcome = F2Encryptor::new(F2Config::new(0.2, 2).unwrap(), MasterKey::from_seed(7))
-        .encrypt(&plain)
-        .unwrap();
+    let scheme = F2::builder().alpha(0.2).split_factor(2).seed(7).build().unwrap();
+    let outcome = scheme.encrypt(&plain).unwrap();
 
     let mut group = c.benchmark_group("fig10_fd_discovery");
     group.sample_size(10);
@@ -20,8 +18,7 @@ fn bench_fd_overhead(c: &mut Criterion) {
     group.bench_function("tane_on_plaintext", |b| b.iter(|| tane.discover(&plain)));
     group.bench_function("tane_on_encrypted", |b| b.iter(|| tane.discover(&outcome.encrypted)));
     group.bench_function("f2_encrypt_same_table", |b| {
-        let enc = F2Encryptor::new(F2Config::new(0.2, 2).unwrap(), MasterKey::from_seed(7));
-        b.iter(|| enc.encrypt(&plain).unwrap());
+        b.iter(|| scheme.encrypt(&plain).unwrap());
     });
     group.finish();
 

@@ -1,8 +1,7 @@
 //! Criterion bench for Figure 7: full F² encryption time as a function of data size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use f2_core::{F2Config, F2Encryptor};
-use f2_crypto::MasterKey;
+use f2_core::{Scheme, F2};
 use f2_datagen::Dataset;
 
 fn bench_scaling(c: &mut Criterion) {
@@ -12,15 +11,10 @@ fn bench_scaling(c: &mut Criterion) {
         for rows in [500usize, 1_000, 2_000, 4_000] {
             let table = dataset.generate(rows, 42);
             group.throughput(Throughput::Elements(rows as u64));
-            group.bench_with_input(
-                BenchmarkId::new(dataset.name(), rows),
-                &table,
-                |b, table| {
-                    let enc =
-                        F2Encryptor::new(F2Config::new(0.2, 2).unwrap(), MasterKey::from_seed(7));
-                    b.iter(|| enc.encrypt(table).unwrap());
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(dataset.name(), rows), &table, |b, table| {
+                let scheme = F2::builder().alpha(0.2).split_factor(2).seed(7).build().unwrap();
+                b.iter(|| scheme.encrypt(table).unwrap());
+            });
         }
     }
     group.finish();

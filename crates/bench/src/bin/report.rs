@@ -8,24 +8,20 @@
 //! `fig9b`, `fig9c`, `fig9d`, `fig10`, `local_vs_outsource`, `security`, or `all`
 //! (default). Row counts are scaled down from the paper (see EXPERIMENTS.md); set the
 //! environment variable `F2_REPORT_SCALE` to an integer ≥ 1 to multiply them.
+//!
+//! Every encryption measurement goes through the backend-agnostic
+//! [`f2_bench::measure_scheme_on`]; the baseline comparison (`fig8`) iterates
+//! [`f2_bench::backend_registry`], so adding a backend to the registry adds it to the
+//! report.
 
-use f2_attack::{Adversary, AttackExperiment, FrequencyAttacker, KerckhoffsAttacker};
-use f2_bench::{
-    measure_f2, measure_f2_on, secs, time_aes_baseline, time_fd_discovery,
-    time_paillier_baseline_extrapolated,
-};
-use f2_core::{F2Config, F2Encryptor};
-use f2_crypto::MasterKey;
+use f2_bench::{backend_registry, measure_scheme_on, secs, time_fd_discovery};
+use f2_core::{F2Scheme, Scheme, F2};
 use f2_datagen::Dataset;
 use f2_fd::mas::find_mas;
 use f2_relation::stats::{human_bytes, TableStats};
 
 fn scale() -> usize {
-    std::env::var("F2_REPORT_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(1)
-        .max(1)
+    std::env::var("F2_REPORT_SCALE").ok().and_then(|s| s.parse::<usize>().ok()).unwrap_or(1).max(1)
 }
 
 fn header(title: &str) {
@@ -34,10 +30,18 @@ fn header(title: &str) {
     println!("================================================================");
 }
 
+/// The F² backend used throughout the report.
+fn f2_scheme(alpha: f64, split: usize, seed: u64) -> F2Scheme {
+    F2::builder().alpha(alpha).split_factor(split).seed(seed).build().expect("valid F2 parameters")
+}
+
 /// Table 1: dataset description.
 fn table1() {
     header("Table 1 — Dataset description (generated workloads)");
-    println!("{:<12} {:>12} {:>12} {:>10} {:>8}", "dataset", "attributes", "tuples", "size", "MASs");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10} {:>8}",
+        "dataset", "attributes", "tuples", "size", "MASs"
+    );
     for dataset in [Dataset::Orders, Dataset::Customer, Dataset::Synthetic] {
         let rows = match dataset {
             Dataset::Orders => 15_000,
@@ -87,7 +91,7 @@ fn fig6() {
         );
         let table = dataset.generate(rows, 42);
         for &alpha in &alphas {
-            let m = measure_f2_on(&table, dataset.name(), alpha, 2, 7);
+            let m = measure_scheme_on(&f2_scheme(alpha, 2, 7), &table, dataset.name());
             print_step_time_row(format!("1/{:.0}", 1.0 / alpha), &m);
         }
     }
@@ -105,39 +109,43 @@ fn fig7() {
             "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
             "rows", "MAX", "SSE", "SYN", "FP", "total"
         );
+        let scheme = f2_scheme(alpha, 2, 7);
         for &rows in &sizes {
-            let m = measure_f2(dataset, rows * scale(), alpha, 2, 7);
+            let table = dataset.generate(rows * scale(), 7);
+            let m = measure_scheme_on(&scheme, &table, dataset.name());
             print_step_time_row(format!("{}", m.rows), &m);
         }
     }
 }
 
-/// Figure 8: F² vs the AES (deterministic) and Paillier baselines.
+/// Figure 8: every registered backend on the same tables.
 fn fig8() {
-    header("Figure 8 — Encryption time: F² vs AES (deterministic) vs Paillier");
+    header("Figure 8 — Encryption time across the backend registry");
     for (dataset, alpha, sizes) in [
         (Dataset::Synthetic, 0.25, vec![2_000, 4_000, 8_000]),
         (Dataset::Orders, 0.2, vec![4_000, 8_000, 16_000]),
     ] {
         println!("\n[{} — α = {alpha}]", dataset.name());
-        println!("{:<10} {:>12} {:>12} {:>16}", "rows", "F2", "AES", "Paillier(512b)*");
+        let registry = backend_registry(alpha, 2, 7);
+        print!("{:<10}", "rows");
+        for backend in &registry {
+            let sampled = if backend.sample_rows.is_some() { "*" } else { "" };
+            print!(" {:>20}", format!("{}{}", backend.scheme.name(), sampled));
+        }
+        println!();
         for &rows in &sizes {
             let rows = rows * scale();
             let table = dataset.generate(rows, 42);
-            let f2 = measure_f2_on(&table, dataset.name(), alpha, 2, 7);
-            let aes = time_aes_baseline(&table, 7);
-            let paillier = time_paillier_baseline_extrapolated(&table, 512, 64, 7);
-            println!(
-                "{:<10} {:>12} {:>12} {:>16}",
-                rows,
-                secs(f2.report.timings.total()),
-                secs(aes),
-                secs(paillier)
-            );
+            print!("{rows:<10}");
+            for backend in &registry {
+                let m = backend.measure(&table, dataset.name());
+                print!(" {:>20}", secs(m.wall));
+            }
+            println!();
         }
     }
-    println!("\n(*) Paillier timed on a 64-cell sample and extrapolated linearly — textbook");
-    println!("    Paillier at 512-bit moduli is orders of magnitude slower, as in the paper.");
+    println!("\n(*) timed on a small row sample and extrapolated linearly — textbook Paillier");
+    println!("    at 512-bit moduli is orders of magnitude slower, as in the paper.");
 }
 
 /// Figure 9 (a)/(b): artificial-record overhead vs α.
@@ -154,7 +162,7 @@ fn fig9_alpha(dataset: Dataset, rows: usize, tag: &str) {
     let table = dataset.generate(rows, 42);
     for denom in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
         let alpha = 1.0 / denom as f64;
-        let m = measure_f2_on(&table, dataset.name(), alpha, 2, 7);
+        let m = measure_scheme_on(&f2_scheme(alpha, 2, 7), &table, dataset.name());
         let (g, s, c, f) = m.report.overhead.per_step_ratios();
         println!(
             "{:<10} {:>8.3}% {:>8.3}% {:>8.3}% {:>8.3}% {:>8.3}%",
@@ -178,13 +186,14 @@ fn fig9_size(dataset: Dataset, sizes: &[usize], tag: &str) {
         "{:<10} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "rows", "size", "GROUP", "SCALE", "SYN", "FP", "total"
     );
+    let scheme = f2_scheme(0.2, 2, 7);
     for &rows in sizes {
-        let rows = rows * scale();
-        let m = measure_f2(dataset, rows, 0.2, 2, 7);
+        let table = dataset.generate(rows * scale(), 7);
+        let m = measure_scheme_on(&scheme, &table, dataset.name());
         let (g, s, c, f) = m.report.overhead.per_step_ratios();
         println!(
             "{:<10} {:>10} {:>8.3}% {:>8.3}% {:>8.3}% {:>8.3}% {:>8.3}%",
-            rows,
+            m.rows,
             human_bytes(m.plain_bytes),
             g * 100.0,
             s * 100.0,
@@ -198,17 +207,16 @@ fn fig9_size(dataset: Dataset, sizes: &[usize], tag: &str) {
 /// Figure 10: FD-discovery time overhead on the encrypted vs the original table.
 fn fig10() {
     header("Figure 10 — FD discovery time overhead on D̂ vs D (TANE, LHS ≤ 3)");
-    for (dataset, rows) in [(Dataset::Customer, 2_000 * scale()), (Dataset::Orders, 4_000 * scale())] {
+    for (dataset, rows) in
+        [(Dataset::Customer, 2_000 * scale()), (Dataset::Orders, 4_000 * scale())]
+    {
         println!("\n[{} — {} rows]", dataset.name(), rows);
         println!("{:<10} {:>12} {:>12} {:>10}", "alpha", "T(D)", "T(D̂)", "overhead");
         let table = dataset.generate(rows, 42);
         let (plain_time, _) = time_fd_discovery(&table, Some(3));
         for denom in [2usize, 4, 6, 8, 10] {
             let alpha = 1.0 / denom as f64;
-            let config = F2Config::new(alpha, 2).unwrap().with_seed(7);
-            let outcome = F2Encryptor::new(config, MasterKey::from_seed(7))
-                .encrypt(&table)
-                .expect("encrypt");
+            let outcome = f2_scheme(alpha, 2, 7).encrypt(&table).expect("encrypt");
             let (cipher_time, _) = time_fd_discovery(&outcome.encrypted, Some(3));
             let overhead = cipher_time.as_secs_f64() / plain_time.as_secs_f64() - 1.0;
             println!(
@@ -225,14 +233,16 @@ fn fig10() {
 /// §5.4: local FD discovery vs outsourcing preparation (encryption).
 fn local_vs_outsource() {
     header("§5.4 — Local FD discovery (TANE) vs outsourcing preparation (F² encryption)");
-    println!("{:<12} {:>8} {:>14} {:>14} {:>10}", "dataset", "rows", "TANE on D", "F2 encrypt", "ratio");
-    for (dataset, rows, cap) in [
-        (Dataset::Synthetic, 6_000 * scale(), None),
-        (Dataset::Orders, 6_000 * scale(), Some(4)),
-    ] {
+    println!(
+        "{:<12} {:>8} {:>14} {:>14} {:>10}",
+        "dataset", "rows", "TANE on D", "F2 encrypt", "ratio"
+    );
+    for (dataset, rows, cap) in
+        [(Dataset::Synthetic, 6_000 * scale(), None), (Dataset::Orders, 6_000 * scale(), Some(4))]
+    {
         let table = dataset.generate(rows, 42);
         let (tane_time, _) = time_fd_discovery(&table, cap);
-        let m = measure_f2_on(&table, dataset.name(), 0.2, 2, 7);
+        let m = measure_scheme_on(&f2_scheme(0.2, 2, 7), &table, dataset.name());
         let enc = m.report.timings.total();
         println!(
             "{:<12} {:>8} {:>14} {:>14} {:>9.1}x",
@@ -246,23 +256,21 @@ fn local_vs_outsource() {
     println!("\n(The paper reports 1,736s for TANE vs 2s for F² on the 25MB synthetic dataset.)");
 }
 
-/// §4 empirical check: attack success probability vs α.
+/// §4 empirical check: attack success probability vs α, over the trait-level
+/// experiment harness.
 fn security() {
+    use f2_attack::{AttackExperiment, FrequencyAttacker, KerckhoffsAttacker};
     header("§4 — Empirical frequency-analysis attack success vs α (Orders)");
     let rows = 2_000 * scale();
     let plain = Dataset::Orders.generate(rows, 42);
-    println!(
-        "{:<10} {:>26} {:>26}",
-        "alpha", "frequency-matching", "kerckhoffs-4-step"
-    );
+    println!("{:<10} {:>26} {:>26}", "alpha", "frequency-matching", "kerckhoffs-4-step");
     for denom in [2usize, 4, 5, 8, 10] {
         let alpha = 1.0 / denom as f64;
-        let config = F2Config::new(alpha, 2).unwrap().with_seed(7);
-        let outcome = F2Encryptor::new(config, MasterKey::from_seed(7))
-            .encrypt(&plain)
-            .expect("encrypt");
-        let mas = outcome.mas_sets[0];
-        let exp = AttackExperiment::for_f2_outcome(&plain, &outcome, mas);
+        let scheme = f2_scheme(alpha, 2, 7);
+        let outcome = scheme.encrypt(&plain).expect("encrypt");
+        let mas = outcome.f2_state().expect("F2 owner state").mas_sets[0];
+        let exp =
+            AttackExperiment::for_scheme(&plain, &scheme, &outcome, mas).expect("ground truth");
         let freq = exp.run(&FrequencyAttacker, 2_000, 9).success_rate();
         let ker = exp.run(&KerckhoffsAttacker, 2_000, 9).success_rate();
         println!(
@@ -273,7 +281,6 @@ fn security() {
             ker * 100.0,
             alpha * 100.0
         );
-        let _ = &FrequencyAttacker.name();
     }
     println!("\n(Both adversaries stay at or below the configured α, as Definition 2.1 requires.)");
 }
@@ -282,8 +289,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table1", "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig9d", "fig10",
-            "local_vs_outsource", "security",
+            "table1",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9a",
+            "fig9b",
+            "fig9c",
+            "fig9d",
+            "fig10",
+            "local_vs_outsource",
+            "security",
         ]
         .into_iter()
         .map(String::from)

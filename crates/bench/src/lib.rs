@@ -7,117 +7,164 @@
 //! Rust, generated vs dumped data); the *shapes* — which step dominates on which
 //! dataset, how overhead reacts to α and to data size, how F² compares to the AES and
 //! Paillier baselines — are the reproduction target and are recorded in EXPERIMENTS.md.
+//!
+//! All timing goes through one generic entry point, [`measure_scheme_on`], which
+//! accepts **any** [`Scheme`] backend; [`backend_registry`] enumerates the paper's
+//! four backends (F², deterministic AES, probabilistic PRF, Paillier) so the report
+//! and the benches iterate a registry instead of hard-coding per-backend paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use f2_core::{EncryptionReport, F2Config, F2Encryptor};
-use f2_crypto::{DeterministicCipher, MasterKey, PaillierKeyPair};
+use f2_core::{DetScheme, EncryptionReport, PaillierScheme, ProbScheme, Scheme, F2};
+use f2_crypto::MasterKey;
 use f2_datagen::Dataset;
 use f2_fd::tane::{Tane, TaneConfig};
-use f2_relation::{Record, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use f2_relation::Table;
 use std::time::{Duration, Instant};
 
-/// Measurement of one F² encryption run.
+/// Measurement of one encryption run of some [`Scheme`].
 #[derive(Debug, Clone)]
 pub struct RunMeasurement {
+    /// The scheme's [`Scheme::name`].
+    pub scheme: String,
     /// The dataset name.
     pub dataset: &'static str,
-    /// Rows of the plaintext table.
+    /// Rows of the plaintext table the measurement describes.
     pub rows: usize,
     /// Plaintext size in bytes.
     pub plain_bytes: usize,
-    /// The α used.
-    pub alpha: f64,
-    /// The full encryption report (timings + overhead).
+    /// The scheme's own encryption report (per-step timings + overhead). For sampled
+    /// runs this describes the sample, not the extrapolated whole.
     pub report: EncryptionReport,
     /// Rows of the encrypted table.
     pub encrypted_rows: usize,
+    /// Wall-clock time of `Scheme::encrypt` (extrapolated for sampled runs).
+    pub wall: Duration,
 }
 
-/// Run F² once on `rows` rows of `dataset` with the given parameters.
-pub fn measure_f2(dataset: Dataset, rows: usize, alpha: f64, split: usize, seed: u64) -> RunMeasurement {
-    let table = dataset.generate(rows, seed);
-    measure_f2_on(&table, dataset.name(), alpha, split, seed)
-}
-
-/// Run F² once on an already-generated table.
-pub fn measure_f2_on(
-    table: &Table,
-    dataset: &'static str,
-    alpha: f64,
-    split: usize,
+/// Run any scheme once on `rows` rows of `dataset`.
+pub fn measure_scheme(
+    scheme: &dyn Scheme,
+    dataset: Dataset,
+    rows: usize,
     seed: u64,
 ) -> RunMeasurement {
-    let config = F2Config::new(alpha, split).expect("valid config").with_seed(seed);
-    let encryptor = F2Encryptor::new(config, MasterKey::from_seed(seed));
-    let outcome = encryptor.encrypt(table).expect("encryption succeeds");
+    let table = dataset.generate(rows, seed);
+    measure_scheme_on(scheme, &table, dataset.name())
+}
+
+/// Run any scheme once on an already-generated table.
+pub fn measure_scheme_on(
+    scheme: &dyn Scheme,
+    table: &Table,
+    dataset: &'static str,
+) -> RunMeasurement {
+    let start = Instant::now();
+    let outcome = scheme.encrypt(table).expect("encryption succeeds");
+    let wall = start.elapsed();
     RunMeasurement {
+        scheme: scheme.name().to_owned(),
         dataset,
         rows: table.row_count(),
         plain_bytes: table.size_bytes(),
-        alpha,
         report: outcome.report,
         encrypted_rows: outcome.encrypted.row_count(),
+        wall,
     }
 }
 
-/// Encrypt every cell with the deterministic AES baseline and return the wall time.
-pub fn time_aes_baseline(table: &Table, seed: u64) -> Duration {
-    let master = MasterKey::from_seed(seed);
-    let ciphers: Vec<DeterministicCipher> = (0..table.arity())
-        .map(|a| DeterministicCipher::new(&master.deterministic_key(a)))
-        .collect();
-    let start = Instant::now();
-    let mut out = Vec::with_capacity(table.row_count());
-    for (_, rec) in table.iter() {
-        out.push(Record::new(
-            rec.values()
-                .iter()
-                .enumerate()
-                .map(|(a, v)| ciphers[a].encrypt_value(v))
-                .collect(),
-        ));
-    }
-    std::hint::black_box(&out);
-    start.elapsed()
-}
-
-/// Encrypt a sample of cells with Paillier and extrapolate to the whole table.
+/// Encrypt only the first `sample_rows` rows and extrapolate the wall time linearly to
+/// the whole table.
 ///
-/// Textbook Paillier at realistic modulus sizes is so slow that encrypting every cell
-/// of even a small table would take hours (the paper makes the same observation:
-/// "Paillier … cannot finish within one day when the data size reaches 0.653GB"), so
-/// the harness measures `sample_cells` cells and scales linearly.
-pub fn time_paillier_baseline_extrapolated(
+/// Needed for Paillier: textbook Paillier at realistic modulus sizes is so slow that
+/// encrypting every cell of even a small table would take hours (the paper makes the
+/// same observation: "Paillier … cannot finish within one day when the data size
+/// reaches 0.653GB"). `rows`, `plain_bytes` and `encrypted_rows` describe the whole
+/// table; `report` keeps the sample's unscaled measurements.
+pub fn measure_scheme_sampled(
+    scheme: &dyn Scheme,
     table: &Table,
-    modulus_bits: usize,
-    sample_cells: usize,
-    seed: u64,
-) -> Duration {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let keypair = PaillierKeyPair::generate(modulus_bits, &mut rng).expect("keygen");
-    let total_cells = table.row_count() * table.arity();
-    if total_cells == 0 {
-        return Duration::ZERO;
+    dataset: &'static str,
+    sample_rows: usize,
+) -> RunMeasurement {
+    let total_rows = table.row_count();
+    if total_rows == 0 || sample_rows >= total_rows {
+        return measure_scheme_on(scheme, table, dataset);
     }
-    let sample = sample_cells.min(total_cells).max(1);
-    let start = Instant::now();
-    let mut done = 0usize;
-    'outer: for (_, rec) in table.iter() {
-        for v in rec.values() {
-            let c = keypair.public().encrypt_value(v, &mut rng).expect("encrypt");
-            std::hint::black_box(&c);
-            done += 1;
-            if done >= sample {
-                break 'outer;
-            }
+    let sample = table.truncated(sample_rows.max(1));
+    let mut m = measure_scheme_on(scheme, &sample, dataset);
+    let factor = total_rows as f64 / sample.row_count() as f64;
+    m.rows = total_rows;
+    m.plain_bytes = table.size_bytes();
+    m.encrypted_rows = (m.encrypted_rows as f64 * factor).round() as usize;
+    m.wall = m.wall.mul_f64(factor);
+    m
+}
+
+/// One entry of the backend registry: a scheme plus its measurement policy.
+pub struct RegisteredBackend {
+    /// The backend.
+    pub scheme: Box<dyn Scheme>,
+    /// If set, measure on this many rows and extrapolate ([`measure_scheme_sampled`]);
+    /// backends priced in minutes-per-table (Paillier) set this.
+    pub sample_rows: Option<usize>,
+}
+
+impl RegisteredBackend {
+    /// Measure this backend on a table according to its policy.
+    pub fn measure(&self, table: &Table, dataset: &'static str) -> RunMeasurement {
+        match self.sample_rows {
+            Some(sample) => measure_scheme_sampled(self.scheme.as_ref(), table, dataset, sample),
+            None => measure_scheme_on(self.scheme.as_ref(), table, dataset),
         }
     }
-    let elapsed = start.elapsed();
-    elapsed.mul_f64(total_cells as f64 / done as f64)
+}
+
+/// Paillier modulus size used by the registry (the paper's realistic setting).
+pub const REGISTRY_PAILLIER_BITS: usize = 512;
+
+/// Rows Paillier is sampled on before extrapolating.
+pub const REGISTRY_PAILLIER_SAMPLE_ROWS: usize = 8;
+
+/// The four backends of the paper's evaluation (Figure 8), ready to be iterated by the
+/// report and the benches: F² (with the given α and ϖ), deterministic AES,
+/// probabilistic PRF, and 512-bit Paillier (sampled, see
+/// [`REGISTRY_PAILLIER_SAMPLE_ROWS`]).
+pub fn backend_registry(alpha: f64, split: usize, seed: u64) -> Vec<RegisteredBackend> {
+    backend_registry_with(alpha, split, seed, REGISTRY_PAILLIER_BITS, REGISTRY_PAILLIER_SAMPLE_ROWS)
+}
+
+/// [`backend_registry`] with an explicit Paillier modulus size and sampling policy
+/// (tests and quick runs use small moduli; the report uses the realistic default).
+pub fn backend_registry_with(
+    alpha: f64,
+    split: usize,
+    seed: u64,
+    paillier_bits: usize,
+    paillier_sample_rows: usize,
+) -> Vec<RegisteredBackend> {
+    let master = MasterKey::from_seed(seed);
+    vec![
+        RegisteredBackend {
+            scheme: Box::new(
+                F2::builder()
+                    .alpha(alpha)
+                    .split_factor(split)
+                    .seed(seed)
+                    .master_key(master.clone())
+                    .build()
+                    .expect("valid F2 parameters"),
+            ),
+            sample_rows: None,
+        },
+        RegisteredBackend { scheme: Box::new(DetScheme::new(master.clone())), sample_rows: None },
+        RegisteredBackend { scheme: Box::new(ProbScheme::new(master, seed)), sample_rows: None },
+        RegisteredBackend {
+            scheme: Box::new(PaillierScheme::new(paillier_bits, seed).expect("valid modulus")),
+            sample_rows: Some(paillier_sample_rows),
+        },
+    ]
 }
 
 /// Time TANE FD discovery on a table (optionally capping the LHS size so wide tables
@@ -140,20 +187,49 @@ mod tests {
     use super::*;
 
     #[test]
-    fn measure_f2_produces_consistent_report() {
-        let m = measure_f2(Dataset::Synthetic, 150, 0.5, 2, 3);
+    fn measure_scheme_produces_consistent_report_for_f2() {
+        let scheme = F2::builder().alpha(0.5).split_factor(2).seed(3).build().unwrap();
+        let m = measure_scheme(&scheme, Dataset::Synthetic, 150, 3);
+        assert_eq!(m.scheme, "f2");
         assert_eq!(m.rows, 150);
         assert_eq!(m.encrypted_rows, m.report.overhead.total_rows());
         assert!(m.report.mas_count >= 1);
         assert!(m.plain_bytes > 0);
+        assert!(m.wall >= m.report.timings.total());
     }
 
     #[test]
-    fn baselines_produce_nonzero_times() {
+    fn registry_measures_every_backend() {
+        let table = Dataset::Orders.generate(40, 1);
+        // Small Paillier modulus: the realistic 512-bit default is a release-mode
+        // affair, and this test runs under the debug profile.
+        let registry = backend_registry_with(0.5, 2, 1, 64, 4);
+        let names: Vec<String> = registry.iter().map(|b| b.scheme.name().to_owned()).collect();
+        assert_eq!(names, ["f2", "deterministic-aes", "probabilistic-prf", "paillier"]);
+        for backend in &registry {
+            let m = backend.measure(&table, "Orders");
+            assert_eq!(m.rows, 40, "{}", m.scheme);
+            assert!(m.wall > Duration::ZERO, "{}", m.scheme);
+            assert!(m.encrypted_rows >= 40, "{}", m.scheme);
+        }
+    }
+
+    #[test]
+    fn sampled_measurement_extrapolates() {
+        let table = Dataset::Customer.generate(60, 2);
+        let scheme = DetScheme::new(MasterKey::from_seed(2));
+        let m = measure_scheme_sampled(&scheme, &table, "Customer", 15);
+        assert_eq!(m.rows, 60);
+        assert_eq!(m.encrypted_rows, 60);
+        assert_eq!(m.report.overhead.original_rows, 15);
+        // sample >= table size degrades to a full measurement
+        let full = measure_scheme_sampled(&scheme, &table, "Customer", 100);
+        assert_eq!(full.report.overhead.original_rows, 60);
+    }
+
+    #[test]
+    fn fd_discovery_timing() {
         let t = Dataset::Orders.generate(60, 1);
-        assert!(time_aes_baseline(&t, 1) > Duration::ZERO);
-        let p = time_paillier_baseline_extrapolated(&t, 128, 20, 1);
-        assert!(p > Duration::ZERO);
         let (d, fds) = time_fd_discovery(&t, Some(2));
         assert!(d > Duration::ZERO);
         assert!(fds > 0);

@@ -47,9 +47,7 @@ impl F2Config {
             return Err(F2Error::InvalidConfig("split factor ϖ must be ≥ 1".into()));
         }
         if self.min_real_rows_per_instance == 0 {
-            return Err(F2Error::InvalidConfig(
-                "min_real_rows_per_instance must be ≥ 1".into(),
-            ));
+            return Err(F2Error::InvalidConfig("min_real_rows_per_instance must be ≥ 1".into()));
         }
         Ok(())
     }
@@ -85,8 +83,7 @@ mod tests {
         assert!(F2Config::new(-0.5, 2).is_err());
         assert!(F2Config::new(1.5, 2).is_err());
         assert!(F2Config::new(0.2, 0).is_err());
-        let mut c = F2Config::default();
-        c.min_real_rows_per_instance = 0;
+        let c = F2Config { min_real_rows_per_instance: 0, ..F2Config::default() };
         assert!(c.validate().is_err());
     }
 

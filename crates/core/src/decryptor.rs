@@ -25,9 +25,7 @@ impl F2Decryptor {
     }
 
     fn ciphers(&self, arity: usize) -> Vec<ProbabilisticCipher> {
-        (0..arity)
-            .map(|a| ProbabilisticCipher::new(&self.master.attribute_key(a)))
-            .collect()
+        (0..arity).map(|a| ProbabilisticCipher::new(&self.master.attribute_key(a))).collect()
     }
 
     /// Decrypt every cell of an encrypted table. Artificial rows are retained (their
@@ -108,11 +106,7 @@ impl F2Decryptor {
 
     /// Convenience: recover the original table from a full [`EncryptionOutcome`].
     pub fn recover_from_outcome(&self, outcome: &EncryptionOutcome) -> Result<Table> {
-        self.recover_original(
-            &outcome.encrypted,
-            &outcome.provenance,
-            &outcome.plaintext_schema,
-        )
+        self.recover_original(&outcome.encrypted, &outcome.provenance, &outcome.plaintext_schema)
     }
 }
 
@@ -139,14 +133,12 @@ mod tests {
     fn exact_roundtrip_with_provenance() {
         let t = roundtrip_table();
         for (alpha, split) in [(1.0, 1), (0.5, 2), (0.34, 3), (0.25, 2)] {
-            let enc = F2Encryptor::new(F2Config::new(alpha, split).unwrap(), MasterKey::from_seed(5));
+            let enc =
+                F2Encryptor::new(F2Config::new(alpha, split).unwrap(), MasterKey::from_seed(5));
             let dec = F2Decryptor::new(MasterKey::from_seed(5));
             let out = enc.encrypt(&t).unwrap();
             let recovered = dec.recover_from_outcome(&out).unwrap();
-            assert!(
-                recovered.multiset_eq(&t),
-                "roundtrip failed for alpha={alpha} split={split}"
-            );
+            assert!(recovered.multiset_eq(&t), "roundtrip failed for alpha={alpha} split={split}");
         }
     }
 
@@ -156,9 +148,8 @@ mod tests {
         let enc = F2Encryptor::new(F2Config::new(0.5, 2).unwrap(), MasterKey::from_seed(5));
         let out = enc.encrypt(&t).unwrap();
         let wrong = F2Decryptor::new(MasterKey::from_seed(6));
-        match wrong.recover_from_outcome(&out) {
-            Ok(recovered) => assert!(!recovered.multiset_eq(&t)),
-            Err(_) => {}
+        if let Ok(recovered) = wrong.recover_from_outcome(&out) {
+            assert!(!recovered.multiset_eq(&t));
         }
     }
 
@@ -186,13 +177,9 @@ mod tests {
         let out = enc.encrypt(&t).unwrap();
         let mut bad = out.provenance.clone();
         bad.origins.pop();
-        assert!(dec
-            .recover_original(&out.encrypted, &bad, &out.plaintext_schema)
-            .is_err());
+        assert!(dec.recover_original(&out.encrypted, &bad, &out.plaintext_schema).is_err());
         let bad_schema = Schema::from_names(["A"]).unwrap();
-        assert!(dec
-            .recover_original(&out.encrypted, &out.provenance, &bad_schema)
-            .is_err());
+        assert!(dec.recover_original(&out.encrypted, &out.provenance, &bad_schema).is_err());
     }
 
     #[test]

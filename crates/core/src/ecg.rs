@@ -26,7 +26,11 @@ pub struct EcEntry {
 impl EcEntry {
     /// Build an entry from a real equivalence class.
     pub fn real(class: &EquivalenceClass) -> Self {
-        EcEntry { representative: class.representative.clone(), rows: class.rows.clone(), fake_size: 0 }
+        EcEntry {
+            representative: class.representative.clone(),
+            rows: class.rows.clone(),
+            fake_size: 0,
+        }
     }
 
     /// Build a fake entry of the given size with fresh values.
@@ -51,10 +55,7 @@ impl EcEntry {
     /// Collision test (Definition 3.4): two classes collide if they share a value on
     /// any single attribute position.
     pub fn collides_with(&self, other: &EcEntry) -> bool {
-        self.representative
-            .iter()
-            .zip(other.representative.iter())
-            .any(|(a, b)| a == b)
+        self.representative.iter().zip(other.representative.iter()).any(|(a, b)| a == b)
     }
 }
 
@@ -205,10 +206,8 @@ mod tests {
         let classes = figure2_classes();
         let mut fresh = FreshValueGenerator::new();
         let groups = group_equivalence_classes(&classes, 2, 2, &mut fresh);
-        let mut all_rows: Vec<usize> = groups
-            .iter()
-            .flat_map(|g| g.members.iter().flat_map(|m| m.rows.clone()))
-            .collect();
+        let mut all_rows: Vec<usize> =
+            groups.iter().flat_map(|g| g.members.iter().flat_map(|m| m.rows.clone())).collect();
         all_rows.sort_unstable();
         assert_eq!(all_rows, (0..16).collect::<Vec<_>>());
     }
@@ -226,11 +225,8 @@ mod tests {
     #[test]
     fn colliding_classes_force_fakes() {
         // All classes share value "x" on attribute 0 → no two can share a group.
-        let classes = vec![
-            ec(&["x", "1"], &[0, 1]),
-            ec(&["x", "2"], &[2, 3]),
-            ec(&["x", "3"], &[4, 5, 6]),
-        ];
+        let classes =
+            vec![ec(&["x", "1"], &[0, 1]), ec(&["x", "2"], &[2, 3]), ec(&["x", "3"], &[4, 5, 6])];
         let mut fresh = FreshValueGenerator::new();
         let groups = group_equivalence_classes(&classes, 2, 2, &mut fresh);
         assert_eq!(groups.len(), 3);

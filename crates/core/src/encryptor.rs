@@ -83,6 +83,12 @@ impl F2Encryptor {
         &self.config
     }
 
+    /// The master key (crate-internal: [`crate::F2Scheme`] derives its decryptor from
+    /// the single key copy held here).
+    pub(crate) fn master(&self) -> &MasterKey {
+        &self.master
+    }
+
     /// Encrypt a table with the full four-step F² pipeline.
     pub fn encrypt(&self, table: &Table) -> Result<EncryptionOutcome> {
         self.config.validate()?;
@@ -92,9 +98,8 @@ impl F2Encryptor {
         let arity = table.arity();
         let n = table.row_count();
         let mut rng = StdRng::seed_from_u64(self.config.seed);
-        let ciphers: Vec<ProbabilisticCipher> = (0..arity)
-            .map(|a| ProbabilisticCipher::new(&self.master.attribute_key(a)))
-            .collect();
+        let ciphers: Vec<ProbabilisticCipher> =
+            (0..arity).map(|a| ProbabilisticCipher::new(&self.master.attribute_key(a))).collect();
         let mut fresh = FreshValueGenerator::for_table(table);
 
         // ---- Step 1: MAX ---------------------------------------------------------
@@ -141,7 +146,10 @@ impl F2Encryptor {
                         && attrs.iter().any(|&a| {
                             matches!(
                                 cells[r][a],
-                                Some(CellState { source: CellSource::Instance { multi: true, .. }, .. })
+                                Some(CellState {
+                                    source: CellSource::Instance { multi: true, .. },
+                                    ..
+                                })
                             )
                         });
                     if conflict {
@@ -158,10 +166,7 @@ impl F2Encryptor {
                                 });
                                 // The row's real ciphertext for this attribute lives on
                                 // the companion row created below.
-                                patches
-                                    .entry(r)
-                                    .or_default()
-                                    .push((a, n + extra_rows.len()));
+                                patches.entry(r).or_default().push((a, n + extra_rows.len()));
                             }
                             let _ = pos;
                         }
@@ -189,7 +194,8 @@ impl F2Encryptor {
                                 // filler): it adopts this instance's ciphertext. Any
                                 // scale copies of the earlier singleton instance adopt
                                 // it too, so its frequency stays homogeneous.
-                                if let CellSource::Instance { mas, instance, multi: false } = *source
+                                if let CellSource::Instance { mas, instance, multi: false } =
+                                    *source
                                 {
                                     if let Some(extras) = instance_extras.get(&(mas, instance)) {
                                         for &er in extras {
@@ -323,9 +329,7 @@ impl F2Encryptor {
             origins.push(RowOrigin::Real { original_row: r });
         }
         for (row, origin) in extra_rows {
-            records.push(Record::new(
-                row.into_iter().map(|c| c.expect("cell filled")).collect(),
-            ));
+            records.push(Record::new(row.into_iter().map(|c| c.expect("cell filled")).collect()));
             origins.push(origin);
         }
         let encrypted = Table::new(encrypted_schema, records)?;

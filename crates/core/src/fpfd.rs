@@ -65,11 +65,8 @@ pub fn plan_false_positive_elimination(
         // Representative tuples of π_M: the violation check of §3.4 only needs one row
         // per equivalence class.
         let partition = Partition::compute(table, mas);
-        let reps: Vec<Vec<Value>> = partition
-            .classes()
-            .iter()
-            .map(|c| c.representative.clone())
-            .collect();
+        let reps: Vec<Vec<Value>> =
+            partition.classes().iter().map(|c| c.representative.clone()).collect();
         let mas_attrs: Vec<usize> = mas.iter().collect();
         let position_of: HashMap<usize, usize> =
             mas_attrs.iter().enumerate().map(|(p, &a)| (a, p)).collect();
@@ -92,12 +89,7 @@ pub fn plan_false_positive_elimination(
                 };
                 let row1 = make_row(fresh);
                 let row2 = make_row(fresh);
-                plan.pairs.push(FpRecordPair {
-                    mas_index,
-                    shared_attrs: node.lhs,
-                    row1,
-                    row2,
-                });
+                plan.pairs.push(FpRecordPair { mas_index, shared_attrs: node.lhs, row1, row2 });
             }
         }
     }
@@ -159,8 +151,7 @@ mod tests {
             for a in pair.shared_attrs.iter() {
                 assert_eq!(pair.row1[a], pair.row2[a]);
             }
-            let other: Vec<usize> =
-                (0..2).filter(|a| !pair.shared_attrs.contains(*a)).collect();
+            let other: Vec<usize> = (0..2).filter(|a| !pair.shared_attrs.contains(*a)).collect();
             for a in other {
                 assert_ne!(pair.row1[a], pair.row2[a]);
             }

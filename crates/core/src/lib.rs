@@ -20,13 +20,17 @@
 //! | Step 3 — conflict resolution          | [`encryptor`] (assembly) |
 //! | Step 4 — eliminate false-positive FDs | [`fpfd`] |
 //!
-//! The entry points are [`F2Encryptor`] (data-owner side, produces the encrypted table
-//! plus private [`Provenance`]) and [`F2Decryptor`] (data-owner side, recovers the
-//! original table). The server side only ever sees the encrypted [`f2_relation::Table`].
+//! The primary entry point is the [`scheme`] module: every backend of the paper's
+//! evaluation — F² itself, the deterministic AES baseline, the per-cell probabilistic
+//! cipher, and Paillier — implements the pluggable [`Scheme`] trait
+//! (`name` / `encrypt` / `decrypt`), so harnesses and applications are written once
+//! against `&dyn Scheme`. The F² backend is built fluently with [`F2::builder`]; the
+//! lower-level [`F2Encryptor`] / [`F2Decryptor`] pair remains available when direct
+//! access to [`Provenance`] is needed. The server side only ever sees the encrypted
+//! [`f2_relation::Table`].
 //!
 //! ```
-//! use f2_core::{F2Config, F2Encryptor};
-//! use f2_crypto::MasterKey;
+//! use f2_core::{Scheme, F2};
 //! use f2_relation::table;
 //!
 //! let data = table! {
@@ -36,10 +40,11 @@
 //!     ["10001", "NewYork", "carol"],
 //!     ["10001", "NewYork", "dave"],
 //! };
-//! let config = F2Config::new(0.5, 2).unwrap();
-//! let encryptor = F2Encryptor::new(config, MasterKey::from_seed(7));
-//! let outcome = encryptor.encrypt(&data).unwrap();
+//! let scheme = F2::builder().alpha(0.5).split_factor(2).seed(7).build().unwrap();
+//! let outcome = scheme.encrypt(&data).unwrap();
 //! assert!(outcome.encrypted.row_count() >= data.row_count());
+//! let recovered = scheme.decrypt(&outcome).unwrap();
+//! assert!(recovered.multiset_eq(&data));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -54,6 +59,7 @@ pub mod fake;
 pub mod fpfd;
 pub mod provenance;
 pub mod report;
+pub mod scheme;
 pub mod split;
 pub mod sse;
 
@@ -64,6 +70,10 @@ pub use error::F2Error;
 pub use fake::FreshValueGenerator;
 pub use provenance::{Provenance, RowOrigin};
 pub use report::{EncryptionReport, OverheadBreakdown, StepTimings};
+pub use scheme::{
+    DetScheme, F2Builder, F2OwnerState, F2Scheme, OwnerState, PaillierScheme, ProbScheme, Scheme,
+    SchemeOutcome, F2,
+};
 
 /// Result alias for F² operations.
 pub type Result<T> = std::result::Result<T, F2Error>;

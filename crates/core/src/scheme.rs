@@ -1,0 +1,722 @@
+//! The pluggable encryption-backend API.
+//!
+//! The paper's evaluation (§5) compares F² against a deterministic AES baseline, a
+//! per-cell probabilistic cipher, and Paillier. Each of those is a *scheme*: something
+//! that turns a plaintext [`Table`] into an encrypted table plus owner-side secrets,
+//! and can invert that transformation. This module abstracts the contract into the
+//! [`Scheme`] trait so that the attack harness, the benchmark suite, and applications
+//! can be written once against `&dyn Scheme` and run unchanged over every backend —
+//! including future ones (sharded, cached, async).
+//!
+//! * [`Scheme`] — `name` / `encrypt` / `decrypt`, plus the ground-truth row mapping
+//!   ([`Scheme::real_rows`]) the α-security experiment needs;
+//! * [`SchemeOutcome`] — what every backend produces: the encrypted table, an opaque
+//!   [`OwnerState`], and an [`EncryptionReport`];
+//! * [`F2Scheme`] (built fluently via [`F2::builder`]), [`DetScheme`], [`ProbScheme`],
+//!   [`PaillierScheme`] — the four backends of the paper.
+//!
+//! ```
+//! use f2_core::{Scheme, F2};
+//! use f2_relation::table;
+//!
+//! let data = table! {
+//!     ["Zip", "City"];
+//!     ["07030", "Hoboken"],
+//!     ["07030", "Hoboken"],
+//!     ["10001", "NewYork"],
+//! };
+//! let scheme = F2::builder().alpha(0.5).split_factor(2).seed(7).build().unwrap();
+//! let outcome = scheme.encrypt(&data).unwrap();
+//! let recovered = scheme.decrypt(&outcome).unwrap();
+//! assert!(recovered.multiset_eq(&data));
+//! ```
+
+use crate::config::F2Config;
+use crate::decryptor::F2Decryptor;
+use crate::encryptor::{EncryptionOutcome, F2Encryptor};
+use crate::report::{EncryptionReport, OverheadBreakdown, StepTimings};
+use crate::{F2Error, Result};
+use f2_crypto::{
+    DeterministicCipher, MasterKey, PaillierCiphertext, PaillierKeyPair, ProbabilisticCipher,
+};
+use f2_relation::{AttrSet, Record, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::fmt;
+use std::time::Instant;
+
+/// A pluggable encryption backend: anything that can outsource a table and take it
+/// back.
+///
+/// Implementations must satisfy the round-trip law: for every supported table `t`,
+/// `decrypt(&encrypt(&t)?)?` is multiset-equal to `t`. (Multiset rather than sequence
+/// equality because F² reorders and augments rows; cell-wise backends preserve order.)
+pub trait Scheme {
+    /// Short stable identifier used in reports and benchmark labels.
+    fn name(&self) -> &str;
+
+    /// Encrypt a table, producing the server-visible table plus owner-side state.
+    fn encrypt(&self, table: &Table) -> Result<SchemeOutcome>;
+
+    /// Recover the original table from an outcome produced by this scheme.
+    fn decrypt(&self, outcome: &SchemeOutcome) -> Result<Table>;
+
+    /// Ground truth for the frequency-analysis game: `(output_row, original_row)`
+    /// pairs for the output rows that carry original tuples. The default covers
+    /// cell-wise schemes, where output row `i` is the encryption of input row `i`;
+    /// schemes that inject artificial rows (like F²) must override it. Errors on an
+    /// outcome this scheme cannot interpret (wrong backend's owner state), mirroring
+    /// [`Scheme::decrypt`].
+    fn real_rows(&self, outcome: &SchemeOutcome) -> Result<Vec<(usize, usize)>> {
+        Ok((0..outcome.encrypted.row_count()).map(|r| (r, r)).collect())
+    }
+}
+
+/// Deterministic fingerprint of a table's schema and contents.
+///
+/// The probabilistic backends fold this into their nonce-RNG seed so that two
+/// `encrypt` calls on *different* tables never share a nonce stream (with the PRF
+/// cipher `⟨r, F_k(r) ⊕ p⟩`, reusing `r` across tables would XOR-leak plaintext
+/// relationships), while re-encrypting the same table stays reproducible per seed.
+fn table_fingerprint(table: &Table) -> u64 {
+    use std::hash::{Hash, Hasher};
+    // DefaultHasher with fixed keys: stable within and across runs of this binary.
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    table.arity().hash(&mut hasher);
+    table.row_count().hash(&mut hasher);
+    for name in table.schema().names() {
+        name.hash(&mut hasher);
+    }
+    for (_, rec) in table.iter() {
+        for v in rec.values() {
+            v.hash(&mut hasher);
+        }
+    }
+    hasher.finish()
+}
+
+/// Result of encrypting one table with any [`Scheme`].
+///
+/// Generalizes [`EncryptionOutcome`]: the parts every backend shares are first-class
+/// fields, while backend-specific secrets (provenance, MAS sets, …) live behind the
+/// opaque [`OwnerState`].
+#[derive(Debug)]
+pub struct SchemeOutcome {
+    /// The encrypted table to be outsourced to the server.
+    pub encrypted: Table,
+    /// Opaque owner-side state needed for decryption (never shared with the server).
+    pub state: OwnerState,
+    /// Per-step timings and overhead measurements.
+    pub report: EncryptionReport,
+}
+
+impl SchemeOutcome {
+    /// The F²-specific owner state, if this outcome was produced by [`F2Scheme`].
+    pub fn f2_state(&self) -> Option<&F2OwnerState> {
+        self.state.downcast_ref()
+    }
+}
+
+/// Type-erased owner-side state of a [`SchemeOutcome`].
+///
+/// Each backend stores whatever it needs to invert its encryption; third-party
+/// backends can stash their own types here without touching this crate.
+pub struct OwnerState(Box<dyn Any + Send + Sync>);
+
+impl OwnerState {
+    /// Wrap a backend-specific state value.
+    pub fn new<T: Any + Send + Sync>(state: T) -> Self {
+        OwnerState(Box::new(state))
+    }
+
+    /// Borrow the state as `T`, if that is what this outcome carries.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.downcast_ref()
+    }
+}
+
+impl fmt::Debug for OwnerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("OwnerState(<opaque>)")
+    }
+}
+
+/// Owner-side state of an [`F2Scheme`] outcome.
+#[derive(Debug, Clone)]
+pub struct F2OwnerState {
+    /// Row provenance (which output rows are real, and the conflict patches).
+    pub provenance: crate::Provenance,
+    /// The maximal attribute sets discovered in Step 1.
+    pub mas_sets: Vec<AttrSet>,
+    /// The plaintext schema, needed to rebuild the original table.
+    pub plaintext_schema: Schema,
+}
+
+impl From<EncryptionOutcome> for SchemeOutcome {
+    fn from(outcome: EncryptionOutcome) -> Self {
+        SchemeOutcome {
+            encrypted: outcome.encrypted,
+            report: outcome.report,
+            state: OwnerState::new(F2OwnerState {
+                provenance: outcome.provenance,
+                mas_sets: outcome.mas_sets,
+                plaintext_schema: outcome.plaintext_schema,
+            }),
+        }
+    }
+}
+
+/// Owner-side state shared by the cell-wise baseline schemes: they only need the
+/// plaintext schema (every cell is independently invertible with the key).
+#[derive(Debug, Clone)]
+pub struct CellWiseState {
+    /// The plaintext schema to rebuild on decryption.
+    pub plaintext_schema: Schema,
+}
+
+fn wrong_state(scheme: &str) -> F2Error {
+    F2Error::UnsupportedInput(format!(
+        "outcome was not produced by the `{scheme}` scheme (owner state type mismatch)"
+    ))
+}
+
+/// Encrypt a table cell by cell and package the result as a [`SchemeOutcome`].
+///
+/// Used by every baseline backend. Baselines have no MAX/SYN/FP phases, so the whole
+/// cell-encryption wall time is recorded under [`StepTimings::sse`] and the overhead
+/// breakdown contains no artificial rows.
+fn encrypt_cell_wise(
+    table: &Table,
+    mut encrypt_cell: impl FnMut(usize, &Value) -> Result<Value>,
+) -> Result<SchemeOutcome> {
+    if table.arity() == 0 {
+        return Err(F2Error::UnsupportedInput("table has no attributes".into()));
+    }
+    let start = Instant::now();
+    let mut records = Vec::with_capacity(table.row_count());
+    for (_, rec) in table.iter() {
+        let mut values = Vec::with_capacity(table.arity());
+        for (attr, v) in rec.values().iter().enumerate() {
+            values.push(encrypt_cell(attr, v)?);
+        }
+        records.push(Record::new(values));
+    }
+    let encrypted = Table::new(table.schema().encrypted(), records)?;
+    let report = EncryptionReport {
+        timings: StepTimings { sse: start.elapsed(), ..StepTimings::default() },
+        overhead: OverheadBreakdown {
+            original_rows: table.row_count(),
+            ..OverheadBreakdown::default()
+        },
+        ..EncryptionReport::default()
+    };
+    Ok(SchemeOutcome {
+        encrypted,
+        state: OwnerState::new(CellWiseState { plaintext_schema: table.schema().clone() }),
+        report,
+    })
+}
+
+/// Decrypt a cell-wise outcome back to the original table.
+fn decrypt_cell_wise(
+    scheme: &str,
+    outcome: &SchemeOutcome,
+    mut decrypt_cell: impl FnMut(usize, &Value) -> Result<Value>,
+) -> Result<Table> {
+    let state: &CellWiseState = outcome.state.downcast_ref().ok_or_else(|| wrong_state(scheme))?;
+    if state.plaintext_schema.arity() != outcome.encrypted.arity() {
+        return Err(F2Error::UnsupportedInput(
+            "owner-state schema arity differs from the encrypted table".into(),
+        ));
+    }
+    let mut records = Vec::with_capacity(outcome.encrypted.row_count());
+    for (_, rec) in outcome.encrypted.iter() {
+        let mut values = Vec::with_capacity(outcome.encrypted.arity());
+        for (attr, cell) in rec.values().iter().enumerate() {
+            values.push(decrypt_cell(attr, cell)?);
+        }
+        records.push(Record::new(values));
+    }
+    Ok(Table::new(state.plaintext_schema.clone(), records)?)
+}
+
+// ─────────────────────────────── F² ────────────────────────────────────────────────
+
+/// Marker type giving the fluent entry point [`F2::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct F2;
+
+impl F2 {
+    /// Start building an [`F2Scheme`]:
+    ///
+    /// ```
+    /// use f2_core::F2;
+    /// let scheme = F2::builder()
+    ///     .alpha(0.2)
+    ///     .split_factor(2)
+    ///     .seed(7)
+    ///     .min_real_rows(2)
+    ///     .build()
+    ///     .unwrap();
+    /// ```
+    pub fn builder() -> F2Builder {
+        F2Builder::default()
+    }
+}
+
+/// Fluent builder for [`F2Scheme`] (replaces the `F2Config::new(..).with_seed(..)`
+/// two-step construction).
+///
+/// Defaults match [`F2Config::default`]: α = 0.2, ϖ = 2, seed `0x5eed`, minimum 2 real
+/// rows per split instance, and a master key derived from the seed unless
+/// [`F2Builder::master_key`] provides one.
+#[derive(Debug, Clone, Default)]
+pub struct F2Builder {
+    config: F2Config,
+    master: Option<MasterKey>,
+}
+
+impl F2Builder {
+    /// Set the α-security threshold (must lie in `(0, 1]`).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Set the split factor ϖ (must be ≥ 1; 1 disables splitting).
+    pub fn split_factor(mut self, split_factor: usize) -> Self {
+        self.config.split_factor = split_factor;
+        self
+    }
+
+    /// Set the RNG seed (nonce generation, fake-value shuffling). Also seeds the
+    /// master key unless one is supplied explicitly.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Set the minimum number of real rows retained per split instance (must be ≥ 1).
+    pub fn min_real_rows(mut self, min_real_rows: usize) -> Self {
+        self.config.min_real_rows_per_instance = min_real_rows;
+        self
+    }
+
+    /// Supply the data owner's master key explicitly instead of deriving it from the
+    /// seed.
+    pub fn master_key(mut self, master: MasterKey) -> Self {
+        self.master = Some(master);
+        self
+    }
+
+    /// Validate and return just the [`F2Config`].
+    pub fn config(&self) -> Result<F2Config> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+
+    /// Validate the parameters and build the scheme.
+    pub fn build(self) -> Result<F2Scheme> {
+        let config = self.config()?;
+        let master = self.master.unwrap_or_else(|| MasterKey::from_seed(config.seed));
+        Ok(F2Scheme::new(config, master))
+    }
+}
+
+/// The F² scheme of the paper as a pluggable backend: frequency-hiding and exactly
+/// FD-preserving.
+#[derive(Debug, Clone)]
+pub struct F2Scheme {
+    encryptor: F2Encryptor,
+}
+
+impl F2Scheme {
+    /// Create the scheme from an explicit configuration and master key (the fluent
+    /// path is [`F2::builder`]).
+    pub fn new(config: F2Config, master: MasterKey) -> Self {
+        F2Scheme { encryptor: F2Encryptor::new(config, master) }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &F2Config {
+        self.encryptor.config()
+    }
+
+    /// Run the underlying encryptor, keeping the concrete [`EncryptionOutcome`]
+    /// (useful when the caller needs direct access to provenance and MAS sets without
+    /// downcasting).
+    pub fn encrypt_concrete(&self, table: &Table) -> Result<EncryptionOutcome> {
+        self.encryptor.encrypt(table)
+    }
+}
+
+impl Scheme for F2Scheme {
+    fn name(&self) -> &str {
+        "f2"
+    }
+
+    fn encrypt(&self, table: &Table) -> Result<SchemeOutcome> {
+        Ok(self.encryptor.encrypt(table)?.into())
+    }
+
+    fn decrypt(&self, outcome: &SchemeOutcome) -> Result<Table> {
+        let state = outcome.f2_state().ok_or_else(|| wrong_state(self.name()))?;
+        F2Decryptor::new(self.encryptor.master().clone()).recover_original(
+            &outcome.encrypted,
+            &state.provenance,
+            &state.plaintext_schema,
+        )
+    }
+
+    fn real_rows(&self, outcome: &SchemeOutcome) -> Result<Vec<(usize, usize)>> {
+        let state = outcome.f2_state().ok_or_else(|| wrong_state(self.name()))?;
+        Ok(state.provenance.real_rows())
+    }
+}
+
+// ─────────────────────────── Deterministic AES baseline ────────────────────────────
+
+/// The paper's deterministic "AES" baseline (Figure 8): every cell is encrypted with a
+/// per-attribute deterministic cipher. FDs are trivially preserved; the exact frequency
+/// distribution leaks.
+#[derive(Debug, Clone)]
+pub struct DetScheme {
+    ciphers_master: MasterKey,
+}
+
+impl DetScheme {
+    /// Create the baseline from the owner's master key.
+    pub fn new(master: MasterKey) -> Self {
+        DetScheme { ciphers_master: master }
+    }
+
+    fn ciphers(&self, arity: usize) -> Vec<DeterministicCipher> {
+        (0..arity)
+            .map(|a| DeterministicCipher::new(&self.ciphers_master.deterministic_key(a)))
+            .collect()
+    }
+}
+
+impl Scheme for DetScheme {
+    fn name(&self) -> &str {
+        "deterministic-aes"
+    }
+
+    fn encrypt(&self, table: &Table) -> Result<SchemeOutcome> {
+        let ciphers = self.ciphers(table.arity());
+        encrypt_cell_wise(table, |attr, v| Ok(ciphers[attr].encrypt_value(v)))
+    }
+
+    fn decrypt(&self, outcome: &SchemeOutcome) -> Result<Table> {
+        let ciphers = self.ciphers(outcome.encrypted.arity());
+        decrypt_cell_wise(self.name(), outcome, |attr, cell| Ok(ciphers[attr].decrypt_value(cell)?))
+    }
+}
+
+// ─────────────────────────── Probabilistic PRF baseline ────────────────────────────
+
+/// The per-cell probabilistic cipher `e = ⟨r, F_k(r) ⊕ p⟩` as a standalone backend:
+/// maximal frequency hiding, but FDs are destroyed (every cell becomes unique), which
+/// is exactly the trade-off F² resolves.
+#[derive(Debug, Clone)]
+pub struct ProbScheme {
+    master: MasterKey,
+    seed: u64,
+}
+
+impl ProbScheme {
+    /// Create the baseline from the owner's master key and a nonce-RNG seed.
+    pub fn new(master: MasterKey, seed: u64) -> Self {
+        ProbScheme { master, seed }
+    }
+
+    fn ciphers(&self, arity: usize) -> Vec<ProbabilisticCipher> {
+        (0..arity).map(|a| ProbabilisticCipher::new(&self.master.attribute_key(a))).collect()
+    }
+}
+
+impl Scheme for ProbScheme {
+    fn name(&self) -> &str {
+        "probabilistic-prf"
+    }
+
+    fn encrypt(&self, table: &Table) -> Result<SchemeOutcome> {
+        let ciphers = self.ciphers(table.arity());
+        // Fold the table fingerprint into the seed: nonce streams must never repeat
+        // across encryptions of different tables (two-time-pad otherwise).
+        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
+        encrypt_cell_wise(table, |attr, v| Ok(ciphers[attr].encrypt_value_to_cell(v, &mut rng)))
+    }
+
+    fn decrypt(&self, outcome: &SchemeOutcome) -> Result<Table> {
+        let ciphers = self.ciphers(outcome.encrypted.arity());
+        decrypt_cell_wise(self.name(), outcome, |attr, cell| Ok(ciphers[attr].decrypt_cell(cell)?))
+    }
+}
+
+// ─────────────────────────────── Paillier baseline ─────────────────────────────────
+
+/// Textbook Paillier as a cell-wise backend (the paper's asymmetric probabilistic
+/// baseline of Figure 8).
+///
+/// Each cell's self-describing encoding is chunked so that every chunk, prefixed with
+/// a `0x01` marker byte, is an integer strictly below the modulus; chunks are
+/// encrypted independently and framed at the key's fixed ciphertext width, so
+/// decryption is exact (no lossy folding). Orders of magnitude slower than the
+/// symmetric backends — that relative cost is the paper's point.
+#[derive(Debug, Clone)]
+pub struct PaillierScheme {
+    keypair: PaillierKeyPair,
+    seed: u64,
+}
+
+impl PaillierScheme {
+    /// Generate a key pair of the given modulus size (≥ 64 bits, so that at least one
+    /// plaintext byte fits per chunk) and build the scheme. The seed drives both key
+    /// generation and the per-encryption randomness.
+    pub fn new(modulus_bits: usize, seed: u64) -> Result<Self> {
+        if modulus_bits < 64 {
+            return Err(F2Error::UnsupportedInput(format!(
+                "Paillier backend needs a modulus of at least 64 bits, got {modulus_bits}"
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keypair = PaillierKeyPair::generate(modulus_bits, &mut rng)?;
+        Self::with_keypair(keypair, seed)
+    }
+
+    /// Build the scheme around an existing key pair. Rejects keys whose modulus is too
+    /// small to embed even one plaintext byte per chunk (the same invariant
+    /// [`PaillierScheme::new`] enforces via its 64-bit floor).
+    pub fn with_keypair(keypair: PaillierKeyPair, seed: u64) -> Result<Self> {
+        if keypair.public().plaintext_chunk_size() == 0 {
+            return Err(F2Error::UnsupportedInput(format!(
+                "Paillier modulus of {} bits is too small to carry cell data",
+                keypair.public().modulus().bits()
+            )));
+        }
+        Ok(PaillierScheme { keypair, seed })
+    }
+
+    /// The key pair in use.
+    pub fn keypair(&self) -> &PaillierKeyPair {
+        &self.keypair
+    }
+
+    fn encrypt_cell(&self, value: &Value, rng: &mut StdRng) -> Result<Value> {
+        let public = self.keypair.public();
+        let chunk_size = public.plaintext_chunk_size();
+        let width = public.ciphertext_width();
+        let encoding = value.encode();
+        let mut out = Vec::with_capacity(encoding.len().div_ceil(chunk_size) * width);
+        for chunk in encoding.chunks(chunk_size) {
+            // 0x01 marker keeps leading zero bytes of the chunk alive through the
+            // integer round-trip and guarantees the message is non-zero.
+            let mut message = Vec::with_capacity(chunk.len() + 1);
+            message.push(0x01);
+            message.extend_from_slice(chunk);
+            let c = public.encrypt(&f2_crypto::BigUint::from_bytes_be(&message), rng)?;
+            let bytes = c.to_bytes_be();
+            debug_assert!(bytes.len() <= width);
+            out.resize(out.len() + width - bytes.len(), 0);
+            out.extend_from_slice(&bytes);
+        }
+        Ok(Value::bytes(out))
+    }
+
+    fn decrypt_cell(&self, cell: &Value) -> Result<Value> {
+        let width = self.keypair.public().ciphertext_width();
+        let bytes = cell.as_bytes().ok_or_else(|| {
+            F2Error::UnsupportedInput("Paillier cell is not a byte string".into())
+        })?;
+        if width == 0 || bytes.len() % width != 0 {
+            return Err(F2Error::UnsupportedInput(format!(
+                "Paillier cell of {} bytes is not a multiple of the {width}-byte frame",
+                bytes.len()
+            )));
+        }
+        let mut encoding = Vec::new();
+        for frame in bytes.chunks(width) {
+            let message = self.keypair.decrypt(&PaillierCiphertext::from_bytes_be(frame))?;
+            let message_bytes = message.to_bytes_be();
+            match message_bytes.split_first() {
+                Some((0x01, chunk)) => encoding.extend_from_slice(chunk),
+                _ => {
+                    return Err(F2Error::UnsupportedInput(
+                        "Paillier chunk lost its marker byte (wrong key or corrupt cell)".into(),
+                    ))
+                }
+            }
+        }
+        Value::decode(&encoding).ok_or_else(|| {
+            F2Error::UnsupportedInput("decrypted Paillier cell does not decode".into())
+        })
+    }
+}
+
+impl Scheme for PaillierScheme {
+    fn name(&self) -> &str {
+        "paillier"
+    }
+
+    fn encrypt(&self, table: &Table) -> Result<SchemeOutcome> {
+        // Per-table randomness stream, as in ProbScheme::encrypt.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
+        encrypt_cell_wise(table, |_, v| self.encrypt_cell(v, &mut rng))
+    }
+
+    fn decrypt(&self, outcome: &SchemeOutcome) -> Result<Table> {
+        decrypt_cell_wise(self.name(), outcome, |_, cell| self.decrypt_cell(cell))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_relation::table;
+
+    fn fixture() -> Table {
+        table! {
+            ["Zip", "City", "Name"];
+            ["07030", "Hoboken", "alice"],
+            ["07030", "Hoboken", "bob"],
+            ["10001", "NewYork", "carol"],
+            ["10001", "NewYork", "dave"],
+            ["08540", "Princeton", "erin"],
+        }
+    }
+
+    fn assert_roundtrip(scheme: &dyn Scheme, table: &Table) {
+        let outcome = scheme.encrypt(table).unwrap();
+        for (_, rec) in outcome.encrypted.iter() {
+            for v in rec.values() {
+                assert!(v.is_bytes(), "{}: cell not ciphertext", scheme.name());
+            }
+        }
+        let recovered = scheme.decrypt(&outcome).unwrap();
+        assert!(recovered.multiset_eq(table), "{}: bad roundtrip", scheme.name());
+    }
+
+    #[test]
+    fn all_backends_roundtrip_the_fixture() {
+        let t = fixture();
+        let master = MasterKey::from_seed(5);
+        let schemes: Vec<Box<dyn Scheme>> = vec![
+            Box::new(F2::builder().alpha(0.5).seed(5).build().unwrap()),
+            Box::new(DetScheme::new(master.clone())),
+            Box::new(ProbScheme::new(master, 5)),
+            Box::new(PaillierScheme::new(64, 5).unwrap()),
+        ];
+        for scheme in &schemes {
+            assert_roundtrip(scheme.as_ref(), &t);
+        }
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(F2::builder().alpha(0.0).build().is_err());
+        assert!(F2::builder().alpha(1.5).build().is_err());
+        assert!(F2::builder().split_factor(0).build().is_err());
+        assert!(F2::builder().min_real_rows(0).build().is_err());
+        let scheme = F2::builder().alpha(0.25).split_factor(3).seed(9).build().unwrap();
+        assert_eq!(scheme.config().alpha, 0.25);
+        assert_eq!(scheme.config().split_factor, 3);
+        assert_eq!(scheme.config().seed, 9);
+    }
+
+    #[test]
+    fn f2_real_rows_follow_provenance() {
+        let t = fixture();
+        let scheme = F2::builder().alpha(0.5).build().unwrap();
+        let outcome = scheme.encrypt(&t).unwrap();
+        let real = scheme.real_rows(&outcome).unwrap();
+        assert_eq!(real.len(), t.row_count());
+        let state = outcome.f2_state().unwrap();
+        assert_eq!(real, state.provenance.real_rows());
+        assert!(!state.mas_sets.is_empty());
+    }
+
+    #[test]
+    fn cell_wise_real_rows_are_identity() {
+        let t = fixture();
+        let scheme = DetScheme::new(MasterKey::from_seed(1));
+        let outcome = scheme.encrypt(&t).unwrap();
+        let real = scheme.real_rows(&outcome).unwrap();
+        assert_eq!(real, (0..t.row_count()).map(|r| (r, r)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mismatched_owner_state_is_rejected() {
+        let t = fixture();
+        let det = DetScheme::new(MasterKey::from_seed(1));
+        let f2 = F2::builder().seed(1).build().unwrap();
+        let det_outcome = det.encrypt(&t).unwrap();
+        let f2_outcome = f2.encrypt(&t).unwrap();
+        assert!(f2.decrypt(&det_outcome).is_err());
+        assert!(det.decrypt(&f2_outcome).is_err());
+        // real_rows fails loudly on a foreign outcome instead of claiming an empty
+        // (spuriously "secure") ground truth.
+        assert!(f2.real_rows(&det_outcome).is_err());
+        assert!(det_outcome.f2_state().is_none());
+        assert!(f2_outcome.f2_state().is_some());
+    }
+
+    #[test]
+    fn prob_scheme_nonce_streams_differ_across_tables() {
+        // Regression: with the PRF cipher ⟨r, F_k(r) ⊕ p⟩, reusing the nonce stream
+        // across two encrypt() calls on different tables would XOR-leak plaintexts.
+        let scheme = ProbScheme::new(MasterKey::from_seed(6), 6);
+        let a = table! { ["A"]; ["left"] };
+        let b = table! { ["A"]; ["right"] };
+        let cell = |t: &Table| {
+            let out = scheme.encrypt(t).unwrap();
+            out.encrypted.cell(0, 0).unwrap().as_bytes().unwrap().to_vec()
+        };
+        let (ca, cb) = (cell(&a), cell(&b));
+        assert_ne!(&ca[..16], &cb[..16], "nonce reused across tables");
+        // Same scheme + same table stays reproducible.
+        assert_eq!(cell(&a), cell(&a));
+    }
+
+    #[test]
+    fn paillier_rejects_tiny_moduli_and_handles_long_values() {
+        assert!(PaillierScheme::new(32, 1).is_err());
+        // The escape-hatch constructor enforces the same payload invariant.
+        let mut rng = StdRng::seed_from_u64(1);
+        let tiny = f2_crypto::PaillierKeyPair::generate(16, &mut rng).unwrap();
+        assert!(PaillierScheme::with_keypair(tiny, 1).is_err());
+        let scheme = PaillierScheme::new(64, 1).unwrap();
+        let t = table! {
+            ["Long", "Short"];
+            ["a-rather-long-text-value-spanning-many-chunks", "x"],
+            ["", "y"],
+        };
+        assert_roundtrip(&scheme, &t);
+    }
+
+    #[test]
+    fn baseline_reports_record_cell_time_only() {
+        let t = fixture();
+        let outcome = DetScheme::new(MasterKey::from_seed(3)).encrypt(&t).unwrap();
+        assert_eq!(outcome.report.overhead.original_rows, t.row_count());
+        assert_eq!(outcome.report.overhead.added_rows(), 0);
+        assert_eq!(outcome.report.timings.total(), outcome.report.timings.sse);
+        assert_eq!(outcome.encrypted.row_count(), t.row_count());
+    }
+
+    #[test]
+    fn empty_arity_rejected_everywhere() {
+        let empty = Table::empty(Schema::new(vec![]).unwrap());
+        let master = MasterKey::from_seed(2);
+        let schemes: Vec<Box<dyn Scheme>> = vec![
+            Box::new(F2::builder().build().unwrap()),
+            Box::new(DetScheme::new(master.clone())),
+            Box::new(ProbScheme::new(master, 2)),
+            Box::new(PaillierScheme::new(64, 2).unwrap()),
+        ];
+        for scheme in &schemes {
+            assert!(scheme.encrypt(&empty).is_err(), "{}", scheme.name());
+        }
+    }
+}

@@ -58,10 +58,7 @@ fn even_split(size: usize, parts: usize) -> Vec<usize> {
     let parts = parts.max(1).min(size.max(1));
     let base = size / parts;
     let rem = size % parts;
-    (0..parts)
-        .map(|i| if i < rem { base + 1 } else { base })
-        .filter(|&f| f > 0)
-        .collect()
+    (0..parts).map(|i| if i < rem { base + 1 } else { base }).filter(|&f| f > 0).collect()
 }
 
 /// The effective split factor for a class of the given size.
@@ -79,7 +76,7 @@ pub fn plan_split(sizes: &[usize], split_factor: usize, min_real_rows: usize) ->
     debug_assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "sizes must be ascending");
     let k = sizes.len();
     let mut best: Option<(usize, usize, Vec<Vec<usize>>)> = None; // (cost, j, freqs)
-    // j = k means "split nothing"; j = 0 means "split everything".
+                                                                  // j = k means "split nothing"; j = 0 means "split everything".
     for j in (0..=k).rev() {
         let mut freqs: Vec<Vec<usize>> = Vec::with_capacity(k);
         for (i, &f) in sizes.iter().enumerate() {
@@ -218,7 +215,7 @@ mod tests {
             // The chosen plan is no worse than the two extremes (split all / split none).
             let split_all: usize = {
                 let p = plan_split(&sizes, split, min_real);
-                p.total_copies().min(usize::MAX)
+                p.total_copies()
             };
             prop_assert!(plan.total_copies() <= split_all);
         }

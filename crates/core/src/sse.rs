@@ -84,12 +84,8 @@ pub fn build_mas_plan(
 ) -> MasPlan {
     let partition = Partition::compute(table, mas);
     let ec_count = partition.class_count();
-    let groups: Vec<Ecg> = group_equivalence_classes(
-        partition.classes(),
-        config.ecg_size(),
-        mas.len(),
-        fresh,
-    );
+    let groups: Vec<Ecg> =
+        group_equivalence_classes(partition.classes(), config.ecg_size(), mas.len(), fresh);
     let mut instances = Vec::new();
     for (ecg_index, group) in groups.iter().enumerate() {
         let sizes: Vec<usize> = group.members.iter().map(|m| m.size()).collect();
@@ -98,10 +94,8 @@ pub fn build_mas_plan(
             // Distribute the member's rows over its instances according to the planned
             // base frequencies.
             let mut cursor = 0usize;
-            for (freq, &copies) in member_plan
-                .instance_frequencies
-                .iter()
-                .zip(member_plan.copies.iter())
+            for (freq, &copies) in
+                member_plan.instance_frequencies.iter().zip(member_plan.copies.iter())
             {
                 if member.is_fake() {
                     instances.push(InstancePlan {

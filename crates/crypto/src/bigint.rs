@@ -52,9 +52,8 @@ impl BigUint {
 
     /// Build from a `u128`.
     pub fn from_u128(v: u128) -> Self {
-        let mut b = BigUint {
-            limbs: vec![v as u32, (v >> 32) as u32, (v >> 64) as u32, (v >> 96) as u32],
-        };
+        let mut b =
+            BigUint { limbs: vec![v as u32, (v >> 32) as u32, (v >> 64) as u32, (v >> 96) as u32] };
         b.normalize();
         b
     }
@@ -138,7 +137,7 @@ impl BigUint {
 
     /// True if the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits.
@@ -245,7 +244,7 @@ impl BigUint {
                 out.push(l);
             } else {
                 out.push((l << bit_shift) | carry);
-                carry = (l >> (32 - bit_shift)) as u32;
+                carry = l >> (32 - bit_shift);
             }
         }
         if bit_shift != 0 && carry != 0 {
@@ -299,9 +298,7 @@ impl BigUint {
             let num = ((u[j + n] as u64) << 32) | u[j + n - 1] as u64;
             let mut qhat = num / v[n - 1] as u64;
             let mut rhat = num % v[n - 1] as u64;
-            while qhat >= base
-                || qhat * v[n - 2] as u64 > (rhat << 32) + u[j + n - 2] as u64
-            {
+            while qhat >= base || qhat * v[n - 2] as u64 > (rhat << 32) + u[j + n - 2] as u64 {
                 qhat -= 1;
                 rhat += v[n - 1] as u64;
                 if rhat >= base {
@@ -563,7 +560,7 @@ fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_to(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -663,10 +660,7 @@ mod tests {
     fn primality_of_known_numbers() {
         let mut rng = StdRng::seed_from_u64(7);
         for p in [2u64, 3, 5, 7, 11, 101, 7919, 104729, 2147483647] {
-            assert!(
-                BigUint::from_u64(p).is_probable_prime(16, &mut rng),
-                "{p} should be prime"
-            );
+            assert!(BigUint::from_u64(p).is_probable_prime(16, &mut rng), "{p} should be prime");
         }
         for c in [1u64, 4, 9, 100, 7917, 104730, 2147483647 * 3] {
             assert!(

@@ -116,7 +116,7 @@ mod tests {
             Value::Null,
             Value::Int(7),
             Value::text("Zipcode determines City"),
-            Value::money(100_00),
+            Value::money(10_000),
         ] {
             let e = c.encrypt_value(&v);
             assert_eq!(c.decrypt_value(&e).unwrap(), v);

@@ -36,6 +36,21 @@ pub struct PaillierPublicKey {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PaillierCiphertext(BigUint);
 
+impl PaillierCiphertext {
+    /// Serialize as a big-endian byte string (no fixed width; use
+    /// [`PaillierPublicKey::ciphertext_width`] to frame several ciphertexts in one
+    /// buffer).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        self.0.to_bytes_be()
+    }
+
+    /// Parse a big-endian byte string produced by
+    /// [`PaillierCiphertext::to_bytes_be`] (leading zero bytes are allowed).
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        PaillierCiphertext(BigUint::from_bytes_be(bytes))
+    }
+}
+
 /// A Paillier key pair (public key plus the private `λ`, `μ`).
 #[derive(Debug, Clone)]
 pub struct PaillierKeyPair {
@@ -75,6 +90,20 @@ impl PaillierPublicKey {
         self.encrypt(&m, rng)
     }
 
+    /// Fixed serialized width (bytes) that can hold any ciphertext under this key:
+    /// ciphertexts are elements of `Z_{n²}`, so `⌈bits(n²) / 8⌉` bytes suffice.
+    pub fn ciphertext_width(&self) -> usize {
+        self.n_squared.bits().div_ceil(8)
+    }
+
+    /// Largest number of plaintext bytes that can be embedded losslessly in one
+    /// ciphertext: a `0x01`-prefixed chunk of this size is an integer below `2^(8·k)`
+    /// with `8·k < bits(n)`, hence strictly smaller than `n`. Returns 0 (rather than
+    /// underflowing) for moduli too small to carry any payload byte.
+    pub fn plaintext_chunk_size(&self) -> usize {
+        (self.n.bits().saturating_sub(1) / 8).saturating_sub(1)
+    }
+
     /// Homomorphic addition: `E(m1) ⊕ E(m2) = E(m1 + m2 mod n)`.
     pub fn add_ciphertexts(
         &self,
@@ -88,7 +117,7 @@ impl PaillierPublicKey {
 impl PaillierKeyPair {
     /// Generate a key pair with the given modulus size in bits.
     pub fn generate(modulus_bits: usize, rng: &mut impl Rng) -> Result<Self> {
-        if modulus_bits < 16 || modulus_bits % 2 != 0 {
+        if modulus_bits < 16 || !modulus_bits.is_multiple_of(2) {
             return Err(CryptoError::KeyGeneration(format!(
                 "modulus size {modulus_bits} must be an even number of bits ≥ 16"
             )));

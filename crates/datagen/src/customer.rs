@@ -35,7 +35,14 @@ pub struct CustomerConfig {
 
 impl Default for CustomerConfig {
     fn default() -> Self {
-        CustomerConfig { rows: 10_000, seed: 42, warehouses: 8, cities: 200, zips: 1_000, skew: 0.7 }
+        CustomerConfig {
+            rows: 10_000,
+            seed: 42,
+            warehouses: 8,
+            cities: 200,
+            zips: 1_000,
+            skew: 0.7,
+        }
     }
 }
 
@@ -127,7 +134,7 @@ impl CustomerGenerator {
                 Value::text(format!("{:010}", rng.next_u64() % 10_000_000_000)),
                 Value::Date(since_dist.sample(&mut rng) as i32 + 10_000),
                 Value::text(credits[credit_dist.sample(&mut rng)]),
-                Value::money(50_000_00),
+                Value::money(5_000_000),
                 Value::money(discount_dist.sample(&mut rng) as i64),
                 Value::money(balance_cents),
                 Value::money(10_00),
@@ -174,10 +181,7 @@ mod tests {
     #[test]
     fn generation_is_deterministic() {
         let cfg = CustomerConfig { rows: 150, seed: 3, ..CustomerConfig::default() };
-        assert_eq!(
-            CustomerGenerator::new(cfg).generate(),
-            CustomerGenerator::new(cfg).generate()
-        );
+        assert_eq!(CustomerGenerator::new(cfg).generate(), CustomerGenerator::new(cfg).generate());
     }
 
     #[test]

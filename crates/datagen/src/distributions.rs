@@ -74,9 +74,8 @@ impl TextPool {
 
 /// The TPC-C `C_LAST` name generator: three syllables indexed by a number 0..999.
 pub fn tpcc_last_name(index: usize) -> String {
-    const SYLLABLES: [&str; 10] = [
-        "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
-    ];
+    const SYLLABLES: [&str; 10] =
+        ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
     let i = index % 1000;
     format!("{}{}{}", SYLLABLES[i / 100], SYLLABLES[(i / 10) % 10], SYLLABLES[i % 10])
 }

@@ -67,9 +67,20 @@ impl Dataset {
     /// default structural parameters.
     pub fn generate(&self, rows: usize, seed: u64) -> Table {
         match self {
-            Dataset::Orders => OrdersGenerator::new(OrdersConfig { rows, seed, ..OrdersConfig::default() }).generate(),
-            Dataset::Customer => CustomerGenerator::new(CustomerConfig { rows, seed, ..CustomerConfig::default() }).generate(),
-            Dataset::Synthetic => SyntheticGenerator::new(SyntheticConfig { rows, seed, ..SyntheticConfig::default() }).generate(),
+            Dataset::Orders => {
+                OrdersGenerator::new(OrdersConfig { rows, seed, ..OrdersConfig::default() })
+                    .generate()
+            }
+            Dataset::Customer => {
+                CustomerGenerator::new(CustomerConfig { rows, seed, ..CustomerConfig::default() })
+                    .generate()
+            }
+            Dataset::Synthetic => SyntheticGenerator::new(SyntheticConfig {
+                rows,
+                seed,
+                ..SyntheticConfig::default()
+            })
+            .generate(),
         }
     }
 }

@@ -101,7 +101,7 @@ impl OrdersGenerator {
                 Value::Int(i as i64 + 1),
                 Value::Int(custkey),
                 Value::text(status),
-                Value::money((price_bucket + 1) * 137_50),
+                Value::money((price_bucket + 1) * 13_750),
                 Value::Date(date),
                 Value::text(priority),
                 Value::text(clerk),
@@ -155,9 +155,7 @@ mod tests {
             .generate();
         let schema = t.schema().clone();
         // {OrderStatus, OrderPriority, ShipPriority} must be non-unique (heavy collisions).
-        let set = schema
-            .attr_set(["OrderStatus", "OrderPriority", "ShipPriority"])
-            .unwrap();
+        let set = schema.attr_set(["OrderStatus", "OrderPriority", "ShipPriority"]).unwrap();
         assert!(t.partition(set).has_duplicates());
         // The unique key on its own is never part of a MAS.
         let key = AttrSet::single(schema.index_of("OrderKey").unwrap());
@@ -166,10 +164,10 @@ mod tests {
 
     #[test]
     fn row_count_and_size_scale() {
-        let small = OrdersGenerator::new(OrdersConfig { rows: 100, ..OrdersConfig::default() })
-            .generate();
-        let large = OrdersGenerator::new(OrdersConfig { rows: 400, ..OrdersConfig::default() })
-            .generate();
+        let small =
+            OrdersGenerator::new(OrdersConfig { rows: 100, ..OrdersConfig::default() }).generate();
+        let large =
+            OrdersGenerator::new(OrdersConfig { rows: 400, ..OrdersConfig::default() }).generate();
         assert_eq!(small.row_count(), 100);
         assert_eq!(large.row_count(), 400);
         assert!(large.size_bytes() > small.size_bytes() * 3);

@@ -38,7 +38,13 @@ pub struct SyntheticConfig {
 
 impl Default for SyntheticConfig {
     fn default() -> Self {
-        SyntheticConfig { rows: 10_000, seed: 42, domain_a: 400, domain_overlap: 50, ec_density: 350 }
+        SyntheticConfig {
+            rows: 10_000,
+            seed: 42,
+            domain_a: 400,
+            domain_overlap: 50,
+            ec_density: 350,
+        }
     }
 }
 
@@ -136,8 +142,9 @@ mod tests {
 
     #[test]
     fn planted_fds_hold() {
-        let t = SyntheticGenerator::new(SyntheticConfig { rows: 3_000, ..SyntheticConfig::default() })
-            .generate();
+        let t =
+            SyntheticGenerator::new(SyntheticConfig { rows: 3_000, ..SyntheticConfig::default() })
+                .generate();
         // S0 → S1: rows agreeing on S0 agree on S1 (S1 is a function of S0).
         let p0 = t.partition(AttrSet::single(0));
         let p01 = t.partition(AttrSet::from_indices([0, 1]));
@@ -150,8 +157,9 @@ mod tests {
 
     #[test]
     fn two_mas_structure() {
-        let t = SyntheticGenerator::new(SyntheticConfig { rows: 4_000, ..SyntheticConfig::default() })
-            .generate();
+        let t =
+            SyntheticGenerator::new(SyntheticConfig { rows: 4_000, ..SyntheticConfig::default() })
+                .generate();
         // First MAS candidate {S0,S1,S2} is non-unique; second {S2..S6} is non-unique;
         // and the full schema is unique (no duplicated complete rows w.h.p.).
         assert!(t.partition(AttrSet::from_indices([0, 1, 2])).has_duplicates());

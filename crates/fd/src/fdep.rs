@@ -43,10 +43,7 @@ impl Fd {
     /// Render the FD with attribute names, e.g. `{Zip} → City`.
     pub fn display(&self, schema: &Schema) -> String {
         let names = schema.names();
-        let rhs = names
-            .get(self.rhs)
-            .cloned()
-            .unwrap_or_else(|| format!("#{}", self.rhs));
+        let rhs = names.get(self.rhs).cloned().unwrap_or_else(|| format!("#{}", self.rhs));
         format!("{} → {}", self.lhs.display_with(&names), rhs)
     }
 }
@@ -67,11 +64,6 @@ impl FdSet {
     /// The empty set.
     pub fn new() -> Self {
         FdSet::default()
-    }
-
-    /// Build from an iterator of FDs (duplicates are collapsed).
-    pub fn from_iter<I: IntoIterator<Item = Fd>>(iter: I) -> Self {
-        FdSet { fds: iter.into_iter().collect() }
     }
 
     /// Add an FD.
@@ -107,18 +99,12 @@ impl FdSet {
     /// True if an FD with this exact LHS/RHS or a *smaller* LHS (subset) and the same
     /// RHS is present — i.e. the given FD is implied by minimality.
     pub fn implies(&self, fd: &Fd) -> bool {
-        self.fds
-            .iter()
-            .any(|f| f.rhs == fd.rhs && f.lhs.is_subset_of(fd.lhs))
+        self.fds.iter().any(|f| f.rhs == fd.rhs && f.lhs.is_subset_of(fd.lhs))
     }
 
     /// Render all FDs with attribute names.
     pub fn display(&self, schema: &Schema) -> String {
-        self.fds
-            .iter()
-            .map(|f| f.display(schema))
-            .collect::<Vec<_>>()
-            .join("\n")
+        self.fds.iter().map(|f| f.display(schema)).collect::<Vec<_>>().join("\n")
     }
 }
 
@@ -133,7 +119,7 @@ impl IntoIterator for FdSet {
 
 impl FromIterator<Fd> for FdSet {
     fn from_iter<T: IntoIterator<Item = Fd>>(iter: T) -> Self {
-        FdSet::from_iter(iter)
+        FdSet { fds: iter.into_iter().collect() }
     }
 }
 

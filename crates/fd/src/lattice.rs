@@ -83,10 +83,7 @@ impl FdLattice {
                     let node = LatticeNode { lhs, rhs: y };
                     // Skip nodes covered by an ancestor already identified as a maximum
                     // false positive (same RHS, LHS ⊆ ancestor LHS).
-                    if covered
-                        .iter()
-                        .any(|c| c.rhs == y && lhs.is_subset_of(c.lhs))
-                    {
+                    if covered.iter().any(|c| c.rhs == y && lhs.is_subset_of(c.lhs)) {
                         continue;
                     }
                     if is_violated(lhs, y) {

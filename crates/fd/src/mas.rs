@@ -54,9 +54,7 @@ impl MasSet {
 
     /// All attributes covered by at least one MAS.
     pub fn covered_attributes(&self) -> AttrSet {
-        self.sets
-            .iter()
-            .fold(AttrSet::EMPTY, |acc, m| acc.union(*m))
+        self.sets.iter().fold(AttrSet::EMPTY, |acc, m| acc.union(*m))
     }
 
     /// Pairs of overlapping MASs (the `h` of Theorem 3.3).
@@ -84,9 +82,7 @@ pub fn is_mas(table: &Table, attrs: AttrSet) -> bool {
         return false;
     }
     let universe = table.schema().all_attrs();
-    attrs
-        .direct_supersets(universe)
-        .all(|sup| !is_non_unique(table, sup))
+    attrs.direct_supersets(universe).all(|sup| !is_non_unique(table, sup))
 }
 
 /// GenMax-style depth-first MAS finder.
@@ -106,9 +102,7 @@ impl<'a> MasFinder<'a> {
         let singles = if table.row_count() >= 20_000 && arity >= 4 {
             parallel_single_partitions(table)
         } else {
-            (0..arity)
-                .map(|a| StrippedPartition::for_attribute(table, a))
-                .collect()
+            (0..arity).map(|a| StrippedPartition::for_attribute(table, a)).collect()
         };
         MasFinder { table, singles, found: Vec::new(), partition_checks: 0 }
     }

@@ -48,11 +48,7 @@ pub fn fd_holds_by_definition(table: &Table, lhs: AttrSet, rhs: usize) -> bool {
         if class.size() < 2 {
             continue;
         }
-        let first = table
-            .row(class.rows[0])
-            .expect("row exists")
-            .get(rhs)
-            .cloned();
+        let first = table.row(class.rows[0]).expect("row exists").get(rhs).cloned();
         for &r in &class.rows[1..] {
             if table.row(r).expect("row exists").get(rhs).cloned() != first {
                 return false;
@@ -157,23 +153,20 @@ mod tests {
     /// domain of 3 — small enough for the oracle, rich enough to exercise edge cases.
     fn small_table_strategy() -> impl Strategy<Value = Table> {
         (2usize..=5, 1usize..=12).prop_flat_map(|(arity, rows)| {
-            proptest::collection::vec(
-                proptest::collection::vec(0u8..3, arity),
-                rows..=rows,
-            )
-            .prop_map(move |rowvals| {
-                let names: Vec<String> = (0..arity).map(|i| format!("A{i}")).collect();
-                let schema = f2_relation::Schema::from_names(names).unwrap();
-                let records = rowvals
-                    .into_iter()
-                    .map(|r| {
-                        f2_relation::Record::new(
-                            r.into_iter().map(|v| f2_relation::Value::Int(v as i64)).collect(),
-                        )
-                    })
-                    .collect();
-                Table::new(schema, records).unwrap()
-            })
+            proptest::collection::vec(proptest::collection::vec(0u8..3, arity), rows..=rows)
+                .prop_map(move |rowvals| {
+                    let names: Vec<String> = (0..arity).map(|i| format!("A{i}")).collect();
+                    let schema = f2_relation::Schema::from_names(names).unwrap();
+                    let records = rowvals
+                        .into_iter()
+                        .map(|r| {
+                            f2_relation::Record::new(
+                                r.into_iter().map(|v| f2_relation::Value::Int(v as i64)).collect(),
+                            )
+                        })
+                        .collect();
+                    Table::new(schema, records).unwrap()
+                })
         })
     }
 

@@ -19,19 +19,13 @@ use f2_relation::{AttrSet, StrippedPartition, Table};
 use std::collections::HashMap;
 
 /// Configuration for a TANE run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TaneConfig {
     /// Upper bound on the size of the left-hand side to explore. `None` explores the
     /// full lattice (exact result). Benchmarks on wide tables may cap this to keep the
     /// level-wise search tractable; the cap is applied identically to the plaintext and
     /// the encrypted table so overhead ratios remain meaningful.
     pub max_lhs_size: Option<usize>,
-}
-
-impl Default for TaneConfig {
-    fn default() -> Self {
-        TaneConfig { max_lhs_size: None }
-    }
 }
 
 /// The TANE FD-discovery algorithm.
@@ -107,8 +101,7 @@ impl Tane {
                         // row; tables with at most one row are trivially constant.
                         let pa = &level[&AttrSet::single(a)].partition;
                         table.row_count() <= 1
-                            || (pa.class_count() == 1
-                                && pa.element_count() == table.row_count())
+                            || (pa.class_count() == 1 && pa.element_count() == table.row_count())
                     } else {
                         let e_lhs = if size == 1 {
                             // lhs is empty, handled above; unreachable here.
@@ -182,7 +175,7 @@ impl Tane {
             if let Some(max) = self.config.max_lhs_size {
                 // LHS of FDs found at level `size+1` have size `size`; exploring beyond
                 // max+1 attributes per node is unnecessary.
-                if size >= max + 1 {
+                if size > max {
                     break;
                 }
             }
@@ -197,9 +190,8 @@ impl Tane {
                         continue;
                     }
                     // All subsets of size `size` must be in the surviving level.
-                    let all_subsets_present = union
-                        .direct_subsets()
-                        .all(|s| next_candidates.contains(&s));
+                    let all_subsets_present =
+                        union.direct_subsets().all(|s| next_candidates.contains(&s));
                     if !all_subsets_present {
                         continue;
                     }
@@ -272,7 +264,8 @@ mod tests {
         let tane = discover_fds(t);
         let oracle = brute_force_fds(t);
         assert_eq!(
-            tane, oracle,
+            tane,
+            oracle,
             "TANE disagrees with oracle on table:\nTANE: {}\nOracle: {}",
             tane.display(t.schema()),
             oracle.display(t.schema())

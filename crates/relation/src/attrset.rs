@@ -160,14 +160,11 @@ impl AttrSet {
     /// Iterate over all direct supersets within `universe` obtained by adding one
     /// attribute not already present.
     pub fn direct_supersets(self, universe: AttrSet) -> impl Iterator<Item = AttrSet> {
-        universe
-            .difference(self)
-            .iter()
-            .map(move |a| self.with(a))
+        universe.difference(self).iter().map(move |a| self.with(a))
     }
 
     /// Render the set using schema attribute names, e.g. `{City, Zip}`.
-    pub fn display_with<'a>(&self, names: &'a [String]) -> String {
+    pub fn display_with(&self, names: &[String]) -> String {
         let mut parts = Vec::with_capacity(self.len());
         for a in self.iter() {
             if a < names.len() {

@@ -95,10 +95,7 @@ mod tests {
 
     #[test]
     fn builder_rejects_bad_arity() {
-        let r = TableBuilder::new()
-            .text_column("A")
-            .row([Value::text("x"), Value::Int(1)])
-            .build();
+        let r = TableBuilder::new().text_column("A").row([Value::text("x"), Value::Int(1)]).build();
         assert!(r.is_err());
     }
 

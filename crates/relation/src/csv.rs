@@ -106,10 +106,8 @@ fn parse_value(field: &str, attr: &crate::Attribute) -> Result<Value> {
     if field.is_empty() {
         return Ok(Value::Null);
     }
-    let type_err = || RelationError::TypeError {
-        attribute: attr.name.clone(),
-        value: field.to_owned(),
-    };
+    let type_err =
+        || RelationError::TypeError { attribute: attr.name.clone(), value: field.to_owned() };
     match attr.data_type {
         DataType::Int => field.parse::<i64>().map(Value::Int).map_err(|_| type_err()),
         DataType::Decimal => {

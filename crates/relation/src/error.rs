@@ -93,13 +93,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            RelationError::SchemaMismatch,
-            RelationError::SchemaMismatch
-        );
-        assert_ne!(
-            RelationError::Csv("a".into()),
-            RelationError::Csv("b".into())
-        );
+        assert_eq!(RelationError::SchemaMismatch, RelationError::SchemaMismatch);
+        assert_ne!(RelationError::Csv("a".into()), RelationError::Csv("b".into()));
     }
 }

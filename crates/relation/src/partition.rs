@@ -83,11 +83,7 @@ impl Partition {
 
     /// Number of rows that live in equivalence classes of size > 1.
     pub fn duplicated_row_count(&self) -> usize {
-        self.classes
-            .iter()
-            .filter(|c| c.size() > 1)
-            .map(EquivalenceClass::size)
-            .sum()
+        self.classes.iter().filter(|c| c.size() > 1).map(EquivalenceClass::size).sum()
     }
 
     /// The largest equivalence class size.
@@ -124,10 +120,7 @@ impl Partition {
             if first == usize::MAX {
                 return false;
             }
-            if c
-                .rows
-                .iter()
-                .any(|&r| other_class_of.get(r).copied().unwrap_or(usize::MAX) != first)
+            if c.rows.iter().any(|&r| other_class_of.get(r).copied().unwrap_or(usize::MAX) != first)
             {
                 return false;
             }
@@ -138,12 +131,8 @@ impl Partition {
     /// Convert to a stripped partition (singleton classes dropped), the representation
     /// used by TANE and the MAS search for efficiency.
     pub fn stripped(&self) -> StrippedPartition {
-        let classes: Vec<Vec<RowId>> = self
-            .classes
-            .iter()
-            .filter(|c| c.size() > 1)
-            .map(|c| c.rows.clone())
-            .collect();
+        let classes: Vec<Vec<RowId>> =
+            self.classes.iter().filter(|c| c.size() > 1).map(|c| c.rows.clone()).collect();
         StrippedPartition::from_classes(classes, self.row_count)
     }
 }

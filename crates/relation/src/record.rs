@@ -50,10 +50,7 @@ impl Record {
     /// Values are returned in ascending attribute-index order, so two records have
     /// equal projections iff they agree on every attribute of `attrs`.
     pub fn project(&self, attrs: AttrSet) -> Vec<Value> {
-        attrs
-            .iter()
-            .filter_map(|a| self.values.get(a).cloned())
-            .collect()
+        attrs.iter().filter_map(|a| self.values.get(a).cloned()).collect()
     }
 
     /// Like [`Record::project`] but returns references (no cloning).
@@ -141,10 +138,7 @@ mod tests {
         let r2 = r(&["a", "x", "c"]);
         assert!(r1.agrees_on(&r2, AttrSet::from_indices([0, 2])));
         assert!(!r1.agrees_on(&r2, AttrSet::from_indices([0, 1])));
-        assert_eq!(
-            r1.agree_set(&r2, AttrSet::all(3)),
-            AttrSet::from_indices([0, 2])
-        );
+        assert_eq!(r1.agree_set(&r2, AttrSet::all(3)), AttrSet::from_indices([0, 2]));
     }
 
     #[test]

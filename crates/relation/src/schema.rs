@@ -79,12 +79,7 @@ impl Schema {
 
     /// Convenience constructor: every attribute gets type [`DataType::Any`].
     pub fn from_names<S: Into<String>, I: IntoIterator<Item = S>>(names: I) -> Result<Self> {
-        Schema::new(
-            names
-                .into_iter()
-                .map(|n| Attribute::new(n, DataType::Any))
-                .collect(),
-        )
+        Schema::new(names.into_iter().map(|n| Attribute::new(n, DataType::Any)).collect())
     }
 
     /// Number of attributes (the paper's `m`).
@@ -94,10 +89,9 @@ impl Schema {
 
     /// Access attribute metadata by index.
     pub fn attribute(&self, idx: usize) -> Result<&Attribute> {
-        self.attrs.get(idx).ok_or(RelationError::AttributeIndexOutOfRange {
-            index: idx,
-            arity: self.arity(),
-        })
+        self.attrs
+            .get(idx)
+            .ok_or(RelationError::AttributeIndexOutOfRange { index: idx, arity: self.arity() })
     }
 
     /// All attributes in order.

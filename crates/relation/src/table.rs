@@ -58,18 +58,15 @@ impl Table {
 
     /// Access a row.
     pub fn row(&self, id: RowId) -> Result<&Record> {
-        self.records.get(id).ok_or(RelationError::RowOutOfRange {
-            row: id,
-            rows: self.records.len(),
-        })
+        self.records
+            .get(id)
+            .ok_or(RelationError::RowOutOfRange { row: id, rows: self.records.len() })
     }
 
     /// Mutable access to a row.
     pub fn row_mut(&mut self, id: RowId) -> Result<&mut Record> {
         let rows = self.records.len();
-        self.records
-            .get_mut(id)
-            .ok_or(RelationError::RowOutOfRange { row: id, rows })
+        self.records.get_mut(id).ok_or(RelationError::RowOutOfRange { row: id, rows })
     }
 
     /// All rows in order.
@@ -85,10 +82,8 @@ impl Table {
     /// Access a single cell.
     pub fn cell(&self, row: RowId, attr: usize) -> Result<&Value> {
         let r = self.row(row)?;
-        r.get(attr).ok_or(RelationError::AttributeIndexOutOfRange {
-            index: attr,
-            arity: self.arity(),
-        })
+        r.get(attr)
+            .ok_or(RelationError::AttributeIndexOutOfRange { index: attr, arity: self.arity() })
     }
 
     /// Overwrite a single cell.
@@ -145,11 +140,7 @@ impl Table {
     /// `|σ_{A=r[A]}(D)|`: the number of rows sharing row `row`'s value on `attrs`.
     pub fn frequency_of_row(&self, row: RowId, attrs: AttrSet) -> Result<usize> {
         let target = self.project_row(row, attrs)?;
-        Ok(self
-            .records
-            .iter()
-            .filter(|r| r.project(attrs) == target)
-            .count())
+        Ok(self.records.iter().filter(|r| r.project(attrs) == target).count())
     }
 
     /// Frequency histogram of the projections of all rows onto `attrs`: maps each

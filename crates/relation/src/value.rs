@@ -181,10 +181,9 @@ impl PartialEq for Value {
         match (self, other) {
             (Value::Null, Value::Null) => true,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (
-                Value::Decimal { digits: a, scale: sa },
-                Value::Decimal { digits: b, scale: sb },
-            ) => a == b && sa == sb,
+            (Value::Decimal { digits: a, scale: sa }, Value::Decimal { digits: b, scale: sb }) => {
+                a == b && sa == sb
+            }
             (Value::Text(a), Value::Text(b)) => a == b,
             (Value::Date(a), Value::Date(b)) => a == b,
             (Value::Bytes(a), Value::Bytes(b)) => a == b,
@@ -222,10 +221,9 @@ impl Ord for Value {
     fn cmp(&self, other: &Self) -> Ordering {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
-            (
-                Value::Decimal { digits: a, scale: sa },
-                Value::Decimal { digits: b, scale: sb },
-            ) => sa.cmp(sb).then(a.cmp(b)),
+            (Value::Decimal { digits: a, scale: sa }, Value::Decimal { digits: b, scale: sb }) => {
+                sa.cmp(sb).then(a.cmp(b))
+            }
             (Value::Text(a), Value::Text(b)) => a.cmp(b),
             (Value::Date(a), Value::Date(b)) => a.cmp(b),
             (Value::Bytes(a), Value::Bytes(b)) => a.cmp(b),
@@ -309,7 +307,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vs = vec![
+        let mut vs = [
             Value::text("b"),
             Value::Int(3),
             Value::Null,

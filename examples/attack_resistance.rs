@@ -1,66 +1,48 @@
 //! Frequency-analysis attack demo: deterministic encryption leaks, F² does not.
 //!
-//! Reproduces the motivation of Figure 1: the same skewed table is encrypted with (a)
-//! the deterministic AES baseline and (b) F², and both are attacked with the
-//! frequency-matching adversary and the Kerckhoffs 4-step adversary of §4.2.
+//! Reproduces the motivation of Figure 1: the same skewed table is encrypted with two
+//! interchangeable [`Scheme`] backends — (a) the deterministic AES baseline and (b)
+//! F² — and both are attacked through the *same* backend-agnostic experiment harness
+//! with the frequency-matching adversary and the Kerckhoffs 4-step adversary of §4.2.
 //!
 //! Run with `cargo run --release --example attack_resistance`.
 
 use f2::attack::{Adversary, AttackExperiment, FrequencyAttacker, KerckhoffsAttacker};
-use f2::crypto::{DeterministicCipher, MasterKey};
-use f2::relation::{Record, Table};
-use f2::{F2Config, F2Encryptor};
+use f2::crypto::MasterKey;
+use f2::{DetScheme, Scheme, F2};
 use f2_datagen::{OrdersConfig, OrdersGenerator};
 
-fn deterministic_encrypt(plain: &Table, master: &MasterKey) -> Table {
-    let ciphers: Vec<DeterministicCipher> = (0..plain.arity())
-        .map(|a| DeterministicCipher::new(&master.deterministic_key(a)))
-        .collect();
-    let rows = plain
-        .rows()
-        .iter()
-        .map(|r| {
-            Record::new(
-                r.values()
-                    .iter()
-                    .enumerate()
-                    .map(|(a, v)| ciphers[a].encrypt_value(v))
-                    .collect(),
-            )
-        })
-        .collect();
-    Table::new(plain.schema().encrypted(), rows).expect("same arity")
-}
-
 fn main() {
-    let plain = OrdersGenerator::new(OrdersConfig { rows: 1_500, seed: 3, ..OrdersConfig::default() })
-        .generate();
+    let plain =
+        OrdersGenerator::new(OrdersConfig { rows: 1_500, seed: 3, ..OrdersConfig::default() })
+            .generate();
     let master = MasterKey::from_seed(55);
     let alpha = 0.2;
 
     // Attack target: the small-domain attribute pair the adversary cares about.
-    let attrs = plain
-        .schema()
-        .attr_set(["OrderStatus", "OrderPriority"])
-        .expect("attributes exist");
+    let attrs =
+        plain.schema().attr_set(["OrderStatus", "OrderPriority"]).expect("attributes exist");
 
     println!("Playing Exp^freq over {} …\n", plain.schema().display_set(attrs));
 
-    // (a) Deterministic baseline.
-    let det = deterministic_encrypt(&plain, &master);
-    let det_experiment = AttackExperiment::for_row_aligned(&plain, &det, attrs);
+    // (a) Deterministic baseline, through the Scheme trait.
+    let det = DetScheme::new(master.clone());
+    let det_outcome = det.encrypt(&plain).expect("encrypt");
+    let det_experiment =
+        AttackExperiment::for_scheme(&plain, &det, &det_outcome, attrs).expect("ground truth");
 
-    // (b) F² with α = 0.2.
-    let outcome = F2Encryptor::new(F2Config::new(alpha, 2).unwrap(), master.clone())
-        .encrypt(&plain)
-        .expect("encrypt");
-    let mas = outcome
-        .mas_sets
-        .iter()
-        .copied()
-        .find(|m| attrs.is_subset_of(*m))
-        .unwrap_or(outcome.mas_sets[0]);
-    let f2_experiment = AttackExperiment::for_f2_outcome(&plain, &outcome, mas);
+    // (b) F² with α = 0.2, through the same trait.
+    let f2 = F2::builder()
+        .alpha(alpha)
+        .split_factor(2)
+        .master_key(master)
+        .build()
+        .expect("valid parameters");
+    let outcome = f2.encrypt(&plain).expect("encrypt");
+    let mas_sets = &outcome.f2_state().expect("F2 outcome").mas_sets;
+    let mas = mas_sets.iter().copied().find(|m| attrs.is_subset_of(*m)).unwrap_or(mas_sets[0]);
+    let f2_experiment =
+        AttackExperiment::for_scheme(&plain, &f2, &outcome, mas).expect("ground truth");
 
     let adversaries: [&dyn Adversary; 2] = [&FrequencyAttacker, &KerckhoffsAttacker];
     println!("{:<22} {:>22} {:>14}", "adversary", "deterministic (AES)", "F² (α=0.2)");

@@ -8,11 +8,10 @@
 //!
 //! Run with `cargo run --release --example data_cleaning`.
 
-use f2::crypto::MasterKey;
 use f2::fd::fdep::Fd;
 use f2::fd::tane::discover_fds;
 use f2::relation::{AttrSet, Record, Table, Value};
-use f2::{F2Config, F2Encryptor};
+use f2::{F2Scheme, Scheme, F2};
 use f2_datagen::{CustomerConfig, CustomerGenerator};
 
 /// Project the TPC-C Customer table onto the address-quality attributes.
@@ -52,11 +51,11 @@ fn main() {
         clean.row_count()
     );
 
-    let key = MasterKey::from_seed(8);
-    let config = F2Config::new(0.25, 2).unwrap();
+    let scheme: F2Scheme =
+        F2::builder().alpha(0.25).split_factor(2).seed(8).build().expect("valid parameters");
 
     for (label, table) in [("clean load", &clean), ("dirty load", &dirty)] {
-        let outcome = F2Encryptor::new(config, key.clone()).encrypt(table).expect("encrypt");
+        let outcome = scheme.encrypt(table).expect("encrypt");
         println!(
             "\n[{label}] encrypted: {} rows (+{:.1}% artificial), {} MASs",
             outcome.encrypted.row_count(),
@@ -95,10 +94,11 @@ fn main() {
     assert!(violations.iter().any(|&r| [17usize, 418, 902].contains(&r)));
 
     // Full TANE on the clean ciphertext still reports the address hierarchy.
-    let outcome = F2Encryptor::new(config, key).encrypt(&clean).expect("encrypt");
+    let outcome = scheme.encrypt(&clean).expect("encrypt");
+    let plaintext_schema = &outcome.f2_state().expect("F2 outcome").plaintext_schema;
     let fds = discover_fds(&outcome.encrypted);
     println!("\nFDs discovered on the CLEAN encrypted load (address hierarchy):");
     for fd in fds.iter().filter(|fd| fd.lhs.len() == 1) {
-        println!("  {}", fd.display(&outcome.plaintext_schema));
+        println!("  {}", fd.display(plaintext_schema));
     }
 }

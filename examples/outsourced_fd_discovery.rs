@@ -4,10 +4,9 @@
 //!
 //! Run with `cargo run --release --example outsourced_fd_discovery`.
 
-use f2::crypto::MasterKey;
 use f2::fd::tane::{Tane, TaneConfig};
 use f2::relation::csv;
-use f2::{F2Config, F2Encryptor};
+use f2::{Scheme, F2};
 use f2_datagen::{CustomerConfig, CustomerGenerator};
 use std::time::Instant;
 
@@ -27,10 +26,9 @@ fn main() {
     );
 
     // ── Owner side: encrypt (no FD knowledge needed) ─────────────────────────────
-    let key = MasterKey::from_seed(1);
-    let config = F2Config::new(0.2, 2).expect("valid config");
+    let scheme = F2::builder().alpha(0.2).split_factor(2).seed(1).build().expect("valid config");
     let t0 = Instant::now();
-    let outcome = F2Encryptor::new(config, key).encrypt(&customers).expect("encrypt");
+    let outcome = scheme.encrypt(&customers).expect("encrypt");
     println!(
         "Encrypted in {:.2?} (MAX {:.2?}, SSE {:.2?}, SYN {:.2?}, FP {:.2?}); \
          {} MASs, {:.1}% space overhead.",
@@ -61,10 +59,11 @@ fn main() {
     // ── Owner side: interpret the result ─────────────────────────────────────────
     // The server reports FDs over ciphertext columns; column names are unchanged, so
     // the owner can read them directly.
+    let plaintext_schema = &outcome.f2_state().expect("F2 outcome").plaintext_schema;
     println!("\nDependencies useful for data cleaning / schema refinement:");
     for fd in fds.iter() {
-        let lhs_names = outcome.plaintext_schema.display_set(fd.lhs);
-        let rhs_name = &outcome.plaintext_schema.names()[fd.rhs];
+        let lhs_names = plaintext_schema.display_set(fd.lhs);
+        let rhs_name = &plaintext_schema.names()[fd.rhs];
         if fd.lhs.len() == 1 && !lhs_names.contains("C_ID") {
             println!("  {lhs_names} → {rhs_name}");
         }

@@ -1,12 +1,11 @@
-//! Quickstart: encrypt a small table with F², let the "server" discover FDs on the
-//! ciphertext, and recover the original table with the key.
+//! Quickstart: encrypt a small table with the F² backend of the [`Scheme`] API, let
+//! the "server" discover FDs on the ciphertext, and recover the original table.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use f2::crypto::MasterKey;
 use f2::fd::tane::discover_fds;
 use f2::relation::table;
-use f2::{F2Config, F2Decryptor, F2Encryptor};
+use f2::{Scheme, F2};
 
 fn main() {
     // ── Data owner ──────────────────────────────────────────────────────────────
@@ -25,19 +24,23 @@ fn main() {
 
     // Encrypt with α = 1/3 (the adversary's success probability is at most 1/3) and
     // split factor ϖ = 2. The owner does NOT need to know any FD beforehand.
-    let key = MasterKey::from_seed(2024);
-    let config = F2Config::new(1.0 / 3.0, 2).expect("valid config");
-    let outcome = F2Encryptor::new(config, key.clone())
-        .encrypt(&data)
-        .expect("encryption succeeds");
+    let scheme = F2::builder()
+        .alpha(1.0 / 3.0)
+        .split_factor(2)
+        .seed(2024)
+        .build()
+        .expect("valid parameters");
+    let outcome = scheme.encrypt(&data).expect("encryption succeeds");
 
+    // F²-specific owner secrets (provenance, MAS sets) ride inside the outcome.
+    let owner_state = outcome.f2_state().expect("F2 outcome");
     println!(
         "Encrypted table: {} rows ({} artificial), {} MAS(s) discovered",
         outcome.encrypted.row_count(),
-        outcome.provenance.artificial_count(),
-        outcome.mas_sets.len()
+        owner_state.provenance.artificial_count(),
+        owner_state.mas_sets.len()
     );
-    for mas in &outcome.mas_sets {
+    for mas in &owner_state.mas_sets {
         println!("  MAS: {}", data.schema().display_set(*mas));
     }
 
@@ -53,9 +56,7 @@ fn main() {
     println!("\n✓ identical to the FDs of the original table (Theorem 3.7)");
 
     // ── Data owner again ─────────────────────────────────────────────────────────
-    let recovered = F2Decryptor::new(key)
-        .recover_from_outcome(&outcome)
-        .expect("decryption succeeds");
+    let recovered = scheme.decrypt(&outcome).expect("decryption succeeds");
     assert!(recovered.multiset_eq(&data));
     println!("✓ decryption recovers the original table exactly");
 }

@@ -11,17 +11,22 @@
 //!   baseline and a from-scratch Paillier implementation;
 //! * [`fd`] — TANE FD discovery, maximal-attribute-set (MAS) discovery, and the FD
 //!   lattice;
-//! * [`core`] — the F² scheme itself ([`F2Encryptor`] / [`F2Decryptor`]);
+//! * [`core`] — the pluggable [`Scheme`] backend API and its four implementations:
+//!   [`F2Scheme`] (the paper's scheme, built fluently with [`F2::builder`]),
+//!   [`DetScheme`] (deterministic AES), [`ProbScheme`] (per-cell probabilistic
+//!   cipher), and [`PaillierScheme`];
 //! * [`attack`] — the frequency-analysis and Kerckhoffs adversaries and the empirical
-//!   α-security experiment;
+//!   α-security experiment, runnable against **any** [`Scheme`];
 //! * [`datagen`] — TPC-H/TPC-C-style and synthetic workload generators used by the
 //!   evaluation.
 //!
 //! ## Quick start
 //!
+//! Every backend goes through the same three calls: build a [`Scheme`], `encrypt`,
+//! `decrypt`.
+//!
 //! ```
-//! use f2::{F2Config, F2Decryptor, F2Encryptor};
-//! use f2::crypto::MasterKey;
+//! use f2::{Scheme, F2};
 //! use f2::fd::tane::discover_fds;
 //! use f2::relation::table;
 //!
@@ -35,18 +40,24 @@
 //! };
 //!
 //! // Encrypt with α = 1/2 and split factor 2, without knowing any FD.
-//! let key = MasterKey::from_seed(42);
-//! let encryptor = F2Encryptor::new(F2Config::new(0.5, 2).unwrap(), key.clone());
-//! let outcome = encryptor.encrypt(&data).unwrap();
+//! let scheme = F2::builder().alpha(0.5).split_factor(2).seed(42).build().unwrap();
+//! let outcome = scheme.encrypt(&data).unwrap();
 //!
 //! // The (untrusted) server discovers FDs directly on the encrypted table …
 //! let server_fds = discover_fds(&outcome.encrypted);
 //! assert!(!server_fds.is_empty());
 //!
 //! // … and the owner can still recover her table exactly.
-//! let recovered = F2Decryptor::new(key).recover_from_outcome(&outcome).unwrap();
+//! let recovered = scheme.decrypt(&outcome).unwrap();
 //! assert!(recovered.multiset_eq(&data));
 //! ```
+//!
+//! Swapping the backend is one line — `DetScheme::new(key)` (fast, leaks frequencies)
+//! or `PaillierScheme::new(512, seed)?` (hides frequencies, destroys FDs, slow) both
+//! implement [`Scheme`] — which is how the benchmark registry and the attack harness
+//! compare all of them with shared code. F²'s provenance, MAS sets and plaintext
+//! schema remain reachable via [`SchemeOutcome::f2_state`], and the lower-level
+//! [`F2Encryptor`] / [`F2Decryptor`] API is still exported for direct use.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,7 +70,8 @@ pub use f2_fd as fd;
 pub use f2_relation as relation;
 
 pub use f2_core::{
-    EncryptionOutcome, EncryptionReport, F2Config, F2Decryptor, F2Encryptor, F2Error, Provenance,
-    RowOrigin,
+    DetScheme, EncryptionOutcome, EncryptionReport, F2Builder, F2Config, F2Decryptor, F2Encryptor,
+    F2Error, F2OwnerState, F2Scheme, OwnerState, PaillierScheme, ProbScheme, Provenance, RowOrigin,
+    Scheme, SchemeOutcome, F2,
 };
 pub use f2_relation::{AttrSet, Record, Schema, Table, Value};

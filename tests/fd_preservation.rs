@@ -109,8 +109,9 @@ fn figure4_false_positive_table() {
 fn generated_customer_sample_fds_preserved() {
     // A slice of the TPC-C-style Customer table restricted to the address attributes
     // (ZIP → CITY → STATE planted FDs) plus a payment counter.
-    let full = CustomerGenerator::new(CustomerConfig { rows: 300, seed: 11, ..CustomerConfig::default() })
-        .generate();
+    let full =
+        CustomerGenerator::new(CustomerConfig { rows: 300, seed: 11, ..CustomerConfig::default() })
+            .generate();
     let schema = full.schema().clone();
     let keep = ["C_CITY", "C_STATE", "C_ZIP", "C_CREDIT", "C_PAYMENT_CNT"];
     let indices: Vec<usize> = keep.iter().map(|n| schema.index_of(n).unwrap()).collect();

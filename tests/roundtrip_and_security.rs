@@ -7,7 +7,12 @@ use f2::{F2Config, F2Decryptor, F2Encryptor};
 use f2_datagen::Dataset;
 use std::collections::HashMap;
 
-fn encrypt(dataset: Dataset, rows: usize, alpha: f64, split: usize) -> (f2::Table, f2::EncryptionOutcome) {
+fn encrypt(
+    dataset: Dataset,
+    rows: usize,
+    alpha: f64,
+    split: usize,
+) -> (f2::Table, f2::EncryptionOutcome) {
     let plain = dataset.generate(rows, 77);
     let enc = F2Encryptor::new(
         F2Config::new(alpha, split).unwrap().with_seed(99),
@@ -23,11 +28,7 @@ fn roundtrip_on_generated_datasets() {
         let (plain, out) = encrypt(dataset, 120, 0.34, 2);
         let dec = F2Decryptor::new(MasterKey::from_seed(99));
         let recovered = dec.recover_from_outcome(&out).unwrap();
-        assert!(
-            recovered.multiset_eq(&plain),
-            "round-trip failed on {}",
-            dataset.name()
-        );
+        assert!(recovered.multiset_eq(&plain), "round-trip failed on {}", dataset.name());
     }
 }
 
@@ -64,10 +65,7 @@ fn empirical_alpha_security_holds() {
     let (plain, out) = encrypt(Dataset::Orders, 250, alpha, 2);
     for &mas in out.mas_sets.iter().take(2) {
         let exp = AttackExperiment::for_f2_outcome(&plain, &out, mas);
-        for adversary in [
-            &FrequencyAttacker as &dyn f2::attack::Adversary,
-            &KerckhoffsAttacker,
-        ] {
+        for adversary in [&FrequencyAttacker as &dyn f2::attack::Adversary, &KerckhoffsAttacker] {
             let outcome = exp.run(adversary, 800, 5);
             assert!(
                 outcome.success_rate() <= alpha + 0.1,

@@ -1,0 +1,282 @@
+//! Minimal offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build image has no access to a crates registry, so the workspace vendors the
+//! slice of the criterion 0.5 API that the `f2-bench` targets use: benchmark groups,
+//! `bench_function` / `bench_with_input`, `sample_size`, `throughput`, and the
+//! `criterion_group!` / `criterion_main!` macros. Instead of criterion's bootstrap
+//! statistics it reports min / median / mean wall-clock time over the configured
+//! number of samples — enough to compare the F² backends and reproduce the *shape* of
+//! the paper's figures from `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// Soft wall-clock budget per benchmark; sampling stops early once exceeded.
+const SAMPLE_BUDGET: Duration = Duration::from_secs(5);
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            throughput: None,
+        }
+    }
+
+    /// Run a free-standing benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(&id.to_string(), DEFAULT_SAMPLE_SIZE, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare the per-iteration throughput, reported as elements or bytes per second.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// A `function_name/parameter` benchmark identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identify a benchmark by function name and parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: function.to_string(), parameter: parameter.to_string() }
+    }
+
+    /// Identify a benchmark by parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Units of work performed per iteration, used to derive a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements (e.g. rows).
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up once, then sampling it `sample_size` times (early
+    /// exit once the per-benchmark time budget is exhausted).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > SAMPLE_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{label:<48} (no samples taken)");
+        return;
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    print!(
+        "{label:<48} min {:>12} | median {:>12} | mean {:>12} ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len()
+    );
+    if let Some(tp) = throughput {
+        let per_sec = |units: u64| units as f64 / median.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => print!(" | {:.0} elem/s", per_sec(n)),
+            Throughput::Bytes(n) => print!(" | {:.0} B/s", per_sec(n)),
+        }
+    }
+    println!();
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", d.as_secs_f64())
+    }
+}
+
+/// Bundle benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 5), &5u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        // warmup + up to 3 samples for the first benchmark
+        assert!((2..=4).contains(&calls), "unexpected call count {calls}");
+    }
+
+    #[test]
+    fn benchmark_id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("alpha").to_string(), "alpha");
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(4)), "4.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    #[test]
+    fn macros_compile_into_runnable_groups() {
+        fn bench_a(c: &mut Criterion) {
+            c.bench_function("a", |b| b.iter(|| black_box(1 + 1)));
+        }
+        criterion_group!(benches, bench_a);
+        benches();
+    }
+}

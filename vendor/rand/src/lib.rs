@@ -1,0 +1,167 @@
+//! Minimal offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build image for this repository has no access to a crates registry, so the
+//! workspace vendors the *tiny* slice of the `rand` 0.8 API that the F² code actually
+//! uses: a deterministic, seedable generator ([`rngs::StdRng`]) exposing `next_u32`,
+//! `next_u64` and `fill_bytes` through the [`Rng`] trait, and [`SeedableRng`] with
+//! `seed_from_u64`.
+//!
+//! The generator is **xoshiro256++** seeded through SplitMix64 — statistically solid
+//! for workload generation, nonce drawing, and Monte-Carlo attack experiments, which is
+//! all this workspace needs. It makes no cryptographic claim; F²'s security rests on
+//! its AES-based PRF, not on this RNG (the paper's `r` only needs to be non-repeating,
+//! and 128-bit values drawn from any full-period generator are).
+//!
+//! The stream differs from the real crate's `StdRng` (ChaCha12), so seeds produce
+//! different — but still reproducible — tables than a build against crates.io would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of randomness, folding together the `RngCore`/`Rng` split of the real
+/// crate (every generator here implements the whole surface directly).
+pub trait Rng {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be deterministically constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed (expanded internally to full state).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (offline stand-in for `rand::rngs::StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 state expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ by Blackman & Vigna (public domain reference algorithm).
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 16 {
+                assert!(buf.iter().any(|&b| b != 0), "filled buffer all zero");
+            }
+        }
+    }
+
+    #[test]
+    fn works_through_mut_references_and_impl_trait() {
+        fn draw(mut rng: impl Rng) -> u64 {
+            rng.next_u64()
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let direct = StdRng::seed_from_u64(3).next_u64();
+        assert_eq!(draw(&mut rng), direct);
+    }
+
+    #[test]
+    fn u32_is_high_word() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(a.next_u32(), (b.next_u64() >> 32) as u32);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        // Sanity check, not a statistical test: bit balance over 10k draws.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut ones = 0u64;
+        for _ in 0..10_000 {
+            ones += rng.next_u64().count_ones() as u64;
+        }
+        let expected = 10_000 * 32;
+        let deviation = (ones as i64 - expected as i64).abs();
+        assert!(deviation < 10_000, "bit balance off: {ones} vs {expected}");
+    }
+}
