@@ -5,23 +5,35 @@
 //! cargo run --release -p f2-bench --bin report -- [experiment …]
 //! ```
 //! where `experiment` is one or more of `table1`, `fig6`, `fig7`, `fig8`, `fig9a`,
-//! `fig9b`, `fig9c`, `fig9d`, `fig10`, `local_vs_outsource`, `security`, or `all`
-//! (default). Row counts are scaled down from the paper (see EXPERIMENTS.md); set the
-//! environment variable `F2_REPORT_SCALE` to an integer ≥ 1 to multiply them.
+//! `fig9b`, `fig9c`, `fig9d`, `fig10`, `local_vs_outsource`, `security`, `engine`, or
+//! `all` (default). Row counts are scaled down from the paper (see EXPERIMENTS.md);
+//! set the environment variable `F2_REPORT_SCALE` to an integer ≥ 1 to multiply them.
+//! Setting `F2_REPORT_SMOKE=1` shrinks the `engine` experiment to a seconds-long
+//! serializer check (CI runs it on every push).
 //!
 //! Every encryption measurement goes through the backend-agnostic
 //! [`f2_bench::measure_scheme_on`]; the baseline comparison (`fig8`) iterates
 //! [`f2_bench::backend_registry`], so adding a backend to the registry adds it to the
-//! report.
+//! report. The `engine` experiment sweeps [`f2_bench::ENGINE_WORKER_GRID`] over the
+//! streaming pipeline and additionally writes the machine-readable
+//! `BENCH_report.json`, the repo's tracked perf-trajectory artifact.
 
-use f2_bench::{backend_registry, measure_scheme_on, secs, time_fd_discovery};
+use f2_bench::{
+    backend_registry, backend_registry_with, engine_backends, measure_engine, measure_scheme_on,
+    secs, time_fd_discovery, EngineMeasurement, ENGINE_WORKER_GRID,
+};
 use f2_core::{F2Scheme, Scheme, F2};
 use f2_datagen::Dataset;
 use f2_fd::mas::find_mas;
 use f2_relation::stats::{human_bytes, TableStats};
+use std::fmt::Write as _;
 
 fn scale() -> usize {
     std::env::var("F2_REPORT_SCALE").ok().and_then(|s| s.parse::<usize>().ok()).unwrap_or(1).max(1)
+}
+
+fn smoke() -> bool {
+    std::env::var("F2_REPORT_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
 fn header(title: &str) {
@@ -285,6 +297,134 @@ fn security() {
     println!("\n(Both adversaries stay at or below the configured α, as Definition 2.1 requires.)");
 }
 
+/// The `engine` experiment: streaming-pipeline throughput across the worker grid on
+/// the synthetic 10k-row workload, plus the Paillier cell-framing comparison, printed
+/// as a table and written to `BENCH_report.json`.
+fn engine() {
+    header("Engine — streaming pipeline throughput vs worker count (Synthetic)");
+    let smoke = smoke();
+    let rows = if smoke { 400 } else { 10_000 * scale() };
+    let chunk_rows = if smoke { 32 } else { 512 };
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let table = Dataset::Synthetic.generate(rows, 42);
+    println!(
+        "[{} rows, {} per chunk, {} host CPU(s){}]\n",
+        rows,
+        chunk_rows,
+        host_cpus,
+        if smoke { ", SMOKE MODE" } else { "" }
+    );
+    if host_cpus < 2 {
+        println!("NOTE: this host exposes a single CPU; multi-worker speedups are bounded");
+        println!("      at ~1.0x by the hardware, not by the pipeline.\n");
+    }
+    println!(
+        "{:<20} {:>8} {:>8} {:>12} {:>14} {:>10} {:>14}",
+        "backend", "workers", "chunks", "wall", "MB/s", "speedup", "vs single-shot"
+    );
+    let mut measurements: Vec<(EngineMeasurement, f64, f64)> = Vec::new();
+    for scheme in engine_backends(0.2, 2, 7) {
+        // Baseline: the pre-engine path — one unchunked, single-threaded encrypt().
+        // For F² this also isolates the algorithmic win of chunking (the SSE step is
+        // quadratic in the per-chunk equivalence-class count).
+        let single_shot =
+            measure_scheme_on(scheme.as_ref(), &table, "Synthetic").wall.as_secs_f64();
+        let mut one_worker = None;
+        for workers in ENGINE_WORKER_GRID {
+            let m = measure_engine(scheme.as_ref(), &table, workers, chunk_rows, 7);
+            let base = *one_worker.get_or_insert(m.wall.as_secs_f64());
+            let speedup = base / m.wall.as_secs_f64().max(1e-9);
+            let vs_single = single_shot / m.wall.as_secs_f64().max(1e-9);
+            println!(
+                "{:<20} {:>8} {:>8} {:>12} {:>14.2} {:>9.2}x {:>13.2}x",
+                m.scheme,
+                m.workers,
+                m.chunks,
+                secs(m.wall),
+                m.throughput_mb_s(),
+                speedup,
+                vs_single
+            );
+            measurements.push((m, speedup, vs_single));
+        }
+    }
+
+    // Paillier cell-framing comparison: chunk-per-ciphertext vs packed rows on the
+    // same sampled measurement policy the registry uses.
+    println!("\n{:<20} {:>8} {:>12} {:>14}", "paillier framing", "rows", "wall", "MB/s");
+    let (bits, sample) = if smoke { (64, 4) } else { (512, 8) };
+    let mut framing = Vec::new();
+    for backend in backend_registry_with(0.2, 2, 7, bits, sample) {
+        if !backend.scheme.name().starts_with("paillier") {
+            continue;
+        }
+        let bench_table = table.truncated(sample);
+        let m = measure_scheme_on(backend.scheme.as_ref(), &bench_table, "Synthetic");
+        let mb_s = m.plain_bytes as f64 / 1e6 / m.wall.as_secs_f64().max(1e-9);
+        println!("{:<20} {:>8} {:>12} {:>14.4}", m.scheme, m.rows, secs(m.wall), mb_s);
+        framing.push((m, mb_s));
+    }
+
+    let path = "BENCH_report.json";
+    let json = engine_json(smoke, rows, chunk_rows, host_cpus, &measurements, &framing);
+    std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("\nWrote {path} ({} engine entries).", measurements.len());
+}
+
+/// Render the `engine` experiment as the `BENCH_report.json` document (hand-rolled:
+/// the offline vendor set has no JSON crate, and the schema is small and flat).
+fn engine_json(
+    smoke: bool,
+    rows: usize,
+    chunk_rows: usize,
+    host_cpus: usize,
+    measurements: &[(EngineMeasurement, f64, f64)],
+    framing: &[(f2_bench::RunMeasurement, f64)],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"version\": 1,");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(out, "  \"workload\": {{ \"dataset\": \"Synthetic\", \"rows\": {rows}, \"chunk_rows\": {chunk_rows} }},");
+    out.push_str("  \"engine\": [\n");
+    for (i, (m, speedup, vs_single)) in measurements.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"backend\": \"{}\", \"workers\": {}, \"chunks\": {}, \"rows\": {}, \
+             \"plain_bytes\": {}, \"encrypted_rows\": {}, \"wall_s\": {:.6}, \
+             \"throughput_mb_s\": {:.4}, \"speedup_vs_1_worker\": {:.4}, \
+             \"speedup_vs_single_shot\": {:.4} }}",
+            m.scheme,
+            m.workers,
+            m.chunks,
+            m.rows,
+            m.plain_bytes,
+            m.encrypted_rows,
+            m.wall.as_secs_f64(),
+            m.throughput_mb_s(),
+            speedup,
+            vs_single
+        );
+        out.push_str(if i + 1 < measurements.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"paillier_framing\": [\n");
+    for (i, (m, mb_s)) in framing.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{ \"backend\": \"{}\", \"rows\": {}, \"plain_bytes\": {}, \
+             \"wall_s\": {:.6}, \"throughput_mb_s\": {:.6} }}",
+            m.scheme,
+            m.rows,
+            m.plain_bytes,
+            m.wall.as_secs_f64(),
+            mb_s
+        );
+        out.push_str(if i + 1 < framing.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
@@ -300,6 +440,7 @@ fn main() {
             "fig10",
             "local_vs_outsource",
             "security",
+            "engine",
         ]
         .into_iter()
         .map(String::from)
@@ -320,6 +461,7 @@ fn main() {
             "fig10" => fig10(),
             "local_vs_outsource" => local_vs_outsource(),
             "security" => security(),
+            "engine" => engine(),
             other => eprintln!("unknown experiment `{other}` — see --help in the source header"),
         }
     }

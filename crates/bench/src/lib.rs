@@ -16,9 +16,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use f2_core::{DetScheme, EncryptionReport, PaillierScheme, ProbScheme, Scheme, F2};
+use f2_core::{ChunkedScheme, DetScheme, EncryptionReport, PaillierScheme, ProbScheme, Scheme, F2};
 use f2_crypto::MasterKey;
 use f2_datagen::Dataset;
+use f2_engine::{Engine, EngineConfig};
 use f2_fd::tane::{Tane, TaneConfig};
 use f2_relation::Table;
 use std::time::{Duration, Instant};
@@ -127,10 +128,11 @@ pub const REGISTRY_PAILLIER_BITS: usize = 512;
 /// Rows Paillier is sampled on before extrapolating.
 pub const REGISTRY_PAILLIER_SAMPLE_ROWS: usize = 8;
 
-/// The four backends of the paper's evaluation (Figure 8), ready to be iterated by the
-/// report and the benches: F² (with the given α and ϖ), deterministic AES,
-/// probabilistic PRF, and 512-bit Paillier (sampled, see
-/// [`REGISTRY_PAILLIER_SAMPLE_ROWS`]).
+/// The paper's four backends (Figure 8) plus the packed-row Paillier framing, ready to
+/// be iterated by the report and the benches: F² (with the given α and ϖ),
+/// deterministic AES, probabilistic PRF, and 512-bit Paillier in both framings
+/// (sampled, see [`REGISTRY_PAILLIER_SAMPLE_ROWS`]). `paillier` vs `paillier-packed`
+/// on the same rows is the cell-batching comparison.
 pub fn backend_registry(alpha: f64, split: usize, seed: u64) -> Vec<RegisteredBackend> {
     backend_registry_with(alpha, split, seed, REGISTRY_PAILLIER_BITS, REGISTRY_PAILLIER_SAMPLE_ROWS)
 }
@@ -164,7 +166,89 @@ pub fn backend_registry_with(
             scheme: Box::new(PaillierScheme::new(paillier_bits, seed).expect("valid modulus")),
             sample_rows: Some(paillier_sample_rows),
         },
+        RegisteredBackend {
+            scheme: Box::new(
+                PaillierScheme::new(paillier_bits, seed).expect("valid modulus").packed(),
+            ),
+            sample_rows: Some(paillier_sample_rows),
+        },
     ]
+}
+
+/// Worker counts the engine throughput experiments sweep.
+pub const ENGINE_WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// The engine-capable backends measured by the streaming-throughput experiments
+/// (Paillier is excluded here — at registry modulus sizes a full engine sweep is
+/// priced in minutes; its framing comparison lives in [`backend_registry`]).
+pub fn engine_backends(alpha: f64, split: usize, seed: u64) -> Vec<Box<dyn ChunkedScheme>> {
+    let master = MasterKey::from_seed(seed);
+    vec![
+        Box::new(
+            F2::builder()
+                .alpha(alpha)
+                .split_factor(split)
+                .seed(seed)
+                .master_key(master.clone())
+                .build()
+                .expect("valid F2 parameters"),
+        ),
+        Box::new(DetScheme::new(master.clone())),
+        Box::new(ProbScheme::new(master, seed)),
+    ]
+}
+
+/// Measurement of one [`Engine`] run over some [`ChunkedScheme`].
+#[derive(Debug, Clone)]
+pub struct EngineMeasurement {
+    /// The backend's [`Scheme::name`].
+    pub scheme: String,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Rows per chunk.
+    pub chunk_rows: usize,
+    /// Chunks the table was sharded into.
+    pub chunks: usize,
+    /// Rows of the plaintext table.
+    pub rows: usize,
+    /// Plaintext size in bytes.
+    pub plain_bytes: usize,
+    /// Rows of the encrypted table.
+    pub encrypted_rows: usize,
+    /// Wall-clock time of the whole pipeline run.
+    pub wall: Duration,
+}
+
+impl EngineMeasurement {
+    /// Plaintext megabytes encrypted per wall-clock second.
+    pub fn throughput_mb_s(&self) -> f64 {
+        self.plain_bytes as f64 / 1e6 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Run the streaming engine once over `table` and record pipeline-level throughput.
+pub fn measure_engine(
+    scheme: &dyn ChunkedScheme,
+    table: &Table,
+    workers: usize,
+    chunk_rows: usize,
+    seed: u64,
+) -> EngineMeasurement {
+    let engine =
+        Engine::new(EngineConfig { workers, chunk_rows, seed }).expect("valid engine config");
+    let start = Instant::now();
+    let run = engine.encrypt(scheme, table).expect("engine encryption succeeds");
+    let wall = start.elapsed();
+    EngineMeasurement {
+        scheme: scheme.name().to_owned(),
+        workers,
+        chunk_rows,
+        chunks: run.chunks.len(),
+        rows: table.row_count(),
+        plain_bytes: table.size_bytes(),
+        encrypted_rows: run.outcome.encrypted.row_count(),
+        wall,
+    }
 }
 
 /// Time TANE FD discovery on a table (optionally capping the LHS size so wide tables
@@ -205,7 +289,10 @@ mod tests {
         // affair, and this test runs under the debug profile.
         let registry = backend_registry_with(0.5, 2, 1, 64, 4);
         let names: Vec<String> = registry.iter().map(|b| b.scheme.name().to_owned()).collect();
-        assert_eq!(names, ["f2", "deterministic-aes", "probabilistic-prf", "paillier"]);
+        assert_eq!(
+            names,
+            ["f2", "deterministic-aes", "probabilistic-prf", "paillier", "paillier-packed"]
+        );
         for backend in &registry {
             let m = backend.measure(&table, "Orders");
             assert_eq!(m.rows, 40, "{}", m.scheme);
@@ -225,6 +312,21 @@ mod tests {
         // sample >= table size degrades to a full measurement
         let full = measure_scheme_sampled(&scheme, &table, "Customer", 100);
         assert_eq!(full.report.overhead.original_rows, 60);
+    }
+
+    #[test]
+    fn engine_measurement_covers_every_engine_backend() {
+        let table = Dataset::Synthetic.generate(60, 5);
+        for scheme in engine_backends(0.5, 2, 5) {
+            for workers in [1, 2] {
+                let m = measure_engine(scheme.as_ref(), &table, workers, 16, 5);
+                assert_eq!(m.workers, workers, "{}", m.scheme);
+                assert_eq!(m.rows, 60, "{}", m.scheme);
+                assert_eq!(m.chunks, 4, "{}", m.scheme);
+                assert!(m.encrypted_rows >= 60, "{}", m.scheme);
+                assert!(m.throughput_mb_s() > 0.0, "{}", m.scheme);
+            }
+        }
     }
 
     #[test]

@@ -73,6 +73,64 @@ pub trait Scheme {
     }
 }
 
+/// One encrypted chunk's owner state, positioned inside the merged table, as handed to
+/// [`ChunkedScheme::merge_chunk_states`].
+#[derive(Debug)]
+pub struct ChunkState {
+    /// Index (in the *original* table) of the chunk's first row.
+    pub row_offset: usize,
+    /// Index (in the *merged encrypted* table) of the chunk's first output row.
+    pub output_offset: usize,
+    /// The chunk's own owner state, exactly as its `encrypt` call produced it.
+    pub state: OwnerState,
+}
+
+/// Extension of [`Scheme`] required by the streaming engine (`f2_engine`): the backend
+/// must support per-chunk randomness re-derivation and owner-state merging.
+///
+/// The engine shards a table into row-range chunks and encrypts them concurrently.
+/// Two chunks with identical rows would otherwise feed identical RNG streams to the
+/// probabilistic ciphers (the per-table fingerprint defense can't tell them apart), so
+/// every chunk is encrypted by a [`ChunkedScheme::reseeded`] clone whose seed is
+/// derived from the engine seed and the chunk index — disjoint nonce domains by
+/// construction. After the workers finish, the per-chunk owner states are folded back
+/// into one table-level state by [`ChunkedScheme::merge_chunk_states`], so the merged
+/// outcome decrypts through the ordinary [`Scheme::decrypt`] of the *original* scheme
+/// (decryption never depends on encryption-time seeds).
+pub trait ChunkedScheme: Scheme + Send + Sync {
+    /// A scheme identical to this one except that its encryption-time randomness is
+    /// derived from `seed`. Deterministic backends (no encryption-time randomness)
+    /// return an unchanged clone. Key material is shared, never re-derived: a reseeded
+    /// scheme's output stays decryptable by the original.
+    fn reseeded(&self, seed: u64) -> Box<dyn ChunkedScheme>;
+
+    /// Fold per-chunk owner states (in chunk order) into the owner state of the
+    /// concatenated table. Errors if any state was not produced by this backend.
+    fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState>;
+}
+
+/// Merge chunk states for cell-wise backends: each chunk only carries the plaintext
+/// schema, so merging checks that all chunks agree and returns the shared schema.
+fn merge_cell_wise_states(scheme: &str, chunks: Vec<ChunkState>) -> Result<OwnerState> {
+    let mut schema: Option<Schema> = None;
+    for chunk in chunks {
+        let state: &CellWiseState =
+            chunk.state.downcast_ref().ok_or_else(|| wrong_state(scheme))?;
+        match &schema {
+            None => schema = Some(state.plaintext_schema.clone()),
+            Some(s) if *s == state.plaintext_schema => {}
+            Some(_) => {
+                return Err(F2Error::UnsupportedInput(
+                    "chunk owner states disagree on the plaintext schema".into(),
+                ))
+            }
+        }
+    }
+    let schema =
+        schema.ok_or_else(|| F2Error::UnsupportedInput("cannot merge zero chunk states".into()))?;
+    Ok(OwnerState::new(CellWiseState { plaintext_schema: schema }))
+}
+
 /// Deterministic fingerprint of a table's schema and contents.
 ///
 /// The probabilistic backends fold this into their nonce-RNG seed so that two
@@ -297,6 +355,14 @@ impl F2Builder {
         self
     }
 
+    /// Draw the RNG seed from ambient entropy ([`f2_crypto::entropy_seed`]) instead of
+    /// the fixed default, so two builds of the same pipeline never share nonce
+    /// streams. Supply the master key explicitly ([`F2Builder::master_key`]) when the
+    /// ciphertext must remain decryptable across processes.
+    pub fn seed_from_entropy(self) -> Self {
+        self.seed(f2_crypto::entropy_seed())
+    }
+
     /// Set the minimum number of real rows retained per split instance (must be ≥ 1).
     pub fn min_real_rows(mut self, min_real_rows: usize) -> Self {
         self.config.min_real_rows_per_instance = min_real_rows;
@@ -348,6 +414,83 @@ impl F2Scheme {
     /// downcasting).
     pub fn encrypt_concrete(&self, table: &Table) -> Result<EncryptionOutcome> {
         self.encryptor.encrypt(table)
+    }
+
+    /// The same scheme with a different RNG seed: the master key (and thus
+    /// decryptability) is unchanged, only nonce generation and fake-value shuffling
+    /// re-derive from `seed`.
+    pub fn with_seed(&self, seed: u64) -> Self {
+        F2Scheme::new(self.config().with_seed(seed), self.encryptor.master().clone())
+    }
+}
+
+impl ChunkedScheme for F2Scheme {
+    fn reseeded(&self, seed: u64) -> Box<dyn ChunkedScheme> {
+        Box::new(self.with_seed(seed))
+    }
+
+    fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState> {
+        if chunks.is_empty() {
+            return Err(F2Error::UnsupportedInput("cannot merge zero chunk states".into()));
+        }
+        let mut provenance = crate::Provenance::default();
+        let mut mas_sets: Vec<AttrSet> = Vec::new();
+        let mut schema: Option<Schema> = None;
+        for chunk in &chunks {
+            let state: &F2OwnerState =
+                chunk.state.downcast_ref().ok_or_else(|| wrong_state(self.name()))?;
+            match &schema {
+                None => schema = Some(state.plaintext_schema.clone()),
+                Some(s) if *s == state.plaintext_schema => {}
+                Some(_) => {
+                    return Err(F2Error::UnsupportedInput(
+                        "chunk owner states disagree on the plaintext schema".into(),
+                    ))
+                }
+            }
+            // MAS sets are discovered per chunk; the merged list concatenates them so
+            // that each chunk's `mas_index` values stay resolvable after offsetting.
+            let mas_offset = mas_sets.len();
+            mas_sets.extend_from_slice(&state.mas_sets);
+            // Row indices are chunk-local on both sides: original-row indices shift by
+            // the chunk's position in the plaintext, output-row indices by the number
+            // of encrypted rows emitted by earlier chunks.
+            for origin in &state.provenance.origins {
+                provenance.origins.push(match *origin {
+                    crate::RowOrigin::Real { original_row } => {
+                        crate::RowOrigin::Real { original_row: original_row + chunk.row_offset }
+                    }
+                    crate::RowOrigin::ScaleCopy { mas_index } => {
+                        crate::RowOrigin::ScaleCopy { mas_index: mas_index + mas_offset }
+                    }
+                    crate::RowOrigin::GroupFake { mas_index } => {
+                        crate::RowOrigin::GroupFake { mas_index: mas_index + mas_offset }
+                    }
+                    crate::RowOrigin::ConflictCompanion { original_row } => {
+                        crate::RowOrigin::ConflictCompanion {
+                            original_row: original_row + chunk.row_offset,
+                        }
+                    }
+                    crate::RowOrigin::FalsePositive { mas_index } => {
+                        crate::RowOrigin::FalsePositive { mas_index: mas_index + mas_offset }
+                    }
+                });
+            }
+            for (original_row, patches) in &state.provenance.patches {
+                provenance.patches.insert(
+                    original_row + chunk.row_offset,
+                    patches
+                        .iter()
+                        .map(|&(attr, out_row)| (attr, out_row + chunk.output_offset))
+                        .collect(),
+                );
+            }
+        }
+        Ok(OwnerState::new(F2OwnerState {
+            provenance,
+            mas_sets,
+            plaintext_schema: schema.expect("at least one chunk"),
+        }))
     }
 }
 
@@ -414,6 +557,17 @@ impl Scheme for DetScheme {
     }
 }
 
+impl ChunkedScheme for DetScheme {
+    fn reseeded(&self, _seed: u64) -> Box<dyn ChunkedScheme> {
+        // Deterministic encryption draws no encryption-time randomness.
+        Box::new(self.clone())
+    }
+
+    fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState> {
+        merge_cell_wise_states(self.name(), chunks)
+    }
+}
+
 // ─────────────────────────── Probabilistic PRF baseline ────────────────────────────
 
 /// The per-cell probabilistic cipher `e = ⟨r, F_k(r) ⊕ p⟩` as a standalone backend:
@@ -429,6 +583,19 @@ impl ProbScheme {
     /// Create the baseline from the owner's master key and a nonce-RNG seed.
     pub fn new(master: MasterKey, seed: u64) -> Self {
         ProbScheme { master, seed }
+    }
+
+    /// Create the baseline with an ambient-entropy nonce seed
+    /// ([`f2_crypto::entropy_seed`]): the key still decrypts, but nonce streams differ
+    /// across runs.
+    pub fn from_entropy(master: MasterKey) -> Self {
+        Self::new(master, f2_crypto::entropy_seed())
+    }
+
+    /// The same scheme with a different nonce-RNG seed (the key is unchanged, so
+    /// existing ciphertexts stay decryptable).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        Self::new(self.master.clone(), seed)
     }
 
     fn ciphers(&self, arity: usize) -> Vec<ProbabilisticCipher> {
@@ -455,26 +622,54 @@ impl Scheme for ProbScheme {
     }
 }
 
+impl ChunkedScheme for ProbScheme {
+    fn reseeded(&self, seed: u64) -> Box<dyn ChunkedScheme> {
+        Box::new(self.with_seed(seed))
+    }
+
+    fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState> {
+        merge_cell_wise_states(self.name(), chunks)
+    }
+}
+
 // ─────────────────────────────── Paillier baseline ─────────────────────────────────
+
+/// How [`PaillierScheme`] maps relational cells onto Paillier plaintext chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PaillierFraming {
+    /// One ciphertext stream per cell: each cell's encoding is chunked and every chunk
+    /// is encrypted on its own. Simple, but a short cell (a few bytes) still costs a
+    /// whole modular exponentiation and a full ciphertext frame.
+    #[default]
+    PerCell,
+    /// Row packing: all cells of a row are length-prefixed, concatenated into one
+    /// plaintext stream, and *that* stream is chunked — so one ciphertext typically
+    /// carries several cells, cutting both the number of modular exponentiations and
+    /// the ciphertext bytes per row (see `bench_baselines` and `BENCH_report.json`).
+    PackedRows,
+}
 
 /// Textbook Paillier as a cell-wise backend (the paper's asymmetric probabilistic
 /// baseline of Figure 8).
 ///
-/// Each cell's self-describing encoding is chunked so that every chunk, prefixed with
-/// a `0x01` marker byte, is an integer strictly below the modulus; chunks are
-/// encrypted independently and framed at the key's fixed ciphertext width, so
-/// decryption is exact (no lossy folding). Orders of magnitude slower than the
-/// symmetric backends — that relative cost is the paper's point.
+/// Each plaintext chunk, prefixed with a `0x01` marker byte, is an integer strictly
+/// below the modulus; chunks are encrypted independently and framed at the key's fixed
+/// ciphertext width, so decryption is exact (no lossy folding). [`PaillierFraming`]
+/// selects whether chunks are cut per cell or across a whole packed row. Orders of
+/// magnitude slower than the symmetric backends — that relative cost is the paper's
+/// point.
 #[derive(Debug, Clone)]
 pub struct PaillierScheme {
     keypair: PaillierKeyPair,
     seed: u64,
+    framing: PaillierFraming,
 }
 
 impl PaillierScheme {
     /// Generate a key pair of the given modulus size (≥ 64 bits, so that at least one
-    /// plaintext byte fits per chunk) and build the scheme. The seed drives both key
-    /// generation and the per-encryption randomness.
+    /// plaintext byte fits per chunk) and build the scheme with the default
+    /// [`PaillierFraming::PerCell`] framing. The seed drives both key generation and
+    /// the per-encryption randomness.
     pub fn new(modulus_bits: usize, seed: u64) -> Result<Self> {
         if modulus_bits < 64 {
             return Err(F2Error::UnsupportedInput(format!(
@@ -484,6 +679,12 @@ impl PaillierScheme {
         let mut rng = StdRng::seed_from_u64(seed);
         let keypair = PaillierKeyPair::generate(modulus_bits, &mut rng)?;
         Self::with_keypair(keypair, seed)
+    }
+
+    /// [`PaillierScheme::new`] with the key-generation seed drawn from ambient
+    /// entropy ([`f2_crypto::entropy_seed`]).
+    pub fn from_entropy(modulus_bits: usize) -> Result<Self> {
+        Self::new(modulus_bits, f2_crypto::entropy_seed())
     }
 
     /// Build the scheme around an existing key pair. Rejects keys whose modulus is too
@@ -496,7 +697,26 @@ impl PaillierScheme {
                 keypair.public().modulus().bits()
             )));
         }
-        Ok(PaillierScheme { keypair, seed })
+        Ok(PaillierScheme { keypair, seed, framing: PaillierFraming::PerCell })
+    }
+
+    /// Switch to [`PaillierFraming::PackedRows`] (several cells per ciphertext chunk).
+    /// The scheme's [`Scheme::name`] changes to `paillier-packed` so reports and
+    /// benchmarks can show both framings side by side.
+    pub fn packed(mut self) -> Self {
+        self.framing = PaillierFraming::PackedRows;
+        self
+    }
+
+    /// The framing in use.
+    pub fn framing(&self) -> PaillierFraming {
+        self.framing
+    }
+
+    /// The same scheme with a different randomness seed (the key pair is unchanged, so
+    /// existing ciphertexts stay decryptable).
+    pub fn with_seed(&self, seed: u64) -> Self {
+        PaillierScheme { keypair: self.keypair.clone(), seed, framing: self.framing }
     }
 
     /// The key pair in use.
@@ -504,13 +724,15 @@ impl PaillierScheme {
         &self.keypair
     }
 
-    fn encrypt_cell(&self, value: &Value, rng: &mut StdRng) -> Result<Value> {
+    /// Encrypt an arbitrary byte stream: the stream is cut into marker-prefixed chunks
+    /// strictly below the modulus, and each chunk becomes one fixed-width ciphertext
+    /// frame. This is the shared hot path of both framings.
+    fn encrypt_stream(&self, stream: &[u8], rng: &mut StdRng) -> Result<Vec<u8>> {
         let public = self.keypair.public();
         let chunk_size = public.plaintext_chunk_size();
         let width = public.ciphertext_width();
-        let encoding = value.encode();
-        let mut out = Vec::with_capacity(encoding.len().div_ceil(chunk_size) * width);
-        for chunk in encoding.chunks(chunk_size) {
+        let mut out = Vec::with_capacity(stream.len().div_ceil(chunk_size.max(1)) * width);
+        for chunk in stream.chunks(chunk_size) {
             // 0x01 marker keeps leading zero bytes of the chunk alive through the
             // integer round-trip and guarantees the message is non-zero.
             let mut message = Vec::with_capacity(chunk.len() + 1);
@@ -522,26 +744,25 @@ impl PaillierScheme {
             out.resize(out.len() + width - bytes.len(), 0);
             out.extend_from_slice(&bytes);
         }
-        Ok(Value::bytes(out))
+        Ok(out)
     }
 
-    fn decrypt_cell(&self, cell: &Value) -> Result<Value> {
+    /// Inverse of [`PaillierScheme::encrypt_stream`]: decrypt a sequence of
+    /// fixed-width frames back to the original byte stream.
+    fn decrypt_stream(&self, bytes: &[u8]) -> Result<Vec<u8>> {
         let width = self.keypair.public().ciphertext_width();
-        let bytes = cell.as_bytes().ok_or_else(|| {
-            F2Error::UnsupportedInput("Paillier cell is not a byte string".into())
-        })?;
-        if width == 0 || bytes.len() % width != 0 {
+        if width == 0 || !bytes.len().is_multiple_of(width) {
             return Err(F2Error::UnsupportedInput(format!(
-                "Paillier cell of {} bytes is not a multiple of the {width}-byte frame",
+                "Paillier payload of {} bytes is not a multiple of the {width}-byte frame",
                 bytes.len()
             )));
         }
-        let mut encoding = Vec::new();
+        let mut stream = Vec::new();
         for frame in bytes.chunks(width) {
             let message = self.keypair.decrypt(&PaillierCiphertext::from_bytes_be(frame))?;
             let message_bytes = message.to_bytes_be();
             match message_bytes.split_first() {
-                Some((0x01, chunk)) => encoding.extend_from_slice(chunk),
+                Some((0x01, chunk)) => stream.extend_from_slice(chunk),
                 _ => {
                     return Err(F2Error::UnsupportedInput(
                         "Paillier chunk lost its marker byte (wrong key or corrupt cell)".into(),
@@ -549,25 +770,169 @@ impl PaillierScheme {
                 }
             }
         }
+        Ok(stream)
+    }
+
+    fn encrypt_cell(&self, value: &Value, rng: &mut StdRng) -> Result<Value> {
+        Ok(Value::bytes(self.encrypt_stream(&value.encode(), rng)?))
+    }
+
+    fn decrypt_cell(&self, cell: &Value) -> Result<Value> {
+        let bytes = cell.as_bytes().ok_or_else(|| {
+            F2Error::UnsupportedInput("Paillier cell is not a byte string".into())
+        })?;
+        let encoding = self.decrypt_stream(bytes)?;
         Value::decode(&encoding).ok_or_else(|| {
             F2Error::UnsupportedInput("decrypted Paillier cell does not decode".into())
         })
+    }
+
+    /// Append a varint length prefix: one byte for lengths below 255, else a `0xFF`
+    /// marker followed by the length as a `u32`. Cell encodings are typically a few
+    /// bytes, so the prefix overhead per cell is one byte — this matters because every
+    /// packed-stream byte costs modulus capacity.
+    fn put_packed_len(stream: &mut Vec<u8>, len: usize) {
+        if len < 0xFF {
+            stream.push(len as u8);
+        } else {
+            stream.push(0xFF);
+            stream.extend_from_slice(&(len as u32).to_le_bytes());
+        }
+    }
+
+    /// Read a varint length prefix written by [`PaillierScheme::put_packed_len`],
+    /// advancing `pos`. Errors (via `None`) on truncation.
+    fn take_packed_len(stream: &[u8], pos: &mut usize) -> Option<usize> {
+        let first = *stream.get(*pos)?;
+        *pos += 1;
+        if first < 0xFF {
+            return Some(first as usize);
+        }
+        let bytes: [u8; 4] = stream.get(*pos..*pos + 4)?.try_into().ok()?;
+        *pos += 4;
+        Some(u32::from_le_bytes(bytes) as usize)
+    }
+
+    /// Packed-rows encryption: one length-prefixed plaintext stream per row, chunked
+    /// across cell boundaries, with the resulting frames dealt back over the row's
+    /// cells in contiguous blocks (so concatenating the cells recovers frame order).
+    fn encrypt_packed(&self, table: &Table) -> Result<SchemeOutcome> {
+        let arity = table.arity();
+        if arity == 0 {
+            return Err(F2Error::UnsupportedInput("table has no attributes".into()));
+        }
+        let width = self.keypair.public().ciphertext_width();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
+        let start = Instant::now();
+        let mut records = Vec::with_capacity(table.row_count());
+        for (_, rec) in table.iter() {
+            let mut stream = Vec::new();
+            for v in rec.values() {
+                let encoding = v.encode();
+                Self::put_packed_len(&mut stream, encoding.len());
+                stream.extend_from_slice(&encoding);
+            }
+            let frames = self.encrypt_stream(&stream, &mut rng)?;
+            let frame_count = frames.len() / width;
+            let per_cell = frame_count.div_ceil(arity);
+            let mut values = Vec::with_capacity(arity);
+            for attr in 0..arity {
+                let lo = (attr * per_cell).min(frame_count) * width;
+                let hi = ((attr + 1) * per_cell).min(frame_count) * width;
+                values.push(Value::bytes(frames[lo..hi].to_vec()));
+            }
+            records.push(Record::new(values));
+        }
+        let encrypted = Table::new(table.schema().encrypted(), records)?;
+        let report = EncryptionReport {
+            timings: StepTimings { sse: start.elapsed(), ..StepTimings::default() },
+            overhead: OverheadBreakdown {
+                original_rows: table.row_count(),
+                ..OverheadBreakdown::default()
+            },
+            ..EncryptionReport::default()
+        };
+        Ok(SchemeOutcome {
+            encrypted,
+            state: OwnerState::new(CellWiseState { plaintext_schema: table.schema().clone() }),
+            report,
+        })
+    }
+
+    /// Inverse of [`PaillierScheme::encrypt_packed`].
+    fn decrypt_packed(&self, outcome: &SchemeOutcome) -> Result<Table> {
+        let state: &CellWiseState =
+            outcome.state.downcast_ref().ok_or_else(|| wrong_state(self.name()))?;
+        let arity = outcome.encrypted.arity();
+        if state.plaintext_schema.arity() != arity {
+            return Err(F2Error::UnsupportedInput(
+                "owner-state schema arity differs from the encrypted table".into(),
+            ));
+        }
+        let malformed =
+            || F2Error::UnsupportedInput("packed Paillier row stream is malformed".into());
+        let mut records = Vec::with_capacity(outcome.encrypted.row_count());
+        for (_, rec) in outcome.encrypted.iter() {
+            let mut frames = Vec::new();
+            for cell in rec.values() {
+                frames.extend_from_slice(cell.as_bytes().ok_or_else(|| {
+                    F2Error::UnsupportedInput("Paillier cell is not a byte string".into())
+                })?);
+            }
+            let stream = self.decrypt_stream(&frames)?;
+            let mut pos = 0usize;
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let len = Self::take_packed_len(&stream, &mut pos).ok_or_else(malformed)?;
+                let encoding = stream.get(pos..pos + len).ok_or_else(malformed)?;
+                pos += len;
+                values.push(Value::decode(encoding).ok_or_else(malformed)?);
+            }
+            if pos != stream.len() {
+                return Err(malformed());
+            }
+            records.push(Record::new(values));
+        }
+        Ok(Table::new(state.plaintext_schema.clone(), records)?)
     }
 }
 
 impl Scheme for PaillierScheme {
     fn name(&self) -> &str {
-        "paillier"
+        match self.framing {
+            PaillierFraming::PerCell => "paillier",
+            PaillierFraming::PackedRows => "paillier-packed",
+        }
     }
 
     fn encrypt(&self, table: &Table) -> Result<SchemeOutcome> {
-        // Per-table randomness stream, as in ProbScheme::encrypt.
-        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
-        encrypt_cell_wise(table, |_, v| self.encrypt_cell(v, &mut rng))
+        match self.framing {
+            PaillierFraming::PerCell => {
+                // Per-table randomness stream, as in ProbScheme::encrypt.
+                let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
+                encrypt_cell_wise(table, |_, v| self.encrypt_cell(v, &mut rng))
+            }
+            PaillierFraming::PackedRows => self.encrypt_packed(table),
+        }
     }
 
     fn decrypt(&self, outcome: &SchemeOutcome) -> Result<Table> {
-        decrypt_cell_wise(self.name(), outcome, |_, cell| self.decrypt_cell(cell))
+        match self.framing {
+            PaillierFraming::PerCell => {
+                decrypt_cell_wise(self.name(), outcome, |_, cell| self.decrypt_cell(cell))
+            }
+            PaillierFraming::PackedRows => self.decrypt_packed(outcome),
+        }
+    }
+}
+
+impl ChunkedScheme for PaillierScheme {
+    fn reseeded(&self, seed: u64) -> Box<dyn ChunkedScheme> {
+        Box::new(self.with_seed(seed))
+    }
+
+    fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState> {
+        merge_cell_wise_states(self.name(), chunks)
     }
 }
 
@@ -677,6 +1042,130 @@ mod tests {
         assert_ne!(&ca[..16], &cb[..16], "nonce reused across tables");
         // Same scheme + same table stays reproducible.
         assert_eq!(cell(&a), cell(&a));
+    }
+
+    #[test]
+    fn packed_paillier_roundtrips_and_is_smaller() {
+        let t = fixture();
+        let per_cell = PaillierScheme::new(64, 8).unwrap();
+        let packed = PaillierScheme::new(64, 8).unwrap().packed();
+        assert_eq!(packed.name(), "paillier-packed");
+        assert_eq!(packed.framing(), PaillierFraming::PackedRows);
+        assert_roundtrip(&packed, &t);
+        // Long and empty values cross cell boundaries inside one packed stream.
+        let awkward = table! {
+            ["Long", "Short", "Empty"];
+            ["a-rather-long-text-value-spanning-many-chunks", "x", ""],
+            ["", "y", "z"],
+        };
+        assert_roundtrip(&packed, &awkward);
+        // Packing cells shares chunk capacity, so the ciphertext shrinks — visible
+        // once the per-chunk capacity exceeds a typical cell (128-bit modulus: 14
+        // payload bytes per chunk vs one chunk per short cell).
+        let size = |s: &dyn Scheme| s.encrypt(&t).unwrap().encrypted.size_bytes();
+        assert!(
+            size(&PaillierScheme::new(128, 8).unwrap().packed())
+                < size(&PaillierScheme::new(128, 8).unwrap())
+        );
+        // A per-cell scheme fed a packed outcome errors instead of panicking.
+        let packed_outcome = packed.encrypt(&t).unwrap();
+        assert!(per_cell.decrypt(&packed_outcome).is_err());
+    }
+
+    #[test]
+    fn reseeding_keeps_outcomes_decryptable_by_the_original_scheme() {
+        let t = fixture();
+        let master = MasterKey::from_seed(12);
+        let schemes: Vec<Box<dyn ChunkedScheme>> = vec![
+            Box::new(F2::builder().alpha(0.5).seed(12).master_key(master.clone()).build().unwrap()),
+            Box::new(DetScheme::new(master.clone())),
+            Box::new(ProbScheme::new(master, 12)),
+            Box::new(PaillierScheme::new(64, 12).unwrap()),
+        ];
+        for scheme in &schemes {
+            let outcome = scheme.reseeded(0xfeed).encrypt(&t).unwrap();
+            let recovered = scheme.decrypt(&outcome).unwrap();
+            assert!(recovered.multiset_eq(&t), "{}: reseeded outcome lost rows", scheme.name());
+        }
+        // Reseeding actually changes probabilistic nonce streams.
+        let prob = ProbScheme::new(MasterKey::from_seed(12), 12);
+        let a = prob.reseeded(1).encrypt(&t).unwrap();
+        let b = prob.reseeded(2).encrypt(&t).unwrap();
+        assert_ne!(a.encrypted, b.encrypted);
+        // …and with_seed is the concrete-typed equivalent.
+        let c = prob.with_seed(1).encrypt(&t).unwrap();
+        assert_eq!(a.encrypted, c.encrypted);
+    }
+
+    #[test]
+    fn entropy_constructors_draw_fresh_seeds() {
+        let a = F2::builder().seed_from_entropy().build().unwrap();
+        let b = F2::builder().seed_from_entropy().build().unwrap();
+        assert_ne!(a.config().seed, b.config().seed);
+        let master = MasterKey::from_seed(1);
+        let pa = ProbScheme::from_entropy(master.clone());
+        let pb = ProbScheme::from_entropy(master);
+        let t = fixture();
+        // Distinct entropy seeds ⇒ distinct nonce streams for the same table.
+        assert_ne!(pa.encrypt(&t).unwrap().encrypted, pb.encrypt(&t).unwrap().encrypted);
+        assert!(PaillierScheme::from_entropy(64).is_ok());
+    }
+
+    #[test]
+    fn merge_chunk_states_validates_inputs() {
+        let t = fixture();
+        let f2 = F2::builder().seed(3).build().unwrap();
+        let det = DetScheme::new(MasterKey::from_seed(3));
+        assert!(f2.merge_chunk_states(vec![]).is_err());
+        assert!(det.merge_chunk_states(vec![]).is_err());
+        // Foreign states are rejected, not misinterpreted.
+        let det_state = det.encrypt(&t).unwrap().state;
+        assert!(f2
+            .merge_chunk_states(vec![ChunkState {
+                row_offset: 0,
+                output_offset: 0,
+                state: det_state
+            }])
+            .is_err());
+        let f2_state = f2.encrypt(&t).unwrap().state;
+        assert!(det
+            .merge_chunk_states(vec![ChunkState {
+                row_offset: 0,
+                output_offset: 0,
+                state: f2_state
+            }])
+            .is_err());
+    }
+
+    #[test]
+    fn f2_merged_chunk_states_offset_rows_and_mas_indices() {
+        let t = fixture();
+        let scheme = F2::builder().alpha(0.5).seed(6).build().unwrap();
+        let chunk_a = scheme.reseeded(1).encrypt(&t).unwrap();
+        let chunk_b = scheme.reseeded(2).encrypt(&t).unwrap();
+        let a_rows = chunk_a.encrypted.row_count();
+        let a_mas = chunk_a.f2_state().unwrap().mas_sets.len();
+        let merged = scheme
+            .merge_chunk_states(vec![
+                ChunkState { row_offset: 0, output_offset: 0, state: chunk_a.state },
+                ChunkState {
+                    row_offset: t.row_count(),
+                    output_offset: a_rows,
+                    state: chunk_b.state,
+                },
+            ])
+            .unwrap();
+        let state: &F2OwnerState = merged.downcast_ref().unwrap();
+        assert_eq!(state.mas_sets.len(), 2 * a_mas);
+        let real = crate::Provenance {
+            origins: state.provenance.origins.clone(),
+            patches: state.provenance.patches.clone(),
+        }
+        .real_rows();
+        // Both chunks contribute every original row exactly once, shifted.
+        let mut originals: Vec<usize> = real.iter().map(|&(_, orig)| orig).collect();
+        originals.sort_unstable();
+        assert_eq!(originals, (0..2 * t.row_count()).collect::<Vec<_>>());
     }
 
     #[test]

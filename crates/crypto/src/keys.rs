@@ -9,6 +9,38 @@ use crate::aes::Aes128;
 use crate::error::CryptoError;
 use crate::Result;
 use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// The SplitMix64 finalizer: a cheap, high-quality 64-bit mixing function. Shared by
+/// [`entropy_seed`] and the engine's per-chunk seed derivation so the constants live
+/// in exactly one place.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Draw a 64-bit seed from ambient entropy (wall clock, monotonic process counter,
+/// address-space layout), mixed through [`splitmix64`].
+///
+/// The vendored offline `rand` shim has no OS entropy source, so this is the
+/// workspace-wide `from_entropy` substitute: good enough to make two runs of the same
+/// binary draw different nonce streams, with no cryptographic claim (F²'s security
+/// rests on its AES-based PRF, not on seed secrecy). Successive calls never return the
+/// same seed, even within one clock tick.
+pub fn entropy_seed() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0xdead_beef);
+    let tick = COUNTER.fetch_add(1, Ordering::Relaxed);
+    // The address of a per-process static adds ASLR entropy across processes.
+    let aslr = &COUNTER as *const AtomicU64 as u64;
+    splitmix64(nanos ^ aslr.rotate_left(32) ^ tick.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
 
 /// A 128-bit symmetric secret key.
 #[derive(Clone, PartialEq, Eq)]
@@ -62,6 +94,12 @@ impl MasterKey {
         let mut bytes = [0u8; 16];
         rng.fill_bytes(&mut bytes);
         MasterKey { root: SecretKey(bytes) }
+    }
+
+    /// Derive a master key from ambient entropy (see [`entropy_seed`]) instead of a
+    /// caller-supplied RNG or a fixed seed.
+    pub fn from_entropy() -> Self {
+        Self::from_seed(entropy_seed())
     }
 
     /// Deterministically derive a master key from a 64-bit seed. Intended for tests and
@@ -162,6 +200,17 @@ mod tests {
                 assert_ne!(keys[i].as_bytes(), keys[j].as_bytes());
             }
         }
+    }
+
+    #[test]
+    fn entropy_seeds_are_distinct() {
+        // Two draws in the same nanosecond must still differ (monotonic counter).
+        let a = entropy_seed();
+        let b = entropy_seed();
+        assert_ne!(a, b);
+        let ka = MasterKey::from_entropy();
+        let kb = MasterKey::from_entropy();
+        assert_ne!(ka.root.as_bytes(), kb.root.as_bytes());
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub use bigint::BigUint;
 pub use ciphertext::Ciphertext;
 pub use det::DeterministicCipher;
 pub use error::CryptoError;
-pub use keys::{KeyMaterial, MasterKey, SecretKey};
+pub use keys::{entropy_seed, splitmix64, KeyMaterial, MasterKey, SecretKey};
 pub use paillier::{PaillierCiphertext, PaillierKeyPair, PaillierPublicKey};
 pub use prf::Prf;
 pub use prob::ProbabilisticCipher;

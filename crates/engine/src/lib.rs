@@ -1,0 +1,55 @@
+//! # f2-engine — streaming, multi-threaded encryption with persistable owner state
+//!
+//! The paper's outsourcing story (§2.1) assumes the data owner encrypts a large
+//! relation *once* and ships it to the server. The [`Scheme`](f2_core::Scheme)
+//! backends encrypt a whole in-memory table single-threaded and keep their owner
+//! state behind an in-process `Box<dyn Any>` — fine for the evaluation harness, a
+//! dead end for production outsourcing. This crate adds the missing engine layer:
+//!
+//! * [`pipeline`] — [`Engine`]: shards a table into row-range chunks, fans the chunks
+//!   out to scoped worker threads each driving any
+//!   [`ChunkedScheme`](f2_core::ChunkedScheme) backend, and reassembles a
+//!   deterministic, order-stable encrypted table with per-chunk provenance
+//!   ([`ChunkRecord`]). Every chunk is encrypted under a seed derived from the engine
+//!   seed and the chunk index, so parallel chunks never share a nonce stream and the
+//!   output is byte-identical regardless of worker count. Note that F²'s α-security
+//!   guarantee then holds *per chunk*, not across chunk boundaries — see
+//!   [`EngineConfig::chunk_rows`](pipeline::EngineConfig::chunk_rows) before choosing
+//!   a chunk size for a security-sensitive deployment.
+//! * [`wire`] — the versioned, length-prefixed binary wire format (`F2WS`). Corrupt
+//!   or truncated input decodes to an error, never a panic.
+//! * [`persist`] — [`StatefulScheme`]: `save_state` / `load_state` over the wire
+//!   format, implemented for all four backends, plus whole-outcome round-tripping
+//!   ([`save_outcome`] / [`load_outcome`]) so a table encrypted in one process can be
+//!   decrypted in another.
+//!
+//! ```
+//! use f2_core::{Scheme, F2};
+//! use f2_engine::{load_outcome, save_outcome, Engine, EngineConfig, StatefulScheme};
+//! use f2_relation::table;
+//!
+//! let data = table! {
+//!     ["Zip", "City"];
+//!     ["07030", "Hoboken"], ["07030", "Hoboken"],
+//!     ["10001", "NewYork"], ["10001", "NewYork"],
+//! };
+//! let scheme = F2::builder().alpha(0.5).seed(7).build().unwrap();
+//! let engine = Engine::new(EngineConfig { workers: 2, chunk_rows: 2, seed: 7 }).unwrap();
+//! let run = engine.encrypt(&scheme, &data).unwrap();
+//! // The outcome survives the trip through the wire format …
+//! let blob = save_outcome(&scheme, &run.outcome).unwrap();
+//! let restored = load_outcome(&scheme, &blob).unwrap();
+//! // … and decrypts through the ordinary Scheme::decrypt.
+//! assert!(scheme.decrypt(&restored).unwrap().multiset_eq(&data));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod persist;
+pub mod pipeline;
+pub mod wire;
+
+pub use persist::{load_outcome, save_outcome, StatefulScheme};
+pub use pipeline::{chunk_seed, ChunkRecord, Engine, EngineConfig, EngineOutcome};
+pub use wire::{Reader, WireError, Writer};

@@ -1,0 +1,418 @@
+//! Owner-state persistence: [`StatefulScheme`] and whole-outcome round-tripping.
+//!
+//! A [`SchemeOutcome`](f2_core::SchemeOutcome) carries its owner state behind an
+//! in-process `Box<dyn Any>` — it cannot be cloned, persisted, or shipped anywhere.
+//! This module makes it durable: every backend implements [`StatefulScheme`], whose
+//! `save_state` / `load_state` serialize the backend's owner state over the
+//! [`wire`](crate::wire) format, and [`save_outcome`] / [`load_outcome`] bundle the
+//! encrypted table, the owner state, and the encryption report into one blob. The key
+//! material is deliberately **not** part of any blob — the loader must hold a scheme
+//! built from the same keys (that is the outsourcing model: the state blob can sit
+//! next to the ciphertext on untrusted storage, the keys never leave the owner).
+
+use crate::wire::{Reader, WireError, WireResult, Writer};
+use f2_core::scheme::CellWiseState;
+use f2_core::{
+    DetScheme, EncryptionReport, F2OwnerState, F2Scheme, OwnerState, PaillierScheme, ProbScheme,
+    Provenance, Result, RowOrigin, Scheme, SchemeOutcome,
+};
+use f2_relation::{AttrSet, Attribute, DataType, Record, Schema, Table, Value};
+use std::time::Duration;
+
+/// Wire kind tag: an F² owner state.
+pub const KIND_F2_STATE: u8 = 1;
+/// Wire kind tag: a cell-wise (baseline) owner state.
+pub const KIND_CELL_WISE_STATE: u8 = 2;
+/// Wire kind tag: an encrypted table.
+pub const KIND_TABLE: u8 = 3;
+/// Wire kind tag: a whole [`SchemeOutcome`].
+pub const KIND_OUTCOME: u8 = 4;
+
+/// A [`Scheme`] whose owner state round-trips through the wire format, so encryption
+/// and decryption can happen in different processes.
+pub trait StatefulScheme: Scheme {
+    /// Serialize `outcome`'s owner state. Errors if the outcome was produced by a
+    /// different backend.
+    fn save_state(&self, outcome: &SchemeOutcome) -> Result<Vec<u8>>;
+
+    /// Reconstruct an owner state previously produced by [`StatefulScheme::save_state`]
+    /// (possibly by another process). Corrupt or truncated input errors, never panics.
+    fn load_state(&self, bytes: &[u8]) -> Result<OwnerState>;
+}
+
+fn foreign_outcome(scheme: &str) -> f2_core::F2Error {
+    f2_core::F2Error::UnsupportedInput(format!(
+        "outcome was not produced by the `{scheme}` scheme (owner state type mismatch)"
+    ))
+}
+
+impl StatefulScheme for F2Scheme {
+    fn save_state(&self, outcome: &SchemeOutcome) -> Result<Vec<u8>> {
+        let state = outcome.f2_state().ok_or_else(|| foreign_outcome(self.name()))?;
+        let mut w = Writer::versioned(KIND_F2_STATE);
+        put_schema(&mut w, &state.plaintext_schema);
+        w.put_u32(state.mas_sets.len() as u32);
+        for mas in &state.mas_sets {
+            w.put_u64(mas.bits());
+        }
+        put_provenance(&mut w, &state.provenance);
+        Ok(w.finish())
+    }
+
+    fn load_state(&self, bytes: &[u8]) -> Result<OwnerState> {
+        let mut r = Reader::versioned(bytes, KIND_F2_STATE)?;
+        let plaintext_schema = take_schema(&mut r)?;
+        let mas_count = r.count_u32(8)?; // 8 bytes per AttrSet
+        let mut mas_sets = Vec::with_capacity(mas_count);
+        for _ in 0..mas_count {
+            mas_sets.push(AttrSet::from_bits(r.u64()?));
+        }
+        let provenance = take_provenance(&mut r)?;
+        r.finish()?;
+        Ok(OwnerState::new(F2OwnerState { provenance, mas_sets, plaintext_schema }))
+    }
+}
+
+/// Shared `StatefulScheme` implementation for the cell-wise baselines, whose owner
+/// state is just the plaintext schema.
+macro_rules! cell_wise_stateful {
+    ($($scheme:ty),+) => {$(
+        impl StatefulScheme for $scheme {
+            fn save_state(&self, outcome: &SchemeOutcome) -> Result<Vec<u8>> {
+                let state: &CellWiseState = outcome
+                    .state
+                    .downcast_ref()
+                    .ok_or_else(|| foreign_outcome(self.name()))?;
+                let mut w = Writer::versioned(KIND_CELL_WISE_STATE);
+                put_schema(&mut w, &state.plaintext_schema);
+                Ok(w.finish())
+            }
+
+            fn load_state(&self, bytes: &[u8]) -> Result<OwnerState> {
+                let mut r = Reader::versioned(bytes, KIND_CELL_WISE_STATE)?;
+                let plaintext_schema = take_schema(&mut r)?;
+                r.finish()?;
+                Ok(OwnerState::new(CellWiseState { plaintext_schema }))
+            }
+        }
+    )+};
+}
+
+cell_wise_stateful!(DetScheme, ProbScheme, PaillierScheme);
+
+/// Serialize a whole [`SchemeOutcome`] — encrypted table, owner state, report — into
+/// one durable blob. The inverse is [`load_outcome`].
+pub fn save_outcome(scheme: &dyn StatefulScheme, outcome: &SchemeOutcome) -> Result<Vec<u8>> {
+    let mut w = Writer::versioned(KIND_OUTCOME);
+    w.put_bytes(&encode_table(&outcome.encrypted));
+    w.put_bytes(&scheme.save_state(outcome)?);
+    put_report(&mut w, &outcome.report);
+    Ok(w.finish())
+}
+
+/// Reconstruct a [`SchemeOutcome`] from a [`save_outcome`] blob. The scheme only
+/// contributes its state codec — the keys needed for decryption stay inside it.
+pub fn load_outcome(scheme: &dyn StatefulScheme, bytes: &[u8]) -> Result<SchemeOutcome> {
+    let mut r = Reader::versioned(bytes, KIND_OUTCOME)?;
+    let encrypted = decode_table(r.bytes()?)?;
+    let state = scheme.load_state(r.bytes()?)?;
+    let report = take_report(&mut r)?;
+    r.finish()?;
+    Ok(SchemeOutcome { encrypted, state, report })
+}
+
+/// Serialize a table (schema + rows) as a standalone wire blob.
+pub fn encode_table(table: &Table) -> Vec<u8> {
+    let mut w = Writer::versioned(KIND_TABLE);
+    put_schema(&mut w, table.schema());
+    w.put_usize(table.row_count());
+    for (_, rec) in table.iter() {
+        for v in rec.values() {
+            w.put_bytes(&v.encode());
+        }
+    }
+    w.finish()
+}
+
+/// Inverse of [`encode_table`].
+pub fn decode_table(bytes: &[u8]) -> Result<Table> {
+    let mut r = Reader::versioned(bytes, KIND_TABLE)?;
+    let schema = take_schema(&mut r)?;
+    // Every cell carries at least its 4-byte length prefix; `arity.max(1)` keeps the
+    // bound meaningful for zero-arity tables (whose rows consume no input at all, so
+    // any claimed row count beyond the remaining bytes is corrupt).
+    let rows = r.count_u64(schema.arity().max(1) * 4)?;
+    let mut records = Vec::with_capacity(rows.min(1 << 20));
+    for _ in 0..rows {
+        let mut values = Vec::with_capacity(schema.arity());
+        for _ in 0..schema.arity() {
+            let encoding = r.bytes()?;
+            values.push(Value::decode(encoding).ok_or_else(|| {
+                WireError::Malformed("cell encoding does not decode to a value".into())
+            })?);
+        }
+        records.push(Record::new(values));
+    }
+    r.finish()?;
+    Ok(Table::new(schema, records)?)
+}
+
+// ── field codecs ───────────────────────────────────────────────────────────────────
+
+fn data_type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int => 0,
+        DataType::Decimal => 1,
+        DataType::Text => 2,
+        DataType::Date => 3,
+        DataType::Bytes => 4,
+        DataType::Any => 5,
+    }
+}
+
+fn data_type_from_tag(tag: u8) -> WireResult<DataType> {
+    Ok(match tag {
+        0 => DataType::Int,
+        1 => DataType::Decimal,
+        2 => DataType::Text,
+        3 => DataType::Date,
+        4 => DataType::Bytes,
+        5 => DataType::Any,
+        other => return Err(WireError::Malformed(format!("unknown data-type tag {other}"))),
+    })
+}
+
+fn put_schema(w: &mut Writer, schema: &Schema) {
+    w.put_u16(schema.arity() as u16);
+    for attr in schema.attributes() {
+        w.put_str(&attr.name);
+        w.put_u8(data_type_tag(attr.data_type));
+    }
+}
+
+fn take_schema(r: &mut Reader<'_>) -> Result<Schema> {
+    let arity = r.u16()?;
+    let mut attrs = Vec::with_capacity(arity as usize);
+    for _ in 0..arity {
+        let name = r.str()?;
+        let data_type = data_type_from_tag(r.u8()?)?;
+        attrs.push(Attribute::new(name, data_type));
+    }
+    Ok(Schema::new(attrs)?)
+}
+
+const ORIGIN_REAL: u8 = 0;
+const ORIGIN_SCALE_COPY: u8 = 1;
+const ORIGIN_GROUP_FAKE: u8 = 2;
+const ORIGIN_CONFLICT_COMPANION: u8 = 3;
+const ORIGIN_FALSE_POSITIVE: u8 = 4;
+
+fn put_provenance(w: &mut Writer, provenance: &Provenance) {
+    w.put_usize(provenance.origins.len());
+    for origin in &provenance.origins {
+        let (tag, payload) = match *origin {
+            RowOrigin::Real { original_row } => (ORIGIN_REAL, original_row),
+            RowOrigin::ScaleCopy { mas_index } => (ORIGIN_SCALE_COPY, mas_index),
+            RowOrigin::GroupFake { mas_index } => (ORIGIN_GROUP_FAKE, mas_index),
+            RowOrigin::ConflictCompanion { original_row } => {
+                (ORIGIN_CONFLICT_COMPANION, original_row)
+            }
+            RowOrigin::FalsePositive { mas_index } => (ORIGIN_FALSE_POSITIVE, mas_index),
+        };
+        w.put_u8(tag);
+        w.put_usize(payload);
+    }
+    // Sorted for a canonical encoding: equal provenances serialize identically.
+    let mut patches: Vec<_> = provenance.patches.iter().collect();
+    patches.sort_by_key(|(row, _)| **row);
+    w.put_usize(patches.len());
+    for (original_row, cells) in patches {
+        w.put_usize(*original_row);
+        w.put_u32(cells.len() as u32);
+        for &(attr, companion_row) in cells {
+            w.put_u32(attr as u32);
+            w.put_usize(companion_row);
+        }
+    }
+}
+
+fn take_provenance(r: &mut Reader<'_>) -> Result<Provenance> {
+    let origin_count = r.count_u64(9)?; // 1-byte tag + 8-byte payload per origin
+    let mut provenance = Provenance::default();
+    provenance.origins.reserve(origin_count);
+    for _ in 0..origin_count {
+        let tag = r.u8()?;
+        let payload = r.usize()?;
+        provenance.origins.push(match tag {
+            ORIGIN_REAL => RowOrigin::Real { original_row: payload },
+            ORIGIN_SCALE_COPY => RowOrigin::ScaleCopy { mas_index: payload },
+            ORIGIN_GROUP_FAKE => RowOrigin::GroupFake { mas_index: payload },
+            ORIGIN_CONFLICT_COMPANION => RowOrigin::ConflictCompanion { original_row: payload },
+            ORIGIN_FALSE_POSITIVE => RowOrigin::FalsePositive { mas_index: payload },
+            other => {
+                return Err(WireError::Malformed(format!("unknown row-origin tag {other}")).into())
+            }
+        });
+    }
+    let patch_count = r.count_u64(12)?; // 8-byte row + 4-byte cell count per patch
+    for _ in 0..patch_count {
+        let original_row = r.usize()?;
+        let cell_count = r.count_u32(12)?; // 4-byte attr + 8-byte row per cell
+        let mut cells = Vec::with_capacity(cell_count);
+        for _ in 0..cell_count {
+            let attr = r.u32()? as usize;
+            let companion_row = r.usize()?;
+            cells.push((attr, companion_row));
+        }
+        if provenance.patches.insert(original_row, cells).is_some() {
+            return Err(WireError::Malformed(format!(
+                "duplicate patch entry for original row {original_row}"
+            ))
+            .into());
+        }
+    }
+    Ok(provenance)
+}
+
+fn put_report(w: &mut Writer, report: &EncryptionReport) {
+    for d in [report.timings.max, report.timings.sse, report.timings.syn, report.timings.fp] {
+        w.put_u64(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+    for n in [
+        report.overhead.original_rows,
+        report.overhead.group_rows,
+        report.overhead.scale_rows,
+        report.overhead.syn_rows,
+        report.overhead.fp_rows,
+        report.mas_count,
+        report.overlapping_mas_pairs,
+        report.equivalence_classes,
+        report.false_positive_fds,
+    ] {
+        w.put_usize(n);
+    }
+}
+
+fn take_report(r: &mut Reader<'_>) -> Result<EncryptionReport> {
+    let timings = f2_core::report::StepTimings {
+        max: Duration::from_nanos(r.u64()?),
+        sse: Duration::from_nanos(r.u64()?),
+        syn: Duration::from_nanos(r.u64()?),
+        fp: Duration::from_nanos(r.u64()?),
+    };
+    let overhead = f2_core::report::OverheadBreakdown {
+        original_rows: r.usize()?,
+        group_rows: r.usize()?,
+        scale_rows: r.usize()?,
+        syn_rows: r.usize()?,
+        fp_rows: r.usize()?,
+    };
+    Ok(EncryptionReport {
+        timings,
+        overhead,
+        mas_count: r.usize()?,
+        overlapping_mas_pairs: r.usize()?,
+        equivalence_classes: r.usize()?,
+        false_positive_fds: r.usize()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_core::{Scheme, F2};
+    use f2_crypto::MasterKey;
+    use f2_relation::table;
+
+    fn fixture() -> Table {
+        table! {
+            ["Zip", "City", "Name"];
+            ["07030", "Hoboken", "alice"],
+            ["07030", "Hoboken", "bob"],
+            ["10001", "NewYork", "carol"],
+            ["10001", "NewYork", "dave"],
+            ["08540", "Princeton", "erin"],
+        }
+    }
+
+    #[test]
+    fn table_blob_roundtrip() {
+        let t = fixture();
+        let blob = encode_table(&t);
+        assert_eq!(decode_table(&blob).unwrap(), t);
+        assert!(decode_table(&blob[..blob.len() - 1]).is_err());
+        assert!(decode_table(&[]).is_err());
+    }
+
+    #[test]
+    fn f2_state_roundtrips_and_decrypts() {
+        let t = fixture();
+        let scheme = F2::builder().alpha(0.5).seed(9).build().unwrap();
+        let outcome = scheme.encrypt(&t).unwrap();
+        let blob = scheme.save_state(&outcome).unwrap();
+        let restored = SchemeOutcome {
+            encrypted: outcome.encrypted.clone(),
+            state: scheme.load_state(&blob).unwrap(),
+            report: EncryptionReport::default(),
+        };
+        assert!(scheme.decrypt(&restored).unwrap().multiset_eq(&t));
+        // The loaded state is structurally identical, not just behaviorally.
+        let (a, b) = (outcome.f2_state().unwrap(), restored.f2_state().unwrap());
+        assert_eq!(a.provenance, b.provenance);
+        assert_eq!(a.mas_sets, b.mas_sets);
+        assert_eq!(a.plaintext_schema, b.plaintext_schema);
+    }
+
+    #[test]
+    fn save_state_rejects_foreign_outcomes() {
+        let t = fixture();
+        let det = DetScheme::new(MasterKey::from_seed(2));
+        let f2 = F2::builder().seed(2).build().unwrap();
+        let det_outcome = det.encrypt(&t).unwrap();
+        let f2_outcome = f2.encrypt(&t).unwrap();
+        assert!(f2.save_state(&det_outcome).is_err());
+        assert!(det.save_state(&f2_outcome).is_err());
+        // A cell-wise blob does not load as an F² state and vice versa.
+        let det_blob = det.save_state(&det_outcome).unwrap();
+        let f2_blob = f2.save_state(&f2_outcome).unwrap();
+        assert!(f2.load_state(&det_blob).is_err());
+        assert!(det.load_state(&f2_blob).is_err());
+    }
+
+    #[test]
+    fn hostile_counts_error_instead_of_allocating() {
+        // A ~15-byte blob promising 2³²−1 MAS sets must error, not reserve 32 GiB.
+        let mut w = Writer::versioned(KIND_F2_STATE);
+        w.put_u16(0); // zero-arity schema
+        w.put_u32(u32::MAX);
+        let f2 = F2::builder().seed(1).build().unwrap();
+        assert!(f2.load_state(&w.finish()).is_err());
+
+        // A table blob promising 2⁶⁴−1 rows of a zero-arity schema must error, not
+        // loop pushing empty records until OOM.
+        let mut w = Writer::versioned(KIND_TABLE);
+        w.put_u16(0);
+        w.put_u64(u64::MAX);
+        assert!(decode_table(&w.finish()).is_err());
+
+        // Same for a provenance claiming more origins than the blob can hold.
+        let mut w = Writer::versioned(KIND_F2_STATE);
+        w.put_u16(0);
+        w.put_u32(0); // no MAS sets
+        w.put_u64(u64::MAX); // origin count
+        assert!(f2.load_state(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn outcome_blob_preserves_the_report() {
+        let t = fixture();
+        let scheme = F2::builder().alpha(0.5).seed(4).build().unwrap();
+        let outcome = scheme.encrypt(&t).unwrap();
+        let blob = save_outcome(&scheme, &outcome).unwrap();
+        let restored = load_outcome(&scheme, &blob).unwrap();
+        assert_eq!(restored.encrypted, outcome.encrypted);
+        assert_eq!(restored.report.overhead, outcome.report.overhead);
+        assert_eq!(restored.report.mas_count, outcome.report.mas_count);
+        assert!(scheme.decrypt(&restored).unwrap().multiset_eq(&t));
+    }
+}

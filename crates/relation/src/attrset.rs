@@ -54,9 +54,14 @@ impl AttrSet {
         s
     }
 
-    /// Raw bit representation (useful for canonical ordering).
+    /// Raw bit representation (useful for canonical ordering and serialization).
     pub fn bits(self) -> u64 {
         self.0
+    }
+
+    /// Rebuild a set from its raw bit representation (inverse of [`AttrSet::bits`]).
+    pub fn from_bits(bits: u64) -> Self {
+        AttrSet(bits)
     }
 
     /// Number of attributes in the set.

@@ -118,6 +118,16 @@ impl Table {
         Ok(())
     }
 
+    /// Append all rows of another table with an identical schema, consuming it — no
+    /// per-record clone. The streaming engine merges encrypted chunks through this.
+    pub fn append(&mut self, other: Table) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(RelationError::SchemaMismatch);
+        }
+        self.records.extend(other.records);
+        Ok(())
+    }
+
     /// Keep only the first `n` rows (used by the size-sweep benchmarks, Fig. 7/9).
     pub fn truncated(&self, n: usize) -> Table {
         Table {
@@ -289,9 +299,12 @@ mod tests {
         let mut t3 = t.clone();
         t3.extend_from(&t2).unwrap();
         assert_eq!(t3.row_count(), 6);
+        t3.append(t2).unwrap();
+        assert_eq!(t3.row_count(), 8);
 
         let other = Table::empty(Schema::from_names(["X"]).unwrap());
         assert!(t3.clone().extend_from(&other).is_err());
+        assert!(t3.clone().append(other).is_err());
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Streaming outsourcing: encrypt a large relation through the chunked,
+//! multi-threaded engine, persist the encrypted table *and* the owner state to disk,
+//! then play the data owner's second process — a fresh scheme instance that holds
+//! nothing but its construction parameters loads both artifacts and recovers the
+//! original table exactly.
+//!
+//! Run with `cargo run --release --example streaming_outsourcing`.
+
+use f2::datagen::Dataset;
+use f2::engine::{load_outcome, save_outcome};
+use f2::{Engine, EngineConfig, Scheme, F2};
+
+fn main() {
+    // ── Process 1: the data owner prepares the outsourcing ─────────────────────────
+    let data = Dataset::Orders.generate(4_000, 42);
+    println!(
+        "Plaintext: {} rows × {} attributes ({} bytes)",
+        data.row_count(),
+        data.arity(),
+        data.size_bytes()
+    );
+
+    let scheme = F2::builder()
+        .alpha(0.5)
+        .split_factor(2)
+        .seed(2026) // fixed seed + derived master key = the owner's "key file"
+        .build()
+        .expect("valid parameters");
+
+    // Shard into 512-row chunks and encrypt on 4 workers. Chunk seeds derive from the
+    // engine seed, so the ciphertext is identical whatever the worker count. (F²'s
+    // α-security is then flattened per 512-row chunk, not table-wide — see the
+    // EngineConfig::chunk_rows docs for the trade-off.)
+    let engine = Engine::new(EngineConfig { workers: 4, chunk_rows: 512, seed: 2026 })
+        .expect("valid engine config");
+    let run = engine.encrypt(&scheme, &data).expect("streaming encryption");
+
+    println!(
+        "\nEncrypted in {} chunks → {} rows ({} artificial):",
+        run.chunks.len(),
+        run.outcome.encrypted.row_count(),
+        run.outcome.report.overhead.added_rows(),
+    );
+    for record in run.chunks.iter().take(4) {
+        println!(
+            "  chunk {:>2}: rows {:>4}..{:<4} → output {:>4}..{:<4}  worker {}  {:?}",
+            record.index,
+            record.rows.start,
+            record.rows.end,
+            record.output_rows.start,
+            record.output_rows.end,
+            record.worker,
+            record.wall,
+        );
+    }
+    println!("  … ({} chunks total)", run.chunks.len());
+
+    // Persist everything the owner needs later: one self-describing blob holding the
+    // encrypted table, the owner state, and the encryption report. No key material is
+    // inside — the blob can sit on untrusted storage next to the outsourced table.
+    let blob = save_outcome(&scheme, &run.outcome).expect("serialize outcome");
+    let path = std::env::temp_dir().join("f2_streaming_outsourcing.f2ws");
+    std::fs::write(&path, &blob).expect("write blob");
+    println!("\nPersisted outcome: {} bytes → {}", blob.len(), path.display());
+    drop((scheme, run, blob)); // end of "process 1" — nothing in-memory survives
+
+    // ── Process 2: a fresh owner process, later ────────────────────────────────────
+    // Rebuild the scheme from the same parameters (in production: read the key file),
+    // load the blob, and decrypt.
+    let owner =
+        F2::builder().alpha(0.5).split_factor(2).seed(2026).build().expect("valid parameters");
+    let loaded = std::fs::read(&path).expect("read blob");
+    let restored = load_outcome(&owner, &loaded).expect("deserialize outcome");
+    let recovered = owner.decrypt(&restored).expect("decrypt with restored state");
+
+    assert!(recovered.multiset_eq(&data));
+    println!(
+        "Recovered {} rows in a fresh process — exact multiset of the original. ✓",
+        recovered.row_count()
+    );
+    std::fs::remove_file(&path).ok();
+}

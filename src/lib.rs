@@ -15,6 +15,11 @@
 //!   [`F2Scheme`] (the paper's scheme, built fluently with [`F2::builder`]),
 //!   [`DetScheme`] (deterministic AES), [`ProbScheme`] (per-cell probabilistic
 //!   cipher), and [`PaillierScheme`];
+//! * [`engine`] — the streaming outsourcing layer: [`Engine`] shards a table into
+//!   chunks, encrypts them on parallel workers over any [`ChunkedScheme`] backend with
+//!   per-chunk nonce domains, and reassembles a deterministic outcome; the
+//!   [`StatefulScheme`] extension persists owner state over the versioned
+//!   `f2_engine::wire` format so decryption can happen in a later process;
 //! * [`attack`] — the frequency-analysis and Kerckhoffs adversaries and the empirical
 //!   α-security experiment, runnable against **any** [`Scheme`];
 //! * [`datagen`] — TPC-H/TPC-C-style and synthetic workload generators used by the
@@ -58,6 +63,30 @@
 //! compare all of them with shared code. F²'s provenance, MAS sets and plaintext
 //! schema remain reachable via [`SchemeOutcome::f2_state`], and the lower-level
 //! [`F2Encryptor`] / [`F2Decryptor`] API is still exported for direct use.
+//!
+//! ## Streaming outsourcing
+//!
+//! For large relations, drive any backend through the chunked, multi-threaded
+//! [`Engine`] and persist the owner state to disk (see
+//! `examples/streaming_outsourcing.rs` for the full two-process story):
+//!
+//! ```
+//! use f2::{Engine, EngineConfig, Scheme, StatefulScheme, F2};
+//! use f2::engine::{load_outcome, save_outcome};
+//! use f2::relation::table;
+//!
+//! let data = table! {
+//!     ["Zip", "City"];
+//!     ["07030", "Hoboken"], ["07030", "Hoboken"],
+//!     ["10001", "NewYork"], ["10001", "NewYork"],
+//! };
+//! let scheme = F2::builder().alpha(0.5).seed(42).build().unwrap();
+//! let engine = Engine::new(EngineConfig { workers: 2, chunk_rows: 2, seed: 42 }).unwrap();
+//! let run = engine.encrypt(&scheme, &data).unwrap();
+//! let blob = save_outcome(&scheme, &run.outcome).unwrap(); // → ships to disk/server
+//! let restored = load_outcome(&scheme, &blob).unwrap();    // → later process
+//! assert!(scheme.decrypt(&restored).unwrap().multiset_eq(&data));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -66,12 +95,14 @@ pub use f2_attack as attack;
 pub use f2_core as core;
 pub use f2_crypto as crypto;
 pub use f2_datagen as datagen;
+pub use f2_engine as engine;
 pub use f2_fd as fd;
 pub use f2_relation as relation;
 
 pub use f2_core::{
-    DetScheme, EncryptionOutcome, EncryptionReport, F2Builder, F2Config, F2Decryptor, F2Encryptor,
-    F2Error, F2OwnerState, F2Scheme, OwnerState, PaillierScheme, ProbScheme, Provenance, RowOrigin,
-    Scheme, SchemeOutcome, F2,
+    ChunkState, ChunkedScheme, DetScheme, EncryptionOutcome, EncryptionReport, F2Builder, F2Config,
+    F2Decryptor, F2Encryptor, F2Error, F2OwnerState, F2Scheme, OwnerState, PaillierFraming,
+    PaillierScheme, ProbScheme, Provenance, RowOrigin, Scheme, SchemeOutcome, F2,
 };
+pub use f2_engine::{ChunkRecord, Engine, EngineConfig, EngineOutcome, StatefulScheme};
 pub use f2_relation::{AttrSet, Record, Schema, Table, Value};
