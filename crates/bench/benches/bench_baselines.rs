@@ -1,9 +1,11 @@
 //! Criterion bench for Figure 8: every backend of the registry on the same table.
 //!
 //! Backends the registry marks as sampled (Paillier) are benchmarked on their sample
-//! row count rather than the full table: encrypting whole tables with a 512-bit
-//! modulus would take hours, exactly the point the paper makes. Two per-cell
-//! micro-benchmarks of the underlying probabilistic primitives complete the picture.
+//! row count rather than the full table: even on the Montgomery engine, a 512-bit
+//! Paillier pass over the whole table would dwarf every other bar — exactly the
+//! relative cost the paper reports. Two per-cell micro-benchmarks of the underlying
+//! probabilistic primitives complete the picture (`bench_modpow` covers the
+//! modular-exponentiation engine itself).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use f2_bench::backend_registry;

@@ -1,0 +1,38 @@
+//! Criterion bench for the modular-exponentiation engine under the Paillier hot
+//! path: Montgomery/REDC windowed exponentiation ([`BigUint::mod_pow`] on odd
+//! moduli) versus the division-per-step generic path
+//! ([`BigUint::mod_pow_generic`]) at the two operand sizes that matter — 512 bits
+//! (the registry's Paillier modulus) and 1024 bits (the `n²` ciphertext-space width
+//! every encryption and decryption exponentiates in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use f2_crypto::BigUint;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_modpow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("modpow");
+    group.sample_size(10);
+
+    for bits in [512usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut modulus = BigUint::random_bits(bits, &mut rng);
+        if modulus.is_even() {
+            modulus = modulus.add(&BigUint::one());
+        }
+        let base = BigUint::random_bits(bits - 1, &mut rng);
+        let exp = BigUint::random_bits(bits, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("montgomery", bits), &bits, |b, _| {
+            b.iter(|| base.mod_pow(&exp, &modulus))
+        });
+        group.bench_with_input(BenchmarkId::new("generic", bits), &bits, |b, _| {
+            b.iter(|| base.mod_pow_generic(&exp, &modulus))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_modpow);
+criterion_main!(benches);

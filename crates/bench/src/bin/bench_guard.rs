@@ -1,0 +1,198 @@
+//! `bench_guard` — fail CI when the Paillier hot path regresses.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p f2-bench --bin bench_guard -- <baseline.json> <fresh.json> [max_regression]
+//! ```
+//!
+//! Compares the `paillier` section of a freshly generated `BENCH_report.json`
+//! against the committed baseline and exits non-zero if any framing's encrypt
+//! throughput dropped by more than `max_regression` (default `0.20`, i.e. 20%).
+//! The section is measured on a fixed workload (same modulus size, same sampled
+//! rows) in both smoke and full mode, so a smoke-mode CI run is directly
+//! comparable to the committed full-mode report.
+//!
+//! Throughput is **hardware-normalized** before comparison: each report carries a
+//! `calibration_modpow_s` field (a fixed-operand modular exponentiation timed in
+//! the same run), and the guard compares `encrypt_mb_s × calibration_modpow_s`.
+//! Both factors scale with the host's single-thread speed, so the product is a
+//! machine-independent "work per exponentiation-unit" ratio — a CI runner slower
+//! than the machine that committed the baseline does not fail the gate, and a
+//! faster one cannot mask a real regression. If either report predates the
+//! calibration field, the guard falls back to raw MB/s with a warning.
+//!
+//! A baseline without a `paillier` section passes vacuously (bootstrap case: the
+//! first report generated after this guard was introduced); a *fresh* report
+//! without one is an error — the report generator must always emit it.
+//!
+//! Parsing is a small anchored scanner rather than a JSON parser: the offline
+//! vendor set has no JSON crate, and `report` writes the document with a fixed
+//! shape (`"backend": "<name>",` … `"encrypt_mb_s": <num>`).
+
+use std::process::ExitCode;
+
+/// The framings whose throughput the guard tracks.
+const FRAMINGS: [&str; 2] = ["paillier", "paillier-packed"];
+
+/// Default tolerated fractional regression before the guard fails.
+const DEFAULT_MAX_REGRESSION: f64 = 0.20;
+
+/// The text of a report from its `"paillier"` section onward, if present.
+fn paillier_section(report: &str) -> Option<&str> {
+    report.find("\"paillier\": {").map(|at| &report[at..])
+}
+
+/// `encrypt_mb_s` of one framing inside a `paillier` section.
+fn framing_encrypt_mb_s(section: &str, backend: &str) -> Option<f64> {
+    let entry_anchor = format!("\"backend\": \"{backend}\",");
+    let after_entry = &section[section.find(&entry_anchor)? + entry_anchor.len()..];
+    float_after(after_entry, "\"encrypt_mb_s\": ")
+}
+
+/// The section's same-run hardware calibration (seconds), if recorded.
+fn calibration_s(section: &str) -> Option<f64> {
+    float_after(section, "\"calibration_modpow_s\": ")
+}
+
+/// First `<key><number>` occurrence after the start of `text`.
+fn float_after(text: &str, key: &str) -> Option<f64> {
+    let after_key = &text[text.find(key)? + key.len()..];
+    let end = after_key.find(|c: char| c != '.' && !c.is_ascii_digit())?;
+    after_key[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (baseline_path, fresh_path) = match (args.first(), args.get(1)) {
+        (Some(b), Some(f)) => (b, f),
+        _ => {
+            eprintln!("usage: bench_guard <baseline.json> <fresh.json> [max_regression]");
+            return ExitCode::from(2);
+        }
+    };
+    let max_regression: f64 = match args.get(2) {
+        Some(raw) => match raw.parse() {
+            Ok(v) if (0.0..1.0).contains(&v) => v,
+            _ => {
+                eprintln!("bench_guard: max_regression must be a fraction in [0, 1), got {raw}");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEFAULT_MAX_REGRESSION,
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    };
+    let baseline = read(baseline_path);
+    let fresh = read(fresh_path);
+
+    let Some(base_section) = paillier_section(&baseline) else {
+        println!(
+            "bench_guard: baseline {baseline_path} has no \"paillier\" section \
+             (pre-guard report); passing"
+        );
+        return ExitCode::SUCCESS;
+    };
+    let Some(fresh_section) = paillier_section(&fresh) else {
+        eprintln!("bench_guard: fresh report {fresh_path} is missing the \"paillier\" section");
+        return ExitCode::from(2);
+    };
+
+    // Hardware normalization: multiply each side's MB/s by its own same-run
+    // calibration seconds, cancelling the host's absolute speed.
+    let calibrations = (calibration_s(base_section), calibration_s(fresh_section));
+    let (base_scale, fresh_scale, unit) = match calibrations {
+        (Some(b), Some(f)) if b > 0.0 && f > 0.0 => (b, f, "MB/modpow"),
+        _ => {
+            println!(
+                "bench_guard: calibration_modpow_s missing on one side; \
+                 comparing raw MB/s (hardware-dependent)"
+            );
+            (1.0, 1.0, "MB/s")
+        }
+    };
+
+    let mut failed = false;
+    for backend in FRAMINGS {
+        let Some(base) = framing_encrypt_mb_s(base_section, backend) else {
+            println!("bench_guard: baseline has no `{backend}` framing; skipping it");
+            continue;
+        };
+        let Some(now) = framing_encrypt_mb_s(fresh_section, backend) else {
+            eprintln!("bench_guard: fresh report has no `{backend}` framing");
+            failed = true;
+            continue;
+        };
+        let base = base * base_scale;
+        let now = now * fresh_scale;
+        let floor = base * (1.0 - max_regression);
+        let verdict = if now < floor { "REGRESSION" } else { "ok" };
+        println!(
+            "bench_guard: {backend:<18} baseline {base:>12.6} {unit} | now {now:>12.6} {unit} \
+             | floor {floor:>12.6} | {verdict}"
+        );
+        failed |= now < floor;
+    }
+    if failed {
+        eprintln!(
+            "bench_guard: Paillier encrypt throughput regressed more than \
+             {:.0}% vs {baseline_path}",
+            max_regression * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "engine": [ { "backend": "f2", "throughput_mb_s": 1.2 } ],
+  "paillier_framing": [
+    { "backend": "paillier", "throughput_mb_s": 0.002561 }
+  ],
+  "paillier": {
+    "modulus_bits": 512,
+    "rows": 8,
+    "keygen_s": 0.031000,
+    "calibration_modpow_s": 0.000400,
+    "framings": [
+      { "backend": "paillier", "encrypt_s": 0.001, "encrypt_mb_s": 0.388400, "decrypt_s": 0.002, "decrypt_mb_s": 0.2, "pr2_encrypt_mb_s": 0.002561, "speedup_vs_pr2": 151.66 },
+      { "backend": "paillier-packed", "encrypt_s": 0.001, "encrypt_mb_s": 0.472900, "decrypt_s": 0.002, "decrypt_mb_s": 0.3, "pr2_encrypt_mb_s": 0.009064, "speedup_vs_pr2": 52.17 }
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn extracts_framing_throughputs() {
+        let section = paillier_section(SAMPLE).expect("section present");
+        assert_eq!(framing_encrypt_mb_s(section, "paillier"), Some(0.3884));
+        assert_eq!(framing_encrypt_mb_s(section, "paillier-packed"), Some(0.4729));
+        assert_eq!(framing_encrypt_mb_s(section, "nonexistent"), None);
+    }
+
+    #[test]
+    fn per_cell_anchor_does_not_match_packed_entry() {
+        // `"backend": "paillier",` must not resolve inside the packed entry, and the
+        // scanner must skip the legacy `paillier_framing` section entirely.
+        let section = paillier_section(SAMPLE).unwrap();
+        let per_cell = framing_encrypt_mb_s(section, "paillier").unwrap();
+        assert!((per_cell - 0.3884).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reports_without_section_are_detected() {
+        assert!(paillier_section("{ \"engine\": [] }").is_none());
+        assert!(paillier_section(SAMPLE).is_some());
+    }
+
+    #[test]
+    fn extracts_calibration() {
+        let section = paillier_section(SAMPLE).unwrap();
+        assert_eq!(calibration_s(section), Some(0.0004));
+        assert_eq!(calibration_s("{ \"rows\": 8 }"), None);
+    }
+}

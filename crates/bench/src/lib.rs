@@ -78,11 +78,13 @@ pub fn measure_scheme_on(
 /// Encrypt only the first `sample_rows` rows and extrapolate the wall time linearly to
 /// the whole table.
 ///
-/// Needed for Paillier: textbook Paillier at realistic modulus sizes is so slow that
-/// encrypting every cell of even a small table would take hours (the paper makes the
-/// same observation: "Paillier … cannot finish within one day when the data size
-/// reaches 0.653GB"). `rows`, `plain_bytes` and `encrypted_rows` describe the whole
-/// table; `report` keeps the sample's unscaled measurements.
+/// Used for Paillier: even on the Montgomery/REDC engine with pooled blinding
+/// factors, textbook Paillier at realistic modulus sizes stays an order of magnitude
+/// slower than the symmetric backends (the paper makes the same observation:
+/// "Paillier … cannot finish within one day when the data size reaches 0.653GB"),
+/// so the report samples it rather than let one backend dominate the wall clock.
+/// `rows`, `plain_bytes` and `encrypted_rows` describe the whole table; `report`
+/// keeps the sample's unscaled measurements.
 pub fn measure_scheme_sampled(
     scheme: &dyn Scheme,
     table: &Table,
@@ -108,7 +110,7 @@ pub struct RegisteredBackend {
     /// The backend.
     pub scheme: Box<dyn Scheme>,
     /// If set, measure on this many rows and extrapolate ([`measure_scheme_sampled`]);
-    /// backends priced in minutes-per-table (Paillier) set this.
+    /// backends much slower than the rest of the registry (Paillier) set this.
     pub sample_rows: Option<usize>,
 }
 
@@ -178,9 +180,12 @@ pub fn backend_registry_with(
 /// Worker counts the engine throughput experiments sweep.
 pub const ENGINE_WORKER_GRID: [usize; 4] = [1, 2, 4, 8];
 
-/// The engine-capable backends measured by the streaming-throughput experiments
-/// (Paillier is excluded here — at registry modulus sizes a full engine sweep is
-/// priced in minutes; its framing comparison lives in [`backend_registry`]).
+/// The engine-capable backends measured by the streaming-throughput experiments.
+/// Paillier is excluded here — even on the Montgomery engine it is ~15–30× slower
+/// than the symmetric backends and would dominate the sweep's wall clock; its
+/// framing comparison lives in [`backend_registry`] and its per-phase breakdown in
+/// the report's `paillier` section. (It *is* engine-capable: each chunk worker's
+/// `encrypt` call batches the chunk through one blinding pool.)
 pub fn engine_backends(alpha: f64, split: usize, seed: u64) -> Vec<Box<dyn ChunkedScheme>> {
     let master = MasterKey::from_seed(seed);
     vec![

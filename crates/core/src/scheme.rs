@@ -38,6 +38,7 @@ use crate::report::{EncryptionReport, OverheadBreakdown, StepTimings};
 use crate::{F2Error, Result};
 use f2_crypto::{
     DeterministicCipher, MasterKey, PaillierCiphertext, PaillierKeyPair, ProbabilisticCipher,
+    RandomnessPool,
 };
 use f2_relation::{AttrSet, Record, Schema, Table, Value};
 use rand::rngs::StdRng;
@@ -653,11 +654,15 @@ pub enum PaillierFraming {
 /// baseline of Figure 8).
 ///
 /// Each plaintext chunk, prefixed with a `0x01` marker byte, is an integer strictly
-/// below the modulus; chunks are encrypted independently and framed at the key's fixed
-/// ciphertext width, so decryption is exact (no lossy folding). [`PaillierFraming`]
-/// selects whether chunks are cut per cell or across a whole packed row. Orders of
-/// magnitude slower than the symmetric backends — that relative cost is the paper's
-/// point.
+/// below the modulus; chunks are framed at the key's fixed ciphertext width, so
+/// decryption is exact (no lossy folding). [`PaillierFraming`] selects whether chunks
+/// are cut per cell or across a whole packed row. Either way, all chunks of a table
+/// are encrypted in **one batch** over a per-table
+/// [`RandomnessPool`] — the Montgomery-form blinding factors amortise the `rⁿ mod n²`
+/// exponentiations, which is also what makes per-chunk encryption cheap for the
+/// streaming engine's workers (each chunk is one `encrypt` call, hence one batch).
+/// Still orders of magnitude slower than the symmetric backends — that relative cost
+/// is the paper's point.
 #[derive(Debug, Clone)]
 pub struct PaillierScheme {
     keypair: PaillierKeyPair,
@@ -724,31 +729,59 @@ impl PaillierScheme {
         &self.keypair
     }
 
-    /// Encrypt an arbitrary byte stream: the stream is cut into marker-prefixed chunks
-    /// strictly below the modulus, and each chunk becomes one fixed-width ciphertext
-    /// frame. This is the shared hot path of both framings.
-    fn encrypt_stream(&self, stream: &[u8], rng: &mut StdRng) -> Result<Vec<u8>> {
-        let public = self.keypair.public();
-        let chunk_size = public.plaintext_chunk_size();
-        let width = public.ciphertext_width();
-        let mut out = Vec::with_capacity(stream.len().div_ceil(chunk_size.max(1)) * width);
+    /// Cut a plaintext byte stream into marker-prefixed integer messages strictly
+    /// below the modulus, appending them to `out`; returns how many messages the
+    /// stream produced. This is the shared framing step of both framings — the
+    /// messages of a whole table are collected first and encrypted in one
+    /// [`f2_crypto::PaillierPublicKey::encrypt_batch`] call, so the blinding
+    /// exponentiations amortise across the table (or, under the streaming engine,
+    /// across each chunk a worker encrypts).
+    fn stream_messages(&self, stream: &[u8], out: &mut Vec<f2_crypto::BigUint>) -> usize {
+        let chunk_size = self.keypair.public().plaintext_chunk_size();
+        let before = out.len();
         for chunk in stream.chunks(chunk_size) {
             // 0x01 marker keeps leading zero bytes of the chunk alive through the
             // integer round-trip and guarantees the message is non-zero.
             let mut message = Vec::with_capacity(chunk.len() + 1);
             message.push(0x01);
             message.extend_from_slice(chunk);
-            let c = public.encrypt(&f2_crypto::BigUint::from_bytes_be(&message), rng)?;
+            out.push(f2_crypto::BigUint::from_bytes_be(&message));
+        }
+        out.len() - before
+    }
+
+    /// Batch-encrypt the collected messages through a pool sized for the batch
+    /// (never more base factors than messages, at most the pool default). An empty
+    /// batch — e.g. the engine's empty-chunk path — skips pool construction
+    /// entirely, since seeding one costs two full exponentiations.
+    fn encrypt_messages(
+        &self,
+        messages: &[f2_crypto::BigUint],
+        rng: &mut StdRng,
+    ) -> Result<Vec<PaillierCiphertext>> {
+        if messages.is_empty() {
+            return Ok(Vec::new());
+        }
+        let size = messages.len().min(RandomnessPool::DEFAULT_SIZE);
+        let mut pool = RandomnessPool::new(self.keypair.public(), size, rng);
+        Ok(self.keypair.public().encrypt_batch(messages, &mut pool)?)
+    }
+
+    /// Serialize a run of ciphertexts as fixed-width frames.
+    fn frames_from(ciphers: &[PaillierCiphertext], width: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(ciphers.len() * width);
+        for c in ciphers {
             let bytes = c.to_bytes_be();
             debug_assert!(bytes.len() <= width);
             out.resize(out.len() + width - bytes.len(), 0);
             out.extend_from_slice(&bytes);
         }
-        Ok(out)
+        out
     }
 
-    /// Inverse of [`PaillierScheme::encrypt_stream`]: decrypt a sequence of
-    /// fixed-width frames back to the original byte stream.
+    /// Inverse of the [`PaillierScheme::stream_messages`] → `encrypt_batch` →
+    /// [`PaillierScheme::frames_from`] pipeline: decrypt a sequence of fixed-width
+    /// frames back to the original byte stream.
     fn decrypt_stream(&self, bytes: &[u8]) -> Result<Vec<u8>> {
         let width = self.keypair.public().ciphertext_width();
         if width == 0 || !bytes.len().is_multiple_of(width) {
@@ -773,8 +806,58 @@ impl PaillierScheme {
         Ok(stream)
     }
 
-    fn encrypt_cell(&self, value: &Value, rng: &mut StdRng) -> Result<Value> {
-        Ok(Value::bytes(self.encrypt_stream(&value.encode(), rng)?))
+    /// Package an encrypted table as a cell-wise [`SchemeOutcome`] (whole wall time
+    /// under [`StepTimings::sse`], no artificial rows — same shape as
+    /// [`encrypt_cell_wise`]).
+    fn outcome(encrypted: Table, table: &Table, start: Instant) -> SchemeOutcome {
+        let report = EncryptionReport {
+            timings: StepTimings { sse: start.elapsed(), ..StepTimings::default() },
+            overhead: OverheadBreakdown {
+                original_rows: table.row_count(),
+                ..OverheadBreakdown::default()
+            },
+            ..EncryptionReport::default()
+        };
+        SchemeOutcome {
+            encrypted,
+            state: OwnerState::new(CellWiseState { plaintext_schema: table.schema().clone() }),
+            report,
+        }
+    }
+
+    /// Per-cell framing: each cell's encoding is chunked on its own; every chunk of
+    /// the table is then encrypted in one batch through a shared blinding pool.
+    fn encrypt_per_cell(&self, table: &Table) -> Result<SchemeOutcome> {
+        let arity = table.arity();
+        if arity == 0 {
+            return Err(F2Error::UnsupportedInput("table has no attributes".into()));
+        }
+        let width = self.keypair.public().ciphertext_width();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
+        let start = Instant::now();
+        let mut messages = Vec::new();
+        let mut cell_counts = Vec::with_capacity(table.row_count() * arity);
+        for (_, rec) in table.iter() {
+            for v in rec.values() {
+                cell_counts.push(self.stream_messages(&v.encode(), &mut messages));
+            }
+        }
+        let ciphers = self.encrypt_messages(&messages, &mut rng)?;
+        let mut records = Vec::with_capacity(table.row_count());
+        let mut cursor = 0usize;
+        let mut counts = cell_counts.iter();
+        for _ in 0..table.row_count() {
+            let mut values = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                let count = *counts.next().expect("one chunk count per cell");
+                values
+                    .push(Value::bytes(Self::frames_from(&ciphers[cursor..cursor + count], width)));
+                cursor += count;
+            }
+            records.push(Record::new(values));
+        }
+        let encrypted = Table::new(table.schema().encrypted(), records)?;
+        Ok(Self::outcome(encrypted, table, start))
     }
 
     fn decrypt_cell(&self, cell: &Value) -> Result<Value> {
@@ -814,8 +897,9 @@ impl PaillierScheme {
     }
 
     /// Packed-rows encryption: one length-prefixed plaintext stream per row, chunked
-    /// across cell boundaries, with the resulting frames dealt back over the row's
-    /// cells in contiguous blocks (so concatenating the cells recovers frame order).
+    /// across cell boundaries, all rows batch-encrypted through one blinding pool,
+    /// with the resulting frames dealt back over the row's cells in contiguous
+    /// blocks (so concatenating the cells recovers frame order).
     fn encrypt_packed(&self, table: &Table) -> Result<SchemeOutcome> {
         let arity = table.arity();
         if arity == 0 {
@@ -824,7 +908,8 @@ impl PaillierScheme {
         let width = self.keypair.public().ciphertext_width();
         let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
         let start = Instant::now();
-        let mut records = Vec::with_capacity(table.row_count());
+        let mut messages = Vec::new();
+        let mut row_counts = Vec::with_capacity(table.row_count());
         for (_, rec) in table.iter() {
             let mut stream = Vec::new();
             for v in rec.values() {
@@ -832,8 +917,14 @@ impl PaillierScheme {
                 Self::put_packed_len(&mut stream, encoding.len());
                 stream.extend_from_slice(&encoding);
             }
-            let frames = self.encrypt_stream(&stream, &mut rng)?;
-            let frame_count = frames.len() / width;
+            row_counts.push(self.stream_messages(&stream, &mut messages));
+        }
+        let ciphers = self.encrypt_messages(&messages, &mut rng)?;
+        let mut records = Vec::with_capacity(table.row_count());
+        let mut cursor = 0usize;
+        for &frame_count in &row_counts {
+            let frames = Self::frames_from(&ciphers[cursor..cursor + frame_count], width);
+            cursor += frame_count;
             let per_cell = frame_count.div_ceil(arity);
             let mut values = Vec::with_capacity(arity);
             for attr in 0..arity {
@@ -844,19 +935,7 @@ impl PaillierScheme {
             records.push(Record::new(values));
         }
         let encrypted = Table::new(table.schema().encrypted(), records)?;
-        let report = EncryptionReport {
-            timings: StepTimings { sse: start.elapsed(), ..StepTimings::default() },
-            overhead: OverheadBreakdown {
-                original_rows: table.row_count(),
-                ..OverheadBreakdown::default()
-            },
-            ..EncryptionReport::default()
-        };
-        Ok(SchemeOutcome {
-            encrypted,
-            state: OwnerState::new(CellWiseState { plaintext_schema: table.schema().clone() }),
-            report,
-        })
+        Ok(Self::outcome(encrypted, table, start))
     }
 
     /// Inverse of [`PaillierScheme::encrypt_packed`].
@@ -907,11 +986,7 @@ impl Scheme for PaillierScheme {
 
     fn encrypt(&self, table: &Table) -> Result<SchemeOutcome> {
         match self.framing {
-            PaillierFraming::PerCell => {
-                // Per-table randomness stream, as in ProbScheme::encrypt.
-                let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
-                encrypt_cell_wise(table, |_, v| self.encrypt_cell(v, &mut rng))
-            }
+            PaillierFraming::PerCell => self.encrypt_per_cell(table),
             PaillierFraming::PackedRows => self.encrypt_packed(table),
         }
     }

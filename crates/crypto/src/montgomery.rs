@@ -1,0 +1,356 @@
+//! Montgomery-form modular arithmetic (REDC).
+//!
+//! A [`Montgomery`] context precomputes everything modular exponentiation needs so
+//! that the hot loop contains **zero divisions**: with `R = 2^(64·L)` (`L` = limb
+//! count of the modulus `n`), numbers are mapped into *Montgomery form* `x̃ = x·R mod
+//! n`, where modular multiplication becomes `REDC(x̃·ỹ) = x̃·ỹ·R⁻¹ mod n` — and REDC
+//! is carried out with shifts, multiplies and adds only. The context stores
+//!
+//! * `n0inv = −n⁻¹ mod 2^64` (one Newton iteration chain on the lowest limb),
+//! * `R mod n` (the Montgomery form of 1) and `R² mod n` (the conversion factor:
+//!   `to_mont(x) = REDC(x · R²)`),
+//!
+//! which cost two divisions at construction; every subsequent `mul`/`square`/`pow`
+//! runs division-free. [`Montgomery::pow`] uses windowed (2^k-ary) exponentiation
+//! entirely in Montgomery form — one conversion in, one conversion out.
+//!
+//! # Odd-modulus precondition
+//!
+//! REDC requires `gcd(n, R) = 1`, i.e. an **odd** modulus: `n0inv` is the inverse of
+//! `n` modulo a power of two, which exists iff `n` is odd. [`Montgomery::new`]
+//! therefore returns `None` for even (or trivial) moduli; `BigUint::mod_pow`
+//! dispatches to the division-based `mod_pow_generic` in that case, so callers never
+//! observe the precondition. Paillier moduli (`n`, `n²`, `p²`, `q²` — products of odd
+//! primes) are always odd, which is why the entire public-key hot path runs here.
+
+use crate::bigint::BigUint;
+use std::cmp::Ordering;
+
+/// Precomputed context for modular arithmetic over a fixed odd modulus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Montgomery {
+    /// The (odd) modulus `n`.
+    n: BigUint,
+    /// Limb count `L` of the modulus; every internal buffer is `L` limbs wide.
+    limbs: usize,
+    /// `−n⁻¹ mod 2^64`.
+    n0inv: u64,
+    /// `R mod n` — the Montgomery form of 1 (fixed width `L`).
+    r1: Vec<u64>,
+    /// `R² mod n` — conversion factor into Montgomery form (fixed width `L`).
+    r2: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Build a context for the odd modulus `n`. Returns `None` if `n` is even or
+    /// `n ≤ 1` (REDC's `n⁻¹ mod 2^64` only exists for odd `n`).
+    pub fn new(n: &BigUint) -> Option<Self> {
+        if n.is_even() || n.is_zero() || n.is_one() {
+            return None;
+        }
+        let limbs = n.limb_slice().len();
+        // Newton–Hensel lifting of n₀⁻¹ mod 2^64: for odd n₀, x ← x·(2 − n₀·x)
+        // doubles the number of correct low bits per step; seeding with n₀ itself
+        // gives 3 correct bits (n₀² ≡ 1 mod 8), so 5 steps reach 96 ≥ 64 bits.
+        let n0 = n.limb_slice()[0];
+        let mut inv: u64 = n0;
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0inv = inv.wrapping_neg();
+        let r1 = fixed(&BigUint::one().shl(64 * limbs).rem(n), limbs);
+        let r2 = fixed(&BigUint::one().shl(128 * limbs).rem(n), limbs);
+        Some(Montgomery { n: n.clone(), limbs, n0inv, r1, r2 })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Montgomery form of 1 (`R mod n`).
+    pub fn one_mont(&self) -> BigUint {
+        BigUint::from_limbs(self.r1.clone())
+    }
+
+    /// Map `x` into Montgomery form: `x·R mod n`. `x` is reduced mod `n` first.
+    pub fn to_mont(&self, x: &BigUint) -> BigUint {
+        self.mont_mul(&x.rem(&self.n), &BigUint::from_limbs(self.r2.clone()))
+    }
+
+    /// Map a Montgomery-form value back to the ordinary representation:
+    /// `x̃·R⁻¹ mod n`.
+    pub fn from_mont(&self, x: &BigUint) -> BigUint {
+        let l = self.limbs;
+        let mut t = vec![0u64; 2 * l + 1];
+        let xf = fixed(x, l);
+        t[..l].copy_from_slice(&xf);
+        let mut out = vec![0u64; l];
+        self.reduce_into(&mut t, &mut out);
+        BigUint::from_limbs(out)
+    }
+
+    /// One Montgomery multiplication: `REDC(a·b) = a·b·R⁻¹ mod n`.
+    ///
+    /// With both operands in Montgomery form this is the modular product (still in
+    /// Montgomery form). With exactly **one** operand in Montgomery form the result
+    /// is the plain modular product `a·b mod n` in ordinary representation — the
+    /// trick Paillier encryption uses to apply a precomputed Montgomery-form
+    /// blinding factor to a plain message with a single multiplication and no
+    /// conversions.
+    ///
+    /// **Precondition:** both operands must already be reduced (`< n`). REDC's
+    /// single conditional subtraction only guarantees a canonical result for
+    /// `a·b < n·R`; an unreduced operand that still fits the modulus width would
+    /// silently produce a residue ≥ n. (Use [`Montgomery::to_mont`], which reduces
+    /// its input, or reduce with `rem` first.)
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        debug_assert!(a.cmp_to(&self.n) == Ordering::Less, "mont_mul operand not reduced mod n");
+        debug_assert!(b.cmp_to(&self.n) == Ordering::Less, "mont_mul operand not reduced mod n");
+        let l = self.limbs;
+        let af = fixed(a, l);
+        let bf = fixed(b, l);
+        let mut t = vec![0u64; 2 * l + 1];
+        let mut out = vec![0u64; l];
+        self.mul_into(&af, &bf, &mut out, &mut t);
+        BigUint::from_limbs(out)
+    }
+
+    /// `base^exp mod n` in ordinary representation (windowed, Montgomery inside).
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.from_mont(&self.pow_mont(base, exp))
+    }
+
+    /// `base^exp mod n`, returned **in Montgomery form** (`base` is ordinary).
+    ///
+    /// Windowed 2^k-ary left-to-right exponentiation: the exponent is consumed in
+    /// `w`-bit windows (w grows with exponent size up to 6), so per window there are
+    /// `w` squarings and at most one table multiplication. The whole walk stays in
+    /// Montgomery form and the loop body allocates nothing (ping-pong scratch
+    /// buffers).
+    pub fn pow_mont(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.pow_mont_of(&self.to_mont(base), exp)
+    }
+
+    /// `base^exp mod n` where `base` is **already in Montgomery form**; the result
+    /// stays in Montgomery form (saves the input conversion when the base is a
+    /// stored Montgomery-domain value, e.g. a pooled Paillier blinding factor).
+    /// Like [`Montgomery::mont_mul`], the base must be reduced (`< n`).
+    pub fn pow_mont_of(&self, base_mont: &BigUint, exp: &BigUint) -> BigUint {
+        debug_assert!(
+            base_mont.cmp_to(&self.n) == Ordering::Less,
+            "pow_mont_of base not reduced mod n"
+        );
+        let l = self.limbs;
+        let eb = exp.bits();
+        if eb == 0 {
+            return self.one_mont();
+        }
+        let w = window_bits(eb);
+        // Table of Montgomery-form powers: table[d] = base^d · R mod n.
+        let base_m = fixed(base_mont, l);
+        let mut t = vec![0u64; 2 * l + 1];
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(1 << w);
+        table.push(self.r1.clone());
+        table.push(base_m);
+        for d in 2..(1usize << w) {
+            let mut out = vec![0u64; l];
+            self.mul_into(&table[d - 1], &table[1], &mut out, &mut t);
+            table.push(out);
+        }
+        let windows = eb.div_ceil(w);
+        let mut acc = table[exp_window(exp, (windows - 1) * w, w)].clone();
+        let mut tmp = vec![0u64; l];
+        for win in (0..windows - 1).rev() {
+            for _ in 0..w {
+                self.mul_into(&acc, &acc, &mut tmp, &mut t);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+            let d = exp_window(exp, win * w, w);
+            if d != 0 {
+                self.mul_into(&acc, &table[d], &mut tmp, &mut t);
+                std::mem::swap(&mut acc, &mut tmp);
+            }
+        }
+        BigUint::from_limbs(acc)
+    }
+
+    /// Schoolbook product `a·b` into `t`, then Montgomery reduction into `out`.
+    /// `a`, `b`, `out` are `L` limbs; `t` is the `2L+1`-limb scratch buffer.
+    fn mul_into(&self, a: &[u64], b: &[u64], out: &mut [u64], t: &mut [u64]) {
+        let l = self.limbs;
+        t.fill(0);
+        for i in 0..l {
+            let ai = a[i] as u128;
+            if ai == 0 {
+                continue;
+            }
+            let mut carry: u128 = 0;
+            for j in 0..l {
+                let cur = t[i + j] as u128 + ai * b[j] as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            t[i + l] = carry as u64;
+        }
+        self.reduce_into(t, out);
+    }
+
+    /// Montgomery reduction (REDC): given `t < n·R` (2L+1 limbs), write
+    /// `t·R⁻¹ mod n` into `out` (L limbs). Destroys `t`.
+    fn reduce_into(&self, t: &mut [u64], out: &mut [u64]) {
+        let l = self.limbs;
+        let n = self.n.limb_slice();
+        for i in 0..l {
+            // m·n cancels the lowest live limb: (t[i] + m·n₀) ≡ 0 mod 2^64.
+            let m = t[i].wrapping_mul(self.n0inv) as u128;
+            let mut carry: u128 = 0;
+            for j in 0..l {
+                let cur = t[i + j] as u128 + m * n[j] as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + l;
+            while carry != 0 {
+                let cur = t[k] as u128 + carry;
+                t[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        // t/R lives in t[l..2l] with a possible overflow limb t[2l]; the value is
+        // < 2n, so at most one subtraction of n brings it into range.
+        let needs_sub = t[2 * l] != 0 || cmp_fixed(&t[l..2 * l], n) != Ordering::Less;
+        if needs_sub {
+            let mut borrow: u64 = 0;
+            for j in 0..l {
+                let nj = *n.get(j).unwrap_or(&0);
+                let (d1, b1) = t[l + j].overflowing_sub(nj);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+        } else {
+            out.copy_from_slice(&t[l..2 * l]);
+        }
+    }
+}
+
+/// Pad (or reduce-and-pad) a canonical `BigUint` to exactly `l` limbs.
+///
+/// Callers guarantee `x < n` (so `x` has at most `l` limbs); the debug assertion
+/// catches misuse.
+fn fixed(x: &BigUint, l: usize) -> Vec<u64> {
+    let src = x.limb_slice();
+    debug_assert!(src.len() <= l, "operand wider than the modulus");
+    let mut out = vec![0u64; l];
+    out[..src.len()].copy_from_slice(src);
+    out
+}
+
+/// Compare two fixed-width limb slices (`a` exactly as wide as `b` is canonical —
+/// `b` may be shorter; missing high limbs of `b` read as zero).
+fn cmp_fixed(a: &[u64], b: &[u64]) -> Ordering {
+    for i in (0..a.len()).rev() {
+        let bv = *b.get(i).unwrap_or(&0);
+        match a[i].cmp(&bv) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Window width for a given exponent bit length (standard k-ary thresholds).
+fn window_bits(exp_bits: usize) -> usize {
+    match exp_bits {
+        0..=24 => 1,
+        25..=79 => 3,
+        80..=239 => 4,
+        240..=671 => 5,
+        _ => 6,
+    }
+}
+
+/// Extract exponent bits `[pos, pos + width)` as a little-endian window value.
+fn exp_window(exp: &BigUint, pos: usize, width: usize) -> usize {
+    let mut v = 0usize;
+    for i in 0..width {
+        if exp.bit(pos + i) {
+            v |= 1 << i;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_even_and_trivial_moduli() {
+        assert!(Montgomery::new(&BigUint::from_u64(16)).is_none());
+        assert!(Montgomery::new(&BigUint::zero()).is_none());
+        assert!(Montgomery::new(&BigUint::one()).is_none());
+        assert!(Montgomery::new(&BigUint::from_u64(15)).is_some());
+    }
+
+    #[test]
+    fn roundtrip_through_montgomery_form() {
+        let n = BigUint::from_u64(1_000_003);
+        let ctx = Montgomery::new(&n).unwrap();
+        for v in [0u64, 1, 2, 999_999, 1_000_002, u64::MAX] {
+            let x = BigUint::from_u64(v).rem(&n);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+        }
+        assert_eq!(ctx.from_mont(&ctx.one_mont()), BigUint::one());
+    }
+
+    #[test]
+    fn mont_mul_matches_mul_mod() {
+        let n = BigUint::from_u128(0xffff_ffff_ffff_ffff_ffff_ffff_ffff_fff1);
+        let ctx = Montgomery::new(&n).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let a = BigUint::random_below(&n, &mut rng);
+            let b = BigUint::random_below(&n, &mut rng);
+            let am = ctx.to_mont(&a);
+            let bm = ctx.to_mont(&b);
+            assert_eq!(ctx.from_mont(&ctx.mont_mul(&am, &bm)), a.mul_mod(&b, &n));
+            // Mixed-domain product: one Montgomery operand, plain result.
+            assert_eq!(ctx.mont_mul(&a, &bm), a.mul_mod(&b, &n));
+        }
+    }
+
+    #[test]
+    fn pow_matches_generic_across_sizes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for bits in [8usize, 63, 64, 65, 127, 128, 129, 256, 521] {
+            let mut n = BigUint::random_bits(bits, &mut rng);
+            if n.is_even() {
+                n = n.add(&BigUint::one());
+            }
+            if n.is_one() {
+                continue;
+            }
+            let ctx = Montgomery::new(&n).unwrap();
+            let base = BigUint::random_bits(bits, &mut rng);
+            let exp = BigUint::random_bits(bits.min(96), &mut rng);
+            assert_eq!(ctx.pow(&base, &exp), base.mod_pow_generic(&exp, &n), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let n = BigUint::from_u64(101);
+        let ctx = Montgomery::new(&n).unwrap();
+        // x^0 = 1, 0^e = 0, 1^e = 1, base ≥ n is reduced first.
+        assert_eq!(ctx.pow(&BigUint::from_u64(7), &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.pow(&BigUint::zero(), &BigUint::from_u64(9)), BigUint::zero());
+        assert_eq!(ctx.pow(&BigUint::one(), &BigUint::from_u64(1000)), BigUint::one());
+        assert_eq!(ctx.pow(&BigUint::from_u64(108), &BigUint::from_u64(2)), BigUint::from_u64(49));
+    }
+}

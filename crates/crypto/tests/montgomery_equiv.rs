@@ -1,0 +1,188 @@
+//! Equivalence suite pinning the Montgomery/REDC fast path to the generic
+//! (division-based) implementations, plus frozen byte vectors guarding the wire
+//! format of `BigUint` serialization across limb-width changes.
+//!
+//! The `u32 → u64` limb switch and the Montgomery engine must be *unobservable*
+//! except for speed: `mod_pow` ≡ `mod_pow_generic`, Montgomery `mul` ≡ `mul_mod`,
+//! CRT decryption ≡ textbook decryption, and `to_bytes_be`/`from_bytes_be` must
+//! emit exactly the bytes the committed wire golden vectors (and every persisted
+//! Paillier frame) were built from. Operand widths deliberately straddle the limb
+//! boundary (63/64/65 bits) where carry bugs live.
+
+use f2_crypto::{BigUint, Montgomery, PaillierKeyPair};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random odd integer of exactly `bits` bits.
+fn random_odd(bits: usize, rng: &mut impl Rng) -> BigUint {
+    let mut n = BigUint::random_bits(bits, rng);
+    if n.is_even() {
+        n = n.add(&BigUint::one());
+    }
+    n
+}
+
+/// Widths that straddle u64-limb boundaries, plus realistic Paillier sizes.
+const BOUNDARY_BITS: [usize; 9] = [8, 63, 64, 65, 127, 128, 129, 192, 256];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mont_mul_matches_mul_mod(width in 0usize..BOUNDARY_BITS.len(), seed in 0u64..u64::MAX) {
+        let bits = BOUNDARY_BITS[width];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = random_odd(bits, &mut rng);
+        let ctx = Montgomery::new(&n).expect("odd modulus");
+        let a = BigUint::random_bits(bits, &mut rng).rem(&n);
+        let b = BigUint::random_bits(bits, &mut rng).rem(&n);
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        prop_assert_eq!(ctx.from_mont(&ctx.mont_mul(&am, &bm)), a.mul_mod(&b, &n));
+        // Mixed-domain shortcut used by Paillier encryption: plain × Montgomery
+        // operand yields the plain modular product directly.
+        prop_assert_eq!(ctx.mont_mul(&a, &bm), a.mul_mod(&b, &n));
+    }
+
+    #[test]
+    fn mod_pow_matches_generic_on_odd_moduli(
+        width in 0usize..BOUNDARY_BITS.len(),
+        exp_bits in 1usize..96,
+        seed in 0u64..u64::MAX,
+    ) {
+        let bits = BOUNDARY_BITS[width];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = random_odd(bits, &mut rng);
+        let base = BigUint::random_bits(bits, &mut rng);
+        let exp = BigUint::random_bits(exp_bits, &mut rng);
+        prop_assert_eq!(base.mod_pow(&exp, &n), base.mod_pow_generic(&exp, &n));
+    }
+
+    #[test]
+    fn mod_pow_dispatches_on_even_moduli(
+        width in 0usize..BOUNDARY_BITS.len(),
+        exp_bits in 1usize..64,
+        seed in 0u64..u64::MAX,
+    ) {
+        // REDC needs an odd modulus; `mod_pow` must transparently fall back to the
+        // generic path for even ones instead of panicking or mis-computing.
+        let bits = BOUNDARY_BITS[width];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = BigUint::random_bits(bits, &mut rng);
+        if !n.is_even() {
+            n = n.add(&BigUint::one());
+        }
+        let base = BigUint::random_bits(bits, &mut rng);
+        let exp = BigUint::random_bits(exp_bits, &mut rng);
+        prop_assert_eq!(base.mod_pow(&exp, &n), base.mod_pow_generic(&exp, &n));
+    }
+
+    #[test]
+    fn binary_gcd_matches_euclid(a_bits in 1usize..200, b_bits in 1usize..200, seed in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = BigUint::random_bits(a_bits, &mut rng);
+        let b = BigUint::random_bits(b_bits, &mut rng);
+        // Euclid oracle, the formulation the binary GCD replaced.
+        let euclid = {
+            let (mut x, mut y) = (a.clone(), b.clone());
+            while !y.is_zero() {
+                let r = x.rem(&y);
+                x = y;
+                y = r;
+            }
+            x
+        };
+        prop_assert_eq!(a.gcd(&b), euclid);
+    }
+
+    #[test]
+    fn byte_roundtrip_at_boundary_widths(width in 0usize..BOUNDARY_BITS.len(), seed in 0u64..u64::MAX) {
+        let bits = BOUNDARY_BITS[width];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = BigUint::random_bits(bits, &mut rng);
+        let bytes = x.to_bytes_be();
+        // Canonical: no leading zero byte, exact bit width preserved.
+        prop_assert_eq!(bytes.len(), bits.div_ceil(8));
+        prop_assert!(bytes.first() != Some(&0));
+        prop_assert_eq!(BigUint::from_bytes_be(&bytes), x);
+    }
+}
+
+proptest! {
+    // Key generation per case makes these the slowest properties; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn crt_decrypt_matches_generic_decrypt(key_seed in 0u64..u64::MAX, msg_seed in 0u64..u64::MAX) {
+        let mut key_rng = StdRng::seed_from_u64(key_seed);
+        let kp = PaillierKeyPair::generate(128, &mut key_rng).expect("keygen");
+        let mut rng = StdRng::seed_from_u64(msg_seed);
+        for _ in 0..4 {
+            let m = BigUint::random_below(kp.public().modulus(), &mut rng);
+            let c = kp.public().encrypt(&m, &mut rng).expect("encrypt");
+            let crt = kp.decrypt(&c).expect("CRT decrypt");
+            let generic = kp.decrypt_generic(&c).expect("generic decrypt");
+            prop_assert_eq!(&crt, &generic);
+            prop_assert_eq!(&crt, &m);
+        }
+    }
+
+    #[test]
+    fn pooled_ciphertexts_decrypt_on_both_paths(key_seed in 0u64..u64::MAX, msg in 0u64..u64::MAX) {
+        let mut rng = StdRng::seed_from_u64(key_seed);
+        let kp = PaillierKeyPair::generate(128, &mut rng).expect("keygen");
+        let mut pool = f2_crypto::RandomnessPool::new(kp.public(), 4, &mut rng);
+        let m = BigUint::from_u64(msg).rem(kp.public().modulus());
+        let c = kp.public().encrypt_with_pool(&m, &mut pool).expect("encrypt");
+        prop_assert_eq!(kp.decrypt(&c).expect("CRT"), m.clone());
+        prop_assert_eq!(kp.decrypt_generic(&c).expect("generic"), m);
+    }
+}
+
+/// Frozen serialization vectors: `(big-endian hex of the value, constructor)`.
+///
+/// These bytes were produced by the u32-limb implementation this PR replaced and
+/// must never change — Paillier ciphertext frames persisted through the engine's
+/// `F2WS` wire format (see `crates/engine/tests/wire_compat.rs`) embed exactly this
+/// encoding, so a limb-layout change that altered it would corrupt stored tables.
+#[test]
+fn frozen_byte_vectors_stay_wire_compatible() {
+    // Small values: minimal big-endian, no leading zeros.
+    assert_eq!(BigUint::zero().to_bytes_be(), Vec::<u8>::new());
+    assert_eq!(BigUint::one().to_bytes_be(), vec![0x01]);
+    assert_eq!(BigUint::from_u64(0xabcd).to_bytes_be(), vec![0xab, 0xcd]);
+    // A value straddling the old u32 limb boundary.
+    assert_eq!(
+        BigUint::from_u64(0x0102_0304_0506_0708).to_bytes_be(),
+        vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08]
+    );
+    // A value straddling the new u64 limb boundary (65 bits).
+    assert_eq!(
+        BigUint::from_u128(0x1_ffee_ddcc_bbaa_9988).to_bytes_be(),
+        vec![0x01, 0xff, 0xee, 0xdd, 0xcc, 0xbb, 0xaa, 0x99, 0x88]
+    );
+    // 2^192: one marker byte then 24 zeros.
+    let mut expected = vec![0x01];
+    expected.extend(std::iter::repeat_n(0u8, 24));
+    assert_eq!(BigUint::one().shl(192).to_bytes_be(), expected);
+    // Parsing tolerates redundant leading zeros but re-serializes canonically.
+    assert_eq!(BigUint::from_bytes_be(&[0, 0, 0x05]).to_bytes_be(), vec![0x05]);
+    // A 33-byte (non-multiple-of-8) vector round-trips bit-exactly.
+    let long: Vec<u8> = (1..=33u8).collect();
+    assert_eq!(BigUint::from_bytes_be(&long).to_bytes_be(), long);
+}
+
+/// The Paillier chunk framing (marker byte + payload) on top of the serialization:
+/// the exact integers the scheme encrypts are unchanged by the limb switch.
+#[test]
+fn frozen_chunk_message_vector() {
+    let message = {
+        let mut m = vec![0x01];
+        m.extend_from_slice(b"Hoboken");
+        BigUint::from_bytes_be(&m)
+    };
+    // 0x01 ‖ "Hoboken" as a big-endian integer = 0x01486f626f6b656e.
+    assert_eq!(message, BigUint::from_u128(0x01_48_6f_62_6f_6b_65_6e));
+    assert_eq!(message.to_bytes_be(), b"\x01Hoboken".to_vec());
+}
