@@ -1,16 +1,17 @@
-//! `bench_guard` — fail CI when the Paillier hot path regresses.
+//! `bench_guard` — fail CI when the Paillier or F² hot paths regress.
 //!
 //! Usage:
 //! ```text
 //! cargo run --release -p f2-bench --bin bench_guard -- <baseline.json> <fresh.json> [max_regression]
 //! ```
 //!
-//! Compares the `paillier` section of a freshly generated `BENCH_report.json`
-//! against the committed baseline and exits non-zero if any framing's encrypt
-//! throughput dropped by more than `max_regression` (default `0.20`, i.e. 20%).
-//! The section is measured on a fixed workload (same modulus size, same sampled
-//! rows) in both smoke and full mode, so a smoke-mode CI run is directly
-//! comparable to the committed full-mode report.
+//! Compares the `paillier` and `f2_phases` sections of a freshly generated
+//! `BENCH_report.json` against the committed baseline and exits non-zero if the
+//! Paillier encrypt throughput of any framing, or the F² engine throughput on the
+//! tracked 10k-row workload, dropped by more than `max_regression` (default `0.20`,
+//! i.e. 20%). Both sections are measured on fixed workloads (same modulus size and
+//! sampled rows; same row count and chunking) in both smoke and full mode, so a
+//! smoke-mode CI run is directly comparable to the committed full-mode report.
 //!
 //! Throughput is **hardware-normalized** before comparison: each report carries a
 //! `calibration_modpow_s` field (a fixed-operand modular exponentiation timed in
@@ -40,6 +41,20 @@ const DEFAULT_MAX_REGRESSION: f64 = 0.20;
 /// The text of a report from its `"paillier"` section onward, if present.
 fn paillier_section(report: &str) -> Option<&str> {
     report.find("\"paillier\": {").map(|at| &report[at..])
+}
+
+/// The text of a report from its `"f2_phases"` section onward, if present. The slice
+/// stops at the next top-level section so a number is never read past it.
+fn f2_phases_section(report: &str) -> Option<&str> {
+    let at = report.find("\"f2_phases\": {")?;
+    let rest = &report[at..];
+    let end = rest.find("\n  }").map_or(rest.len(), |e| e + 4);
+    Some(&rest[..end])
+}
+
+/// The tracked F² engine throughput (MB/s) inside an `f2_phases` section.
+fn f2_throughput_mb_s(section: &str) -> Option<f64> {
+    float_after(section, "\"throughput_mb_s\": ")
 }
 
 /// `encrypt_mb_s` of one framing inside a `paillier` section.
@@ -133,9 +148,47 @@ fn main() -> ExitCode {
         );
         failed |= now < floor;
     }
+    // F² engine floor: same normalization, same tolerance. A baseline predating the
+    // `f2_phases` section passes vacuously (bootstrap); a fresh report without it is
+    // an error — the generator always emits it.
+    match (f2_phases_section(&baseline), f2_phases_section(&fresh)) {
+        (None, _) => {
+            println!(
+                "bench_guard: baseline {baseline_path} has no \"f2_phases\" section \
+                 (pre-guard report); skipping the f2 floor"
+            );
+        }
+        (Some(_), None) => {
+            eprintln!(
+                "bench_guard: fresh report {fresh_path} is missing the \"f2_phases\" section"
+            );
+            failed = true;
+        }
+        (Some(base_f2), Some(fresh_f2)) => {
+            match (f2_throughput_mb_s(base_f2), f2_throughput_mb_s(fresh_f2)) {
+                (Some(base), Some(now)) => {
+                    let base = base * base_scale;
+                    let now = now * fresh_scale;
+                    let floor = base * (1.0 - max_regression);
+                    let verdict = if now < floor { "REGRESSION" } else { "ok" };
+                    println!(
+                        "bench_guard: {:<18} baseline {base:>12.6} {unit} | now {now:>12.6} {unit} \
+                         | floor {floor:>12.6} | {verdict}",
+                        "f2-engine"
+                    );
+                    failed |= now < floor;
+                }
+                _ => {
+                    eprintln!("bench_guard: f2_phases section lacks throughput_mb_s");
+                    failed = true;
+                }
+            }
+        }
+    }
+
     if failed {
         eprintln!(
-            "bench_guard: Paillier encrypt throughput regressed more than \
+            "bench_guard: hot-path throughput regressed more than \
              {:.0}% vs {baseline_path}",
             max_regression * 100.0
         );
@@ -153,6 +206,17 @@ mod tests {
   "paillier_framing": [
     { "backend": "paillier", "throughput_mb_s": 0.002561 }
   ],
+  "f2_phases": {
+    "rows": 10000,
+    "chunk_rows": 512,
+    "workers": 1,
+    "max_s": 0.009000,
+    "sse_s": 0.050000,
+    "syn_s": 0.000100,
+    "fp_s": 0.016000,
+    "wall_s": 0.083000,
+    "throughput_mb_s": 6.7500
+  },
   "paillier": {
     "modulus_bits": 512,
     "rows": 8,
@@ -194,5 +258,15 @@ mod tests {
         let section = paillier_section(SAMPLE).unwrap();
         assert_eq!(calibration_s(section), Some(0.0004));
         assert_eq!(calibration_s("{ \"rows\": 8 }"), None);
+    }
+
+    #[test]
+    fn extracts_f2_throughput() {
+        let section = f2_phases_section(SAMPLE).expect("f2_phases present");
+        assert_eq!(f2_throughput_mb_s(section), Some(6.75));
+        // The slice must stop before the paillier section so its numbers can never
+        // leak into the f2 floor.
+        assert!(!section.contains("paillier"));
+        assert!(f2_phases_section("{ \"engine\": [] }").is_none());
     }
 }

@@ -368,6 +368,31 @@ fn engine() {
         framing.push((m, mb_s));
     }
 
+    // Per-phase F² breakdown (MAX / SSE / SYN / FP) on the pipeline's tracked
+    // workload: 10k synthetic rows through the engine at 512-row chunks, one worker.
+    // Like the Paillier section it is deliberately NOT shrunk in smoke mode — the
+    // run takes well under a second on the interned planning core, and an identical
+    // workload is what lets `bench_guard` hold the f2 throughput floor across
+    // smoke-mode CI runs and committed full-mode reports.
+    let f2_phases = f2_phase_breakdown();
+    println!(
+        "\nF2 phases [{} rows, {} per chunk, 1 worker, best of {}]:",
+        f2_phases.rows, f2_phases.chunk_rows, F2_PHASE_ITERS
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>10}",
+        "MAX", "SSE", "SYN", "FP", "wall", "MB/s"
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>10.2}",
+        secs(f2_phases.max),
+        secs(f2_phases.sse),
+        secs(f2_phases.syn),
+        secs(f2_phases.fp),
+        secs(f2_phases.wall),
+        f2_phases.throughput_mb_s
+    );
+
     // Per-phase Paillier breakdown (keygen / encrypt / decrypt) at the registry's
     // realistic 512-bit modulus. Deliberately NOT shrunk in smoke mode: the sampled
     // workload is tiny anyway, and keeping it identical to the committed full-mode
@@ -397,7 +422,16 @@ fn engine() {
     }
 
     let path = "BENCH_report.json";
-    let json = engine_json(smoke, rows, chunk_rows, host_cpus, &measurements, &framing, &phases);
+    let json = engine_json(
+        smoke,
+        rows,
+        chunk_rows,
+        host_cpus,
+        &measurements,
+        &framing,
+        &f2_phases,
+        &phases,
+    );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     println!("\nWrote {path} ({} engine entries).", measurements.len());
 }
@@ -410,6 +444,70 @@ const PR2_ENCRYPT_MB_S: [(&str, f64); 2] = [("paillier", 0.002561), ("paillier-p
 /// Rows the Paillier phase breakdown runs on (the PR-2 sampled workload, so the
 /// speedup column is apples-to-apples).
 const PAILLIER_PHASE_ROWS: usize = 8;
+
+/// Rows and chunking of the tracked F² engine workload (identical in smoke and full
+/// mode, so the bench guard can compare across modes).
+const F2_PHASE_ROWS: usize = 10_000;
+const F2_PHASE_CHUNK_ROWS: usize = 512;
+
+/// Runs the F² phase workload is repeated; the fastest run is recorded (same
+/// rationale as [`PAILLIER_PHASE_ITERS`]: a 1-CPU CI host jitters).
+const F2_PHASE_ITERS: usize = 3;
+
+/// The `f2_phases` section of `BENCH_report.json`: the MAX / SSE / SYN / FP wall-time
+/// breakdown of one chunked 10k-row engine run, plus its end-to-end throughput. This
+/// is the number the `bench_guard` f2 floor tracks (hardware-normalized by the same
+/// `calibration_modpow_s` as the Paillier section).
+struct F2Phases {
+    rows: usize,
+    chunk_rows: usize,
+    plain_bytes: usize,
+    encrypted_rows: usize,
+    max: Duration,
+    sse: Duration,
+    syn: Duration,
+    fp: Duration,
+    wall: Duration,
+    throughput_mb_s: f64,
+}
+
+/// Measure the F² phase breakdown: best-of-[`F2_PHASE_ITERS`] single-worker engine
+/// runs over the fixed workload; the per-step durations come from the winning run's
+/// merged chunk reports (summed CPU time across chunks). Decryption round-trips on
+/// every run, so a fast-but-wrong pipeline cannot pass.
+fn f2_phase_breakdown() -> F2Phases {
+    use f2_engine::{Engine, EngineConfig};
+    let table = Dataset::Synthetic.generate(F2_PHASE_ROWS, 42);
+    let scheme = f2_scheme(0.2, 2, 7);
+    let engine = Engine::new(EngineConfig { workers: 1, chunk_rows: F2_PHASE_CHUNK_ROWS, seed: 7 })
+        .expect("valid engine config");
+    let mut best: Option<(Duration, f2_core::EncryptionReport, usize)> = None;
+    for _ in 0..F2_PHASE_ITERS {
+        let start = Instant::now();
+        let run = engine.encrypt(&scheme, &table).expect("f2 engine encryption");
+        let wall = start.elapsed();
+        let recovered = scheme.decrypt(&run.outcome).expect("f2 decrypt");
+        assert!(recovered.multiset_eq(&table), "f2 pipeline round-trip failed");
+        let encrypted_rows = run.outcome.encrypted.row_count();
+        if best.as_ref().is_none_or(|(w, _, _)| wall < *w) {
+            best = Some((wall, run.outcome.report, encrypted_rows));
+        }
+    }
+    let (wall, report, encrypted_rows) = best.expect("at least one run");
+    let plain_bytes = table.size_bytes();
+    F2Phases {
+        rows: F2_PHASE_ROWS,
+        chunk_rows: F2_PHASE_CHUNK_ROWS,
+        plain_bytes,
+        encrypted_rows,
+        max: report.timings.max,
+        sse: report.timings.sse,
+        syn: report.timings.syn,
+        fp: report.timings.fp,
+        wall,
+        throughput_mb_s: plain_bytes as f64 / 1e6 / wall.as_secs_f64().max(1e-9),
+    }
+}
 
 /// One framing's measured phases.
 struct PaillierFramingPhases {
@@ -521,6 +619,7 @@ fn paillier_phases(table: &Table) -> PaillierPhases {
 
 /// Render the `engine` experiment as the `BENCH_report.json` document (hand-rolled:
 /// the offline vendor set has no JSON crate, and the schema is small and flat).
+#[allow(clippy::too_many_arguments)]
 fn engine_json(
     smoke: bool,
     rows: usize,
@@ -528,6 +627,7 @@ fn engine_json(
     host_cpus: usize,
     measurements: &[(EngineMeasurement, f64, f64)],
     framing: &[(f2_bench::RunMeasurement, f64)],
+    f2_phases: &F2Phases,
     phases: &PaillierPhases,
 ) -> String {
     let mut out = String::from("{\n");
@@ -570,7 +670,19 @@ fn engine_json(
         );
         out.push_str(if i + 1 < framing.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ],\n  \"paillier\": {\n");
+    out.push_str("  ],\n  \"f2_phases\": {\n");
+    let _ = writeln!(out, "    \"rows\": {},", f2_phases.rows);
+    let _ = writeln!(out, "    \"chunk_rows\": {},", f2_phases.chunk_rows);
+    let _ = writeln!(out, "    \"workers\": 1,");
+    let _ = writeln!(out, "    \"plain_bytes\": {},", f2_phases.plain_bytes);
+    let _ = writeln!(out, "    \"encrypted_rows\": {},", f2_phases.encrypted_rows);
+    let _ = writeln!(out, "    \"max_s\": {:.6},", f2_phases.max.as_secs_f64());
+    let _ = writeln!(out, "    \"sse_s\": {:.6},", f2_phases.sse.as_secs_f64());
+    let _ = writeln!(out, "    \"syn_s\": {:.6},", f2_phases.syn.as_secs_f64());
+    let _ = writeln!(out, "    \"fp_s\": {:.6},", f2_phases.fp.as_secs_f64());
+    let _ = writeln!(out, "    \"wall_s\": {:.6},", f2_phases.wall.as_secs_f64());
+    let _ = writeln!(out, "    \"throughput_mb_s\": {:.4}", f2_phases.throughput_mb_s);
+    out.push_str("  },\n  \"paillier\": {\n");
     let _ = writeln!(out, "    \"modulus_bits\": {},", phases.modulus_bits);
     let _ = writeln!(out, "    \"rows\": {},", phases.rows);
     let _ = writeln!(out, "    \"plain_bytes\": {},", phases.plain_bytes);

@@ -10,13 +10,15 @@
 
 use crate::fake::FreshValueGenerator;
 use f2_relation::{EquivalenceClass, RowId, Value};
+use std::sync::Arc;
 
 /// One member of an ECG: either a real equivalence class or a fake one.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EcEntry {
     /// The (plaintext) representative value on the MAS attributes, in ascending
-    /// attribute-index order.
-    pub representative: Vec<Value>,
+    /// attribute-index order. Shared (`Arc`) so grouping and the split planner can
+    /// hand the same tuple to every derived instance without per-instance clones.
+    pub representative: Arc<Vec<Value>>,
     /// The original rows belonging to the class (empty for fake classes).
     pub rows: Vec<RowId>,
     /// Size of the class when it is fake (real classes use `rows.len()`).
@@ -35,7 +37,11 @@ impl EcEntry {
 
     /// Build a fake entry of the given size with fresh values.
     pub fn fake(size: usize, attr_count: usize, fresh: &mut FreshValueGenerator) -> Self {
-        EcEntry { representative: fresh.take(attr_count), rows: Vec::new(), fake_size: size.max(1) }
+        EcEntry {
+            representative: Arc::new(fresh.take(attr_count)),
+            rows: Vec::new(),
+            fake_size: size.max(1),
+        }
     }
 
     /// Number of (real or virtual) tuples in the class — the paper's frequency `f`.
@@ -97,7 +103,138 @@ impl Ecg {
 
 /// Group the equivalence classes of one MAS partition into collision-free ECGs of at
 /// least `k` members each, adding fake classes where necessary.
+///
+/// The collision structure is resolved through **per-attribute inverted indexes over
+/// interned value ids**: every class's representative values are interned to dense
+/// ids once, each (attribute, id) bucket lists the classes carrying that value, and
+/// "collides with some group member" becomes an epoch-stamped bucket-membership
+/// check — O(1) per candidate — instead of the former O(|group| × |MAS|) pairwise
+/// value comparison. Grouping is near-linear in the class count plus the number of
+/// value collisions; the greedy assignment (and therefore the output) is identical
+/// to [`group_equivalence_classes_generic`], the retained quadratic oracle.
 pub fn group_equivalence_classes(
+    classes: &[EquivalenceClass],
+    k: usize,
+    attr_count: usize,
+    fresh: &mut FreshValueGenerator,
+) -> Vec<Ecg> {
+    // Intern every representative position: rep_ids[p][c] is the dense id of class
+    // c's value on MAS position p, ids assigned in ascending Value order so id
+    // comparisons order exactly like value comparisons.
+    let positions: Vec<(Vec<u32>, usize)> = (0..attr_count)
+        .map(|p| {
+            let (ids, dict) =
+                f2_relation::columnar::intern_values(classes.iter().map(|c| &c.representative[p]));
+            (ids, dict.len())
+        })
+        .collect();
+    group_equivalence_classes_interned(classes, &positions, k, attr_count, fresh)
+}
+
+/// [`group_equivalence_classes`] with caller-supplied per-position value ids
+/// (`positions[p] = (ids, id_bound)` where `ids[c]` is class `c`'s value id at MAS
+/// position `p` and every id is `< id_bound`). Ids must order like the values they
+/// stand for — the table's column-dictionary ids do, so the SSE planner passes
+/// witness ids straight off the columnar index instead of re-interning
+/// representatives.
+pub fn group_equivalence_classes_interned(
+    classes: &[EquivalenceClass],
+    positions: &[(Vec<u32>, usize)],
+    k: usize,
+    attr_count: usize,
+    fresh: &mut FreshValueGenerator,
+) -> Vec<Ecg> {
+    assert!(k >= 1, "ECG size must be at least 1");
+    let t = classes.len();
+    // Inverted index: per position, value id → classes carrying that value, in a
+    // flat counting-sort layout (offsets + one class array, no per-bucket Vec).
+    let buckets: Vec<(Vec<u32>, Vec<u32>)> = positions
+        .iter()
+        .map(|(ids, distinct)| {
+            let mut offsets = vec![0u32; *distinct + 1];
+            for &id in ids {
+                offsets[id as usize + 1] += 1;
+            }
+            for i in 1..offsets.len() {
+                offsets[i] += offsets[i - 1];
+            }
+            let mut flat = vec![0u32; ids.len()];
+            let mut cursor = offsets.clone();
+            for (c, &id) in ids.iter().enumerate() {
+                let slot = &mut cursor[id as usize];
+                flat[*slot as usize] = c as u32;
+                *slot += 1;
+            }
+            (offsets, flat)
+        })
+        .collect();
+
+    // Sort by ascending size (ties broken by representative for determinism; the
+    // interned id tuples compare identically to the representatives). Keys are laid
+    // out flat so the comparator is a size compare plus one slice compare.
+    let mut keys: Vec<u32> = Vec::with_capacity(t * attr_count);
+    for c in 0..t {
+        keys.extend(positions.iter().map(|(ids, _)| ids[c]));
+    }
+    let mut order: Vec<usize> = (0..t).collect();
+    order.sort_unstable_by(|&a, &b| {
+        classes[a].size().cmp(&classes[b].size()).then_with(|| {
+            keys[a * attr_count..(a + 1) * attr_count]
+                .cmp(&keys[b * attr_count..(b + 1) * attr_count])
+        })
+    });
+
+    let mut assigned = vec![false; t];
+    // blocked[c] == epoch ⇔ class c shares a value with a member of the group
+    // currently being assembled.
+    let mut blocked: Vec<u32> = vec![0; t];
+    let mut epoch: u32 = 0;
+    let block_for = |member: usize, epoch: u32, blocked: &mut Vec<u32>| {
+        for ((ids, _), (offsets, flat)) in positions.iter().zip(&buckets) {
+            let id = ids[member] as usize;
+            for &c in &flat[offsets[id] as usize..offsets[id + 1] as usize] {
+                blocked[c as usize] = epoch;
+            }
+        }
+    };
+    let mut groups = Vec::new();
+    for (pos, &start) in order.iter().enumerate() {
+        if assigned[start] {
+            continue;
+        }
+        let mut group = Ecg { members: vec![EcEntry::real(&classes[start])] };
+        assigned[start] = true;
+        // Greedily add the closest-size collision-free classes.
+        if k > 1 {
+            epoch += 1;
+            block_for(start, epoch, &mut blocked);
+            for &cand in order.iter().skip(pos + 1) {
+                if group.len() >= k {
+                    break;
+                }
+                if assigned[cand] || blocked[cand] == epoch {
+                    continue;
+                }
+                group.members.push(EcEntry::real(&classes[cand]));
+                assigned[cand] = true;
+                block_for(cand, epoch, &mut blocked);
+            }
+        }
+        // Pad with fake classes of the group's minimum size.
+        let min_size = group.members.iter().map(EcEntry::size).min().unwrap_or(1);
+        while group.len() < k {
+            group.members.push(EcEntry::fake(min_size, attr_count, fresh));
+        }
+        // Keep members sorted by size (split-point selection expects ascending order).
+        group.members.sort_by_key(EcEntry::size);
+        groups.push(group);
+    }
+    groups
+}
+
+/// The original O(t²) pairwise-scan implementation, retained as the equivalence
+/// oracle for the inverted-index path (see `crates/core/tests/interned_plan_equiv.rs`).
+pub fn group_equivalence_classes_generic(
     classes: &[EquivalenceClass],
     k: usize,
     attr_count: usize,
@@ -155,7 +292,7 @@ mod tests {
 
     fn ec(rep: &[&str], rows: &[usize]) -> EquivalenceClass {
         EquivalenceClass {
-            representative: rep.iter().map(|s| Value::text(*s)).collect(),
+            representative: Arc::new(rep.iter().map(|s| Value::text(*s)).collect()),
             rows: rows.to_vec(),
         }
     }
@@ -188,8 +325,12 @@ mod tests {
         // C1 = (a1,b1) and C2 = (a1,b2) must not share a group (collision on a1);
         // likewise C2/C3 (b2) and C3/C4 (a2).
         for g in &groups {
-            let reps: Vec<&Vec<Value>> =
-                g.members.iter().filter(|m| !m.is_fake()).map(|m| &m.representative).collect();
+            let reps: Vec<&Vec<Value>> = g
+                .members
+                .iter()
+                .filter(|m| !m.is_fake())
+                .map(|m| m.representative.as_ref())
+                .collect();
             for i in 0..reps.len() {
                 for j in (i + 1)..reps.len() {
                     assert!(

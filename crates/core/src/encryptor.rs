@@ -21,12 +21,12 @@
 
 use crate::config::F2Config;
 use crate::fake::FreshValueGenerator;
-use crate::fpfd::plan_false_positive_elimination;
+use crate::fpfd::plan_false_positive_elimination_witnessed;
 use crate::provenance::{Provenance, RowOrigin};
 use crate::report::{EncryptionReport, OverheadBreakdown, StepTimings};
-use crate::sse::{build_mas_plan, MasPlan};
+use crate::sse::{build_mas_plan_from, MasPlan};
 use crate::{F2Error, Result};
-use f2_crypto::{MasterKey, ProbabilisticCipher};
+use f2_crypto::{CellScratch, MasterKey, ProbabilisticCipher};
 use f2_fd::mas::find_mas;
 use f2_relation::{AttrSet, Record, Schema, Table, Value};
 use rand::rngs::StdRng;
@@ -44,10 +44,51 @@ enum CellSource {
     Fresh,
 }
 
-#[derive(Debug, Clone)]
-struct CellState {
-    value: Value,
+/// Sentinel ciphertext id marking a still-unassigned cell.
+const UNASSIGNED: u32 = u32::MAX;
+
+/// One cell of the flat row-major assembly buffer: the id of a ciphertext in the
+/// shared arena (every distinct ciphertext is materialised exactly once; rows of the
+/// same instance reference the same id) plus its provenance. `Copy`, 3 words — the
+/// former `Vec<Vec<Option<CellState>>>` row-of-vecs carried one heap allocation per
+/// row and a cloned `Value` per cell.
+#[derive(Debug, Clone, Copy)]
+struct CellSlot {
+    ct: u32,
     source: CellSource,
+}
+
+impl CellSlot {
+    const EMPTY: CellSlot = CellSlot { ct: UNASSIGNED, source: CellSource::Fresh };
+
+    fn is_assigned(self) -> bool {
+        self.ct != UNASSIGNED
+    }
+}
+
+/// The ciphertext arena of one assembly run: cells and artificial rows store dense
+/// `u32` ids into it, and the output records are materialised by O(1) `Bytes` clones
+/// when the table is assembled at the end.
+#[derive(Debug, Default)]
+struct CtArena {
+    cts: Vec<Value>,
+}
+
+impl CtArena {
+    fn with_capacity(cap: usize) -> CtArena {
+        CtArena { cts: Vec::with_capacity(cap) }
+    }
+
+    fn push(&mut self, ct: Value) -> u32 {
+        let id = self.cts.len();
+        assert!(id < UNASSIGNED as usize, "ciphertext arena overflow");
+        self.cts.push(ct);
+        id as u32
+    }
+
+    fn get(&self, id: u32) -> &Value {
+        &self.cts[id as usize]
+    }
 }
 
 /// Result of encrypting one table with F².
@@ -110,15 +151,32 @@ impl F2Encryptor {
         // ---- Step 2: SSE (plans + assembly) and Step 3: SYN -----------------------
         let t_sse = Instant::now();
         let mut syn_time = std::time::Duration::ZERO;
+        // Each MAS partition is computed once (off the interned columnar index) and
+        // shared: the SSE planner consumes its classes, and Step 4 reuses one witness
+        // row per class for the false-positive violation checks.
+        let mut mas_witnesses: Vec<(AttrSet, Vec<usize>)> = Vec::with_capacity(mas_set.len());
         let plans: Vec<MasPlan> = mas_set
             .sets
             .iter()
-            .map(|&m| build_mas_plan(table, m, &self.config, &mut fresh))
+            .map(|&m| {
+                let partition = f2_relation::Partition::compute(table, m);
+                mas_witnesses.push((m, partition.classes().iter().map(|c| c.rows[0]).collect()));
+                build_mas_plan_from(&partition, Some(table.columnar()), &self.config, &mut fresh)
+            })
             .collect();
 
-        let mut cells: Vec<Vec<Option<CellState>>> = vec![vec![None; arity]; n];
-        // Artificial rows under construction: per-attribute optional ciphertext cells.
-        let mut extra_rows: Vec<(Vec<Option<Value>>, RowOrigin)> = Vec::new();
+        // Every distinct ciphertext is materialised exactly once, in the arena; the
+        // flat row-major cell buffer and the artificial rows hold dense ids into it.
+        // Capacity: one ciphertext per instance attribute plus headroom for the
+        // fresh fills of uncovered cells and artificial-row remainders.
+        let instance_cts: usize = plans.iter().map(|p| p.instances.len() * p.mas.len()).sum();
+        let mut arena = CtArena::with_capacity(instance_cts + n * arity / 2);
+        let mut scratch = CellScratch::default();
+        let mut cells: Vec<CellSlot> = vec![CellSlot::EMPTY; n * arity];
+        // Artificial rows under construction: arity-strided per-attribute ciphertext
+        // ids (UNASSIGNED = filled with a fresh value in the finalisation pass).
+        let mut extra_cells: Vec<u32> = Vec::new();
+        let mut extra_origins: Vec<RowOrigin> = Vec::new();
         // Extra rows belonging to each (mas, instance), so singleton-adoption overwrites
         // can be propagated to the instance's scale copies.
         let mut instance_extras: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
@@ -126,16 +184,22 @@ impl F2Encryptor {
         let mut syn_rows = 0usize;
         let mut group_rows = 0usize;
         let mut scale_rows = 0usize;
+        // Per-instance ciphertext ids (arena-contiguous), reused across instances.
+        let mut inst_cts: Vec<u32> = Vec::new();
+        let mut copy_cts: Vec<u32> = Vec::new();
 
         for (mi, plan) in plans.iter().enumerate() {
             let attrs: Vec<usize> = plan.mas.iter().collect();
             for (ii, inst) in plan.instances.iter().enumerate() {
                 // One ciphertext per attribute, shared by every row of the instance.
-                let inst_cts: Vec<Value> = attrs
-                    .iter()
-                    .zip(inst.values.iter())
-                    .map(|(&a, v)| ciphers[a].encrypt_value_to_cell(v, &mut rng))
-                    .collect();
+                inst_cts.clear();
+                for (&a, v) in attrs.iter().zip(inst.values.iter()) {
+                    inst_cts.push(arena.push(ciphers[a].encrypt_value_to_cell_buffered(
+                        v,
+                        &mut rng,
+                        &mut scratch,
+                    )));
+                }
                 let multi = inst.ec_real_size > 1;
 
                 for &r in &inst.rows {
@@ -144,75 +208,71 @@ impl F2Encryptor {
                     // class is multi-tuple too.
                     let conflict = multi
                         && attrs.iter().any(|&a| {
-                            matches!(
-                                cells[r][a],
-                                Some(CellState {
-                                    source: CellSource::Instance { multi: true, .. },
-                                    ..
-                                })
-                            )
+                            let slot = cells[r * arity + a];
+                            slot.is_assigned()
+                                && matches!(slot.source, CellSource::Instance { multi: true, .. })
                         });
                     if conflict {
                         let t_conflict = Instant::now();
                         // The original row keeps its earlier assignment; its unassigned
                         // attributes of this MAS receive fresh values so its projection
                         // does not partially join this instance.
-                        for (pos, &a) in attrs.iter().enumerate() {
-                            if cells[r][a].is_none() {
+                        for &a in &attrs {
+                            if !cells[r * arity + a].is_assigned() {
                                 let fv = fresh.next_value();
-                                cells[r][a] = Some(CellState {
-                                    value: ciphers[a].encrypt_value_to_cell(&fv, &mut rng),
+                                cells[r * arity + a] = CellSlot {
+                                    ct: arena.push(ciphers[a].encrypt_value_to_cell_buffered(
+                                        &fv,
+                                        &mut rng,
+                                        &mut scratch,
+                                    )),
                                     source: CellSource::Fresh,
-                                });
+                                };
                                 // The row's real ciphertext for this attribute lives on
                                 // the companion row created below.
-                                patches.entry(r).or_default().push((a, n + extra_rows.len()));
+                                patches.entry(r).or_default().push((a, n + extra_origins.len()));
                             }
-                            let _ = pos;
                         }
                         // Companion row: this MAS's instance on its attributes, fresh
                         // values elsewhere (filled in the finalisation pass).
-                        let mut row: Vec<Option<Value>> = vec![None; arity];
+                        let base = extra_cells.len();
+                        extra_cells.resize(base + arity, UNASSIGNED);
                         for (pos, &a) in attrs.iter().enumerate() {
-                            row[a] = Some(inst_cts[pos].clone());
+                            extra_cells[base + a] = inst_cts[pos];
                         }
-                        extra_rows.push((row, RowOrigin::ConflictCompanion { original_row: r }));
+                        extra_origins.push(RowOrigin::ConflictCompanion { original_row: r });
                         syn_rows += 1;
                         syn_time += t_conflict.elapsed();
                         continue;
                     }
                     for (pos, &a) in attrs.iter().enumerate() {
-                        match &cells[r][a] {
-                            None => {
-                                cells[r][a] = Some(CellState {
-                                    value: inst_cts[pos].clone(),
-                                    source: CellSource::Instance { mas: mi, instance: ii, multi },
-                                });
-                            }
-                            Some(CellState { source, .. }) if multi => {
-                                // The earlier owner was a singleton class (or a fresh
-                                // filler): it adopts this instance's ciphertext. Any
-                                // scale copies of the earlier singleton instance adopt
-                                // it too, so its frequency stays homogeneous.
-                                if let CellSource::Instance { mas, instance, multi: false } =
-                                    *source
-                                {
-                                    if let Some(extras) = instance_extras.get(&(mas, instance)) {
-                                        for &er in extras {
-                                            extra_rows[er].0[a] = Some(inst_cts[pos].clone());
-                                        }
+                        let slot = cells[r * arity + a];
+                        if !slot.is_assigned() {
+                            cells[r * arity + a] = CellSlot {
+                                ct: inst_cts[pos],
+                                source: CellSource::Instance { mas: mi, instance: ii, multi },
+                            };
+                        } else if multi {
+                            // The earlier owner was a singleton class (or a fresh
+                            // filler): it adopts this instance's ciphertext. Any
+                            // scale copies of the earlier singleton instance adopt
+                            // it too, so its frequency stays homogeneous.
+                            if let CellSource::Instance { mas, instance, multi: false } =
+                                slot.source
+                            {
+                                if let Some(extras) = instance_extras.get(&(mas, instance)) {
+                                    for &er in extras {
+                                        extra_cells[er * arity + a] = inst_cts[pos];
                                     }
                                 }
-                                cells[r][a] = Some(CellState {
-                                    value: inst_cts[pos].clone(),
-                                    source: CellSource::Instance { mas: mi, instance: ii, multi },
-                                });
                             }
-                            Some(_) => {
-                                // This class is a singleton: it adopts whatever the
-                                // earlier MAS assigned (no conflict, §3.3.2).
-                            }
+                            cells[r * arity + a] = CellSlot {
+                                ct: inst_cts[pos],
+                                source: CellSource::Instance { mas: mi, instance: ii, multi },
+                            };
                         }
+                        // Otherwise this class is a singleton: it adopts whatever the
+                        // earlier MAS assigned (no conflict, §3.3.2).
                     }
                 }
 
@@ -221,28 +281,24 @@ impl F2Encryptor {
                 // class may have *adopted* another MAS's ciphertext on the overlap
                 // (the no-conflict case of §3.3.2), in which case its copies adopt it
                 // too so the instance keeps one homogeneous value combination.
-                let copy_cts: Vec<Value> = if inst.rows.len() == 1 && !multi {
+                copy_cts.clear();
+                if inst.rows.len() == 1 && !multi {
                     let r = inst.rows[0];
-                    attrs
-                        .iter()
-                        .enumerate()
-                        .map(|(pos, &a)| {
-                            cells[r][a]
-                                .as_ref()
-                                .map(|c| c.value.clone())
-                                .unwrap_or_else(|| inst_cts[pos].clone())
-                        })
-                        .collect()
+                    for (pos, &a) in attrs.iter().enumerate() {
+                        let slot = cells[r * arity + a];
+                        copy_cts.push(if slot.is_assigned() { slot.ct } else { inst_cts[pos] });
+                    }
                 } else {
-                    inst_cts.clone()
-                };
+                    copy_cts.extend_from_slice(&inst_cts);
+                }
                 let extra_count = inst.scale_copies + inst.fake_rows;
                 if extra_count > 0 {
                     let slot = instance_extras.entry((mi, ii)).or_default();
                     for c in 0..extra_count {
-                        let mut row: Vec<Option<Value>> = vec![None; arity];
+                        let base = extra_cells.len();
+                        extra_cells.resize(base + arity, UNASSIGNED);
                         for (pos, &a) in attrs.iter().enumerate() {
-                            row[a] = Some(copy_cts[pos].clone());
+                            extra_cells[base + a] = copy_cts[pos];
                         }
                         let origin = if c < inst.scale_copies {
                             scale_rows += 1;
@@ -251,8 +307,8 @@ impl F2Encryptor {
                             group_rows += 1;
                             RowOrigin::GroupFake { mas_index: mi }
                         };
-                        slot.push(extra_rows.len());
-                        extra_rows.push((row, origin));
+                        slot.push(extra_origins.len());
+                        extra_origins.push(origin);
                     }
                 }
             }
@@ -260,22 +316,26 @@ impl F2Encryptor {
 
         // Finalisation: encrypt the cells not covered by any MAS (unique attributes)
         // and fill the artificial rows' remaining attributes with fresh values.
-        for (r, row_cells) in cells.iter_mut().enumerate() {
-            for (a, cell) in row_cells.iter_mut().enumerate() {
-                if cell.is_none() {
-                    let v = table.cell(r, a)?.clone();
-                    *cell = Some(CellState {
-                        value: ciphers[a].encrypt_value_to_cell(&v, &mut rng),
-                        source: CellSource::Fresh,
-                    });
+        for r in 0..n {
+            for a in 0..arity {
+                let slot = &mut cells[r * arity + a];
+                if !slot.is_assigned() {
+                    let ct = ciphers[a].encrypt_value_to_cell_buffered(
+                        table.cell(r, a)?,
+                        &mut rng,
+                        &mut scratch,
+                    );
+                    *slot = CellSlot { ct: arena.push(ct), source: CellSource::Fresh };
                 }
             }
         }
-        for (row, _) in extra_rows.iter_mut() {
-            for (a, cell) in row.iter_mut().enumerate() {
-                if cell.is_none() {
+        for er in 0..extra_origins.len() {
+            for a in 0..arity {
+                if extra_cells[er * arity + a] == UNASSIGNED {
                     let fv = fresh.next_value();
-                    *cell = Some(ciphers[a].encrypt_value_to_cell(&fv, &mut rng));
+                    extra_cells[er * arity + a] = arena.push(
+                        ciphers[a].encrypt_value_to_cell_buffered(&fv, &mut rng, &mut scratch),
+                    );
                 }
             }
         }
@@ -283,53 +343,61 @@ impl F2Encryptor {
 
         // ---- Step 4: FP ------------------------------------------------------------
         let t_fp = Instant::now();
-        let fp_plan = plan_false_positive_elimination(
+        let fp_plan = plan_false_positive_elimination_witnessed(
             table,
-            &mas_set.sets,
+            &mas_witnesses,
             self.config.ecg_size(),
             &mut fresh,
         );
         let mut fp_rows = 0usize;
         for pair in &fp_plan.pairs {
-            // Row 1: every cell freshly encrypted.
-            let row1: Vec<Option<Value>> = pair
-                .row1
-                .iter()
-                .enumerate()
-                .map(|(a, v)| Some(ciphers[a].encrypt_value_to_cell(v, &mut rng)))
-                .collect();
-            // Row 2: shares the *ciphertext* on the FD's LHS so the server observes the
-            // violation; all other cells are freshly encrypted.
-            let row2: Vec<Option<Value>> = pair
-                .row2
-                .iter()
-                .enumerate()
-                .map(|(a, v)| {
-                    if pair.shared_attrs.contains(a) {
-                        row1[a].clone()
-                    } else {
-                        Some(ciphers[a].encrypt_value_to_cell(v, &mut rng))
-                    }
-                })
-                .collect();
-            extra_rows.push((row1, RowOrigin::FalsePositive { mas_index: pair.mas_index }));
-            extra_rows.push((row2, RowOrigin::FalsePositive { mas_index: pair.mas_index }));
+            // Row 1: every cell freshly encrypted. Row 2: shares the *ciphertext id*
+            // on the FD's LHS so the server observes the violation; all other cells
+            // are freshly encrypted.
+            let base1 = extra_cells.len();
+            extra_cells.resize(base1 + arity, UNASSIGNED);
+            for (a, v) in pair.row1.iter().enumerate() {
+                extra_cells[base1 + a] = arena.push(ciphers[a].encrypt_value_to_cell_buffered(
+                    v,
+                    &mut rng,
+                    &mut scratch,
+                ));
+            }
+            let base2 = extra_cells.len();
+            extra_cells.resize(base2 + arity, UNASSIGNED);
+            for (a, v) in pair.row2.iter().enumerate() {
+                extra_cells[base2 + a] = if pair.shared_attrs.contains(a) {
+                    extra_cells[base1 + a]
+                } else {
+                    arena.push(ciphers[a].encrypt_value_to_cell_buffered(v, &mut rng, &mut scratch))
+                };
+            }
+            extra_origins.push(RowOrigin::FalsePositive { mas_index: pair.mas_index });
+            extra_origins.push(RowOrigin::FalsePositive { mas_index: pair.mas_index });
             fp_rows += 2;
         }
         let fp_time = t_fp.elapsed();
 
         // ---- Assemble the output table ----------------------------------------------
         let encrypted_schema = table.schema().encrypted();
-        let mut records = Vec::with_capacity(n + extra_rows.len());
-        let mut origins = Vec::with_capacity(n + extra_rows.len());
-        for (r, row_cells) in cells.into_iter().enumerate() {
+        let mut records = Vec::with_capacity(n + extra_origins.len());
+        let mut origins = Vec::with_capacity(n + extra_origins.len());
+        for r in 0..n {
             records.push(Record::new(
-                row_cells.into_iter().map(|c| c.expect("cell assigned").value).collect(),
+                cells[r * arity..(r + 1) * arity]
+                    .iter()
+                    .map(|slot| arena.get(slot.ct).clone())
+                    .collect(),
             ));
             origins.push(RowOrigin::Real { original_row: r });
         }
-        for (row, origin) in extra_rows {
-            records.push(Record::new(row.into_iter().map(|c| c.expect("cell filled")).collect()));
+        for (er, origin) in extra_origins.into_iter().enumerate() {
+            records.push(Record::new(
+                extra_cells[er * arity..(er + 1) * arity]
+                    .iter()
+                    .map(|&id| arena.get(id).clone())
+                    .collect(),
+            ));
             origins.push(origin);
         }
         let encrypted = Table::new(encrypted_schema, records)?;

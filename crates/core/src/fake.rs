@@ -7,8 +7,7 @@
 //! values because everything is encrypted before outsourcing; the data owner recognises
 //! them after decryption by their reserved prefix.
 
-use f2_relation::{Table, Value};
-use std::collections::HashSet;
+use f2_relation::{FastSet, Table, Value};
 
 /// Reserved prefix identifying artificial plaintext values.
 pub const FAKE_PREFIX: &str = "\u{1}f2:";
@@ -18,24 +17,27 @@ pub const FAKE_PREFIX: &str = "\u{1}f2:";
 #[derive(Debug, Clone)]
 pub struct FreshValueGenerator {
     counter: u64,
-    existing: HashSet<Value>,
+    existing: FastSet<Value>,
 }
 
 impl FreshValueGenerator {
     /// Create a generator that avoids every value occurring in `table`.
     pub fn for_table(table: &Table) -> Self {
-        FreshValueGenerator { counter: 0, existing: table.all_values() }
+        FreshValueGenerator {
+            counter: 0,
+            existing: table.columnar().distinct_values().cloned().collect(),
+        }
     }
 
     /// Create a generator with no exclusions (for tests).
     pub fn new() -> Self {
-        FreshValueGenerator { counter: 0, existing: HashSet::new() }
+        FreshValueGenerator { counter: 0, existing: FastSet::default() }
     }
 
     /// Produce the next fresh value.
     pub fn next_value(&mut self) -> Value {
         loop {
-            let v = Value::text(format!("{FAKE_PREFIX}{:08x}", self.counter));
+            let v = Value::Text(fake_text(self.counter));
             self.counter += 1;
             if !self.existing.contains(&v) {
                 return v;
@@ -60,6 +62,22 @@ impl Default for FreshValueGenerator {
     }
 }
 
+/// Render `{FAKE_PREFIX}{counter:08x}` without going through the `format!` machinery
+/// (this sits on the artificial-row hot path; byte-for-byte identical output).
+fn fake_text(counter: u64) -> String {
+    if counter > u64::from(u32::MAX) {
+        // `{:08x}` widens beyond 8 digits here; keep the slow path for exactness.
+        return format!("{FAKE_PREFIX}{counter:08x}");
+    }
+    let mut s = String::with_capacity(FAKE_PREFIX.len() + 8);
+    s.push_str(FAKE_PREFIX);
+    for shift in (0..8).rev() {
+        let nibble = ((counter >> (shift * 4)) & 0xf) as u32;
+        s.push(char::from_digit(nibble, 16).expect("nibble < 16"));
+    }
+    s
+}
+
 /// Is this plaintext value one of the artificial values produced by
 /// [`FreshValueGenerator`]? (Only meaningful on the data-owner side, after decryption.)
 pub fn is_artificial_value(value: &Value) -> bool {
@@ -75,7 +93,7 @@ mod tests {
     fn fresh_values_are_distinct() {
         let mut g = FreshValueGenerator::new();
         let vs = g.take(100);
-        let set: HashSet<_> = vs.iter().collect();
+        let set: std::collections::HashSet<_> = vs.iter().collect();
         assert_eq!(set.len(), 100);
         assert_eq!(g.issued(), 100);
         assert!(vs.iter().all(is_artificial_value));

@@ -11,7 +11,8 @@
 
 use crate::fake::FreshValueGenerator;
 use f2_fd::lattice::FdLattice;
-use f2_relation::{AttrSet, Partition, Table, Value};
+use f2_relation::hash::{fast_map_with_capacity, FastMap};
+use f2_relation::{AttrSet, RowId, Table, Value};
 use std::collections::HashMap;
 
 /// A pair of artificial plaintext records that re-violates one false-positive FD.
@@ -56,35 +57,74 @@ pub fn plan_false_positive_elimination(
     k: usize,
     fresh: &mut FreshValueGenerator,
 ) -> FpPlan {
+    plan_false_positive_elimination_witnessed(
+        table,
+        &mas_sets
+            .iter()
+            .map(|&mas| (mas, table.columnar().group_witnesses(mas)))
+            .collect::<Vec<_>>(),
+        k,
+        fresh,
+    )
+}
+
+/// [`plan_false_positive_elimination`] with caller-supplied witness rows (one row per
+/// equivalence class of each MAS partition, any order). The encryptor already holds
+/// every `π_M` for the SSE step and passes `rows[0]` of each class, so Step 4 never
+/// regroups the table.
+pub fn plan_false_positive_elimination_witnessed(
+    table: &Table,
+    mas_witnesses: &[(AttrSet, Vec<RowId>)],
+    k: usize,
+    fresh: &mut FreshValueGenerator,
+) -> FpPlan {
     let arity = table.arity();
     let mut plan = FpPlan::default();
-    for (mas_index, &mas) in mas_sets.iter().enumerate() {
+    for (mas_index, (mas, witnesses)) in mas_witnesses.iter().enumerate() {
+        let mas = *mas;
         if mas.len() < 2 {
             continue;
         }
-        // Representative tuples of π_M: the violation check of §3.4 only needs one row
-        // per equivalence class.
-        let partition = Partition::compute(table, mas);
-        let reps: Vec<Vec<Value>> =
-            partition.classes().iter().map(|c| c.representative.clone()).collect();
+        // Representative tuples of π_M as dense value ids: the violation check of
+        // §3.4 only needs one witness row per equivalence class, and only equality
+        // structure — so the lattice walk below compares the witnesses' dictionary
+        // ids straight off the columnar index; no value is ever cloned or hashed.
+        let columnar = table.columnar();
         let mas_attrs: Vec<usize> = mas.iter().collect();
+        let rep_ids: Vec<Vec<u32>> = mas_attrs
+            .iter()
+            .map(|&a| {
+                let ids = columnar.column(a).ids();
+                witnesses.iter().map(|&r| ids[r]).collect()
+            })
+            .collect();
         let position_of: HashMap<usize, usize> =
             mas_attrs.iter().enumerate().map(|(p, &a)| (a, p)).collect();
 
         let lattice = FdLattice::new(mas);
+        // The same LHS is probed once per RHS outside it; cache its refinement so
+        // each distinct LHS is grouped exactly once per MAS. The witness scan per
+        // node uses one reusable dense array (group ids are dense by construction).
+        let mut lhs_cache: FastMap<u64, Vec<u32>> = FastMap::default();
+        let mut witness_scratch: Vec<u32> = Vec::new();
         let violated_nodes = lattice.find_maximum_false_positives(|lhs, rhs| {
-            violated_among_representatives(&reps, &position_of, lhs, rhs)
+            let group_of = lhs_cache
+                .entry(lhs.bits())
+                .or_insert_with(|| lhs_groups(&rep_ids, &position_of, lhs));
+            rhs_disagrees_within_groups(group_of, &rep_ids[position_of[&rhs]], &mut witness_scratch)
         });
 
         for node in violated_nodes {
             plan.max_false_positives += 1;
             for _ in 0..k {
                 // Shared fresh values on X; everything else fresh and distinct.
-                let shared: HashMap<usize, Value> =
-                    node.lhs.iter().map(|a| (a, fresh.next_value())).collect();
+                let mut shared: Vec<Option<Value>> = vec![None; arity];
+                for a in node.lhs.iter() {
+                    shared[a] = Some(fresh.next_value());
+                }
                 let make_row = |fresh: &mut FreshValueGenerator| {
                     (0..arity)
-                        .map(|a| shared.get(&a).cloned().unwrap_or_else(|| fresh.next_value()))
+                        .map(|a| shared[a].clone().unwrap_or_else(|| fresh.next_value()))
                         .collect::<Vec<Value>>()
                 };
                 let row1 = make_row(fresh);
@@ -98,24 +138,65 @@ pub fn plan_false_positive_elimination(
 
 /// Does there exist a pair of equivalence classes agreeing on `lhs` but differing on
 /// `rhs`? (I.e. is the FD `lhs → rhs` violated among the class representatives?)
+///
+/// `rep_ids` is position-major: `rep_ids[p][c]` is the interned value id of class
+/// `c`'s representative at MAS position `p`. The check refines classes into LHS
+/// groups by folding one position at a time through `(group, id)` integer keys —
+/// the same linearisation the partition core uses — and reports a violation as soon
+/// as one group sees two distinct RHS ids.
+#[cfg(test)]
 fn violated_among_representatives(
-    reps: &[Vec<Value>],
+    rep_ids: &[Vec<u32>],
     position_of: &HashMap<usize, usize>,
     lhs: AttrSet,
     rhs: usize,
 ) -> bool {
-    let lhs_pos: Vec<usize> = lhs.iter().map(|a| position_of[&a]).collect();
-    let rhs_pos = position_of[&rhs];
-    let mut seen: HashMap<Vec<&Value>, &Value> = HashMap::with_capacity(reps.len());
-    for rep in reps {
-        let key: Vec<&Value> = lhs_pos.iter().map(|&p| &rep[p]).collect();
-        let y = &rep[rhs_pos];
-        match seen.get(&key) {
-            Some(prev) if *prev != y => return true,
-            Some(_) => {}
-            None => {
-                seen.insert(key, y);
-            }
+    let group_of = lhs_groups(rep_ids, position_of, lhs);
+    rhs_disagrees_within_groups(&group_of, &rep_ids[position_of[&rhs]], &mut Vec::new())
+}
+
+/// Dense `class → LHS-group` labelling: classes share a group iff their
+/// representatives agree on every LHS position (the partition core's pairwise
+/// refinement linearisation over integer keys).
+fn lhs_groups(rep_ids: &[Vec<u32>], position_of: &HashMap<usize, usize>, lhs: AttrSet) -> Vec<u32> {
+    let mut lhs_pos = lhs.iter().map(|a| position_of[&a]);
+    let t = rep_ids.first().map_or(0, Vec::len);
+    let Some(first) = lhs_pos.next() else {
+        // Empty LHS: all classes share one group.
+        return vec![0; t];
+    };
+    let mut group_of: Vec<u32> = rep_ids[first].clone();
+    for p in lhs_pos {
+        let ids = &rep_ids[p];
+        let mut map: FastMap<u64, u32> = fast_map_with_capacity(t);
+        let mut next = 0u32;
+        for c in 0..t {
+            let key = (u64::from(group_of[c]) << 32) | u64::from(ids[c]);
+            group_of[c] = *map.entry(key).or_insert_with(|| {
+                let g = next;
+                next += 1;
+                g
+            });
+        }
+    }
+    group_of
+}
+
+/// Does some LHS group contain two classes with different RHS ids? `witness` is a
+/// caller-owned dense scratch (group ids are dense), re-filled per call.
+fn rhs_disagrees_within_groups(group_of: &[u32], rhs_ids: &[u32], witness: &mut Vec<u32>) -> bool {
+    // One RHS witness per LHS group; a second, different witness is a violation.
+    const UNSEEN: u32 = u32::MAX;
+    let groups = group_of.iter().copied().max().map_or(0, |g| g as usize + 1);
+    witness.clear();
+    witness.resize(groups, UNSEEN);
+    for (c, &g) in group_of.iter().enumerate() {
+        let slot = &mut witness[g as usize];
+        if *slot == UNSEEN {
+            // RHS ids are dictionary/interned ids well below the sentinel.
+            *slot = rhs_ids[c];
+        } else if *slot != rhs_ids[c] {
+            return true;
         }
     }
     false
@@ -209,13 +290,17 @@ mod tests {
 
     #[test]
     fn violation_check() {
-        let reps = vec![
+        // Classes (a1,b1), (a1,b2), (a2,b3) interned position-major.
+        let reps = [
             vec![Value::text("a1"), Value::text("b1")],
             vec![Value::text("a1"), Value::text("b2")],
             vec![Value::text("a2"), Value::text("b3")],
         ];
+        let rep_ids: Vec<Vec<u32>> = (0..2)
+            .map(|p| f2_relation::columnar::intern_values(reps.iter().map(|r| &r[p])).0)
+            .collect();
         let positions: HashMap<usize, usize> = [(0usize, 0usize), (1, 1)].into_iter().collect();
-        assert!(violated_among_representatives(&reps, &positions, AttrSet::single(0), 1));
-        assert!(!violated_among_representatives(&reps, &positions, AttrSet::single(1), 0));
+        assert!(violated_among_representatives(&rep_ids, &positions, AttrSet::single(0), 1));
+        assert!(!violated_among_representatives(&rep_ids, &positions, AttrSet::single(1), 0));
     }
 }

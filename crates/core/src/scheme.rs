@@ -614,7 +614,10 @@ impl Scheme for ProbScheme {
         // Fold the table fingerprint into the seed: nonce streams must never repeat
         // across encryptions of different tables (two-time-pad otherwise).
         let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
-        encrypt_cell_wise(table, |attr, v| Ok(ciphers[attr].encrypt_value_to_cell(v, &mut rng)))
+        let mut scratch = f2_crypto::CellScratch::default();
+        encrypt_cell_wise(table, |attr, v| {
+            Ok(ciphers[attr].encrypt_value_to_cell_buffered(v, &mut rng, &mut scratch))
+        })
     }
 
     fn decrypt(&self, outcome: &SchemeOutcome) -> Result<Table> {

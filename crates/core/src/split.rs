@@ -75,32 +75,66 @@ pub fn plan_split(sizes: &[usize], split_factor: usize, min_real_rows: usize) ->
     assert!(!sizes.is_empty(), "an ECG has at least one member");
     debug_assert!(sizes.windows(2).all(|w| w[0] <= w[1]), "sizes must be ascending");
     let k = sizes.len();
-    let mut best: Option<(usize, usize, Vec<Vec<usize>>)> = None; // (cost, j, freqs)
-                                                                  // j = k means "split nothing"; j = 0 means "split everything".
-    for j in (0..=k).rev() {
-        let mut freqs: Vec<Vec<usize>> = Vec::with_capacity(k);
-        for (i, &f) in sizes.iter().enumerate() {
-            if i >= j && split_factor > 1 {
+    // Candidate costs are evaluated arithmetically: splitting member `i` into `wᵢ`
+    // even parts yields `wᵢ` instances with maximum `⌈fᵢ/wᵢ⌉` and sum `fᵢ`, so for a
+    // split point `j` the scaling cost is `target × instance_count − Σf` without
+    // materialising any frequency vector. (The former implementation rebuilt every
+    // candidate's `Vec<Vec<usize>>`, O(k²) allocations per ECG.)
+    let total: usize = sizes.iter().sum();
+    let splits: Vec<(usize, usize)> = sizes
+        .iter()
+        .map(|&f| {
+            if f == 0 {
+                // even_split(0, ·) filters the zero instance away entirely.
+                (0, 0)
+            } else if split_factor > 1 {
                 let w = effective_split(f, split_factor, min_real_rows);
-                freqs.push(even_split(f, w));
+                let parts = w.max(1).min(f);
+                (parts, f.div_ceil(parts))
             } else {
-                freqs.push(vec![f]);
+                (1, f)
             }
-        }
-        let target = freqs.iter().flatten().copied().max().unwrap_or(0);
-        let cost: usize = freqs.iter().flatten().map(|&f| target - f).sum();
+        })
+        .collect();
+    // Suffix aggregates over the split variants (members ≥ j are split).
+    let mut suffix_count = vec![0usize; k + 1];
+    let mut suffix_max = vec![0usize; k + 1];
+    for i in (0..k).rev() {
+        suffix_count[i] = suffix_count[i + 1] + splits[i].0;
+        suffix_max[i] = suffix_max[i + 1].max(splits[i].1);
+    }
+    let mut best: Option<(usize, usize)> = None; // (cost, j)
+                                                 // j = k means "split nothing"; j = 0 means "split everything".
+    for j in (0..=k).rev() {
+        // Members i < j stay unsplit: sizes are ascending, so their max is sizes[j-1].
+        let unsplit_max = if j > 0 { sizes[j - 1] } else { 0 };
+        let target = unsplit_max.max(suffix_max[j]);
+        let count = j + suffix_count[j];
+        let cost = target * count - total;
         // Prefer lower cost; on ties prefer the smaller split point (more splitting),
         // which lowers the homogenised frequency at no extra cost — strictly better for
         // frequency hiding.
         let better = match &best {
             None => true,
-            Some((best_cost, _, _)) => cost <= *best_cost,
+            Some((best_cost, _)) => cost <= *best_cost,
         };
         if better {
-            best = Some((cost, j, freqs));
+            best = Some((cost, j));
         }
     }
-    let (_, j, freqs) = best.expect("at least one candidate evaluated");
+    let (_, j) = best.expect("at least one candidate evaluated");
+    // Materialise only the winning candidate.
+    let freqs: Vec<Vec<usize>> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| {
+            if i >= j && split_factor > 1 {
+                even_split(f, effective_split(f, split_factor, min_real_rows))
+            } else {
+                vec![f]
+            }
+        })
+        .collect();
     let target = freqs.iter().flatten().copied().max().unwrap_or(0);
     let members = freqs
         .into_iter()
@@ -187,7 +221,57 @@ mod tests {
         assert_eq!(plan.total_copies(), 0);
     }
 
+    /// The former candidate-materialising planner (every split point's frequency
+    /// vectors rebuilt), kept as the equivalence oracle for the arithmetic
+    /// suffix-aggregate evaluation.
+    fn plan_split_oracle(sizes: &[usize], split_factor: usize, min_real_rows: usize) -> SplitPlan {
+        let k = sizes.len();
+        let mut best: Option<(usize, usize, Vec<Vec<usize>>)> = None;
+        for j in (0..=k).rev() {
+            let mut freqs: Vec<Vec<usize>> = Vec::with_capacity(k);
+            for (i, &f) in sizes.iter().enumerate() {
+                if i >= j && split_factor > 1 {
+                    let w = effective_split(f, split_factor, min_real_rows);
+                    freqs.push(even_split(f, w));
+                } else {
+                    freqs.push(vec![f]);
+                }
+            }
+            let target = freqs.iter().flatten().copied().max().unwrap_or(0);
+            let cost: usize = freqs.iter().flatten().map(|&f| target - f).sum();
+            let better = match &best {
+                None => true,
+                Some((best_cost, _, _)) => cost <= *best_cost,
+            };
+            if better {
+                best = Some((cost, j, freqs));
+            }
+        }
+        let (_, j, freqs) = best.expect("at least one candidate evaluated");
+        let target = freqs.iter().flatten().copied().max().unwrap_or(0);
+        let members = freqs
+            .into_iter()
+            .map(|instance_frequencies| {
+                let copies = instance_frequencies.iter().map(|&f| target - f).collect();
+                MemberSplit { instance_frequencies, copies }
+            })
+            .collect();
+        SplitPlan { split_point: j, target_frequency: target, members }
+    }
+
     proptest! {
+        #[test]
+        fn arithmetic_cost_evaluation_matches_oracle(
+            mut sizes in proptest::collection::vec(0usize..40, 1..8),
+            split in 1usize..6,
+            min_real in 1usize..3,
+        ) {
+            sizes.sort_unstable();
+            let fast = plan_split(&sizes, split, min_real);
+            let oracle = plan_split_oracle(&sizes, split, min_real);
+            prop_assert_eq!(fast, oracle);
+        }
+
         #[test]
         fn plan_invariants(
             mut sizes in proptest::collection::vec(1usize..40, 1..8),

@@ -11,12 +11,16 @@ use crate::ecg::{group_equivalence_classes, Ecg};
 use crate::fake::FreshValueGenerator;
 use crate::split::plan_split;
 use f2_relation::{AttrSet, Partition, RowId, Table, Value};
+use std::sync::Arc;
 
 /// One ciphertext instance of a MAS plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InstancePlan {
     /// Plaintext values on the MAS attributes (ascending attribute-index order).
-    pub values: Vec<Value>,
+    /// Shared with the originating ECG member — instances of one class hand out the
+    /// same tuple, so splitting a class into ϖ instances costs ϖ pointer bumps, not
+    /// ϖ deep clones.
+    pub values: Arc<Vec<Value>>,
     /// Original rows assigned to this instance.
     pub rows: Vec<RowId>,
     /// Artificial copies added by the scaling phase (counted as SCALE overhead).
@@ -65,7 +69,8 @@ impl MasPlan {
 
     /// Map from original row id to the index of its instance.
     pub fn row_assignment(&self) -> std::collections::HashMap<RowId, usize> {
-        let mut map = std::collections::HashMap::new();
+        let rows: usize = self.instances.iter().map(|i| i.rows.len()).sum();
+        let mut map = std::collections::HashMap::with_capacity(rows);
         for (idx, inst) in self.instances.iter().enumerate() {
             for &r in &inst.rows {
                 map.insert(r, idx);
@@ -82,10 +87,43 @@ pub fn build_mas_plan(
     config: &F2Config,
     fresh: &mut FreshValueGenerator,
 ) -> MasPlan {
-    let partition = Partition::compute(table, mas);
+    build_mas_plan_from(&Partition::compute(table, mas), Some(table.columnar()), config, fresh)
+}
+
+/// [`build_mas_plan`] over an already-computed MAS partition — the encryptor computes
+/// each `π_M` once and shares it between this planner and the false-positive step.
+/// When the table's columnar index is supplied, the grouping step reads witness ids
+/// straight off the column dictionaries instead of re-interning representatives.
+pub fn build_mas_plan_from(
+    partition: &Partition,
+    columnar: Option<&f2_relation::ColumnarIndex>,
+    config: &F2Config,
+    fresh: &mut FreshValueGenerator,
+) -> MasPlan {
+    let mas = partition.attrs();
     let ec_count = partition.class_count();
-    let groups: Vec<Ecg> =
-        group_equivalence_classes(partition.classes(), config.ecg_size(), mas.len(), fresh);
+    let groups: Vec<Ecg> = match columnar {
+        Some(columnar) => {
+            // Column-dictionary ids are value-sorted, exactly the contract the
+            // interned grouping needs; the witness row of each class carries them.
+            let positions: Vec<(Vec<u32>, usize)> = mas
+                .iter()
+                .map(|a| {
+                    let col = columnar.column(a);
+                    let ids = partition.classes().iter().map(|c| col.ids()[c.rows[0]]).collect();
+                    (ids, col.distinct_count())
+                })
+                .collect();
+            crate::ecg::group_equivalence_classes_interned(
+                partition.classes(),
+                &positions,
+                config.ecg_size(),
+                mas.len(),
+                fresh,
+            )
+        }
+        None => group_equivalence_classes(partition.classes(), config.ecg_size(), mas.len(), fresh),
+    };
     let mut instances = Vec::new();
     for (ecg_index, group) in groups.iter().enumerate() {
         let sizes: Vec<usize> = group.members.iter().map(|m| m.size()).collect();

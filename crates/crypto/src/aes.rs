@@ -70,12 +70,78 @@ fn invert_sbox(sbox: &[u8; 256]) -> [u8; 256] {
     inv
 }
 
+/// Derive the GF(2⁸) constant-multiplication table for `c` (used by MixColumns and
+/// its inverse). Like the S-box, derived rather than hard-coded, so the FIPS-197
+/// vector tests guard it.
+fn gf_mul_table(c: u8) -> [u8; 256] {
+    let mut t = [0u8; 256];
+    for (i, slot) in t.iter_mut().enumerate() {
+        *slot = gf_mul(i as u8, c);
+    }
+    t
+}
+
+/// Derive the four encryption T-tables (Rijndael's standard round linearisation:
+/// SubBytes + MixColumns fused into one 32-bit lookup per state byte, the three
+/// sibling tables being byte rotations of the first). Like the S-box they are
+/// *derived*, so the FIPS-197 vector tests guard them.
+fn generate_enc_tables(sbox: &[u8; 256]) -> [[u32; 256]; 4] {
+    let mut te = [[0u32; 256]; 4];
+    for i in 0..256 {
+        let s = sbox[i];
+        let word = u32::from_be_bytes([gf_mul(s, 2), s, s, gf_mul(s, 3)]);
+        te[0][i] = word;
+        te[1][i] = word.rotate_right(8);
+        te[2][i] = word.rotate_right(16);
+        te[3][i] = word.rotate_right(24);
+    }
+    te
+}
+
+/// All key-independent AES tables, derived once per process: S-box and inverse, the
+/// fused encryption T-tables, and the InvMixColumns constant-multiplication tables.
+struct AesTables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+    te: [[u32; 256]; 4],
+    mul9: [u8; 256],
+    mul11: [u8; 256],
+    mul13: [u8; 256],
+    mul14: [u8; 256],
+}
+
+/// The shared, lazily-derived table set. Key expansion used to re-derive the S-box
+/// (256 bit-serial field inversions) per cipher instance, which the F² pipeline pays
+/// once per attribute per chunk — globally cached it is paid once per process.
+fn tables() -> &'static AesTables {
+    static TABLES: std::sync::OnceLock<AesTables> = std::sync::OnceLock::new();
+    TABLES.get_or_init(|| {
+        let sbox = generate_sbox();
+        AesTables {
+            sbox,
+            inv_sbox: invert_sbox(&sbox),
+            te: generate_enc_tables(&sbox),
+            mul9: gf_mul_table(9),
+            mul11: gf_mul_table(11),
+            mul13: gf_mul_table(13),
+            mul14: gf_mul_table(14),
+        }
+    })
+}
+
 /// An expanded AES-128 key, ready to encrypt or decrypt 16-byte blocks.
+///
+/// The encryption path (every PRF evaluation — the system's innermost loop) runs on
+/// fused T-tables: one round is 16 table lookups plus xors instead of byte-wise
+/// SubBytes/ShiftRows/MixColumns with bit-serial GF(2⁸) multiplications. Decryption
+/// (rare by comparison) keeps the byte-wise inverse rounds, with per-constant
+/// multiplication tables replacing `gf_mul` in InvMixColumns. The instance stores
+/// only the expanded key; all tables live in the process-wide [`tables`] cache.
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; NR + 1],
-    sbox: [u8; 256],
-    inv_sbox: [u8; 256],
+    /// Round keys as big-endian column words, for the T-table encrypt path.
+    round_key_words: [[u32; 4]; NR + 1],
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -88,8 +154,7 @@ impl std::fmt::Debug for Aes128 {
 impl Aes128 {
     /// Expand a 16-byte key.
     pub fn new(key: &[u8; 16]) -> Self {
-        let sbox = generate_sbox();
-        let inv_sbox = invert_sbox(&sbox);
+        let sbox = tables().sbox;
         let mut w = [[0u8; 4]; 4 * (NR + 1)];
         for i in 0..NK {
             w[i] = [key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]];
@@ -115,7 +180,14 @@ impl Aes128 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
             }
         }
-        Aes128 { round_keys, sbox, inv_sbox }
+        let mut round_key_words = [[0u32; 4]; NR + 1];
+        for (r, rk) in round_keys.iter().enumerate() {
+            for c in 0..4 {
+                round_key_words[r][c] =
+                    u32::from_be_bytes(rk[4 * c..4 * c + 4].try_into().expect("4 bytes"));
+            }
+        }
+        Aes128 { round_keys, round_key_words }
     }
 
     fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
@@ -124,28 +196,13 @@ impl Aes128 {
         }
     }
 
-    fn sub_bytes(&self, state: &mut [u8; 16]) {
-        for b in state.iter_mut() {
-            *b = self.sbox[*b as usize];
-        }
-    }
-
     fn inv_sub_bytes(&self, state: &mut [u8; 16]) {
         for b in state.iter_mut() {
-            *b = self.inv_sbox[*b as usize];
+            *b = tables().inv_sbox[*b as usize];
         }
     }
 
     /// State layout: column-major, state[r + 4c].
-    fn shift_rows(state: &mut [u8; 16]) {
-        let s = *state;
-        for r in 1..4 {
-            for c in 0..4 {
-                state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
-            }
-        }
-    }
-
     fn inv_shift_rows(state: &mut [u8; 16]) {
         let s = *state;
         for r in 1..4 {
@@ -155,42 +212,64 @@ impl Aes128 {
         }
     }
 
-    fn mix_columns(state: &mut [u8; 16]) {
+    fn inv_mix_columns(&self, state: &mut [u8; 16]) {
+        let t = tables();
+        let (m9, m11, m13, m14) = (&t.mul9, &t.mul11, &t.mul13, &t.mul14);
         for c in 0..4 {
             let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-            state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
-            state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
-            state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
-            state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+            let [s0, s1, s2, s3] = col.map(usize::from);
+            state[4 * c] = m14[s0] ^ m11[s1] ^ m13[s2] ^ m9[s3];
+            state[4 * c + 1] = m9[s0] ^ m14[s1] ^ m11[s2] ^ m13[s3];
+            state[4 * c + 2] = m13[s0] ^ m9[s1] ^ m14[s2] ^ m11[s3];
+            state[4 * c + 3] = m11[s0] ^ m13[s1] ^ m9[s2] ^ m14[s3];
         }
     }
 
-    fn inv_mix_columns(state: &mut [u8; 16]) {
-        for c in 0..4 {
-            let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-            state[4 * c] =
-                gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
-            state[4 * c + 1] =
-                gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
-            state[4 * c + 2] =
-                gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
-            state[4 * c + 3] =
-                gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
-        }
-    }
-
-    /// Encrypt one 16-byte block in place.
+    /// Encrypt one 16-byte block in place (T-table fast path).
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        Self::add_round_key(block, &self.round_keys[0]);
-        for round in 1..NR {
-            self.sub_bytes(block);
-            Self::shift_rows(block);
-            Self::mix_columns(block);
-            Self::add_round_key(block, &self.round_keys[round]);
+        let (te, rk) = (&tables().te, &self.round_key_words);
+        // State as big-endian column words (word j = column j, byte 0 = row 0).
+        let mut c = [0u32; 4];
+        for (j, w) in c.iter_mut().enumerate() {
+            *w =
+                u32::from_be_bytes(block[4 * j..4 * j + 4].try_into().expect("4 bytes")) ^ rk[0][j];
         }
-        self.sub_bytes(block);
-        Self::shift_rows(block);
-        Self::add_round_key(block, &self.round_keys[NR]);
+        for rk_round in &rk[1..NR] {
+            let t = [
+                te[0][(c[0] >> 24) as usize]
+                    ^ te[1][((c[1] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[2] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[3] & 0xff) as usize]
+                    ^ rk_round[0],
+                te[0][(c[1] >> 24) as usize]
+                    ^ te[1][((c[2] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[3] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[0] & 0xff) as usize]
+                    ^ rk_round[1],
+                te[0][(c[2] >> 24) as usize]
+                    ^ te[1][((c[3] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[0] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[1] & 0xff) as usize]
+                    ^ rk_round[2],
+                te[0][(c[3] >> 24) as usize]
+                    ^ te[1][((c[0] >> 16) & 0xff) as usize]
+                    ^ te[2][((c[1] >> 8) & 0xff) as usize]
+                    ^ te[3][(c[2] & 0xff) as usize]
+                    ^ rk_round[3],
+            ];
+            c = t;
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let sb = &tables().sbox;
+        for j in 0..4 {
+            let word = u32::from_be_bytes([
+                sb[(c[j] >> 24) as usize],
+                sb[((c[(j + 1) % 4] >> 16) & 0xff) as usize],
+                sb[((c[(j + 2) % 4] >> 8) & 0xff) as usize],
+                sb[(c[(j + 3) % 4] & 0xff) as usize],
+            ]) ^ rk[NR][j];
+            block[4 * j..4 * j + 4].copy_from_slice(&word.to_be_bytes());
+        }
     }
 
     /// Decrypt one 16-byte block in place.
@@ -200,7 +279,7 @@ impl Aes128 {
             Self::inv_shift_rows(block);
             self.inv_sub_bytes(block);
             Self::add_round_key(block, &self.round_keys[round]);
-            Self::inv_mix_columns(block);
+            self.inv_mix_columns(block);
         }
         Self::inv_shift_rows(block);
         self.inv_sub_bytes(block);

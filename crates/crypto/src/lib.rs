@@ -49,7 +49,7 @@ pub use keys::{entropy_seed, splitmix64, KeyMaterial, MasterKey, SecretKey};
 pub use montgomery::Montgomery;
 pub use paillier::{PaillierCiphertext, PaillierKeyPair, PaillierPublicKey, RandomnessPool};
 pub use prf::Prf;
-pub use prob::ProbabilisticCipher;
+pub use prob::{CellScratch, ProbabilisticCipher};
 
 /// Result alias for cryptographic operations.
 pub type Result<T> = std::result::Result<T, CryptoError>;

@@ -29,25 +29,48 @@ impl Prf {
 
     /// Evaluate `F_k(r)` producing `len` bytes of keystream.
     pub fn keystream(&self, r: &[u8; 16], len: usize) -> Vec<u8> {
-        let mut out = Vec::with_capacity(len);
-        let mut counter: u64 = 0;
-        while out.len() < len {
+        let mut out = vec![0u8; len];
+        self.keystream_into(r, &mut out);
+        out
+    }
+
+    /// Fill `out` with `F_k(r)` — the write-into-buffer form of [`Prf::keystream`].
+    /// Works block-at-a-time on the stack; no heap allocation.
+    pub fn keystream_into(&self, r: &[u8; 16], out: &mut [u8]) {
+        let low = u64::from_le_bytes(r[8..16].try_into().expect("8 bytes"));
+        for (counter, chunk) in out.chunks_mut(16).enumerate() {
             let mut block = *r;
             // Mix the counter into the low 8 bytes (wrapping addition).
-            let low = u64::from_le_bytes(block[8..16].try_into().expect("8 bytes"));
-            block[8..16].copy_from_slice(&low.wrapping_add(counter).to_le_bytes());
+            block[8..16].copy_from_slice(&low.wrapping_add(counter as u64).to_le_bytes());
             self.cipher.encrypt_block(&mut block);
-            out.extend_from_slice(&block);
-            counter += 1;
+            chunk.copy_from_slice(&block[..chunk.len()]);
         }
-        out.truncate(len);
-        out
     }
 
     /// XOR `data` with `F_k(r)`. Applying it twice recovers the original bytes.
     pub fn mask(&self, r: &[u8; 16], data: &[u8]) -> Vec<u8> {
-        let ks = self.keystream(r, data.len());
-        data.iter().zip(ks.iter()).map(|(d, k)| d ^ k).collect()
+        let mut out = vec![0u8; data.len()];
+        self.mask_into(r, data, &mut out);
+        out
+    }
+
+    /// Write `data ⊕ F_k(r)` into `out` (same length as `data`) — the bulk-encryption
+    /// form of [`Prf::mask`]: one stack block per 16 bytes, no heap allocation.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != data.len()` — silently truncating a ciphertext would
+    /// be far worse than the one branch this costs.
+    pub fn mask_into(&self, r: &[u8; 16], data: &[u8], out: &mut [u8]) {
+        assert_eq!(data.len(), out.len(), "mask_into buffers must have equal length");
+        let low = u64::from_le_bytes(r[8..16].try_into().expect("8 bytes"));
+        for (counter, (dchunk, ochunk)) in data.chunks(16).zip(out.chunks_mut(16)).enumerate() {
+            let mut block = *r;
+            block[8..16].copy_from_slice(&low.wrapping_add(counter as u64).to_le_bytes());
+            self.cipher.encrypt_block(&mut block);
+            for ((o, d), k) in ochunk.iter_mut().zip(dchunk).zip(&block) {
+                *o = d ^ k;
+            }
+        }
     }
 
     /// Evaluate the PRF on a single 16-byte block (used for sub-key derivation).

@@ -19,6 +19,16 @@ pub struct ProbabilisticCipher {
     prf: Prf,
 }
 
+/// Reusable buffers for [`ProbabilisticCipher::encrypt_value_to_cell_buffered`]:
+/// holds the encoded plaintext and the framed cell between cells so per-cell
+/// encryption performs exactly one allocation (the refcounted buffer the cell
+/// keeps). One scratch per encryption loop.
+#[derive(Debug, Default)]
+pub struct CellScratch {
+    plain: Vec<u8>,
+    cell: Vec<u8>,
+}
+
 impl ProbabilisticCipher {
     /// Create a cipher from a secret key.
     pub fn new(key: &SecretKey) -> Self {
@@ -53,7 +63,32 @@ impl ProbabilisticCipher {
 
     /// Encrypt a relational [`Value`] and return it framed as a ciphertext cell.
     pub fn encrypt_value_to_cell(&self, value: &Value, rng: &mut impl Rng) -> Value {
-        Value::bytes(self.encrypt_value(value, rng).to_cell())
+        self.encrypt_value_to_cell_buffered(value, rng, &mut CellScratch::default())
+    }
+
+    /// [`ProbabilisticCipher::encrypt_value_to_cell`] with a caller-owned scratch
+    /// buffer: the value is encoded into the reused scratch, the nonce and masked
+    /// body are written straight into the one allocation that becomes the cell, and
+    /// nothing else touches the heap. Bulk encryptors (the F² assembly loop, the
+    /// cell-wise probabilistic backend) call this in a loop with one scratch.
+    ///
+    /// Output is byte-identical to the unbuffered path (same RNG draws, same
+    /// `nonce ‖ body` framing).
+    pub fn encrypt_value_to_cell_buffered(
+        &self,
+        value: &Value,
+        rng: &mut impl Rng,
+        scratch: &mut CellScratch,
+    ) -> Value {
+        scratch.plain.clear();
+        value.encode_into(&mut scratch.plain);
+        scratch.cell.clear();
+        scratch.cell.resize(NONCE_LEN + scratch.plain.len(), 0);
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        scratch.cell[..NONCE_LEN].copy_from_slice(&nonce);
+        self.prf.mask_into(&nonce, &scratch.plain, &mut scratch.cell[NONCE_LEN..]);
+        Value::bytes(bytes::Bytes::copy_from_slice(&scratch.cell))
     }
 
     /// Decrypt a ciphertext back to the original [`Value`].

@@ -19,7 +19,7 @@
 //! The search is exact: [`crate::oracle::brute_force_mas`] is the reference the
 //! property tests compare against.
 
-use f2_relation::{AttrSet, Partition, StrippedPartition, Table};
+use f2_relation::{AttrSet, Partition, ProductScratch, StrippedPartition, Table};
 
 /// The collection of MASs of a table, plus discovery statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,19 +92,23 @@ pub struct MasFinder<'a> {
     singles: Vec<StrippedPartition>,
     found: Vec<AttrSet>,
     partition_checks: usize,
+    scratch: ProductScratch,
 }
 
 impl<'a> MasFinder<'a> {
-    /// Prepare a finder for the given table, computing per-attribute stripped
-    /// partitions (in parallel when the table is large).
+    /// Prepare a finder for the given table. Per-attribute stripped partitions come
+    /// straight off the table's interned columnar index (built once, cached on the
+    /// table), so preparation is one O(n·m) dictionary build at most.
     pub fn new(table: &'a Table) -> Self {
         let arity = table.arity();
-        let singles = if table.row_count() >= 20_000 && arity >= 4 {
-            parallel_single_partitions(table)
-        } else {
-            (0..arity).map(|a| StrippedPartition::for_attribute(table, a)).collect()
-        };
-        MasFinder { table, singles, found: Vec::new(), partition_checks: 0 }
+        let singles = (0..arity).map(|a| StrippedPartition::for_attribute(table, a)).collect();
+        MasFinder {
+            table,
+            singles,
+            found: Vec::new(),
+            partition_checks: 0,
+            scratch: ProductScratch::new(),
+        }
     }
 
     /// Run the search and return all MASs.
@@ -135,7 +139,7 @@ impl<'a> MasFinder<'a> {
         // Compute the frequent (non-unique) extensions.
         let mut extensions: Vec<(usize, StrippedPartition)> = Vec::new();
         for &a in tail {
-            let candidate = part.product(&self.singles[a]);
+            let candidate = part.product_with(&self.singles[a], &mut self.scratch);
             self.partition_checks += 1;
             if candidate.has_duplicates() {
                 extensions.push((a, candidate));
@@ -161,34 +165,6 @@ impl<'a> MasFinder<'a> {
 /// Convenience wrapper: discover all MASs of a table.
 pub fn find_mas(table: &Table) -> MasSet {
     MasFinder::new(table).find()
-}
-
-fn parallel_single_partitions(table: &Table) -> Vec<StrippedPartition> {
-    let arity = table.arity();
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(arity);
-    let chunk = arity.div_ceil(workers);
-    let mut out: Vec<Option<StrippedPartition>> = vec![None; arity];
-    std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let start = w * chunk;
-            let end = ((w + 1) * chunk).min(arity);
-            if start >= end {
-                continue;
-            }
-            handles.push(s.spawn(move || {
-                (start..end)
-                    .map(|a| (a, StrippedPartition::for_attribute(table, a)))
-                    .collect::<Vec<_>>()
-            }));
-        }
-        for h in handles {
-            for (a, p) in h.join().expect("partition worker panicked") {
-                out[a] = Some(p);
-            }
-        }
-    });
-    out.into_iter().map(|p| p.expect("all attributes computed")).collect()
 }
 
 #[cfg(test)]

@@ -13,9 +13,17 @@
 //!
 //! The output is the set of *minimal*, non-trivial FDs, which is what the server would
 //! report back to the data owner in the outsourcing workflow.
+//!
+//! The level-wise search is the standard TANE linearisation over **incrementally
+//! refined stripped partitions**: level-1 partitions come straight from the table's
+//! interned columnar index, and every level-(ℓ+1) partition is derived by a
+//! stripped-partition product of two level-ℓ partitions through one reusable
+//! [`ProductScratch`] — the table itself is never rehashed after level 1. The
+//! previous level's partitions (needed by the `e(X\{A}) = e(X)` validity test) are
+//! owned by the traversal and *moved* (not cloned) as the level rolls forward.
 
 use crate::fdep::{Fd, FdSet};
-use f2_relation::{AttrSet, StrippedPartition, Table};
+use f2_relation::{AttrSet, ProductScratch, StrippedPartition, Table};
 use std::collections::HashMap;
 
 /// Configuration for a TANE run.
@@ -61,7 +69,7 @@ impl Tane {
             return results;
         }
 
-        // Level 1: single attributes.
+        // Level 1: single attributes, straight from the interned columnar index.
         let mut level: HashMap<AttrSet, Node> = HashMap::new();
         let mut prev_cplus: HashMap<AttrSet, AttrSet> = HashMap::new();
         // C+(∅) = R.
@@ -72,6 +80,10 @@ impl Tane {
                 Node { partition: StrippedPartition::for_attribute(table, a), cplus: universe },
             );
         }
+        // Partitions of the previous level, owned by this traversal (they back the
+        // `e(X\{A}) = e(X)` validity test); plus one scratch for every product.
+        let mut prev_partitions: HashMap<AttrSet, StrippedPartition> = HashMap::new();
+        let mut scratch = ProductScratch::new();
 
         let mut size = 1usize;
         while !level.is_empty() {
@@ -107,7 +119,7 @@ impl Tane {
                             // lhs is empty, handled above; unreachable here.
                             unreachable!()
                         } else {
-                            prev_error(&prev_partition(&prev_cplus, &lhs, table), table)
+                            prev_excess(&prev_partitions, &lhs, table)
                         };
                         let e_x = level[x].partition.stripped_excess();
                         e_lhs == e_x
@@ -195,21 +207,17 @@ impl Tane {
                     if !all_subsets_present {
                         continue;
                     }
-                    let partition = level[&a].partition.product(&level[&b].partition);
+                    let partition =
+                        level[&a].partition.product_with(&level[&b].partition, &mut scratch);
                     next_level.insert(union, Node { partition, cplus: universe });
                 }
             }
 
-            // Roll the level forward.
+            // Roll the level forward: the finished level's partitions *move* into the
+            // traversal-owned cache backing the next level's error tests.
             prev_cplus = current_cplus;
-            // Keep partitions of the previous level accessible for the error test.
-            PREV_PARTITIONS.with(|cell| {
-                let mut map = cell.borrow_mut();
-                map.clear();
-                for (x, node) in &level {
-                    map.insert(*x, node.partition.clone());
-                }
-            });
+            prev_partitions.clear();
+            prev_partitions.extend(level.into_iter().map(|(x, node)| (x, node.partition)));
             level = next_level;
             size += 1;
         }
@@ -224,29 +232,19 @@ impl Tane {
     }
 }
 
-thread_local! {
-    /// Partitions of the previous level, used by the `e(X\{A}) = e(X)` validity test.
-    /// Kept in a thread-local to avoid threading an extra map through every helper.
-    static PREV_PARTITIONS: std::cell::RefCell<HashMap<AttrSet, StrippedPartition>> =
-        std::cell::RefCell::new(HashMap::new());
-}
-
-fn prev_partition(
-    _prev_cplus: &HashMap<AttrSet, AttrSet>,
+/// `e(lhs)` numerator from the previous level's cached partition, or — when the
+/// subset was pruned from that level — computed directly off the columnar index.
+/// (The cache is owned by the running traversal, so concurrent TANE runs and
+/// back-to-back runs on different tables can never observe each other's state.)
+fn prev_excess(
+    prev_partitions: &HashMap<AttrSet, StrippedPartition>,
     lhs: &AttrSet,
     table: &Table,
-) -> StrippedPartition {
-    PREV_PARTITIONS.with(|cell| {
-        if let Some(p) = cell.borrow().get(lhs) {
-            return p.clone();
-        }
-        // Fallback (e.g. the subset was pruned from the previous level): compute directly.
-        StrippedPartition::for_attrs(table, *lhs)
-    })
-}
-
-fn prev_error(p: &StrippedPartition, _table: &Table) -> usize {
-    p.stripped_excess()
+) -> usize {
+    match prev_partitions.get(lhs) {
+        Some(p) => p.stripped_excess(),
+        None => StrippedPartition::for_attrs(table, *lhs).stripped_excess(),
+    }
 }
 
 /// Convenience function: discover all minimal FDs with default configuration.

@@ -1,0 +1,68 @@
+//! Property suite pinning the interned discovery stack — TANE's incremental
+//! stripped-partition refinement (traversal-owned level cache, scratch products) and
+//! the MAS finder's columnar singles — to the brute-force definitional oracles, on
+//! random collision-heavy tables.
+
+use f2_fd::mas::{find_mas, is_mas};
+use f2_fd::oracle::{brute_force_fds, brute_force_mas};
+use f2_fd::tane::discover_fds;
+use f2_relation::{Schema, Table, Value};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A value from a tiny pool so FDs and duplicate projections arise often.
+fn value_from(selector: u8) -> Value {
+    match selector % 8 {
+        0 => Value::Null,
+        s @ 1..=4 => Value::Int(i64::from(s) % 3),
+        s => Value::text(["p", "q"][s as usize % 2]),
+    }
+}
+
+fn table_from(arity: usize, cells: Vec<u8>) -> Table {
+    let schema = Schema::from_names((0..arity).map(|a| format!("A{a}"))).expect("small schema");
+    let records = cells
+        .chunks_exact(arity)
+        .map(|row| f2_relation::Record::new(row.iter().map(|&s| value_from(s)).collect()))
+        .collect();
+    Table::new(schema, records).expect("consistent arity")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tane_matches_brute_force_oracle(arity in 1usize..=4, cells in vec(0u8..=255, 0..72)) {
+        let table = table_from(arity, cells);
+        let tane = discover_fds(&table);
+        let oracle = brute_force_fds(&table);
+        prop_assert_eq!(tane, oracle);
+    }
+
+    #[test]
+    fn mas_finder_matches_brute_force_oracle(arity in 1usize..=4, cells in vec(0u8..=255, 0..72)) {
+        let table = table_from(arity, cells);
+        let found = find_mas(&table);
+        let oracle = brute_force_mas(&table);
+        prop_assert_eq!(found.sets.clone(), oracle);
+        for mas in &found.sets {
+            prop_assert!(is_mas(&table, *mas));
+        }
+    }
+
+    /// Back-to-back runs on *different* tables from the same thread must not bleed
+    /// state into each other (the former thread-local partition cache could).
+    #[test]
+    fn tane_runs_are_isolated_across_tables(
+        arity in 1usize..=3,
+        cells_a in vec(0u8..=255, 0..45),
+        cells_b in vec(0u8..=255, 0..45),
+    ) {
+        let ta = table_from(arity, cells_a);
+        let tb = table_from(arity, cells_b);
+        let first = discover_fds(&ta);
+        let _interleaved = discover_fds(&tb);
+        let second = discover_fds(&ta);
+        prop_assert_eq!(first, second);
+    }
+}

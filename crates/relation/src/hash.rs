@@ -1,0 +1,132 @@
+//! Fast, deterministic hashing for the planning hot paths.
+//!
+//! The interned planning layers key their maps by dense integers (`u32`/`u64` group
+//! ids, `AttrSet` bit patterns) or cell values; `std`'s default SipHash is
+//! DoS-resistant but an order of magnitude slower than the planning loops can
+//! afford. [`FastHasher`] is an FxHash-style multiply-rotate fold with a strong
+//! 64-bit finaliser — deterministic across runs and platforms, which the
+//! seed-reproducibility guarantees of the pipeline rely on.
+//!
+//! **Trade-off:** unlike SipHash this recipe is keyless, so a party who controls the
+//! *plaintext table contents* can craft values that collide in the dictionary-build
+//! and fresh-value maps and degrade them toward O(n²) probing (a slowdown, never a
+//! correctness issue). That is accepted for this research codebase and recorded in
+//! ROADMAP.md's debt list; a deployment facing hostile data should swap the
+//! `BuildHasherDefault` for a keyed hasher. Public API types (frequency histograms,
+//! `all_values`) keep `std`'s default hasher.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FxHash-style streaming hasher with a splitmix64 finaliser.
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher(u64);
+
+/// Rotate-xor-multiply fold (the rustc FxHash recipe).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix64 finaliser: FxHash alone leaves low bits weak, and HashMap's
+        // bucket index comes from the high bits anyway.
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// `HashMap` keyed through [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` keyed through [`FastHasher`].
+pub type FastSet<T> = HashSet<T, BuildHasherDefault<FastHasher>>;
+
+/// A `FastMap` with at least `cap` capacity.
+pub fn fast_map_with_capacity<K, V>(cap: usize) -> FastMap<K, V> {
+    FastMap::with_capacity_and_hasher(cap, BuildHasherDefault::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |v: u64| {
+            let mut h = FastHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<u64, u32> = fast_map_with_capacity(8);
+        for i in 0..100u64 {
+            m.insert(i, i as u32 * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m[&7], 14);
+    }
+
+    #[test]
+    fn byte_streams_differ_by_length() {
+        let hash = |b: &[u8]| {
+            let mut h = FastHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        assert_ne!(hash(b"ab"), hash(b"ab\0"));
+        assert_ne!(hash(b"abcdefgh"), hash(b"abcdefg"));
+    }
+}

@@ -14,7 +14,23 @@
 //!   paper's definitions),
 //! * [`Partition`] / [`EquivalenceClass`] — Definition 3.3 of the paper, plus stripped
 //!   partitions and partition products as used by TANE and the MAS finder,
+//! * [`ColumnarIndex`] — the dictionary-encoded (interned) columnar core under every
+//!   partition computation, built lazily per table ([`Table::columnar`]) and cached,
 //! * CSV import/export and table statistics.
+//!
+//! # Dictionary-encoding invariants
+//!
+//! The interned core obeys three rules (see [`columnar`] for details):
+//!
+//! 1. **Ids order like values.** Each column's dictionary assigns dense `u32` ids in
+//!    ascending [`Value`] order, so partitions grouped and sorted by id tuples are
+//!    byte-for-byte identical to the retained value-keyed oracle
+//!    ([`Partition::compute_generic`]).
+//! 2. **Ids are build-local.** They carry no meaning across two index builds and are
+//!    never persisted.
+//! 3. **Mutation invalidates.** `push_row`, `set_cell`, `row_mut`, `extend_from` and
+//!    `append` drop the cached index; the next partition-shaped query rebuilds it.
+//!    Clones share an already-built index.
 //!
 //! Everything is deterministic and free of external dependencies beyond `bytes`.
 
@@ -23,8 +39,10 @@
 
 pub mod attrset;
 pub mod builder;
+pub mod columnar;
 pub mod csv;
 pub mod error;
+pub mod hash;
 pub mod partition;
 pub mod record;
 pub mod schema;
@@ -34,8 +52,10 @@ pub mod value;
 
 pub use attrset::AttrSet;
 pub use builder::TableBuilder;
+pub use columnar::{ColumnDictionary, ColumnarIndex};
 pub use error::RelationError;
-pub use partition::{EquivalenceClass, Partition, StrippedPartition};
+pub use hash::{FastMap, FastSet};
+pub use partition::{EquivalenceClass, Partition, ProductScratch, StrippedPartition};
 pub use record::Record;
 pub use schema::{Attribute, DataType, Schema};
 pub use stats::{AttributeStats, TableStats};

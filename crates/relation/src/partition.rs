@@ -10,14 +10,17 @@
 //! * the **splitting-and-scaling** step of F² operates on the equivalence classes of a
 //!   MAS partition.
 
+use crate::hash::FastMap;
 use crate::{AttrSet, RowId, Table, Value};
 use std::collections::HashMap;
 
 /// One equivalence class: the rows sharing a representative value on some attribute set.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EquivalenceClass {
-    /// The shared projection `r[X]` (ascending attribute-index order).
-    pub representative: Vec<Value>,
+    /// The shared projection `r[X]` (ascending attribute-index order). Shared
+    /// (`Arc`) so the ECG/SSE planning layers can pass representatives through to
+    /// ciphertext instances without deep-cloning one `Vec<Value>` per class.
+    pub representative: std::sync::Arc<Vec<Value>>,
     /// Row ids of the members, in ascending order.
     pub rows: Vec<RowId>,
 }
@@ -40,18 +43,42 @@ pub struct Partition {
 
 impl Partition {
     /// Compute `π_attrs` over the given table.
+    ///
+    /// Runs on the table's [interned columnar index](crate::ColumnarIndex) (built
+    /// lazily and cached on the table): rows are grouped by dense id tuples instead
+    /// of cloned `Vec<Value>` projections. Classes, ordering and representatives are
+    /// identical to [`Partition::compute_generic`], the retained value-keyed oracle.
     pub fn compute(table: &Table, attrs: AttrSet) -> Partition {
+        table.columnar().partition(attrs)
+    }
+
+    /// The original value-keyed implementation, kept as the equivalence oracle for
+    /// the interned path (see `crates/relation/tests/interned_equiv.rs`).
+    pub fn compute_generic(table: &Table, attrs: AttrSet) -> Partition {
         let mut map: HashMap<Vec<Value>, Vec<RowId>> = HashMap::with_capacity(table.row_count());
         for (id, rec) in table.iter() {
             map.entry(rec.project(attrs)).or_default().push(id);
         }
         let mut classes: Vec<EquivalenceClass> = map
             .into_iter()
-            .map(|(representative, rows)| EquivalenceClass { representative, rows })
+            .map(|(representative, rows)| EquivalenceClass {
+                representative: std::sync::Arc::new(representative),
+                rows,
+            })
             .collect();
         // Deterministic order: by representative value.
         classes.sort_by(|a, b| a.representative.cmp(&b.representative));
         Partition { attrs, classes, row_count: table.row_count() }
+    }
+
+    /// Assemble a partition from parts already in canonical (representative) order.
+    /// Used by the interned columnar path.
+    pub(crate) fn from_parts(
+        attrs: AttrSet,
+        classes: Vec<EquivalenceClass>,
+        row_count: usize,
+    ) -> Partition {
+        Partition { attrs, classes, row_count }
     }
 
     /// The attribute set this partition was computed over.
@@ -128,11 +155,17 @@ impl Partition {
         true
     }
 
+    /// Iterate over the row sets of the equivalence classes with more than one
+    /// member, as borrowed slices — no per-class clone. This is what MAS discovery
+    /// and the SSE planner actually need from a partition.
+    pub fn duplicate_row_sets(&self) -> impl Iterator<Item = &[RowId]> {
+        self.classes.iter().filter(|c| c.size() > 1).map(|c| c.rows.as_slice())
+    }
+
     /// Convert to a stripped partition (singleton classes dropped), the representation
     /// used by TANE and the MAS search for efficiency.
     pub fn stripped(&self) -> StrippedPartition {
-        let classes: Vec<Vec<RowId>> =
-            self.classes.iter().filter(|c| c.size() > 1).map(|c| c.rows.clone()).collect();
+        let classes: Vec<Vec<RowId>> = self.duplicate_row_sets().map(<[RowId]>::to_vec).collect();
         StrippedPartition::from_classes(classes, self.row_count)
     }
 }
@@ -157,13 +190,17 @@ impl StrippedPartition {
     }
 
     /// Compute the stripped partition of a table under a single attribute.
+    ///
+    /// Goes straight through the table's interned columnar index: singleton classes
+    /// are dropped before any representative value is materialised.
     pub fn for_attribute(table: &Table, attr: usize) -> Self {
-        Partition::compute(table, AttrSet::single(attr)).stripped()
+        table.columnar().stripped(AttrSet::single(attr))
     }
 
-    /// Compute the stripped partition of a table under an attribute set.
+    /// Compute the stripped partition of a table under an attribute set (interned
+    /// fast path, same class order as `Partition::compute(..).stripped()`).
     pub fn for_attrs(table: &Table, attrs: AttrSet) -> Self {
-        Partition::compute(table, attrs).stripped()
+        table.columnar().stripped(attrs)
     }
 
     /// The non-singleton classes.
@@ -200,22 +237,38 @@ impl StrippedPartition {
     /// Partition product `π_X · π_Y = π_{X∪Y}` computed in O(‖π_X‖) time
     /// (TANE, Huhtala et al. 1999, Algorithm "STRIPPED_PRODUCT").
     pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
+        self.product_with(other, &mut ProductScratch::new())
+    }
+
+    /// [`StrippedPartition::product`] with caller-owned scratch buffers.
+    ///
+    /// The lattice traversals (TANE levels, the MAS DFS) take one product per visited
+    /// node; reusing the row-indexed probe table across calls removes the dominant
+    /// `O(row_count)` allocation from every node. Output is identical to
+    /// [`StrippedPartition::product`].
+    pub fn product_with(
+        &self,
+        other: &StrippedPartition,
+        scratch: &mut ProductScratch,
+    ) -> StrippedPartition {
         debug_assert_eq!(self.row_count, other.row_count);
-        let mut lookup: Vec<Option<usize>> = vec![None; self.row_count];
+        let epoch = scratch.begin(self.row_count);
         for (ci, class) in other.classes.iter().enumerate() {
             for &r in class {
-                if r < lookup.len() {
-                    lookup[r] = Some(ci);
+                if r < self.row_count {
+                    scratch.lookup[r] = (epoch, ci as u32);
                 }
             }
         }
         let mut out: Vec<Vec<RowId>> = Vec::new();
-        let mut bucket: HashMap<usize, Vec<RowId>> = HashMap::new();
+        let bucket = &mut scratch.bucket;
         for class in &self.classes {
             bucket.clear();
             for &r in class {
-                if let Some(Some(ci)) = lookup.get(r) {
-                    bucket.entry(*ci).or_default().push(r);
+                if let Some(&(stamp, ci)) = scratch.lookup.get(r) {
+                    if stamp == epoch {
+                        bucket.entry(ci).or_default().push(r);
+                    }
                 }
             }
             for (_, rows) in bucket.drain() {
@@ -256,6 +309,41 @@ impl StrippedPartition {
             }
         }
         true
+    }
+}
+
+/// Reusable buffers for [`StrippedPartition::product_with`]: an epoch-stamped,
+/// row-indexed probe table (never cleared — stale entries are skipped by epoch) plus
+/// the per-class bucket map. One scratch serves one traversal; it grows to the
+/// largest `row_count` it has seen.
+#[derive(Debug, Default)]
+pub struct ProductScratch {
+    /// `row → (epoch, other-class id)`.
+    lookup: Vec<(u32, u32)>,
+    epoch: u32,
+    bucket: FastMap<u32, Vec<RowId>>,
+}
+
+impl ProductScratch {
+    /// Fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        ProductScratch::default()
+    }
+
+    /// Start a new product: bump the epoch and make sure the probe table covers
+    /// `row_count` rows. Returns the epoch to stamp entries with.
+    fn begin(&mut self, row_count: usize) -> u32 {
+        if self.lookup.len() < row_count {
+            self.lookup.resize(row_count, (0, 0));
+        }
+        // Epoch 0 is the "never written" stamp of freshly grown entries; wrap by
+        // clearing so stale stamps can never collide with a live epoch.
+        if self.epoch == u32::MAX {
+            self.lookup.fill((0, 0));
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
     }
 }
 

@@ -1,7 +1,9 @@
 //! In-memory tables.
 
+use crate::columnar::ColumnarIndex;
 use crate::{AttrSet, Partition, Record, RelationError, Result, Schema, Value};
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Index of a row within a [`Table`].
 pub type RowId = usize;
@@ -11,16 +13,33 @@ pub type RowId = usize;
 /// This is the paper's table `D` (and, once encrypted, `D̂`). All F² machinery —
 /// partition computation, MAS discovery, TANE, the encryption pipeline — operates on
 /// this type.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The table lazily builds a dictionary-encoded [`ColumnarIndex`] (per-attribute
+/// `Value → u32` dictionaries plus column-major id arrays) the first time a partition
+/// or related query needs it, and caches it; every mutating method invalidates the
+/// cache. See [`Table::columnar`] and the [`crate::columnar`] module docs for the
+/// invariants.
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: Schema,
     records: Vec<Record>,
+    /// Lazily-built interned columnar index. Behind `Arc` so clones share the build;
+    /// reset by every mutation. Deliberately ignored by `PartialEq`.
+    columns: OnceLock<Arc<ColumnarIndex>>,
 }
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.records == other.records
+    }
+}
+
+impl Eq for Table {}
 
 impl Table {
     /// Create an empty table with the given schema.
     pub fn empty(schema: Schema) -> Self {
-        Table { schema, records: Vec::new() }
+        Table { schema, records: Vec::new(), columns: OnceLock::new() }
     }
 
     /// Create a table from a schema and records, validating arity.
@@ -33,7 +52,20 @@ impl Table {
                 });
             }
         }
-        Ok(Table { schema, records })
+        Ok(Table { schema, records, columns: OnceLock::new() })
+    }
+
+    /// The table's interned columnar index, built on first use and cached until the
+    /// next mutation. This is the substrate of [`Table::partition`] and every other
+    /// partition-shaped query.
+    pub fn columnar(&self) -> &ColumnarIndex {
+        self.columns.get_or_init(|| Arc::new(ColumnarIndex::build(self)))
+    }
+
+    /// Drop the cached columnar index (called by every mutating method — the
+    /// dictionaries describe a snapshot of the rows and must never outlive it).
+    fn invalidate_columns(&mut self) {
+        self.columns.take();
     }
 
     /// The table's schema.
@@ -63,10 +95,15 @@ impl Table {
             .ok_or(RelationError::RowOutOfRange { row: id, rows: self.records.len() })
     }
 
-    /// Mutable access to a row.
+    /// Mutable access to a row. Invalidates the cached columnar index (only when the
+    /// row exists — a failed probe mutates nothing and keeps the cache).
     pub fn row_mut(&mut self, id: RowId) -> Result<&mut Record> {
         let rows = self.records.len();
-        self.records.get_mut(id).ok_or(RelationError::RowOutOfRange { row: id, rows })
+        if id >= rows {
+            return Err(RelationError::RowOutOfRange { row: id, rows });
+        }
+        self.invalidate_columns();
+        Ok(&mut self.records[id])
     }
 
     /// All rows in order.
@@ -89,11 +126,10 @@ impl Table {
     /// Overwrite a single cell.
     pub fn set_cell(&mut self, row: RowId, attr: usize, value: Value) -> Result<()> {
         let arity = self.arity();
-        let r = self.row_mut(row)?;
         if attr >= arity {
             return Err(RelationError::AttributeIndexOutOfRange { index: attr, arity });
         }
-        r.set(attr, value);
+        self.row_mut(row)?.set(attr, value);
         Ok(())
     }
 
@@ -105,6 +141,7 @@ impl Table {
                 got: record.arity(),
             });
         }
+        self.invalidate_columns();
         self.records.push(record);
         Ok(self.records.len() - 1)
     }
@@ -114,6 +151,7 @@ impl Table {
         if self.schema != other.schema {
             return Err(RelationError::SchemaMismatch);
         }
+        self.invalidate_columns();
         self.records.extend(other.records.iter().cloned());
         Ok(())
     }
@@ -124,6 +162,7 @@ impl Table {
         if self.schema != other.schema {
             return Err(RelationError::SchemaMismatch);
         }
+        self.invalidate_columns();
         self.records.extend(other.records);
         Ok(())
     }
@@ -133,6 +172,7 @@ impl Table {
         Table {
             schema: self.schema.clone(),
             records: self.records.iter().take(n).cloned().collect(),
+            columns: OnceLock::new(),
         }
     }
 
@@ -156,38 +196,34 @@ impl Table {
     /// Frequency histogram of the projections of all rows onto `attrs`: maps each
     /// distinct value combination to its number of occurrences. This is the frequency
     /// knowledge `freq(P)` the adversary holds in the security game (Section 2.4).
+    ///
+    /// Derived from the interned partition (one representative clone per distinct
+    /// combination instead of one projection clone per row).
     pub fn frequency_histogram(&self, attrs: AttrSet) -> HashMap<Vec<Value>, usize> {
-        let mut hist: HashMap<Vec<Value>, usize> = HashMap::with_capacity(self.records.len());
-        for r in &self.records {
-            *hist.entry(r.project(attrs)).or_insert(0) += 1;
-        }
-        hist
+        self.columnar()
+            .partition(attrs)
+            .classes()
+            .iter()
+            .map(|c| ((*c.representative).clone(), c.size()))
+            .collect()
     }
 
     /// Number of distinct values of a single attribute.
     pub fn distinct_count(&self, attr: usize) -> usize {
-        let mut set = std::collections::HashSet::with_capacity(self.records.len());
-        for r in &self.records {
-            if let Some(v) = r.get(attr) {
-                set.insert(v.clone());
-            }
+        if attr >= self.arity() {
+            return 0;
         }
-        set.len()
+        self.columnar().column(attr).distinct_count()
     }
 
     /// Collect every distinct value appearing anywhere in the table.
     ///
     /// The F² scheme repeatedly needs values "that do not exist in the original
     /// dataset" (fake ECs, conflict resolution, artificial records); callers use this
-    /// set to verify freshness.
+    /// set to verify freshness. Served from the column dictionaries: O(distinct)
+    /// clones instead of O(rows × arity).
     pub fn all_values(&self) -> std::collections::HashSet<Value> {
-        let mut set = std::collections::HashSet::new();
-        for r in &self.records {
-            for v in r.values() {
-                set.insert(v.clone());
-            }
-        }
-        set
+        self.columnar().all_values()
     }
 
     /// Total serialized size of the table in bytes (Table 1 of the paper reports

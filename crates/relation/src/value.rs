@@ -116,6 +116,13 @@ impl Value {
     /// to the probabilistic encryption scheme `e = ⟨r, F_k(r) ⊕ p⟩`.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(1 + self.size_bytes());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the [`Value::encode`] byte string to `out` — the write-into-buffer form
+    /// used by the bulk encryption paths so per-cell encoding stops allocating.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         match self {
             Value::Null => out.push(0),
             Value::Int(i) => {
@@ -140,7 +147,6 @@ impl Value {
                 out.extend_from_slice(b);
             }
         }
-        out
     }
 
     /// Inverse of [`Value::encode`]. Returns `None` on malformed input.

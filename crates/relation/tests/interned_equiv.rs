@@ -1,0 +1,170 @@
+//! Equivalence suite pinning the interned columnar partition paths to the retained
+//! generic (value-keyed) oracles.
+//!
+//! The dictionary-encoded core must be *unobservable* except for speed: for every
+//! table and attribute set, `Partition::compute` must produce exactly the classes —
+//! same representatives, same rows, same order — as `Partition::compute_generic`,
+//! and the direct stripped path must match `compute_generic().stripped()`. Tables are
+//! drawn with small value pools (including cross-type collisions and `Null`) so
+//! duplicate projections are common.
+
+use f2_relation::{AttrSet, Partition, Record, Schema, StrippedPartition, Table, Value};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A value from a deliberately tiny, mixed-type pool — selector + payload sampling
+/// keeps cross-row collisions frequent.
+fn value_from(selector: u8) -> Value {
+    match selector % 16 {
+        0 => Value::Null,
+        s @ 1..=5 => Value::Int(i64::from(s) % 4),
+        s @ 6..=9 => Value::Decimal { digits: i64::from(s) % 3, scale: 2 },
+        s @ 10..=13 => Value::text(["a", "b", "c"][s as usize % 3]),
+        s => Value::Date(i32::from(s) % 3),
+    }
+}
+
+/// Assemble a table from a sampled arity and a flat pool of cell selectors.
+fn table_from(arity: usize, cells: Vec<u8>) -> Table {
+    let schema = Schema::from_names((0..arity).map(|a| format!("A{a}"))).expect("small schema");
+    let records =
+        cells.chunks_exact(arity).map(|row| row.iter().map(|&s| value_from(s)).collect()).collect();
+    Table::new(schema, records).expect("consistent arity")
+}
+
+/// A non-empty attribute subset of the table's schema, from a bitmask seed.
+fn attrs_for(table: &Table, mask: u64) -> AttrSet {
+    let arity = table.arity();
+    let bits = mask % (1u64 << arity);
+    let set = AttrSet::from_bits(bits);
+    if set.is_empty() {
+        AttrSet::single((mask % arity as u64) as usize)
+    } else {
+        set
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn interned_partition_matches_generic(
+        arity in 1usize..=4,
+        cells in vec(0u8..=255, 0..160),
+        mask in 0u64..64,
+    ) {
+        let table = table_from(arity, cells);
+        let attrs = attrs_for(&table, mask);
+        let interned = Partition::compute(&table, attrs);
+        let generic = Partition::compute_generic(&table, attrs);
+        prop_assert_eq!(interned.classes(), generic.classes());
+        prop_assert_eq!(interned.row_count(), generic.row_count());
+        prop_assert_eq!(interned.attrs(), generic.attrs());
+    }
+
+    #[test]
+    fn interned_stripped_matches_generic(
+        arity in 1usize..=4,
+        cells in vec(0u8..=255, 0..160),
+        mask in 0u64..64,
+    ) {
+        let table = table_from(arity, cells);
+        let attrs = attrs_for(&table, mask);
+        let direct = StrippedPartition::for_attrs(&table, attrs);
+        let oracle = Partition::compute_generic(&table, attrs).stripped();
+        prop_assert_eq!(direct, oracle);
+    }
+
+    #[test]
+    fn empty_projection_matches_generic(arity in 1usize..=4, cells in vec(0u8..=255, 0..120)) {
+        let table = table_from(arity, cells);
+        let interned = Partition::compute(&table, AttrSet::EMPTY);
+        let generic = Partition::compute_generic(&table, AttrSet::EMPTY);
+        prop_assert_eq!(interned.classes(), generic.classes());
+    }
+
+    #[test]
+    fn product_matches_direct_interned(
+        arity in 1usize..=4,
+        cells in vec(0u8..=255, 0..160),
+        ma in 0u64..64,
+        mb in 0u64..64,
+    ) {
+        let table = table_from(arity, cells);
+        let a = attrs_for(&table, ma);
+        let b = attrs_for(&table, mb);
+        let pa = StrippedPartition::for_attrs(&table, a);
+        let pb = StrippedPartition::for_attrs(&table, b);
+        let via_product = pa.product(&pb);
+        // Product output is sorted by row sets, the direct path by representatives;
+        // compare as multisets of classes.
+        let mut direct: Vec<Vec<usize>> =
+            StrippedPartition::for_attrs(&table, a.union(b)).classes().to_vec();
+        let mut product: Vec<Vec<usize>> = via_product.classes().to_vec();
+        direct.sort();
+        product.sort();
+        prop_assert_eq!(direct, product);
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_dictionaries(
+        arity in 1usize..=4,
+        cells in vec(0u8..=255, 0..120),
+        mask in 0u64..64,
+    ) {
+        let mut table = table_from(arity, cells);
+        let attrs = attrs_for(&table, mask);
+        // Build (and cache) the columnar index…
+        let before = Partition::compute(&table, attrs);
+        prop_assert_eq!(before.classes(), Partition::compute_generic(&table, attrs).classes());
+        // …then mutate the table and require the recomputed partition to match the
+        // generic oracle again (a stale dictionary would disagree).
+        table.push_row(Record::new(vec![Value::Int(77); arity])).unwrap();
+        table.set_cell(0, 0, Value::text("mutated")).unwrap();
+        let after = Partition::compute(&table, attrs);
+        prop_assert_eq!(after.classes(), Partition::compute_generic(&table, attrs).classes());
+        prop_assert_eq!(after.row_count(), table.row_count());
+
+        // `append` invalidates too.
+        let extra = table_from(arity, vec![1, 2, 3, 4, 5, 6, 7, 8][..arity].to_vec());
+        table.append(extra).unwrap();
+        let appended = Partition::compute(&table, attrs);
+        prop_assert_eq!(appended.classes(), Partition::compute_generic(&table, attrs).classes());
+    }
+
+    #[test]
+    fn frequency_histogram_matches_manual_count(
+        arity in 1usize..=4,
+        cells in vec(0u8..=255, 0..120),
+        mask in 0u64..64,
+    ) {
+        let table = table_from(arity, cells);
+        let attrs = attrs_for(&table, mask);
+        let hist = table.frequency_histogram(attrs);
+        let mut manual: std::collections::HashMap<Vec<Value>, usize> =
+            std::collections::HashMap::new();
+        for (_, rec) in table.iter() {
+            *manual.entry(rec.project(attrs)).or_insert(0) += 1;
+        }
+        prop_assert_eq!(hist, manual);
+    }
+
+    #[test]
+    fn all_values_and_distinct_counts_match_scan(arity in 1usize..=4, cells in vec(0u8..=255, 0..120)) {
+        let table = table_from(arity, cells);
+        let mut manual = std::collections::HashSet::new();
+        for (_, rec) in table.iter() {
+            for v in rec.values() {
+                manual.insert(v.clone());
+            }
+        }
+        prop_assert_eq!(table.all_values(), manual);
+        for a in 0..table.arity() {
+            let mut col = std::collections::HashSet::new();
+            for (_, rec) in table.iter() {
+                col.insert(rec.get(a).unwrap().clone());
+            }
+            prop_assert_eq!(table.distinct_count(a), col.len());
+        }
+    }
+}
