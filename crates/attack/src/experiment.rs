@@ -112,7 +112,12 @@ impl AttackExperiment {
         Self::from_parts(plain, encrypted, attrs, ground_truth)
     }
 
-    fn from_parts(
+    /// Number of `(ciphertext, plaintext)` ground-truth pairs the game samples from.
+    pub fn ground_truth_len(&self) -> usize {
+        self.ground_truth.len()
+    }
+
+    pub(crate) fn from_parts(
         plain: &Table,
         encrypted: &Table,
         attrs: AttrSet,

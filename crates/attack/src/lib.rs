@@ -28,10 +28,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cross_chunk;
 pub mod experiment;
 pub mod freq;
 pub mod kerckhoffs;
 
+pub use cross_chunk::{CrossChunkExperiment, CrossChunkOutcome};
 pub use experiment::{AttackExperiment, AttackOutcome};
 pub use freq::FrequencyAttacker;
 pub use kerckhoffs::KerckhoffsAttacker;

@@ -46,7 +46,16 @@ fn paillier_section(report: &str) -> Option<&str> {
 /// The text of a report from its `"f2_phases"` section onward, if present. The slice
 /// stops at the next top-level section so a number is never read past it.
 fn f2_phases_section(report: &str) -> Option<&str> {
-    let at = report.find("\"f2_phases\": {")?;
+    section(report, "\"f2_phases\": {")
+}
+
+/// The text of a report's `"streaming"` section, if present (same slicing rules).
+fn streaming_section(report: &str) -> Option<&str> {
+    section(report, "\"streaming\": {")
+}
+
+fn section<'a>(report: &'a str, anchor: &str) -> Option<&'a str> {
+    let at = report.find(anchor)?;
     let rest = &report[at..];
     let end = rest.find("\n  }").map_or(rest.len(), |e| e + 4);
     Some(&rest[..end])
@@ -180,6 +189,45 @@ fn main() -> ExitCode {
                 }
                 _ => {
                     eprintln!("bench_guard: f2_phases section lacks throughput_mb_s");
+                    failed = true;
+                }
+            }
+        }
+    }
+
+    // Streaming-path floor: the constant-memory `run_streaming` pipeline on the
+    // same fixed workload, same normalization and tolerance. Bootstrap rule as for
+    // `f2_phases`: missing in the baseline passes, missing in the fresh report
+    // fails (the generator always emits it).
+    match (streaming_section(&baseline), streaming_section(&fresh)) {
+        (None, _) => {
+            println!(
+                "bench_guard: baseline {baseline_path} has no \"streaming\" section \
+                 (pre-streaming report); skipping the streaming floor"
+            );
+        }
+        (Some(_), None) => {
+            eprintln!(
+                "bench_guard: fresh report {fresh_path} is missing the \"streaming\" section"
+            );
+            failed = true;
+        }
+        (Some(base_s), Some(fresh_s)) => {
+            match (f2_throughput_mb_s(base_s), f2_throughput_mb_s(fresh_s)) {
+                (Some(base), Some(now)) => {
+                    let base = base * base_scale;
+                    let now = now * fresh_scale;
+                    let floor = base * (1.0 - max_regression);
+                    let verdict = if now < floor { "REGRESSION" } else { "ok" };
+                    println!(
+                        "bench_guard: {:<18} baseline {base:>12.6} {unit} | now {now:>12.6} {unit} \
+                         | floor {floor:>12.6} | {verdict}",
+                        "f2-streaming"
+                    );
+                    failed |= now < floor;
+                }
+                _ => {
+                    eprintln!("bench_guard: streaming section lacks throughput_mb_s");
                     failed = true;
                 }
             }

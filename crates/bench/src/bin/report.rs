@@ -393,6 +393,38 @@ fn engine() {
         f2_phases.throughput_mb_s
     );
 
+    // Streaming vs in-memory on the same tracked workload: the constant-memory
+    // source→frame-stream path (`run_streaming`, with CRC32 checksums and RLE
+    // compression on every frame) against the all-in-RAM engine wall time measured
+    // above. Also fixed in smoke mode, and guarded by `bench_guard`.
+    let streaming = streaming_breakdown(&f2_phases);
+    println!(
+        "\nStreaming [{} rows, {} per chunk, best of {}]:",
+        streaming.rows, streaming.chunk_rows, F2_PHASE_ITERS
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>16} {:>14}",
+        "path", "wall", "MB/s", "stream bytes", "peak chunk rows", "peak chunk B"
+    );
+    println!(
+        "{:<14} {:>12} {:>12.2} {:>14} {:>16} {:>14}",
+        "in-memory",
+        secs(f2_phases.wall),
+        f2_phases.throughput_mb_s,
+        "-",
+        streaming.rows,
+        streaming.plain_bytes
+    );
+    println!(
+        "{:<14} {:>12} {:>12.2} {:>14} {:>16} {:>14}",
+        "streaming",
+        secs(streaming.wall),
+        streaming.throughput_mb_s,
+        streaming.stream_bytes,
+        streaming.peak_chunk_rows,
+        streaming.peak_chunk_plain_bytes
+    );
+
     // Per-phase Paillier breakdown (keygen / encrypt / decrypt) at the registry's
     // realistic 512-bit modulus. Deliberately NOT shrunk in smoke mode: the sampled
     // workload is tiny anyway, and keeping it identical to the committed full-mode
@@ -430,6 +462,7 @@ fn engine() {
         &measurements,
         &framing,
         &f2_phases,
+        &streaming,
         &phases,
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -506,6 +539,80 @@ fn f2_phase_breakdown() -> F2Phases {
         fp: report.timings.fp,
         wall,
         throughput_mb_s: plain_bytes as f64 / 1e6 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// The `streaming` section of `BENCH_report.json`: the tracked F² workload pushed
+/// through `Engine::run_streaming` (source → checksummed v2 frame stream, one chunk
+/// in memory at a time) next to the in-memory engine numbers of `f2_phases`, plus
+/// the peak-chunk statistics that certify the bounded-memory property.
+struct StreamingPhases {
+    rows: usize,
+    chunk_rows: usize,
+    chunks: usize,
+    plain_bytes: usize,
+    /// Bytes of the produced v2 stream (checksummed, RLE-compressed frames).
+    stream_bytes: u64,
+    wall: Duration,
+    throughput_mb_s: f64,
+    /// The in-memory path's throughput on the identical workload (`f2_phases`).
+    in_memory_mb_s: f64,
+    /// Largest plaintext chunk held at any point (rows / serialized bytes).
+    peak_chunk_rows: usize,
+    peak_chunk_plain_bytes: usize,
+    /// Largest encrypted chunk emitted (rows).
+    peak_chunk_output_rows: usize,
+}
+
+/// Measure the streaming path on the fixed workload: best-of-[`F2_PHASE_ITERS`]
+/// `run_streaming` runs into an in-memory sink. Every run's stream is reloaded and
+/// decrypted against the plaintext, so a fast-but-corrupt stream cannot pass.
+fn streaming_breakdown(f2_phases: &F2Phases) -> StreamingPhases {
+    use f2_engine::stream::read_outcome;
+    use f2_engine::{Engine, EngineConfig};
+    use f2_io::TableSource;
+    let table = Dataset::Synthetic.generate(F2_PHASE_ROWS, 42);
+    let scheme = f2_scheme(0.2, 2, 7);
+    let engine = Engine::new(EngineConfig { workers: 1, chunk_rows: F2_PHASE_CHUNK_ROWS, seed: 7 })
+        .expect("valid engine config");
+    let mut best: Option<(Duration, f2_engine::StreamOutcome)> = None;
+    for _ in 0..F2_PHASE_ITERS {
+        let mut stream = Vec::new();
+        let start = Instant::now();
+        let summary = engine
+            .run_streaming(&scheme, &mut TableSource::new(&table), &mut stream)
+            .expect("streaming encryption");
+        let wall = start.elapsed();
+        let loaded = read_outcome(&scheme, &stream).expect("stream loads");
+        let recovered = scheme.decrypt(&loaded).expect("stream decrypts");
+        assert!(recovered.multiset_eq(&table), "streaming round-trip failed");
+        if best.as_ref().is_none_or(|(w, _)| wall < *w) {
+            best = Some((wall, summary));
+        }
+    }
+    let (wall, summary) = best.expect("at least one run");
+    let plain_bytes = table.size_bytes();
+    let peak_chunk_rows = summary.chunks.iter().map(|c| c.rows.len()).max().unwrap_or(0);
+    let peak_chunk_plain_bytes = summary
+        .chunks
+        .iter()
+        .map(|c| table.view(c.rows.clone()).expect("chunk range").size_bytes())
+        .max()
+        .unwrap_or(0);
+    let peak_chunk_output_rows =
+        summary.chunks.iter().map(|c| c.output_rows.len()).max().unwrap_or(0);
+    StreamingPhases {
+        rows: F2_PHASE_ROWS,
+        chunk_rows: F2_PHASE_CHUNK_ROWS,
+        chunks: summary.chunks.len(),
+        plain_bytes,
+        stream_bytes: summary.bytes_written,
+        wall,
+        throughput_mb_s: plain_bytes as f64 / 1e6 / wall.as_secs_f64().max(1e-9),
+        in_memory_mb_s: f2_phases.throughput_mb_s,
+        peak_chunk_rows,
+        peak_chunk_plain_bytes,
+        peak_chunk_output_rows,
     }
 }
 
@@ -628,6 +735,7 @@ fn engine_json(
     measurements: &[(EngineMeasurement, f64, f64)],
     framing: &[(f2_bench::RunMeasurement, f64)],
     f2_phases: &F2Phases,
+    streaming: &StreamingPhases,
     phases: &PaillierPhases,
 ) -> String {
     let mut out = String::from("{\n");
@@ -682,6 +790,18 @@ fn engine_json(
     let _ = writeln!(out, "    \"fp_s\": {:.6},", f2_phases.fp.as_secs_f64());
     let _ = writeln!(out, "    \"wall_s\": {:.6},", f2_phases.wall.as_secs_f64());
     let _ = writeln!(out, "    \"throughput_mb_s\": {:.4}", f2_phases.throughput_mb_s);
+    out.push_str("  },\n  \"streaming\": {\n");
+    let _ = writeln!(out, "    \"rows\": {},", streaming.rows);
+    let _ = writeln!(out, "    \"chunk_rows\": {},", streaming.chunk_rows);
+    let _ = writeln!(out, "    \"chunks\": {},", streaming.chunks);
+    let _ = writeln!(out, "    \"plain_bytes\": {},", streaming.plain_bytes);
+    let _ = writeln!(out, "    \"stream_bytes\": {},", streaming.stream_bytes);
+    let _ = writeln!(out, "    \"wall_s\": {:.6},", streaming.wall.as_secs_f64());
+    let _ = writeln!(out, "    \"throughput_mb_s\": {:.4},", streaming.throughput_mb_s);
+    let _ = writeln!(out, "    \"in_memory_mb_s\": {:.4},", streaming.in_memory_mb_s);
+    let _ = writeln!(out, "    \"peak_chunk_rows\": {},", streaming.peak_chunk_rows);
+    let _ = writeln!(out, "    \"peak_chunk_plain_bytes\": {},", streaming.peak_chunk_plain_bytes);
+    let _ = writeln!(out, "    \"peak_chunk_output_rows\": {}", streaming.peak_chunk_output_rows);
     out.push_str("  },\n  \"paillier\": {\n");
     let _ = writeln!(out, "    \"modulus_bits\": {},", phases.modulus_bits);
     let _ = writeln!(out, "    \"rows\": {},", phases.rows);

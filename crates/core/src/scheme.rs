@@ -40,7 +40,7 @@ use f2_crypto::{
     DeterministicCipher, MasterKey, PaillierCiphertext, PaillierKeyPair, ProbabilisticCipher,
     RandomnessPool,
 };
-use f2_relation::{AttrSet, Record, Schema, Table, Value};
+use f2_relation::{AttrSet, Record, Schema, Table, TableView, Value};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::any::Any;
@@ -105,6 +105,20 @@ pub trait ChunkedScheme: Scheme + Send + Sync {
     /// scheme's output stays decryptable by the original.
     fn reseeded(&self, seed: u64) -> Box<dyn ChunkedScheme>;
 
+    /// Encrypt one **borrowed chunk** of a larger table — the zero-copy entry point
+    /// the engine drives. Must produce exactly the bytes `Scheme::encrypt` would
+    /// produce for a standalone table holding the same rows (the engine's
+    /// worker-count- and path-independence guarantees rest on this equivalence).
+    ///
+    /// The default materialises the view ([`TableView::to_table`], which clones the
+    /// rows but inherits the chunk's dictionary-encoded index from the parent
+    /// instead of rebuilding it) and delegates to `Scheme::encrypt` — correct for
+    /// any backend. The cell-wise backends override it to encrypt straight off the
+    /// borrowed rows, cloning nothing.
+    fn encrypt_view(&self, view: &TableView<'_>) -> Result<SchemeOutcome> {
+        self.encrypt(&view.to_table())
+    }
+
     /// Fold per-chunk owner states (in chunk order) into the owner state of the
     /// concatenated table. Errors if any state was not produced by this backend.
     fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState>;
@@ -132,22 +146,26 @@ fn merge_cell_wise_states(scheme: &str, chunks: Vec<ChunkState>) -> Result<Owner
     Ok(OwnerState::new(CellWiseState { plaintext_schema: schema }))
 }
 
-/// Deterministic fingerprint of a table's schema and contents.
+/// Deterministic fingerprint of a relation's schema and contents.
 ///
 /// The probabilistic backends fold this into their nonce-RNG seed so that two
 /// `encrypt` calls on *different* tables never share a nonce stream (with the PRF
 /// cipher `⟨r, F_k(r) ⊕ p⟩`, reusing `r` across tables would XOR-leak plaintext
 /// relationships), while re-encrypting the same table stays reproducible per seed.
-fn table_fingerprint(table: &Table) -> u64 {
+///
+/// Takes the relation as `(schema, rows)` so a whole [`Table`] and a borrowed
+/// [`TableView`] over the same rows fingerprint identically — which is what makes
+/// the engine's view path byte-identical to the materialised one.
+fn table_fingerprint(schema: &Schema, rows: &[Record]) -> u64 {
     use std::hash::{Hash, Hasher};
     // DefaultHasher with fixed keys: stable within and across runs of this binary.
     let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    table.arity().hash(&mut hasher);
-    table.row_count().hash(&mut hasher);
-    for name in table.schema().names() {
+    schema.arity().hash(&mut hasher);
+    rows.len().hash(&mut hasher);
+    for name in schema.names() {
         name.hash(&mut hasher);
     }
-    for (_, rec) in table.iter() {
+    for rec in rows {
         for v in rec.values() {
             v.hash(&mut hasher);
         }
@@ -240,39 +258,38 @@ fn wrong_state(scheme: &str) -> F2Error {
     ))
 }
 
-/// Encrypt a table cell by cell and package the result as a [`SchemeOutcome`].
+/// Encrypt a relation cell by cell and package the result as a [`SchemeOutcome`].
 ///
-/// Used by every baseline backend. Baselines have no MAX/SYN/FP phases, so the whole
-/// cell-encryption wall time is recorded under [`StepTimings::sse`] and the overhead
-/// breakdown contains no artificial rows.
+/// Used by every baseline backend, for whole tables and for borrowed chunk views
+/// alike (the rows come in as a slice, so a view costs no clone). Baselines have no
+/// MAX/SYN/FP phases, so the whole cell-encryption wall time is recorded under
+/// [`StepTimings::sse`] and the overhead breakdown contains no artificial rows.
 fn encrypt_cell_wise(
-    table: &Table,
+    schema: &Schema,
+    rows: &[Record],
     mut encrypt_cell: impl FnMut(usize, &Value) -> Result<Value>,
 ) -> Result<SchemeOutcome> {
-    if table.arity() == 0 {
+    if schema.arity() == 0 {
         return Err(F2Error::UnsupportedInput("table has no attributes".into()));
     }
     let start = Instant::now();
-    let mut records = Vec::with_capacity(table.row_count());
-    for (_, rec) in table.iter() {
-        let mut values = Vec::with_capacity(table.arity());
+    let mut records = Vec::with_capacity(rows.len());
+    for rec in rows {
+        let mut values = Vec::with_capacity(schema.arity());
         for (attr, v) in rec.values().iter().enumerate() {
             values.push(encrypt_cell(attr, v)?);
         }
         records.push(Record::new(values));
     }
-    let encrypted = Table::new(table.schema().encrypted(), records)?;
+    let encrypted = Table::new(schema.encrypted(), records)?;
     let report = EncryptionReport {
         timings: StepTimings { sse: start.elapsed(), ..StepTimings::default() },
-        overhead: OverheadBreakdown {
-            original_rows: table.row_count(),
-            ..OverheadBreakdown::default()
-        },
+        overhead: OverheadBreakdown { original_rows: rows.len(), ..OverheadBreakdown::default() },
         ..EncryptionReport::default()
     };
     Ok(SchemeOutcome {
         encrypted,
-        state: OwnerState::new(CellWiseState { plaintext_schema: table.schema().clone() }),
+        state: OwnerState::new(CellWiseState { plaintext_schema: schema.clone() }),
         report,
     })
 }
@@ -549,7 +566,11 @@ impl Scheme for DetScheme {
 
     fn encrypt(&self, table: &Table) -> Result<SchemeOutcome> {
         let ciphers = self.ciphers(table.arity());
-        encrypt_cell_wise(table, |attr, v| Ok(ciphers[attr].encrypt_value(v)))
+        encrypt_cell_wise(
+            table.schema(),
+            table.rows(),
+            |attr, v| Ok(ciphers[attr].encrypt_value(v)),
+        )
     }
 
     fn decrypt(&self, outcome: &SchemeOutcome) -> Result<Table> {
@@ -562,6 +583,12 @@ impl ChunkedScheme for DetScheme {
     fn reseeded(&self, _seed: u64) -> Box<dyn ChunkedScheme> {
         // Deterministic encryption draws no encryption-time randomness.
         Box::new(self.clone())
+    }
+
+    fn encrypt_view(&self, view: &TableView<'_>) -> Result<SchemeOutcome> {
+        // Zero-copy: encrypt straight off the borrowed rows.
+        let ciphers = self.ciphers(view.arity());
+        encrypt_cell_wise(view.schema(), view.rows(), |attr, v| Ok(ciphers[attr].encrypt_value(v)))
     }
 
     fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState> {
@@ -602,6 +629,20 @@ impl ProbScheme {
     fn ciphers(&self, arity: usize) -> Vec<ProbabilisticCipher> {
         (0..arity).map(|a| ProbabilisticCipher::new(&self.master.attribute_key(a))).collect()
     }
+
+    /// The shared cell-wise path of `encrypt` and `encrypt_view`: encrypt `rows`
+    /// under a nonce stream seeded by the relation fingerprint. The caller hands in
+    /// whichever borrowed rows it has — no clone either way.
+    fn encrypt_rows(&self, schema: &Schema, rows: &[Record]) -> Result<SchemeOutcome> {
+        let ciphers = self.ciphers(schema.arity());
+        // Fold the relation fingerprint into the seed: nonce streams must never
+        // repeat across encryptions of different tables (two-time-pad otherwise).
+        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(schema, rows));
+        let mut scratch = f2_crypto::CellScratch::default();
+        encrypt_cell_wise(schema, rows, |attr, v| {
+            Ok(ciphers[attr].encrypt_value_to_cell_buffered(v, &mut rng, &mut scratch))
+        })
+    }
 }
 
 impl Scheme for ProbScheme {
@@ -610,14 +651,7 @@ impl Scheme for ProbScheme {
     }
 
     fn encrypt(&self, table: &Table) -> Result<SchemeOutcome> {
-        let ciphers = self.ciphers(table.arity());
-        // Fold the table fingerprint into the seed: nonce streams must never repeat
-        // across encryptions of different tables (two-time-pad otherwise).
-        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
-        let mut scratch = f2_crypto::CellScratch::default();
-        encrypt_cell_wise(table, |attr, v| {
-            Ok(ciphers[attr].encrypt_value_to_cell_buffered(v, &mut rng, &mut scratch))
-        })
+        self.encrypt_rows(table.schema(), table.rows())
     }
 
     fn decrypt(&self, outcome: &SchemeOutcome) -> Result<Table> {
@@ -629,6 +663,12 @@ impl Scheme for ProbScheme {
 impl ChunkedScheme for ProbScheme {
     fn reseeded(&self, seed: u64) -> Box<dyn ChunkedScheme> {
         Box::new(self.with_seed(seed))
+    }
+
+    fn encrypt_view(&self, view: &TableView<'_>) -> Result<SchemeOutcome> {
+        // Zero-copy: the fingerprint and the cell loop both run off the borrowed
+        // rows, so the output is byte-identical to encrypting a materialised copy.
+        self.encrypt_rows(view.schema(), view.rows())
     }
 
     fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState> {
@@ -812,44 +852,43 @@ impl PaillierScheme {
     /// Package an encrypted table as a cell-wise [`SchemeOutcome`] (whole wall time
     /// under [`StepTimings::sse`], no artificial rows — same shape as
     /// [`encrypt_cell_wise`]).
-    fn outcome(encrypted: Table, table: &Table, start: Instant) -> SchemeOutcome {
+    fn outcome(encrypted: Table, schema: &Schema, rows: usize, start: Instant) -> SchemeOutcome {
         let report = EncryptionReport {
             timings: StepTimings { sse: start.elapsed(), ..StepTimings::default() },
-            overhead: OverheadBreakdown {
-                original_rows: table.row_count(),
-                ..OverheadBreakdown::default()
-            },
+            overhead: OverheadBreakdown { original_rows: rows, ..OverheadBreakdown::default() },
             ..EncryptionReport::default()
         };
         SchemeOutcome {
             encrypted,
-            state: OwnerState::new(CellWiseState { plaintext_schema: table.schema().clone() }),
+            state: OwnerState::new(CellWiseState { plaintext_schema: schema.clone() }),
             report,
         }
     }
 
     /// Per-cell framing: each cell's encoding is chunked on its own; every chunk of
-    /// the table is then encrypted in one batch through a shared blinding pool.
-    fn encrypt_per_cell(&self, table: &Table) -> Result<SchemeOutcome> {
-        let arity = table.arity();
+    /// the relation is then encrypted in one batch through a shared blinding pool.
+    /// Rows come in as a borrowed slice, so whole tables and chunk views share this
+    /// path clone-free.
+    fn encrypt_per_cell(&self, schema: &Schema, rows: &[Record]) -> Result<SchemeOutcome> {
+        let arity = schema.arity();
         if arity == 0 {
             return Err(F2Error::UnsupportedInput("table has no attributes".into()));
         }
         let width = self.keypair.public().ciphertext_width();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
+        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(schema, rows));
         let start = Instant::now();
         let mut messages = Vec::new();
-        let mut cell_counts = Vec::with_capacity(table.row_count() * arity);
-        for (_, rec) in table.iter() {
+        let mut cell_counts = Vec::with_capacity(rows.len() * arity);
+        for rec in rows {
             for v in rec.values() {
                 cell_counts.push(self.stream_messages(&v.encode(), &mut messages));
             }
         }
         let ciphers = self.encrypt_messages(&messages, &mut rng)?;
-        let mut records = Vec::with_capacity(table.row_count());
+        let mut records = Vec::with_capacity(rows.len());
         let mut cursor = 0usize;
         let mut counts = cell_counts.iter();
-        for _ in 0..table.row_count() {
+        for _ in 0..rows.len() {
             let mut values = Vec::with_capacity(arity);
             for _ in 0..arity {
                 let count = *counts.next().expect("one chunk count per cell");
@@ -859,8 +898,8 @@ impl PaillierScheme {
             }
             records.push(Record::new(values));
         }
-        let encrypted = Table::new(table.schema().encrypted(), records)?;
-        Ok(Self::outcome(encrypted, table, start))
+        let encrypted = Table::new(schema.encrypted(), records)?;
+        Ok(Self::outcome(encrypted, schema, rows.len(), start))
     }
 
     fn decrypt_cell(&self, cell: &Value) -> Result<Value> {
@@ -903,17 +942,17 @@ impl PaillierScheme {
     /// across cell boundaries, all rows batch-encrypted through one blinding pool,
     /// with the resulting frames dealt back over the row's cells in contiguous
     /// blocks (so concatenating the cells recovers frame order).
-    fn encrypt_packed(&self, table: &Table) -> Result<SchemeOutcome> {
-        let arity = table.arity();
+    fn encrypt_packed(&self, schema: &Schema, rows: &[Record]) -> Result<SchemeOutcome> {
+        let arity = schema.arity();
         if arity == 0 {
             return Err(F2Error::UnsupportedInput("table has no attributes".into()));
         }
         let width = self.keypair.public().ciphertext_width();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(table));
+        let mut rng = StdRng::seed_from_u64(self.seed ^ table_fingerprint(schema, rows));
         let start = Instant::now();
         let mut messages = Vec::new();
-        let mut row_counts = Vec::with_capacity(table.row_count());
-        for (_, rec) in table.iter() {
+        let mut row_counts = Vec::with_capacity(rows.len());
+        for rec in rows {
             let mut stream = Vec::new();
             for v in rec.values() {
                 let encoding = v.encode();
@@ -923,7 +962,7 @@ impl PaillierScheme {
             row_counts.push(self.stream_messages(&stream, &mut messages));
         }
         let ciphers = self.encrypt_messages(&messages, &mut rng)?;
-        let mut records = Vec::with_capacity(table.row_count());
+        let mut records = Vec::with_capacity(rows.len());
         let mut cursor = 0usize;
         for &frame_count in &row_counts {
             let frames = Self::frames_from(&ciphers[cursor..cursor + frame_count], width);
@@ -937,8 +976,8 @@ impl PaillierScheme {
             }
             records.push(Record::new(values));
         }
-        let encrypted = Table::new(table.schema().encrypted(), records)?;
-        Ok(Self::outcome(encrypted, table, start))
+        let encrypted = Table::new(schema.encrypted(), records)?;
+        Ok(Self::outcome(encrypted, schema, rows.len(), start))
     }
 
     /// Inverse of [`PaillierScheme::encrypt_packed`].
@@ -989,8 +1028,8 @@ impl Scheme for PaillierScheme {
 
     fn encrypt(&self, table: &Table) -> Result<SchemeOutcome> {
         match self.framing {
-            PaillierFraming::PerCell => self.encrypt_per_cell(table),
-            PaillierFraming::PackedRows => self.encrypt_packed(table),
+            PaillierFraming::PerCell => self.encrypt_per_cell(table.schema(), table.rows()),
+            PaillierFraming::PackedRows => self.encrypt_packed(table.schema(), table.rows()),
         }
     }
 
@@ -1007,6 +1046,14 @@ impl Scheme for PaillierScheme {
 impl ChunkedScheme for PaillierScheme {
     fn reseeded(&self, seed: u64) -> Box<dyn ChunkedScheme> {
         Box::new(self.with_seed(seed))
+    }
+
+    fn encrypt_view(&self, view: &TableView<'_>) -> Result<SchemeOutcome> {
+        // Zero-copy: both framings consume borrowed rows directly.
+        match self.framing {
+            PaillierFraming::PerCell => self.encrypt_per_cell(view.schema(), view.rows()),
+            PaillierFraming::PackedRows => self.encrypt_packed(view.schema(), view.rows()),
+        }
     }
 
     fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState> {
@@ -1187,6 +1234,39 @@ mod tests {
         // Distinct entropy seeds ⇒ distinct nonce streams for the same table.
         assert_ne!(pa.encrypt(&t).unwrap().encrypted, pb.encrypt(&t).unwrap().encrypted);
         assert!(PaillierScheme::from_entropy(64).is_ok());
+    }
+
+    #[test]
+    fn encrypt_view_is_byte_identical_to_encrypting_the_materialised_chunk() {
+        let t = fixture();
+        let master = MasterKey::from_seed(21);
+        let schemes: Vec<Box<dyn ChunkedScheme>> = vec![
+            Box::new(F2::builder().alpha(0.5).seed(21).master_key(master.clone()).build().unwrap()),
+            Box::new(DetScheme::new(master.clone())),
+            Box::new(ProbScheme::new(master, 21)),
+            Box::new(PaillierScheme::new(64, 21).unwrap()),
+            Box::new(PaillierScheme::new(64, 21).unwrap().packed()),
+        ];
+        for scheme in &schemes {
+            for range in [0..t.row_count(), 1..4, 2..2, 0..1] {
+                let view = t.view(range.clone()).unwrap();
+                let standalone =
+                    Table::new(t.schema().clone(), t.rows()[range.clone()].to_vec()).unwrap();
+                if standalone.is_empty() {
+                    continue; // schemes accept empty tables; nothing to compare cell-wise
+                }
+                let via_view = scheme.encrypt_view(&view).unwrap();
+                let via_table = scheme.encrypt(&standalone).unwrap();
+                assert_eq!(
+                    via_view.encrypted,
+                    via_table.encrypted,
+                    "{}: view path diverged on {range:?}",
+                    scheme.name()
+                );
+                // The view outcome decrypts through the ordinary path.
+                assert!(scheme.decrypt(&via_view).unwrap().multiset_eq(&standalone));
+            }
+        }
     }
 
     #[test]

@@ -48,8 +48,10 @@
 
 pub mod persist;
 pub mod pipeline;
-pub mod wire;
+pub mod stream;
+pub use f2_io::wire;
 
 pub use persist::{load_outcome, save_outcome, StatefulScheme};
 pub use pipeline::{chunk_seed, ChunkRecord, Engine, EngineConfig, EngineOutcome};
+pub use stream::{decrypt_streaming, load_streamed_outcome, read_outcome, StreamOutcome};
 pub use wire::{Reader, WireError, Writer};

@@ -182,7 +182,7 @@ fn data_type_from_tag(tag: u8) -> WireResult<DataType> {
     })
 }
 
-fn put_schema(w: &mut Writer, schema: &Schema) {
+pub(crate) fn put_schema(w: &mut Writer, schema: &Schema) {
     w.put_u16(schema.arity() as u16);
     for attr in schema.attributes() {
         w.put_str(&attr.name);
@@ -190,7 +190,7 @@ fn put_schema(w: &mut Writer, schema: &Schema) {
     }
 }
 
-fn take_schema(r: &mut Reader<'_>) -> Result<Schema> {
+pub(crate) fn take_schema(r: &mut Reader<'_>) -> Result<Schema> {
     let arity = r.u16()?;
     let mut attrs = Vec::with_capacity(arity as usize);
     for _ in 0..arity {
@@ -274,7 +274,7 @@ fn take_provenance(r: &mut Reader<'_>) -> Result<Provenance> {
     Ok(provenance)
 }
 
-fn put_report(w: &mut Writer, report: &EncryptionReport) {
+pub(crate) fn put_report(w: &mut Writer, report: &EncryptionReport) {
     for d in [report.timings.max, report.timings.sse, report.timings.syn, report.timings.fp] {
         w.put_u64(d.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
@@ -293,7 +293,7 @@ fn put_report(w: &mut Writer, report: &EncryptionReport) {
     }
 }
 
-fn take_report(r: &mut Reader<'_>) -> Result<EncryptionReport> {
+pub(crate) fn take_report(r: &mut Reader<'_>) -> Result<EncryptionReport> {
     let timings = f2_core::report::StepTimings {
         max: Duration::from_nanos(r.u64()?),
         sse: Duration::from_nanos(r.u64()?),

@@ -149,11 +149,14 @@ impl Engine {
             let index = next.fetch_add(1, Ordering::Relaxed);
             let Some(range) = ranges.get(index) else { break };
             let result = (|| {
-                let chunk =
-                    Table::new(table.schema().clone(), table.rows()[range.clone()].to_vec())?;
+                // A borrowed view, not a cloned sub-table: cell-wise backends encrypt
+                // straight off the parent's rows, and F² materialises with the
+                // chunk's dictionaries derived from the parent's index.
+                let chunk = table.view(range.clone())?;
                 let start = Instant::now();
-                let outcome =
-                    scheme.reseeded(chunk_seed(self.config.seed, index as u64)).encrypt(&chunk)?;
+                let outcome = scheme
+                    .reseeded(chunk_seed(self.config.seed, index as u64))
+                    .encrypt_view(&chunk)?;
                 Ok(ChunkSlot { outcome, worker, wall: start.elapsed() })
             })();
             *slots[index].lock().expect("no poisoned chunk slot") = Some(result);
@@ -220,7 +223,7 @@ impl Engine {
 /// Accumulate one chunk's report into the table-level report: timings and row counts
 /// add up; the wall-clock sums are CPU time across workers, not elapsed time (the
 /// per-chunk elapsed times live in [`ChunkRecord::wall`]).
-fn merge_reports(total: &mut EncryptionReport, chunk: &EncryptionReport) {
+pub(crate) fn merge_reports(total: &mut EncryptionReport, chunk: &EncryptionReport) {
     total.timings.max += chunk.timings.max;
     total.timings.sse += chunk.timings.sse;
     total.timings.syn += chunk.timings.syn;

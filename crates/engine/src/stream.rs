@@ -1,0 +1,499 @@
+//! End-to-end streaming encryption: source in, checksummed `F2WS` v2 stream out,
+//! bounded peak memory in between.
+//!
+//! [`Engine::run_streaming`] is the constant-memory sibling of [`Engine::encrypt`]:
+//! instead of materialising the whole plaintext and the whole ciphertext, it pulls
+//! one chunk at a time from a [`RowSource`], encrypts it with the chunk seed the
+//! in-memory path would use ([`chunk_seed`]), and appends the result to a
+//! [`FrameSink`] before pulling the next chunk — at no point does more than one
+//! chunk of plaintext or ciphertext exist in memory (the **single-in-flight**
+//! guarantee; the source side is equally bounded, see `f2_io::CsvSource`). Because
+//! chunk seeds are a pure function of the engine seed and the chunk index, the
+//! stream's chunks carry **exactly** the ciphertext bytes and owner states of the
+//! in-memory path at any worker count, so the two paths are interchangeable
+//! artifact-for-artifact.
+//!
+//! The stream layout (each item one checksummed frame, see [`f2_io::frame`]):
+//!
+//! ```text
+//! HEADER   scheme name, engine seed, chunk_rows, plaintext schema
+//! CHUNK*   ChunkRecord provenance + per-chunk owner state + encrypted chunk rows
+//! TRAILER  chunk/row totals + merged encryption report
+//! ```
+//!
+//! Reading back:
+//!
+//! * [`load_streamed_outcome`] — reassemble the whole [`SchemeOutcome`] (table +
+//!   merged owner state + report) for in-memory decryption;
+//! * [`decrypt_streaming`] — decrypt **chunk by chunk**, handing each recovered
+//!   plaintext chunk to a callback: constant-memory decryption for datasets that
+//!   never fit in RAM (per-chunk owner states are chunk-local, so no merged state is
+//!   needed);
+//! * [`read_outcome`] — version-sniffing loader accepting both a v1 single-blob
+//!   [`save_outcome`](crate::save_outcome) file and a v2 stream.
+
+use crate::persist::{
+    decode_table, encode_table, put_report, put_schema, take_report, take_schema, StatefulScheme,
+};
+use crate::pipeline::{chunk_seed, merge_reports, ChunkRecord, Engine};
+use crate::wire::{Reader, Writer};
+use f2_core::{ChunkState, ChunkedScheme, EncryptionReport, F2Error, Result, SchemeOutcome};
+use f2_io::frame::{FrameReader, FrameSink};
+use f2_io::{sniff_version, RowSource};
+use f2_relation::Table;
+use std::io::{Read, Write};
+use std::time::{Duration, Instant};
+
+/// Frame type: the stream header (must be the first frame).
+pub const FRAME_HEADER: u8 = 1;
+/// Frame type: one encrypted chunk.
+pub const FRAME_CHUNK: u8 = 2;
+/// Frame type: the trailer (must be the last frame before the end marker).
+pub const FRAME_TRAILER: u8 = 3;
+
+/// Result of one [`Engine::run_streaming`] run.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Per-chunk provenance, identical in content to the in-memory path's records
+    /// (`worker` is always 0: the streaming path is single-in-flight by design).
+    pub chunks: Vec<ChunkRecord>,
+    /// Plaintext rows consumed from the source.
+    pub rows: usize,
+    /// Encrypted rows written to the stream.
+    pub encrypted_rows: usize,
+    /// Total bytes written, preamble and frame headers included.
+    pub bytes_written: u64,
+    /// The merged encryption report (also persisted in the trailer).
+    pub report: EncryptionReport,
+}
+
+impl Engine {
+    /// Encrypt a [`RowSource`] chunk by chunk into an `F2WS` v2 frame stream.
+    ///
+    /// Peak memory is bounded by one chunk (plaintext + its ciphertext + one frame
+    /// buffer) plus the per-chunk [`ChunkRecord`]s — independent of the dataset
+    /// size. The configured worker count is deliberately not used here: reading
+    /// ahead `workers` chunks would trade the memory bound for parallelism, and the
+    /// in-memory [`Engine::encrypt`] already covers the all-in-RAM parallel case
+    /// with byte-identical output (same seeds, same chunk boundaries).
+    ///
+    /// The source must hand out **full chunks** (`chunk_rows` rows until the final
+    /// partial chunk), which every `f2_io` source does; a short chunk mid-stream
+    /// would shift chunk boundaries away from the in-memory path's and is rejected.
+    pub fn run_streaming<S, W>(
+        &self,
+        scheme: &S,
+        source: &mut dyn RowSource,
+        writer: W,
+    ) -> Result<StreamOutcome>
+    where
+        S: ChunkedScheme + StatefulScheme + ?Sized,
+        W: Write,
+    {
+        let schema = source.schema().clone();
+        if schema.arity() == 0 {
+            return Err(F2Error::UnsupportedInput("source has no attributes".into()));
+        }
+        let chunk_rows = self.config().chunk_rows;
+        let seed = self.config().seed;
+        let mut sink = FrameSink::new(writer).map_err(F2Error::from)?;
+
+        let mut header = Writer::raw();
+        header.put_str(scheme.name());
+        header.put_u64(seed);
+        header.put_usize(chunk_rows);
+        put_schema(&mut header, &schema);
+        sink.write_frame(FRAME_HEADER, &header.finish()).map_err(F2Error::from)?;
+
+        let mut chunks: Vec<ChunkRecord> = Vec::new();
+        let mut rows = 0usize;
+        let mut encrypted_rows = 0usize;
+        let mut report = EncryptionReport::default();
+        while let Some(chunk) = source.next_chunk(chunk_rows).map_err(F2Error::from)? {
+            let chunk_len = chunk.row_count();
+            let index = chunks.len();
+            if chunk_len == 0 || chunk_len > chunk_rows {
+                return Err(F2Error::UnsupportedInput(format!(
+                    "source produced a {chunk_len}-row chunk (expected 1..={chunk_rows})"
+                )));
+            }
+            if index > 0 && chunks[index - 1].rows.len() != chunk_rows {
+                return Err(F2Error::UnsupportedInput(
+                    "source produced a short chunk before the final one \
+                     (chunk boundaries would diverge from the in-memory path)"
+                        .into(),
+                ));
+            }
+            let chunk_seed_value = chunk_seed(seed, index as u64);
+            let start = Instant::now();
+            // Owned chunks (e.g. freshly parsed CSV rows) go straight through
+            // `encrypt` — materialising a view of an already-owned table would just
+            // clone its rows again; borrowed chunks take the zero-copy view path.
+            // The two are byte-identical by the `encrypt_view` contract (pinned by
+            // `tests/stream_parity.rs`).
+            let reseeded = scheme.reseeded(chunk_seed_value);
+            let outcome = match &chunk {
+                f2_io::TableChunk::Owned(table) => reseeded.encrypt(table)?,
+                f2_io::TableChunk::Borrowed(view) => reseeded.encrypt_view(view)?,
+            };
+            let wall = start.elapsed();
+            let record = ChunkRecord {
+                index,
+                rows: rows..rows + chunk_len,
+                output_rows: encrypted_rows..encrypted_rows + outcome.encrypted.row_count(),
+                seed: chunk_seed_value,
+                worker: 0,
+                wall,
+            };
+            let mut payload = Writer::raw();
+            put_chunk_record(&mut payload, &record);
+            payload.put_bytes(&scheme.save_state(&outcome)?);
+            payload.put_bytes(&encode_table(&outcome.encrypted));
+            sink.write_frame(FRAME_CHUNK, &payload.finish()).map_err(F2Error::from)?;
+            rows = record.rows.end;
+            encrypted_rows = record.output_rows.end;
+            merge_reports(&mut report, &outcome.report);
+            chunks.push(record);
+            // `outcome` (the only live copy of the chunk's ciphertext) drops here,
+            // before the next chunk is pulled.
+        }
+
+        let mut trailer = Writer::raw();
+        trailer.put_usize(chunks.len());
+        trailer.put_usize(rows);
+        trailer.put_usize(encrypted_rows);
+        // Persist the structural report (row overheads, MAS/EC counts) with the
+        // wall-clock step timings zeroed: like `ChunkRecord::wall`, timings vary run
+        // to run and would make equal datasets produce byte-different streams.
+        let mut persisted = report.clone();
+        persisted.timings = Default::default();
+        put_report(&mut trailer, &persisted);
+        sink.write_frame(FRAME_TRAILER, &trailer.finish()).map_err(F2Error::from)?;
+        let (_, bytes_written) = sink.finish().map_err(F2Error::from)?;
+        Ok(StreamOutcome { chunks, rows, encrypted_rows, bytes_written, report })
+    }
+}
+
+/// The parsed header frame of one stream.
+#[derive(Debug)]
+struct StreamHeader {
+    seed: u64,
+    schema: f2_relation::Schema,
+}
+
+/// Drive a [`FrameReader`] over a stream, dispatching each frame: the header is
+/// validated against `scheme`, every chunk goes to `on_chunk` (in order, with its
+/// decoded record, owner state blob, and encrypted rows), and the trailer's totals
+/// and report come back to the caller. Shared by [`load_streamed_outcome`] and
+/// [`decrypt_streaming`] so both enforce the same structure.
+fn walk_stream<R: Read>(
+    scheme_name: &str,
+    reader: R,
+    mut on_chunk: impl FnMut(ChunkRecord, &[u8], Table) -> Result<()>,
+) -> Result<(StreamHeader, usize, usize, usize, EncryptionReport)> {
+    let mut frames = FrameReader::new(reader).map_err(F2Error::from)?;
+    let malformed = |m: &str| F2Error::UnsupportedInput(format!("malformed F2WS stream: {m}"));
+
+    let first = frames
+        .next_frame()
+        .map_err(F2Error::from)?
+        .ok_or_else(|| malformed("empty stream (no header frame)"))?;
+    if first.frame_type != FRAME_HEADER {
+        return Err(malformed("stream does not start with a header frame"));
+    }
+    let mut r = Reader::raw(&first.payload);
+    let name = r.str().map_err(F2Error::from)?;
+    if name != scheme_name {
+        return Err(F2Error::UnsupportedInput(format!(
+            "stream was produced by the `{name}` scheme, loader holds `{scheme_name}`"
+        )));
+    }
+    let seed = r.u64().map_err(F2Error::from)?;
+    let _chunk_rows = r.usize().map_err(F2Error::from)?;
+    let schema = take_schema(&mut r)?;
+    r.finish().map_err(F2Error::from)?;
+    let header = StreamHeader { seed, schema };
+
+    let mut chunk_count = 0usize;
+    // Running end positions: chunk ranges must tile the plaintext and output tables
+    // gaplessly from 0 — a CRC only certifies transport, not a well-behaved
+    // producer, and a gapped or overlapping range would silently corrupt the merged
+    // owner state's row offsets.
+    let mut next_row = 0usize;
+    let mut next_output_row = 0usize;
+    let trailer = loop {
+        let frame = frames
+            .next_frame()
+            .map_err(F2Error::from)?
+            .ok_or_else(|| malformed("stream ended without a trailer frame"))?;
+        match frame.frame_type {
+            FRAME_CHUNK => {
+                let mut r = Reader::raw(&frame.payload);
+                let record = take_chunk_record(&mut r)?;
+                if record.index != chunk_count {
+                    return Err(malformed(&format!(
+                        "chunk {} arrived at position {chunk_count}",
+                        record.index
+                    )));
+                }
+                if record.rows.start != next_row || record.output_rows.start != next_output_row {
+                    return Err(malformed(&format!(
+                        "chunk {} covers rows {:?} → output {:?}, expected them to start at \
+                         {next_row} → {next_output_row}",
+                        record.index, record.rows, record.output_rows
+                    )));
+                }
+                let state_blob = r.bytes().map_err(F2Error::from)?.to_vec();
+                let encrypted = decode_table(r.bytes().map_err(F2Error::from)?)?;
+                r.finish().map_err(F2Error::from)?;
+                if encrypted.row_count() != record.output_rows.len() {
+                    return Err(malformed("chunk row count disagrees with its record"));
+                }
+                next_row = record.rows.end;
+                next_output_row = record.output_rows.end;
+                on_chunk(record, &state_blob, encrypted)?;
+                chunk_count += 1;
+            }
+            FRAME_TRAILER => break frame,
+            other => return Err(malformed(&format!("unknown frame type {other}"))),
+        }
+    };
+    let mut r = Reader::raw(&trailer.payload);
+    let chunks = r.usize().map_err(F2Error::from)?;
+    let rows = r.usize().map_err(F2Error::from)?;
+    let encrypted_rows = r.usize().map_err(F2Error::from)?;
+    let report = take_report(&mut r)?;
+    r.finish().map_err(F2Error::from)?;
+    if chunks != chunk_count || rows != next_row || encrypted_rows != next_output_row {
+        return Err(malformed("trailer totals disagree with the chunk frames"));
+    }
+    if frames.next_frame().map_err(F2Error::from)?.is_some() {
+        return Err(malformed("frames after the trailer"));
+    }
+    Ok((header, chunks, rows, encrypted_rows, report))
+}
+
+/// Reassemble a whole [`SchemeOutcome`] (plus the per-chunk provenance) from a v2
+/// stream: chunks are appended in order and their owner states merged through
+/// [`ChunkedScheme::merge_chunk_states`] — the same fold the in-memory path runs, so
+/// the loaded outcome is artifact-identical to [`Engine::encrypt`]'s.
+pub fn load_streamed_outcome<S, R>(
+    scheme: &S,
+    reader: R,
+) -> Result<(SchemeOutcome, Vec<ChunkRecord>)>
+where
+    S: ChunkedScheme + StatefulScheme + ?Sized,
+    R: Read,
+{
+    let mut encrypted: Option<Table> = None;
+    let mut chunk_states: Vec<ChunkState> = Vec::new();
+    let mut records: Vec<ChunkRecord> = Vec::new();
+    let (header, _, rows, encrypted_rows, report) =
+        walk_stream(scheme.name(), reader, |record, state_blob, chunk_table| {
+            chunk_states.push(ChunkState {
+                row_offset: record.rows.start,
+                output_offset: record.output_rows.start,
+                state: scheme.load_state(state_blob)?,
+            });
+            match &mut encrypted {
+                None => encrypted = Some(chunk_table),
+                Some(table) => table.append(chunk_table)?,
+            }
+            records.push(record);
+            Ok(())
+        })?;
+    let outcome = match encrypted {
+        Some(encrypted) => {
+            // walk_stream already forced the chunk ranges to tile gaplessly and the
+            // trailer totals to match them.
+            debug_assert_eq!(encrypted.row_count(), encrypted_rows);
+            let state = scheme.merge_chunk_states(chunk_states)?;
+            SchemeOutcome { encrypted, state, report }
+        }
+        None => {
+            if rows != 0 {
+                return Err(F2Error::UnsupportedInput(
+                    "malformed F2WS stream: rows recorded but no chunk frames".into(),
+                ));
+            }
+            // Empty dataset: reconstruct the same empty outcome the in-memory path
+            // produces for an empty table (chunk-0 seed, backend-shaped state).
+            scheme
+                .reseeded(chunk_seed(header.seed, 0))
+                .encrypt(&Table::empty(header.schema.clone()))?
+        }
+    };
+    Ok((outcome, records))
+}
+
+/// Decrypt a v2 stream **chunk by chunk**: each chunk's ciphertext is decrypted with
+/// its own (chunk-local) owner state and handed to `emit` as a plaintext [`Table`],
+/// so peak memory is one chunk regardless of the dataset size. Returns the total
+/// number of plaintext rows emitted.
+pub fn decrypt_streaming<S, R>(
+    scheme: &S,
+    reader: R,
+    mut emit: impl FnMut(Table) -> Result<()>,
+) -> Result<usize>
+where
+    S: ChunkedScheme + StatefulScheme + ?Sized,
+    R: Read,
+{
+    let mut emitted = 0usize;
+    let (_, _, rows, _, _) = walk_stream(scheme.name(), reader, |_, state_blob, chunk_table| {
+        let chunk_outcome = SchemeOutcome {
+            encrypted: chunk_table,
+            state: scheme.load_state(state_blob)?,
+            report: EncryptionReport::default(),
+        };
+        let plain = scheme.decrypt(&chunk_outcome)?;
+        emitted += plain.row_count();
+        emit(plain)
+    })?;
+    if emitted != rows {
+        return Err(F2Error::UnsupportedInput(format!(
+            "malformed F2WS stream: decrypted {emitted} rows, trailer promises {rows}"
+        )));
+    }
+    Ok(emitted)
+}
+
+/// Load an encrypted outcome from either `F2WS` format: a **v1 single blob**
+/// (written by [`save_outcome`](crate::save_outcome) — the pre-stream format, still
+/// fully supported) or a **v2 frame stream** (written by [`Engine::run_streaming`]).
+pub fn read_outcome<S>(scheme: &S, bytes: &[u8]) -> Result<SchemeOutcome>
+where
+    S: ChunkedScheme + StatefulScheme,
+{
+    match sniff_version(bytes).map_err(F2Error::from)? {
+        1 => crate::persist::load_outcome(scheme, bytes),
+        2 => Ok(load_streamed_outcome(scheme, bytes)?.0),
+        other => Err(F2Error::UnsupportedInput(format!("unknown F2WS version {other}"))),
+    }
+}
+
+// ── ChunkRecord codec ──────────────────────────────────────────────────────────────
+//
+// Scheduling diagnostics (`worker`, `wall`) are deliberately NOT part of the wire
+// format: they vary run to run, and persisting them would make two streams of the
+// same dataset byte-different — breaking reproducible artifacts and the frozen v2
+// golden vectors. Loaded records report `worker = 0` and `wall = 0`.
+
+fn put_chunk_record(w: &mut Writer, record: &ChunkRecord) {
+    w.put_usize(record.index);
+    w.put_usize(record.rows.start);
+    w.put_usize(record.rows.end);
+    w.put_usize(record.output_rows.start);
+    w.put_usize(record.output_rows.end);
+    w.put_u64(record.seed);
+}
+
+fn take_chunk_record(r: &mut Reader<'_>) -> Result<ChunkRecord> {
+    let index = r.usize().map_err(F2Error::from)?;
+    let rows = r.usize().map_err(F2Error::from)?..r.usize().map_err(F2Error::from)?;
+    let output_rows = r.usize().map_err(F2Error::from)?..r.usize().map_err(F2Error::from)?;
+    let seed = r.u64().map_err(F2Error::from)?;
+    if rows.start > rows.end || output_rows.start > output_rows.end {
+        return Err(F2Error::UnsupportedInput(
+            "malformed F2WS stream: chunk record has a reversed row range".into(),
+        ));
+    }
+    Ok(ChunkRecord { index, rows, output_rows, seed, worker: 0, wall: Duration::ZERO })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::EngineConfig;
+    use f2_core::{Scheme, F2};
+    use f2_io::TableSource;
+    use f2_relation::table;
+
+    fn fixture() -> Table {
+        table! {
+            ["Zip", "City", "Name"];
+            ["07030", "Hoboken", "alice"],
+            ["07030", "Hoboken", "bob"],
+            ["10001", "NewYork", "carol"],
+            ["10001", "NewYork", "dave"],
+            ["08540", "Princeton", "erin"],
+            ["08540", "Princeton", "frank"],
+        }
+    }
+
+    #[test]
+    fn streamed_and_in_memory_paths_are_artifact_identical() {
+        let t = fixture();
+        let scheme = F2::builder().alpha(0.5).seed(33).build().unwrap();
+        let engine = Engine::new(EngineConfig { workers: 2, chunk_rows: 2, seed: 33 }).unwrap();
+
+        let in_memory = engine.encrypt(&scheme, &t).unwrap();
+        let mut stream = Vec::new();
+        let summary =
+            engine.run_streaming(&scheme, &mut TableSource::new(&t), &mut stream).unwrap();
+        assert_eq!(summary.rows, t.row_count());
+        assert_eq!(summary.chunks.len(), in_memory.chunks.len());
+
+        let (loaded, records) = load_streamed_outcome(&scheme, &stream[..]).unwrap();
+        assert_eq!(loaded.encrypted, in_memory.outcome.encrypted);
+        assert_eq!(
+            scheme.save_state(&loaded).unwrap(),
+            scheme.save_state(&in_memory.outcome).unwrap()
+        );
+        for (streamed, in_mem) in records.iter().zip(&in_memory.chunks) {
+            assert_eq!(streamed.rows, in_mem.rows);
+            assert_eq!(streamed.output_rows, in_mem.output_rows);
+            assert_eq!(streamed.seed, in_mem.seed);
+        }
+        assert!(scheme.decrypt(&loaded).unwrap().multiset_eq(&t));
+    }
+
+    #[test]
+    fn chunkwise_streaming_decryption_recovers_the_table() {
+        let t = fixture();
+        let scheme = F2::builder().alpha(0.5).seed(7).build().unwrap();
+        let engine = Engine::new(EngineConfig { workers: 1, chunk_rows: 2, seed: 7 }).unwrap();
+        let mut stream = Vec::new();
+        engine.run_streaming(&scheme, &mut TableSource::new(&t), &mut stream).unwrap();
+
+        let mut recovered: Option<Table> = None;
+        let rows = decrypt_streaming(&scheme, &stream[..], |chunk| {
+            match &mut recovered {
+                None => recovered = Some(chunk),
+                Some(all) => all.append(chunk)?,
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, t.row_count());
+        assert!(recovered.unwrap().multiset_eq(&t));
+    }
+
+    #[test]
+    fn empty_sources_stream_and_load() {
+        let t = Table::empty(fixture().schema().clone());
+        let scheme = F2::builder().seed(5).build().unwrap();
+        let engine = Engine::new(EngineConfig { workers: 1, chunk_rows: 4, seed: 5 }).unwrap();
+        let mut stream = Vec::new();
+        let summary =
+            engine.run_streaming(&scheme, &mut TableSource::new(&t), &mut stream).unwrap();
+        assert_eq!(summary.rows, 0);
+        assert!(summary.chunks.is_empty());
+        let (loaded, records) = load_streamed_outcome(&scheme, &stream[..]).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(loaded.encrypted.row_count(), 0);
+        assert!(scheme.decrypt(&loaded).unwrap().multiset_eq(&t));
+    }
+
+    #[test]
+    fn wrong_scheme_is_rejected_by_name() {
+        let t = fixture();
+        let f2 = F2::builder().alpha(0.5).seed(3).build().unwrap();
+        let engine = Engine::new(EngineConfig { workers: 1, chunk_rows: 3, seed: 3 }).unwrap();
+        let mut stream = Vec::new();
+        engine.run_streaming(&f2, &mut TableSource::new(&t), &mut stream).unwrap();
+        let det = f2_core::DetScheme::new(f2_crypto::MasterKey::from_seed(3));
+        let err = load_streamed_outcome(&det, &stream[..]).unwrap_err();
+        assert!(err.to_string().contains("`f2`"), "{err}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type of the streaming I/O subsystem.
+
+use std::fmt;
+
+/// Errors raised by sources, sinks, and frame codecs. Every failure mode of a
+/// corrupt, truncated, or hostile input maps here — the subsystem never panics on
+/// bad data.
+#[derive(Debug)]
+pub enum IoError {
+    /// An error from the underlying reader/writer.
+    Io(std::io::Error),
+    /// A malformed CSV/TSV input, with the 1-based line it was detected on.
+    Csv {
+        /// 1-based input line (header = line 1).
+        line: u64,
+        /// What was wrong.
+        message: String,
+    },
+    /// The input does not start with the `F2WS` magic.
+    BadMagic,
+    /// The input's `F2WS` version is not the one this reader handles.
+    UnsupportedVersion(u16),
+    /// The input ended before the structure it promised.
+    Truncated(String),
+    /// A frame's payload failed its CRC32 — the bytes were damaged in storage or
+    /// transit.
+    Checksum {
+        /// Index of the damaged frame.
+        frame: u64,
+        /// Checksum recorded in the frame header.
+        stored: u32,
+        /// Checksum of the bytes actually read.
+        computed: u32,
+    },
+    /// A declared length exceeds the format's allocation cap.
+    Oversized {
+        /// The length the input claimed.
+        declared: usize,
+        /// The enforced ceiling.
+        cap: usize,
+    },
+    /// The input decoded structurally but its content is invalid.
+    Malformed(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            IoError::BadMagic => write!(f, "missing F2WS magic"),
+            IoError::UnsupportedVersion(v) => write!(f, "unsupported F2WS stream version {v}"),
+            IoError::Truncated(m) => write!(f, "truncated input: {m}"),
+            IoError::Checksum { frame, stored, computed } => write!(
+                f,
+                "checksum mismatch in frame {frame}: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            IoError::Oversized { declared, cap } => {
+                write!(f, "declared length {declared} exceeds the {cap}-byte frame cap")
+            }
+            IoError::Malformed(m) => write!(f, "malformed input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<IoError> for f2_core::F2Error {
+    fn from(e: IoError) -> Self {
+        f2_core::F2Error::UnsupportedInput(format!("stream I/O failed: {e}"))
+    }
+}
+
+/// Result alias of the streaming I/O subsystem.
+pub type IoResult<T> = std::result::Result<T, IoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IoError::Checksum { frame: 3, stored: 1, computed: 2 };
+        assert!(e.to_string().contains("frame 3"));
+        let e = IoError::Csv { line: 7, message: "bad field".into() };
+        assert!(e.to_string().contains("line 7"));
+        let core: f2_core::F2Error = IoError::BadMagic.into();
+        assert!(core.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # f2-io — streaming dataset I/O for the F² pipeline
+//!
+//! The paper's outsourcing story (Dong & Wang, ICDE 2017, §2.1) is owner → server
+//! data shipping. Everything below the engine used to assume the whole plaintext
+//! table and the whole encrypted outcome fit in RAM; this crate is the layer that
+//! removes that assumption, separating *transport* from *pipeline* the way real
+//! outsourcing clients do:
+//!
+//! * [`source`] — [`RowSource`]: constant-memory chunk producers. [`CsvSource`] is a
+//!   streaming CSV/TSV parser (RFC-4180 quoting including embedded newlines, schema
+//!   inference from a bounded sample or explicit typing) that never holds more than
+//!   one chunk of parsed rows; [`TableSource`] pumps an in-memory table through the
+//!   same interface as zero-copy [`TableView`](f2_relation::TableView) chunks.
+//! * [`frame`] — the `F2WS` **v2 stream format**: [`FrameSink`] / [`FrameReader`]
+//!   write and read length-prefixed frames with per-frame CRC32 checksums and an
+//!   opportunistic varint-RLE byte compressor, incrementally and in constant memory.
+//!   Corrupt, truncated, or bit-flipped input decodes to an [`IoError`] — never a
+//!   panic.
+//! * [`wire`] — the low-level `F2WS` primitives (length-prefixed little-endian
+//!   encoding, the v1 single-blob header), re-exported by `f2_engine::wire` for the
+//!   owner-state codecs.
+//!
+//! The engine composes these into end-to-end streaming encryption
+//! (`f2_engine::Engine::run_streaming`): CSV/table source in, checksummed encrypted
+//! frame stream out, bounded peak memory in between.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod frame;
+pub mod source;
+pub mod wire;
+
+pub use error::{IoError, IoResult};
+pub use frame::{crc32, sniff_version, Frame, FrameReader, FrameSink};
+pub use source::{CsvOptions, CsvSource, RowSource, TableChunk, TableSource};

@@ -90,6 +90,13 @@ impl Writer {
         w
     }
 
+    /// Start a bare payload with no header — for content that lives *inside* an
+    /// already-versioned container (e.g. one frame of an `F2WS` v2 stream, whose
+    /// preamble carries the magic and version once for the whole stream).
+    pub fn raw() -> Self {
+        Writer::default()
+    }
+
     /// Append a raw byte.
     pub fn put_u8(&mut self, v: u8) {
         self.buf.push(v);
@@ -155,6 +162,11 @@ impl<'a> Reader<'a> {
             return Err(WireError::WrongKind { expected: kind, got });
         }
         Ok(r)
+    }
+
+    /// Open a bare payload written by [`Writer::raw`] (no magic/version/kind header).
+    pub fn raw(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
     }
 
     /// Bytes not yet consumed.

@@ -102,6 +102,13 @@ fn render(v: &Value) -> String {
     }
 }
 
+/// Parse one CSV field according to an attribute's declared [`DataType`] — the typed
+/// parse shared by [`read_csv`] and the streaming `f2_io::CsvSource`. An empty field
+/// is NULL for every type; a non-empty field that does not fit the type errors.
+pub fn parse_typed_field(field: &str, attr: &crate::Attribute) -> Result<Value> {
+    parse_value(field, attr)
+}
+
 fn parse_value(field: &str, attr: &crate::Attribute) -> Result<Value> {
     if field.is_empty() {
         return Ok(Value::Null);
@@ -145,32 +152,40 @@ fn quote(field: &str) -> String {
     }
 }
 
-fn split_line(line: &str) -> Result<Vec<String>> {
+/// Split one logical CSV/TSV record into unescaped fields: RFC-4180 quoting with a
+/// configurable single-byte delimiter. Shared by [`read_csv`] and the streaming
+/// `f2_io::CsvSource`. Strict on malformed quoting: a quote may only *open* at the
+/// start of a field — silently entering quote mode mid-field would swallow the rest
+/// of the record (and, for multi-line parsers, following rows) into one cell — and
+/// an unterminated quote errors.
+pub fn split_record(raw: &str, delimiter: u8) -> Result<Vec<String>> {
+    let delimiter = delimiter as char;
     let mut fields = Vec::new();
     let mut cur = String::new();
-    let mut chars = line.chars().peekable();
+    let mut chars = raw.chars().peekable();
     let mut in_quotes = false;
     while let Some(c) = chars.next() {
         if in_quotes {
             match c {
-                '"' => {
-                    if chars.peek() == Some(&'"') {
-                        cur.push('"');
-                        chars.next();
-                    } else {
-                        in_quotes = false;
-                    }
+                '"' if chars.peek() == Some(&'"') => {
+                    cur.push('"');
+                    chars.next();
                 }
+                '"' => in_quotes = false,
                 _ => cur.push(c),
             }
+        } else if c == '"' {
+            if !cur.is_empty() {
+                return Err(RelationError::Csv(format!(
+                    "quote in unquoted field after `{cur}` (quote the whole field, or escape \
+                     the quote by doubling it inside a quoted field)"
+                )));
+            }
+            in_quotes = true;
+        } else if c == delimiter {
+            fields.push(std::mem::take(&mut cur));
         } else {
-            match c {
-                '"' => in_quotes = true,
-                ',' => {
-                    fields.push(std::mem::take(&mut cur));
-                }
-                _ => cur.push(c),
-            }
+            cur.push(c);
         }
     }
     if in_quotes {
@@ -178,6 +193,10 @@ fn split_line(line: &str) -> Result<Vec<String>> {
     }
     fields.push(cur);
     Ok(fields)
+}
+
+fn split_line(line: &str) -> Result<Vec<String>> {
+    split_record(line, b',')
 }
 
 #[cfg(test)]

@@ -7,20 +7,76 @@
 //! 64-bit finaliser — deterministic across runs and platforms, which the
 //! seed-reproducibility guarantees of the pipeline rely on.
 //!
-//! **Trade-off:** unlike SipHash this recipe is keyless, so a party who controls the
-//! *plaintext table contents* can craft values that collide in the dictionary-build
-//! and fresh-value maps and degrade them toward O(n²) probing (a slowdown, never a
-//! correctness issue). That is accepted for this research codebase and recorded in
-//! ROADMAP.md's debt list; a deployment facing hostile data should swap the
-//! `BuildHasherDefault` for a keyed hasher. Public API types (frequency histograms,
-//! `all_values`) keep `std`'s default hasher.
+//! **Keying:** the fold itself is the keyless FxHash recipe, but every
+//! [`FastHasher`] starts from a **per-process random key** ([`process_hash_seed`],
+//! drawn once from `std`'s ambient `RandomState` entropy), so a party who controls
+//! the *plaintext table contents* cannot precompute values that collide in the
+//! dictionary-build and fresh-value maps and degrade them toward O(n²) probing.
+//! Nothing observable depends on the key: every map keyed through this hasher is
+//! either a pure membership/lookup structure or has its output canonically re-sorted
+//! (dictionary ids are reassigned in value order, partition classes are sorted), so
+//! pipelines stay byte-identical across processes with different keys — which the
+//! golden-digest tests in `crates/core/tests/interned_plan_equiv.rs` pin down.
+//! Deterministic runs (differential fuzzing, hash-sensitive benchmarks) can pin the
+//! key with [`fix_hash_seed`] or the `F2_HASH_SEED` environment variable before the
+//! first map is built. Public API types (frequency histograms, `all_values`) keep
+//! `std`'s default hasher.
+//!
+//! (`f2_crypto::entropy_seed` would be the natural seed source, but `f2_crypto`
+//! depends on this crate, so the seed is drawn from the same ambient entropy via
+//! `std`'s `RandomState` instead.)
 
 use std::collections::{HashMap, HashSet};
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::{BuildHasher, BuildHasherDefault, Hasher};
+use std::sync::OnceLock;
 
-/// FxHash-style streaming hasher with a splitmix64 finaliser.
-#[derive(Debug, Default, Clone)]
+/// The process-wide hash key, initialised on first use.
+static HASH_SEED: OnceLock<u64> = OnceLock::new();
+
+/// The per-process random key every [`FastHasher`] starts from.
+///
+/// Resolution order, decided once on first call: the value pinned by
+/// [`fix_hash_seed`] (if it won the race), else the `F2_HASH_SEED` environment
+/// variable (decimal or `0x`-prefixed hex), else fresh ambient entropy.
+pub fn process_hash_seed() -> u64 {
+    *HASH_SEED.get_or_init(|| {
+        if let Ok(raw) = std::env::var("F2_HASH_SEED") {
+            let raw = raw.trim();
+            let parsed = match raw.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => raw.parse().ok(),
+            };
+            // The variable exists to *pin* determinism; silently falling back to
+            // random entropy on a typo would defeat exactly that, so fail loudly.
+            return parsed.unwrap_or_else(|| {
+                panic!("F2_HASH_SEED must be a decimal or 0x-prefixed hex u64, got `{raw}`")
+            });
+        }
+        // Two independently keyed SipHash states: ambient entropy without an
+        // f2_crypto dependency (which would be circular — crypto builds on this
+        // crate).
+        let s = std::collections::hash_map::RandomState::new();
+        let t = std::collections::hash_map::RandomState::new();
+        s.hash_one(0x5eed_u64) ^ t.hash_one(0xf00d_u64).rotate_left(32)
+    })
+}
+
+/// Pin the process hash key (for deterministic test runs). Returns `false` if the
+/// key was already fixed — by an earlier call, the `F2_HASH_SEED` variable, or a map
+/// built before this call — and the requested value lost the race.
+pub fn fix_hash_seed(seed: u64) -> bool {
+    HASH_SEED.set(seed).is_ok() || process_hash_seed() == seed
+}
+
+/// FxHash-style streaming hasher with a splitmix64 finaliser, keyed per process.
+#[derive(Debug, Clone)]
 pub struct FastHasher(u64);
+
+impl Default for FastHasher {
+    fn default() -> Self {
+        FastHasher(process_hash_seed())
+    }
+}
 
 /// Rotate-xor-multiply fold (the rustc FxHash recipe).
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
@@ -107,6 +163,26 @@ mod tests {
         };
         assert_eq!(hash(42), hash(42));
         assert_ne!(hash(42), hash(43));
+    }
+
+    #[test]
+    fn hasher_is_keyed_by_the_process_seed() {
+        // Two hashers in one process share the key …
+        let (a, b) = (FastHasher::default(), FastHasher::default());
+        assert_eq!(a.0, b.0);
+        // … and an explicitly different key changes the digest of the same input.
+        let digest = |seed: u64, v: u64| {
+            let mut h = FastHasher(seed);
+            h.write_u64(v);
+            h.finish()
+        };
+        let seed = process_hash_seed();
+        assert_ne!(digest(seed, 42), digest(seed ^ 1, 42));
+        // fix_hash_seed after first use reports whether the value matches the one in
+        // effect (the seed itself can no longer change).
+        assert!(fix_hash_seed(seed));
+        assert!(!fix_hash_seed(seed ^ 1));
+        assert_eq!(process_hash_seed(), seed);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod schema;
 pub mod stats;
 pub mod table;
 pub mod value;
+pub mod view;
 
 pub use attrset::AttrSet;
 pub use builder::TableBuilder;
@@ -61,6 +62,7 @@ pub use schema::{Attribute, DataType, Schema};
 pub use stats::{AttributeStats, TableStats};
 pub use table::{RowId, Table};
 pub use value::Value;
+pub use view::TableView;
 
 /// Convenient `Result` alias used throughout the relational substrate.
 pub type Result<T> = std::result::Result<T, RelationError>;

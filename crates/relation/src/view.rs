@@ -1,0 +1,237 @@
+//! Borrowed row-range views over a [`Table`] — the zero-copy chunk substrate of the
+//! streaming engine.
+//!
+//! The engine shards a table into row-range chunks. Before this module existed every
+//! chunk was a cloned sub-`Table` (`rows[range].to_vec()`), and every chunk rebuilt
+//! its own [`ColumnarIndex`] from scratch — one `Value` hash per cell per chunk. A
+//! [`TableView`] removes both costs:
+//!
+//! * the rows are a **borrowed slice** of the parent's records — no clone at all for
+//!   consumers that iterate rows (the cell-wise encryption backends);
+//! * the view's columnar index is **derived from the parent's** by pure integer work
+//!   ([`TableView::derived_columnar`]): the parent's `row → id` arrays are sliced to
+//!   the range and compacted to dense local ids. Because parent ids are assigned in
+//!   ascending [`Value`] order, ascending *parent* ids restricted to the range are
+//!   ascending *local* values too, so the compacted dictionary satisfies every
+//!   invariant of a fresh [`ColumnarIndex::build`] — verified structurally by
+//!   `derived_columnar_matches_fresh_build` below and property-tested in
+//!   `crates/relation/tests/interned_equiv.rs`.
+//!
+//! Consumers that genuinely need an owned `Table` (the F² encryptor pipeline, whose
+//! planning layers take `&Table`) call [`TableView::to_table`], which clones the
+//! range's records but pre-seeds the new table's columnar cache with the derived
+//! index — the per-chunk dictionary rebuild is gone even on that path.
+
+use crate::columnar::{ColumnDictionary, ColumnarIndex};
+use crate::{Record, RelationError, Result, RowId, Schema, Table, Value};
+use std::ops::Range;
+
+/// A borrowed, immutable view of a contiguous row range of a [`Table`].
+///
+/// Views are cheap to create and clone (a reference plus a range); they never
+/// outlive or mutate their parent. Row ids are **view-local**: row `0` of the view
+/// is row `range.start` of the parent.
+#[derive(Debug, Clone)]
+pub struct TableView<'a> {
+    table: &'a Table,
+    range: Range<usize>,
+}
+
+impl Table {
+    /// A borrowed view of the row range `range`, validated against the table bounds.
+    pub fn view(&self, range: Range<usize>) -> Result<TableView<'_>> {
+        if range.start > range.end || range.end > self.row_count() {
+            return Err(RelationError::RowOutOfRange {
+                row: range.end.max(range.start),
+                rows: self.row_count(),
+            });
+        }
+        Ok(TableView { table: self, range })
+    }
+
+    /// A view covering the whole table.
+    pub fn as_view(&self) -> TableView<'_> {
+        TableView { table: self, range: 0..self.row_count() }
+    }
+}
+
+impl<'a> TableView<'a> {
+    /// The parent table this view borrows from.
+    pub fn parent(&self) -> &'a Table {
+        self.table
+    }
+
+    /// The parent row range the view covers.
+    pub fn parent_range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// The (parent's) schema.
+    pub fn schema(&self) -> &'a Schema {
+        self.table.schema()
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.table.arity()
+    }
+
+    /// Number of rows in the view.
+    pub fn row_count(&self) -> usize {
+        self.range.len()
+    }
+
+    /// True if the view covers no rows.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// The viewed rows, as a borrowed slice of the parent's records.
+    pub fn rows(&self) -> &'a [Record] {
+        &self.table.rows()[self.range.clone()]
+    }
+
+    /// Iterate over `(view-local RowId, &Record)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &'a Record)> {
+        self.rows().iter().enumerate()
+    }
+
+    /// Access a row by view-local id.
+    pub fn row(&self, id: RowId) -> Result<&'a Record> {
+        self.rows().get(id).ok_or(RelationError::RowOutOfRange { row: id, rows: self.row_count() })
+    }
+
+    /// Access a single cell by view-local row id.
+    pub fn cell(&self, row: RowId, attr: usize) -> Result<&'a Value> {
+        let r = self.row(row)?;
+        r.get(attr)
+            .ok_or(RelationError::AttributeIndexOutOfRange { index: attr, arity: self.arity() })
+    }
+
+    /// Total serialized size of the viewed rows in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.rows().iter().map(Record::size_bytes).sum()
+    }
+
+    /// Derive the view's [`ColumnarIndex`] from the parent's cached one: per column,
+    /// slice the parent's `row → id` array to the range and compact the ids that
+    /// actually occur to dense local ids (in ascending parent-id order, which *is*
+    /// ascending value order). No `Value` is hashed; the only value clones are the
+    /// distinct values present in the range, and the work is O(rows·log rows) *per
+    /// chunk* — independent of the parent's cardinality, so a unique-ID column over
+    /// millions of rows costs each chunk only its own slice. Builds the parent's
+    /// index first if it does not exist yet — that build is then shared by every
+    /// other view.
+    pub fn derived_columnar(&self) -> ColumnarIndex {
+        let parent = self.table.columnar();
+        let columns = (0..self.arity())
+            .map(|a| {
+                let col = parent.column(a);
+                let parent_ids = &col.ids()[self.range.clone()];
+                // The distinct parent ids of the range, ascending — ascending parent
+                // ids are ascending values, so positions in this list are exactly
+                // the dense, value-sorted local ids.
+                let mut distinct: Vec<u32> = parent_ids.to_vec();
+                distinct.sort_unstable();
+                distinct.dedup();
+                let values = distinct.iter().map(|&id| col.value_of(id).clone()).collect();
+                let ids = parent_ids
+                    .iter()
+                    .map(|&id| distinct.binary_search(&id).expect("id was collected above") as u32)
+                    .collect();
+                ColumnDictionary::from_parts(values, ids)
+            })
+            .collect();
+        ColumnarIndex::from_columns(columns, self.row_count())
+    }
+
+    /// Materialise the view as an owned [`Table`], cloning the range's records but
+    /// pre-seeding the table's columnar cache with [`TableView::derived_columnar`] —
+    /// the chunk never rebuilds its dictionaries from scratch.
+    pub fn to_table(&self) -> Table {
+        Table::from_parts_with_columns(
+            self.schema().clone(),
+            self.rows().to_vec(),
+            self.derived_columnar(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{record, AttrSet};
+
+    fn sample() -> Table {
+        let schema = Schema::from_names(["A", "B"]).unwrap();
+        Table::new(
+            schema,
+            vec![
+                record!["a2", "b1"],
+                record!["a1", "b2"],
+                record!["a1", "b1"],
+                record!["a3", "b2"],
+                record!["a1", "b1"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn view_bounds_are_validated() {
+        let t = sample();
+        assert!(t.view(0..5).is_ok());
+        assert!(t.view(2..2).is_ok());
+        assert!(t.view(0..6).is_err());
+        #[allow(clippy::reversed_empty_ranges)]
+        let reversed = t.view(3..1);
+        assert!(reversed.is_err());
+    }
+
+    #[test]
+    fn view_exposes_the_range() {
+        let t = sample();
+        let v = t.view(1..4).unwrap();
+        assert_eq!(v.row_count(), 3);
+        assert_eq!(v.arity(), 2);
+        assert_eq!(v.cell(0, 0).unwrap(), &Value::text("a1"));
+        assert_eq!(v.cell(2, 1).unwrap(), &Value::text("b2"));
+        assert!(v.cell(3, 0).is_err());
+        assert!(v.cell(0, 2).is_err());
+        assert_eq!(v.rows().len(), 3);
+        assert_eq!(v.iter().count(), 3);
+        assert_eq!(v.parent_range(), 1..4);
+        assert_eq!(t.as_view().row_count(), t.row_count());
+        assert_eq!(v.size_bytes(), v.to_table().size_bytes());
+    }
+
+    #[test]
+    fn derived_columnar_matches_fresh_build() {
+        let t = sample();
+        for range in [0..5, 1..4, 2..2, 0..1, 3..5] {
+            let view = t.view(range.clone()).unwrap();
+            let derived = view.derived_columnar();
+            let fresh = ColumnarIndex::build(
+                &Table::new(t.schema().clone(), view.rows().to_vec()).unwrap(),
+            );
+            assert_eq!(derived.row_count(), fresh.row_count(), "{range:?}");
+            for a in 0..t.arity() {
+                assert_eq!(derived.column(a).values(), fresh.column(a).values(), "{range:?}/{a}");
+                assert_eq!(derived.column(a).ids(), fresh.column(a).ids(), "{range:?}/{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn to_table_equals_cloned_subtable_and_partitions_agree() {
+        let t = sample();
+        let view = t.view(1..5).unwrap();
+        let materialised = view.to_table();
+        let cloned = Table::new(t.schema().clone(), t.rows()[1..5].to_vec()).unwrap();
+        assert_eq!(materialised, cloned);
+        // The pre-seeded index answers partition queries identically to a fresh one.
+        for attrs in [AttrSet::single(0), AttrSet::single(1), AttrSet::from_indices([0, 1])] {
+            assert_eq!(materialised.partition(attrs).classes(), cloned.partition(attrs).classes());
+        }
+    }
+}

@@ -167,4 +167,35 @@ proptest! {
             prop_assert_eq!(table.distinct_count(a), col.len());
         }
     }
+
+    #[test]
+    fn view_derived_columnar_matches_fresh_build(
+        arity in 1usize..=4,
+        cells in vec(0u8..=255, 0..120),
+        lo_per_mille in 0u64..=1000,
+        hi_per_mille in 0u64..=1000,
+        mask in 0u64..=u64::MAX,
+    ) {
+        // A view's dictionaries are *derived* from the parent's by integer
+        // compaction; they must be indistinguishable from dictionaries built from
+        // scratch over the materialised sub-table — and so must every partition
+        // computed through them.
+        let table = table_from(arity, cells);
+        let n = table.row_count() as u64;
+        let (a, b) = (lo_per_mille * n / 1000, hi_per_mille * n / 1000);
+        let range = (a.min(b) as usize)..(a.max(b) as usize);
+        let view = table.view(range.clone()).expect("range in bounds");
+        let materialised = view.to_table(); // carries the derived index
+        let standalone =
+            Table::new(table.schema().clone(), table.rows()[range].to_vec()).expect("sub-table");
+        prop_assert_eq!(&materialised, &standalone);
+        let (derived, fresh) = (materialised.columnar(), standalone.columnar());
+        for attr in 0..table.arity() {
+            prop_assert_eq!(derived.column(attr).values(), fresh.column(attr).values());
+            prop_assert_eq!(derived.column(attr).ids(), fresh.column(attr).ids());
+        }
+        let attrs = attrs_for(&materialised, mask);
+        let (p, q) = (materialised.partition(attrs), standalone.partition(attrs));
+        prop_assert_eq!(p.classes(), q.classes());
+    }
 }

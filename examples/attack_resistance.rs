@@ -5,12 +5,20 @@
 //! F² — and both are attacked through the *same* backend-agnostic experiment harness
 //! with the frequency-matching adversary and the Kerckhoffs 4-step adversary of §4.2.
 //!
+//! The second half measures **cross-chunk leakage**: the table is encrypted through
+//! the streaming engine (which runs F² independently per chunk) across the worker
+//! grid, and the adversary plays both the chunk-local and the table-wide game over
+//! each merged outcome (`f2::attack::CrossChunkExperiment`).
+//!
 //! Run with `cargo run --release --example attack_resistance`.
 
-use f2::attack::{Adversary, AttackExperiment, FrequencyAttacker, KerckhoffsAttacker};
+use f2::attack::{
+    Adversary, AttackExperiment, CrossChunkExperiment, FrequencyAttacker, KerckhoffsAttacker,
+};
 use f2::crypto::MasterKey;
-use f2::{DetScheme, Scheme, F2};
+use f2::{DetScheme, Engine, EngineConfig, Scheme, F2};
 use f2_datagen::{OrdersConfig, OrdersGenerator};
+use std::ops::Range;
 
 fn main() {
     let plain =
@@ -54,5 +62,48 @@ fn main() {
     println!(
         "\nF² keeps every adversary at or below α = {alpha} (α-security, Definition 2.1),\n\
          while deterministic encryption surrenders the frequent values immediately."
+    );
+
+    // ── Cross-chunk leakage: α-security across the engine's chunk boundaries ───────
+    // The engine runs F² per chunk, so frequencies are flattened chunk-locally. For
+    // every worker count of the grid, play the adversary in both scopes: restricted
+    // to one chunk (the defended scope) and over the whole merged table.
+    println!("\nCross-chunk α-security over the streaming engine (chunk_rows = 256):");
+    println!(
+        "{:<10} {:>8} {:>16} {:>16} {:>12}",
+        "workers", "chunks", "within-chunk", "cross-chunk", "leakage"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        let engine = Engine::new(EngineConfig { workers, chunk_rows: 256, seed: 55 })
+            .expect("valid engine config");
+        let run = engine.encrypt(&f2, &plain).expect("chunked encryption");
+        let (plain_ranges, output_ranges): (Vec<Range<usize>>, Vec<Range<usize>>) =
+            run.chunks.iter().map(|c| (c.rows.clone(), c.output_rows.clone())).unzip();
+        let mas_sets = &run.outcome.f2_state().expect("F2 outcome").mas_sets;
+        let mas = mas_sets.iter().copied().find(|m| attrs.is_subset_of(*m)).unwrap_or(mas_sets[0]);
+        let exp = CrossChunkExperiment::new(
+            &plain,
+            &f2,
+            &run.outcome,
+            &plain_ranges,
+            &output_ranges,
+            mas,
+        )
+        .expect("chunk ranges tile the tables");
+        let outcome = exp.run(&FrequencyAttacker, 2_000, 9);
+        println!(
+            "{:<10} {:>8} {:>14.1}% {:>14.1}% {:>+11.1}%",
+            workers,
+            exp.chunk_count(),
+            outcome.within_chunk.success_rate() * 100.0,
+            outcome.cross_chunk.success_rate() * 100.0,
+            outcome.boundary_leakage() * 100.0
+        );
+    }
+    println!(
+        "\nPer-chunk flattening composes for single-challenge frequency analysis — both\n\
+         scopes stay at or below α at every worker count (the ciphertext is identical\n\
+         across worker counts by construction). The residual cross-boundary risk is\n\
+         instance linkage; see f2_attack::cross_chunk for the analysis."
     );
 }

@@ -15,9 +15,16 @@
 //!   [`F2Scheme`] (the paper's scheme, built fluently with [`F2::builder`]),
 //!   [`DetScheme`] (deterministic AES), [`ProbScheme`] (per-cell probabilistic
 //!   cipher), and [`PaillierScheme`];
+//! * [`io`] — streaming dataset I/O: [`RowSource`] chunk producers ([`CsvSource`]
+//!   parses CSV/TSV with schema inference in constant memory, [`TableSource`] wraps
+//!   in-memory tables as zero-copy views) and the checksummed, compressed `F2WS` v2
+//!   frame stream ([`io::FrameSink`](f2_io::FrameSink) /
+//!   [`io::FrameReader`](f2_io::FrameReader));
 //! * [`engine`] — the streaming outsourcing layer: [`Engine`] shards a table into
 //!   chunks, encrypts them on parallel workers over any [`ChunkedScheme`] backend with
-//!   per-chunk nonce domains, and reassembles a deterministic outcome; the
+//!   per-chunk nonce domains, and reassembles a deterministic outcome —
+//!   or streams source → encrypted file end to end in bounded memory
+//!   ([`Engine::run_streaming`], `engine::stream::decrypt_streaming`); the
 //!   [`StatefulScheme`] extension persists owner state over the versioned
 //!   `f2_engine::wire` format so decryption can happen in a later process;
 //! * [`attack`] — the frequency-analysis and Kerckhoffs adversaries and the empirical
@@ -97,6 +104,7 @@ pub use f2_crypto as crypto;
 pub use f2_datagen as datagen;
 pub use f2_engine as engine;
 pub use f2_fd as fd;
+pub use f2_io as io;
 pub use f2_relation as relation;
 
 pub use f2_core::{
@@ -104,5 +112,8 @@ pub use f2_core::{
     F2Decryptor, F2Encryptor, F2Error, F2OwnerState, F2Scheme, OwnerState, PaillierFraming,
     PaillierScheme, ProbScheme, Provenance, RowOrigin, Scheme, SchemeOutcome, F2,
 };
-pub use f2_engine::{ChunkRecord, Engine, EngineConfig, EngineOutcome, StatefulScheme};
-pub use f2_relation::{AttrSet, Record, Schema, Table, Value};
+pub use f2_engine::{
+    ChunkRecord, Engine, EngineConfig, EngineOutcome, StatefulScheme, StreamOutcome,
+};
+pub use f2_io::{CsvOptions, CsvSource, RowSource, TableChunk, TableSource};
+pub use f2_relation::{AttrSet, Record, Schema, Table, TableView, Value};
