@@ -1,5 +1,8 @@
 //! # f2-core — the F² frequency-hiding, FD-preserving encryption scheme
 //!
+//! lint: planning — crate-wide: no new `thread_local!` caches (`f2-lint` rule
+//! `thread-local`); scheme state must flow through owner state, not ambient TLS.
+//!
 //! This crate implements the paper's primary contribution (Dong & Wang, ICDE 2017):
 //! an encryption scheme that lets a data owner outsource a relational table to an
 //! honest-but-curious server such that

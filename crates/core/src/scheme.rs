@@ -580,8 +580,9 @@ impl Scheme for DetScheme {
 }
 
 impl ChunkedScheme for DetScheme {
+    // lint: allow(reseed-uses-seed) — deterministic encryption draws no
+    // encryption-time randomness, so there is nothing to reseed
     fn reseeded(&self, _seed: u64) -> Box<dyn ChunkedScheme> {
-        // Deterministic encryption draws no encryption-time randomness.
         Box::new(self.clone())
     }
 

@@ -1,5 +1,8 @@
 //! Owner-state persistence: [`StatefulScheme`] and whole-outcome round-tripping.
 //!
+//! lint: untrusted-input — decoders below parse persisted blobs that may be
+//! corrupt or hostile; the panic-freedom rules are enforced by `f2-lint`.
+//!
 //! A [`SchemeOutcome`](f2_core::SchemeOutcome) carries its owner state behind an
 //! in-process `Box<dyn Any>` — it cannot be cloned, persisted, or shipped anywhere.
 //! This module makes it durable: every backend implements [`StatefulScheme`], whose
@@ -51,7 +54,12 @@ impl StatefulScheme for F2Scheme {
         let state = outcome.f2_state().ok_or_else(|| foreign_outcome(self.name()))?;
         let mut w = Writer::versioned(KIND_F2_STATE);
         put_schema(&mut w, &state.plaintext_schema);
-        w.put_u32(state.mas_sets.len() as u32);
+        let mas_count = u32::try_from(state.mas_sets.len()).map_err(|_| {
+            f2_core::F2Error::UnsupportedInput(
+                "owner state holds more than u32::MAX MAS sets".into(),
+            )
+        })?;
+        w.put_u32(mas_count);
         for mas in &state.mas_sets {
             w.put_u64(mas.bits());
         }
@@ -183,6 +191,7 @@ fn data_type_from_tag(tag: u8) -> WireResult<DataType> {
 }
 
 pub(crate) fn put_schema(w: &mut Writer, schema: &Schema) {
+    // lint: allow(truncating-cast) — arity ≤ 64: attribute sets are 64-bit masks
     w.put_u16(schema.arity() as u16);
     for attr in schema.attributes() {
         w.put_str(&attr.name);
@@ -191,8 +200,9 @@ pub(crate) fn put_schema(w: &mut Writer, schema: &Schema) {
 }
 
 pub(crate) fn take_schema(r: &mut Reader<'_>) -> Result<Schema> {
-    let arity = r.u16()?;
-    let mut attrs = Vec::with_capacity(arity as usize);
+    let arity = usize::from(r.u16()?);
+    // lint: allow(alloc-before-cap) — the u16 arity caps this allocation at 65 535
+    let mut attrs = Vec::with_capacity(arity);
     for _ in 0..arity {
         let name = r.str()?;
         let data_type = data_type_from_tag(r.u8()?)?;
@@ -228,8 +238,10 @@ fn put_provenance(w: &mut Writer, provenance: &Provenance) {
     w.put_usize(patches.len());
     for (original_row, cells) in patches {
         w.put_usize(*original_row);
+        // lint: allow(truncating-cast) — a row patches at most one cell per attribute (≤ 64)
         w.put_u32(cells.len() as u32);
         for &(attr, companion_row) in cells {
+            // lint: allow(truncating-cast) — attr is an index below the arity (≤ 64)
             w.put_u32(attr as u32);
             w.put_usize(companion_row);
         }
@@ -260,7 +272,9 @@ fn take_provenance(r: &mut Reader<'_>) -> Result<Provenance> {
         let cell_count = r.count_u32(12)?; // 4-byte attr + 8-byte row per cell
         let mut cells = Vec::with_capacity(cell_count);
         for _ in 0..cell_count {
-            let attr = r.u32()? as usize;
+            let attr = usize::try_from(r.u32()?).map_err(|_| {
+                WireError::Malformed("attribute index exceeds the platform word size".into())
+            })?;
             let companion_row = r.usize()?;
             cells.push((attr, companion_row));
         }

@@ -1,5 +1,9 @@
 //! The chunked, multi-threaded encryption pipeline.
 //!
+//! lint: chunk-seed-authority — [`chunk_seed`] is defined here; deriving per-chunk
+//! seeds anywhere outside the annotated authority files breaks the nonce-domain
+//! discipline (`f2-lint` rule `chunk-seed-discipline`).
+//!
 //! [`Engine::encrypt`] shards the plaintext table into row-range chunks, hands the
 //! chunks to a pool of scoped worker threads — each driving the caller's
 //! [`ChunkedScheme`] backend through a per-chunk [`ChunkedScheme::reseeded`] clone —

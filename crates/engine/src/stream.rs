@@ -1,6 +1,10 @@
 //! End-to-end streaming encryption: source in, checksummed `F2WS` v2 stream out,
 //! bounded peak memory in between.
 //!
+//! lint: untrusted-input — the stream readers below decode wire-derived frames.
+//! lint: chunk-seed-authority — this module may derive per-chunk seeds via
+//! [`chunk_seed`]; everywhere else must go through the pipeline entry points.
+//!
 //! [`Engine::run_streaming`] is the constant-memory sibling of [`Engine::encrypt`]:
 //! instead of materialising the whole plaintext and the whole ciphertext, it pulls
 //! one chunk at a time from a [`RowSource`], encrypts it with the chunk seed the
@@ -117,7 +121,7 @@ impl Engine {
                     "source produced a {chunk_len}-row chunk (expected 1..={chunk_rows})"
                 )));
             }
-            if index > 0 && chunks[index - 1].rows.len() != chunk_rows {
+            if chunks.last().is_some_and(|prev| prev.rows.len() != chunk_rows) {
                 return Err(F2Error::UnsupportedInput(
                     "source produced a short chunk before the final one \
                      (chunk boundaries would diverge from the in-memory path)"

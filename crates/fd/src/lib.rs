@@ -1,5 +1,8 @@
 //! # f2-fd — functional-dependency and maximal-attribute-set discovery
 //!
+//! lint: planning — crate-wide: no new `thread_local!` caches (`f2-lint` rule
+//! `thread-local`); discovery state must stay plan-scoped and explicit.
+//!
 //! The F² pipeline (Dong & Wang, ICDE 2017) needs two discovery substrates:
 //!
 //! * **MAS discovery** (Step 1, §3.1): find every *maximal attribute set* — a maximal

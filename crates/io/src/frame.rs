@@ -1,6 +1,9 @@
 //! The `F2WS` **v2 stream format**: checksummed, optionally compressed frames
 //! written and read incrementally.
 //!
+//! lint: untrusted-input — this module parses attacker-controllable bytes; the
+//! panic-freedom rules (`no-unwrap`, `slice-index`, …) are enforced by `f2-lint`.
+//!
 //! Version 1 of `F2WS` (see [`crate::wire`]) is a *single blob*: the whole encrypted
 //! outcome is serialized in memory and written at once — fine for owner states,
 //! a dead end for datasets larger than RAM. Version 2 keeps the same 7-byte preamble
@@ -63,6 +66,8 @@ fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
     let table = TABLE.get_or_init(|| {
         let mut table = [0u32; 256];
         for (i, slot) in table.iter_mut().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            // lint: allow(truncating-cast) — enumerate index over a 256-entry table
             let mut crc = i as u32;
             for _ in 0..8 {
                 crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
@@ -71,7 +76,9 @@ fn crc32_update(mut crc: u32, bytes: &[u8]) -> u32 {
         }
         table
     });
+    #[allow(clippy::indexing_slicing)]
     for &b in bytes {
+        // lint: allow(slice-index, truncating-cast) — index masked to 8 bits into a fixed 256-entry table
         crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     crc
@@ -88,11 +95,18 @@ fn frame_crc(header_prefix: &[u8], wire: &[u8]) -> u32 {
     !crc32_update(crc32_update(!0, header_prefix), wire)
 }
 
+/// Widen a header-declared `u32` length to `usize` (fallible only on 16-bit targets).
+fn decoded_len(v: u32) -> IoResult<usize> {
+    usize::try_from(v)
+        .map_err(|_| IoError::Malformed("frame length exceeds the platform word size".into()))
+}
+
 // ── varint-RLE compression ─────────────────────────────────────────────────────────
 
 /// Append a LEB128 varint.
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
+        // lint: allow(truncating-cast) — value masked to 7 bits first
         let byte = (v & 0x7F) as u8;
         v >>= 7;
         if v == 0 {
@@ -133,17 +147,15 @@ pub fn rle_compress(raw: &[u8]) -> Option<Vec<u8>> {
     let mut literal_start = 0usize;
     let mut i = 0usize;
     let flush_literals = |out: &mut Vec<u8>, start: usize, end: usize| {
-        if start < end {
-            put_varint(out, ((end - start) as u64) << 1);
-            out.extend_from_slice(&raw[start..end]);
+        if let Some(chunk) = raw.get(start..end) {
+            if !chunk.is_empty() {
+                put_varint(out, (chunk.len() as u64) << 1);
+                out.extend_from_slice(chunk);
+            }
         }
     };
-    while i < raw.len() {
-        let b = raw[i];
-        let mut run = 1usize;
-        while i + run < raw.len() && raw[i + run] == b {
-            run += 1;
-        }
+    while let Some(&b) = raw.get(i) {
+        let run = 1 + raw.iter().skip(i + 1).take_while(|&&x| x == b).count();
         if run >= MIN_RUN {
             flush_literals(&mut out, literal_start, i);
             put_varint(&mut out, ((run as u64) << 1) | 1);
@@ -211,10 +223,9 @@ pub struct FrameSink<W: Write> {
 impl<W: Write> FrameSink<W> {
     /// Open a stream: writes the preamble.
     pub fn new(mut writer: W) -> IoResult<Self> {
-        let mut preamble = [0u8; 7];
-        preamble[..4].copy_from_slice(&MAGIC);
-        preamble[4..6].copy_from_slice(&STREAM_VERSION.to_le_bytes());
-        preamble[6] = KIND_STREAM;
+        let [m0, m1, m2, m3] = MAGIC;
+        let [v0, v1] = STREAM_VERSION.to_le_bytes();
+        let preamble = [m0, m1, m2, m3, v0, v1, KIND_STREAM];
         writer.write_all(&preamble)?;
         Ok(FrameSink { writer, bytes_written: preamble.len() as u64, frames: 0 })
     }
@@ -255,14 +266,18 @@ impl<W: Write> FrameSink<W> {
     }
 
     fn emit(&mut self, frame_type: u8, flags: u8, wire: &[u8], raw_len: usize) -> IoResult<()> {
+        let encode_len = |len: usize| {
+            u32::try_from(len)
+                .map_err(|_| IoError::Oversized { declared: len, cap: MAX_FRAME_BYTES })
+        };
+        let [w0, w1, w2, w3] = encode_len(wire.len())?.to_le_bytes();
+        let [r0, r1, r2, r3] = encode_len(raw_len)?.to_le_bytes();
+        // The checksum covers the header fields plus the payload, so a flip in *any*
+        // frame byte (not just the payload) is caught.
+        let prefix = [frame_type, flags, w0, w1, w2, w3, r0, r1, r2, r3];
+        let crc = frame_crc(&prefix, wire);
         let mut buf = Vec::with_capacity(FRAME_HEADER_BYTES + wire.len());
-        buf.push(frame_type);
-        buf.push(flags);
-        buf.extend_from_slice(&(wire.len() as u32).to_le_bytes());
-        buf.extend_from_slice(&(raw_len as u32).to_le_bytes());
-        // The checksum covers the header fields written so far plus the payload, so
-        // a flip in *any* frame byte (not just the payload) is caught.
-        let crc = frame_crc(&buf[..FRAME_HEADER_BYTES - 4], wire);
+        buf.extend_from_slice(&prefix);
         buf.extend_from_slice(&crc.to_le_bytes());
         buf.extend_from_slice(wire);
         self.writer.write_all(&buf)?;
@@ -300,17 +315,17 @@ impl<R: Read> FrameReader<R> {
         reader
             .read_exact(&mut preamble)
             .map_err(|_| IoError::Truncated("stream shorter than the F2WS preamble".into()))?;
-        if preamble[..4] != MAGIC {
+        let [m0, m1, m2, m3, v0, v1, kind] = preamble;
+        if [m0, m1, m2, m3] != MAGIC {
             return Err(IoError::BadMagic);
         }
-        let version = u16::from_le_bytes([preamble[4], preamble[5]]);
+        let version = u16::from_le_bytes([v0, v1]);
         if version != STREAM_VERSION {
             return Err(IoError::UnsupportedVersion(version));
         }
-        if preamble[6] != KIND_STREAM {
+        if kind != KIND_STREAM {
             return Err(IoError::Malformed(format!(
-                "version-2 payload has kind {}, expected a frame stream ({KIND_STREAM})",
-                preamble[6]
+                "version-2 payload has kind {kind}, expected a frame stream ({KIND_STREAM})"
             )));
         }
         Ok(FrameReader { reader, frame_index: 0, ended: false })
@@ -330,11 +345,10 @@ impl<R: Read> FrameReader<R> {
                 self.frame_index
             ))
         })?;
-        let frame_type = header[0];
-        let flags = header[1];
-        let wire_len = u32::from_le_bytes(header[2..6].try_into().expect("4 bytes")) as usize;
-        let raw_len = u32::from_le_bytes(header[6..10].try_into().expect("4 bytes")) as usize;
-        let stored_crc = u32::from_le_bytes(header[10..14].try_into().expect("4 bytes"));
+        let [frame_type, flags, w0, w1, w2, w3, r0, r1, r2, r3, c0, c1, c2, c3] = header;
+        let wire_len = decoded_len(u32::from_le_bytes([w0, w1, w2, w3]))?;
+        let raw_len = decoded_len(u32::from_le_bytes([r0, r1, r2, r3]))?;
+        let stored_crc = u32::from_le_bytes([c0, c1, c2, c3]);
         if wire_len > MAX_FRAME_BYTES || raw_len > MAX_FRAME_BYTES {
             return Err(IoError::Oversized {
                 declared: wire_len.max(raw_len),
@@ -348,7 +362,8 @@ impl<R: Read> FrameReader<R> {
                 self.frame_index
             ))
         })?;
-        let computed = frame_crc(&header[..FRAME_HEADER_BYTES - 4], &wire);
+        let prefix = [frame_type, flags, w0, w1, w2, w3, r0, r1, r2, r3];
+        let computed = frame_crc(&prefix, &wire);
         if computed != stored_crc {
             return Err(IoError::Checksum {
                 frame: self.frame_index,
@@ -387,13 +402,13 @@ impl<R: Read> FrameReader<R> {
 /// single blobs, `2` for frame streams. This is the dispatch point for readers that
 /// accept both formats.
 pub fn sniff_version(bytes: &[u8]) -> IoResult<u16> {
-    if bytes.len() < 6 {
+    let &[m0, m1, m2, m3, v0, v1, ..] = bytes else {
         return Err(IoError::Truncated("buffer shorter than the F2WS preamble".into()));
-    }
-    if bytes[..4] != MAGIC {
+    };
+    if [m0, m1, m2, m3] != MAGIC {
         return Err(IoError::BadMagic);
     }
-    Ok(u16::from_le_bytes([bytes[4], bytes[5]]))
+    Ok(u16::from_le_bytes([v0, v1]))
 }
 
 #[cfg(test)]

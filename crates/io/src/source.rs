@@ -1,5 +1,8 @@
 //! Constant-memory row sources: where plaintext chunks come from.
 //!
+//! lint: untrusted-input — CSV and table inputs arrive from outside the trust
+//! boundary; the panic-freedom rules are enforced by `f2-lint`.
+//!
 //! The streaming engine pulls its input through the [`RowSource`] trait: a schema
 //! plus a `next_chunk(max_rows)` pump. A source never needs to hold more than one
 //! chunk of parsed rows, so encrypting a dataset much larger than RAM is bounded by
@@ -105,7 +108,10 @@ impl RowSource for TableSource<'_> {
             return Ok(None);
         }
         let end = (self.cursor + max_rows).min(self.table.row_count());
-        let view = self.table.view(self.cursor..end).expect("cursor stays in bounds");
+        let view = self
+            .table
+            .view(self.cursor..end)
+            .map_err(|e| IoError::Malformed(format!("table chunk range out of bounds: {e}")))?;
         self.cursor = end;
         Ok(Some(TableChunk::Borrowed(view)))
     }
@@ -155,6 +161,9 @@ pub struct CsvSource<R: BufRead> {
     schema: Schema,
     /// Rows consumed during schema inference, served before fresh parsing resumes.
     buffered: VecDeque<Record>,
+    /// Whether the schema's types were inferred from a sample (vs declared by the
+    /// caller) — decides how a type mismatch on a later row is explained.
+    inferred_types: bool,
     /// 1-based line of the most recently *started* record (header = line 1).
     line: u64,
     exhausted: bool,
@@ -178,10 +187,12 @@ impl<R: BufRead> CsvSource<R> {
         let mut source = CsvSource {
             reader,
             delimiter,
-            schema: Schema::new(vec![]).expect("empty schema is valid"),
+            schema: Schema::new(vec![])
+                .map_err(|e| IoError::Malformed(format!("empty schema rejected: {e}")))?,
             buffered: VecDeque::new(),
             line: 0,
             exhausted: false,
+            inferred_types: options.schema.is_none(),
         };
         let (_, header) = source
             .read_raw_record(false)?
@@ -235,10 +246,13 @@ impl<R: BufRead> CsvSource<R> {
             }
             sample.push((line, fields));
         }
-        let attrs = (0..arity)
-            .map(|a| {
-                let column = sample.iter().map(|(_, fields)| fields[a].as_str());
-                Attribute::new(header[a].clone(), infer_type(column))
+        let attrs = header
+            .into_iter()
+            .enumerate()
+            .map(|(a, name)| {
+                let column =
+                    sample.iter().map(|(_, fields)| fields.get(a).map_or("", String::as_str));
+                Attribute::new(name, infer_type(column))
             })
             .collect();
         self.schema = Schema::new(attrs)
@@ -281,7 +295,7 @@ impl<R: BufRead> CsvSource<R> {
                 }
                 self.line += 1;
                 trim_newline(&mut raw);
-                odd_quotes ^= quotes_in(&raw[appended_from.min(raw.len())..]) % 2 == 1;
+                odd_quotes ^= quotes_in(raw.get(appended_from..).unwrap_or("")) % 2 == 1;
             }
             if raw.is_empty() && skip_blank {
                 // A blank line cannot be a row of a multi-column table.
@@ -304,15 +318,22 @@ impl<R: BufRead> CsvSource<R> {
             return Err(arity_error(line, fields.len(), self.schema.arity()));
         }
         let mut values = Vec::with_capacity(fields.len());
-        for (a, field) in fields.iter().enumerate() {
-            let attr = self.schema.attribute(a).expect("arity checked");
-            values.push(parse_typed_field(field, attr).map_err(|e| IoError::Csv {
-                line,
-                message: format!(
-                    "{e} (inferred/declared type of `{}` is {:?}; pass an explicit schema to \
-                     override)",
-                    attr.name, attr.data_type
-                ),
+        for (field, attr) in fields.iter().zip(self.schema.attributes()) {
+            values.push(parse_typed_field(field, attr).map_err(|e| {
+                let remedy = if self.inferred_types {
+                    format!(
+                        "{:?} was inferred for column `{}` from the first {} rows and the row \
+                         on line {line} contradicts it; pass an explicit schema \
+                         (`CsvOptions::with_schema`) to override the inference",
+                        attr.data_type, attr.name, INFERENCE_SAMPLE_ROWS
+                    )
+                } else {
+                    format!(
+                        "column `{}` is declared {:?} by the explicit schema",
+                        attr.name, attr.data_type
+                    )
+                };
+                IoError::Csv { line, message: format!("{e} ({remedy})") }
             })?);
         }
         Ok(Record::new(values))
@@ -363,7 +384,7 @@ impl<R: BufRead> RowSource for CsvSource<R> {
             return Ok(None);
         }
         let table = Table::new(self.schema.clone(), records)
-            .expect("parsed records match the source schema");
+            .map_err(|e| IoError::Malformed(format!("chunk assembly failed: {e}")))?;
         Ok(Some(TableChunk::Owned(table)))
     }
 }
@@ -550,7 +571,16 @@ mod tests {
             }
         };
         assert!(matches!(err, IoError::Csv { line: 302, .. }), "{err}");
+        // The contradiction names the column, the inferred type, and the remedy.
+        assert!(err.to_string().contains("Int was inferred for column `A`"), "{err}");
         assert!(err.to_string().contains("explicit schema"), "{err}");
+        // A declared schema reports "declared", not "inferred".
+        let schema = Schema::new(vec![Attribute::new("A", DataType::Int)]).unwrap();
+        let err = CsvSource::new("A\nx\n".as_bytes(), CsvOptions::csv().with_schema(schema))
+            .unwrap()
+            .next_chunk(8)
+            .unwrap_err();
+        assert!(err.to_string().contains("declared Int by the explicit schema"), "{err}");
         // Empty input and unterminated quotes error cleanly.
         assert!(CsvSource::new("".as_bytes(), CsvOptions::csv()).is_err());
         let err = CsvSource::new("A\n\"open\n".as_bytes(), CsvOptions::csv()).unwrap_err();

@@ -1,5 +1,9 @@
 //! The `F2WS` wire format: versioned, length-prefixed binary encoding.
 //!
+//! lint: untrusted-input — every byte this module decodes may come from a corrupt
+//! or adversarial blob; `f2-lint` forbids panics, raw indexing, and truncating
+//! casts here.
+//!
 //! Every persisted artifact (owner states, encrypted tables, whole outcomes) starts
 //! with the 4-byte magic `F2WS`, a little-endian `u16` format version, and a one-byte
 //! *kind* tag identifying the payload. All integers are little-endian; variable-length
@@ -124,6 +128,8 @@ impl Writer {
 
     /// Append a `u32`-length-prefixed byte string.
     pub fn put_bytes(&mut self, bytes: &[u8]) {
+        // lint: allow(no-unwrap) — encoder-side invariant: no producer in the
+        // workspace builds a single cell anywhere near 4 GiB
         self.put_u32(u32::try_from(bytes.len()).expect("payload under 4 GiB"));
         self.buf.extend_from_slice(bytes);
     }
@@ -176,32 +182,37 @@ impl<'a> Reader<'a> {
 
     /// Take the next `n` raw bytes.
     pub fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
-        if n > self.remaining() {
-            return Err(WireError::Truncated { needed: n, remaining: self.remaining() });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let truncated = WireError::Truncated { needed: n, remaining: self.remaining() };
+        let end = self.pos.checked_add(n).ok_or_else(|| truncated.clone())?;
+        let slice = self.buf.get(self.pos..end).ok_or(truncated)?;
+        self.pos = end;
         Ok(slice)
+    }
+
+    /// Take the next `N` bytes as a fixed-size array.
+    fn array<const N: usize>(&mut self) -> WireResult<[u8; N]> {
+        self.take(N)?.try_into().map_err(|_| WireError::Truncated { needed: N, remaining: 0 })
     }
 
     /// Read a raw byte.
     pub fn u8(&mut self) -> WireResult<u8> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
 
     /// Read a little-endian `u16`.
     pub fn u16(&mut self) -> WireResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> WireResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     /// Read a little-endian `u64`.
     pub fn u64(&mut self) -> WireResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// Read a `u64` and convert it to `usize`.
@@ -215,7 +226,7 @@ impl<'a> Reader<'a> {
     /// through this (or [`Reader::count_u64`]) so that a corrupt count errors instead
     /// of requesting a multi-gigabyte `Vec`.
     pub fn count_u32(&mut self, min_elem_bytes: usize) -> WireResult<usize> {
-        let count = self.u32()? as usize;
+        let count = self.u32_len()?;
         self.check_count(count, min_elem_bytes)
     }
 
@@ -233,10 +244,16 @@ impl<'a> Reader<'a> {
         Ok(count)
     }
 
+    /// Read a `u32` and widen it to `usize`.
+    fn u32_len(&mut self) -> WireResult<usize> {
+        usize::try_from(self.u32()?)
+            .map_err(|_| WireError::Malformed("length exceeds the platform word size".into()))
+    }
+
     /// Read a `u32`-length-prefixed byte string. The length is validated against the
     /// remaining input before any slice is taken.
     pub fn bytes(&mut self) -> WireResult<&'a [u8]> {
-        let len = self.u32()? as usize;
+        let len = self.u32_len()?;
         self.take(len)
     }
 

@@ -123,6 +123,28 @@ proptest! {
     }
 
     #[test]
+    fn arbitrary_bytes_never_panic_the_csv_source(
+        bytes in vec(0u8..=255, 0..400),
+        chunk_rows in 1usize..5,
+    ) {
+        // Invalid UTF-8, stray quotes, ragged rows: construction and pulling may
+        // error (and a caller may keep pulling after an error) but never panic.
+        if let Ok(mut source) = CsvSource::new(bytes.as_slice(), CsvOptions::csv()) {
+            let mut errors = 0;
+            for _ in 0..64 {
+                match source.next_chunk(chunk_rows) {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => {
+                        errors += 1;
+                        if errors > 8 { break; }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn truncated_documents_error_not_panic(
         cells in vec(text_value(), 4..40),
         cut_per_mille in 0u64..1000,

@@ -59,6 +59,24 @@ proptest! {
     }
 
     #[test]
+    fn arbitrary_bytes_never_panic_the_reader(bytes in vec(0u8..=255, 0..512)) {
+        // Byte soup must surface as an `IoError`, never a panic — in the version
+        // sniffer and in the full frame reader alike.
+        let _ = f2_io::sniff_version(&bytes);
+        let _ = read_stream(&bytes);
+    }
+
+    #[test]
+    fn garbage_after_a_valid_preamble_errors_not_panics(bytes in vec(0u8..=255, 0..256)) {
+        // Get past the magic/version checks so the garbage lands on the frame
+        // header and payload parsing itself.
+        let mut stream = write_stream(&[]);
+        stream.truncate(7);
+        stream.extend_from_slice(&bytes);
+        let _ = read_stream(&stream);
+    }
+
+    #[test]
     fn single_bit_flips_are_always_detected(
         frames in vec((1u8..=255, payload()), 1..4),
         position_per_mille in 0u64..1000,

@@ -1,0 +1,150 @@
+//! Workspace walking and per-file orchestration.
+//!
+//! The analyzer discovers source files under `crates/*/src` and the root facade's
+//! `src/`, reads each file once, and runs the full rule set from [`crate::rules`].
+//! Scope annotations are discovered from the files themselves (`lint:
+//! untrusted-input`, `lint: chunk-seed-authority`) with one crate-level extension:
+//! a `lint: planning` annotation in a crate's `lib.rs` applies to every file of
+//! that crate, because the planning-cache rule is about a whole layer, not one
+//! module.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::registry::Registry;
+use crate::rules::{self, CheckResult, FileFlags, Finding};
+use crate::{lexer, scope};
+
+/// Directory names never descended into while walking `src/` trees.
+const SKIP_DIRS: &[&str] = &["target", "tests", "examples", "benches", "fixtures", "vendor"];
+
+/// Workspace-relative path of the committed secret-function registry.
+pub const REGISTRY_PATH: &str = "crates/lint/secret_functions.reg";
+
+/// Result of analyzing the workspace (or one fixture).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by reasoned allow-comments.
+    pub allowed: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Analyze the workspace rooted at `root`. Reads the committed registry, walks
+/// every crate's `src/` tree plus the root facade's `src/`, and returns sorted
+/// findings.
+pub fn analyze(root: &Path) -> Result<Analysis, String> {
+    let registry_file = root.join(REGISTRY_PATH);
+    let registry = if registry_file.is_file() {
+        let text = fs::read_to_string(&registry_file)
+            .map_err(|e| format!("read {}: {e}", registry_file.display()))?;
+        Registry::parse(&text)?
+    } else {
+        Registry::default()
+    };
+
+    let mut crate_srcs: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<PathBuf> = fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.join("src").is_dir())
+            .collect();
+        names.sort();
+        crate_srcs.extend(names.into_iter().map(|p| p.join("src")));
+    }
+    if root.join("src").is_dir() {
+        crate_srcs.push(root.join("src"));
+    }
+
+    let mut analysis = Analysis::default();
+    for src in crate_srcs {
+        // Crate-level planning scope comes from the crate root's annotations.
+        let lib_rs = src.join("lib.rs");
+        let crate_planning = fs::read_to_string(&lib_rs)
+            .map(|text| {
+                let lexed = lexer::lex(&text);
+                rules::scope_flags(&lexed.comments).planning
+            })
+            .unwrap_or(false);
+
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files)?;
+        files.sort();
+        for file in files {
+            let source =
+                fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
+            let label =
+                file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+            let is_crate_root = file == lib_rs;
+            let result = check_one(&label, &source, &registry, crate_planning, is_crate_root);
+            analysis.files_scanned += 1;
+            analysis.allowed += result.allowed;
+            analysis.findings.extend(result.findings);
+        }
+    }
+    analysis
+        .findings
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(analysis)
+}
+
+/// Analyze one source text in isolation — the entry point for fixture tests. The
+/// fixture self-describes its scopes through its own annotation comments; a
+/// `label` ending in `lib.rs` is treated as a crate root.
+pub fn analyze_source(label: &str, source: &str, registry: &Registry) -> CheckResult {
+    check_one(label, source, registry, false, label.ends_with("lib.rs"))
+}
+
+fn check_one(
+    label: &str,
+    source: &str,
+    registry: &Registry,
+    crate_planning: bool,
+    crate_root: bool,
+) -> CheckResult {
+    let lexed = lexer::lex(source);
+    let scopes = scope::scan(&lexed.tokens);
+    let mut flags: FileFlags = rules::scope_flags(&lexed.comments);
+    flags.planning |= crate_planning;
+    flags.crate_root = crate_root;
+    rules::check_file(label, source, &lexed.tokens, &lexed.comments, &scopes, registry, flags)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| format!("walk {}: {e}", dir.display()))?.path();
+        if path.is_dir() {
+            let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+            if name.as_deref().is_some_and(|n| SKIP_DIRS.contains(&n)) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Find the workspace root by walking upward from `start` looking for a
+/// `Cargo.toml` that declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

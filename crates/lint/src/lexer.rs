@@ -1,0 +1,364 @@
+//! A hand-rolled Rust lexer: just enough tokenization for lexical lint rules.
+//!
+//! The analyzer deliberately avoids a full parser (no `syn`, consistent with the
+//! workspace's vendored-shims-only dependency policy): every rule this crate
+//! enforces — forbidden calls, secret-dependent operators, indexing, casts — is
+//! decidable from the token stream plus brace-level scoping. The lexer therefore
+//! produces two artifacts per file:
+//!
+//! * a [`Token`] stream with comments and whitespace stripped (string/char literals
+//!   are single opaque tokens, so their contents can never fake an identifier), and
+//! * the [`Comment`] list, kept separately because comments carry the lint's own
+//!   control annotations (`lint: allow(...)`, scope markers) and must stay
+//!   addressable by line.
+//!
+//! Handled Rust-isms: nested block comments, raw strings (`r#"…"#` with any hash
+//! depth), byte and byte-raw strings, char literals vs lifetimes, numeric literals
+//! with suffixes, and raw identifiers (`r#type`).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`foo`, `fn`, `as`). Raw identifiers (`r#type`)
+    /// arrive without the `r#` prefix.
+    Ident,
+    /// A lifetime (`'a`, `'static`), including the quote.
+    Lifetime,
+    /// A string, raw-string, byte-string, char, or numeric literal (one opaque
+    /// token; the text of string-likes is the raw source slice).
+    Literal,
+    /// A single punctuation character (`{`, `[`, `!`, `?`, …). Multi-character
+    /// operators arrive as consecutive tokens.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (for [`TokenKind::Punct`], exactly one character).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line, block, or doc) with the 1-based line it starts on. The text
+/// excludes the comment markers for line comments and keeps the raw interior for
+/// block comments.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the leading `//`, `///`, `//!` marker (block comments:
+    /// the interior between `/*` and `*/`).
+    pub text: String,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace stripped.
+    pub tokens: Vec<Token>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `source` into tokens and comments. Unterminated constructs (a string or
+/// block comment running to end of input) are tolerated: the lexer consumes to the
+/// end rather than erroring, because lint input is the workspace's own
+/// rustc-accepted code and fixtures.
+pub fn lex(source: &str) -> Lexed {
+    Lexer { chars: source.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line),
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string_literal(line);
+                }
+                'b' if self.peek(1) == Some('r') && matches!(self.peek(2), Some('"' | '#')) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if matches!(self.peek(1), Some('"')) => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2) == Some('"') => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    // Raw identifier r#type: strip the prefix, keep the name.
+                    self.bump();
+                    self.bump();
+                    self.ident(line);
+                }
+                '\'' => self.lifetime_or_char(line),
+                _ if is_ident_start(c) => self.ident(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        // Swallow the doc markers so `/// x` and `//! x` read as ` x`.
+        if matches!(self.peek(0), Some('/' | '!')) {
+            self.bump();
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn string_literal(&mut self, line: u32) {
+        let mut text = String::from('"');
+        self.bump();
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn raw_string(&mut self, line: u32) {
+        // At entry the cursor sits on `#…#"` or `"`. Count the hashes.
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let mut text = String::from('"');
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                let closing = (0..hashes).all(|i| self.peek(i) == Some('#'));
+                if closing {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+
+    fn lifetime_or_char(&mut self, line: u32) {
+        // 'a' / '\n' are char literals; 'a / 'static / '_ are lifetimes. A quote
+        // followed by an escape is always a char; otherwise it is a char iff the
+        // character after the next one closes the quote.
+        let is_char =
+            matches!((self.peek(1), self.peek(2)), (Some('\\'), _) | (Some(_), Some('\'')));
+        if is_char {
+            let mut text = String::from('\'');
+            self.bump();
+            while let Some(c) = self.bump() {
+                text.push(c);
+                match c {
+                    '\\' => {
+                        if let Some(esc) = self.bump() {
+                            text.push(esc);
+                        }
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokenKind::Literal, text, line);
+        } else {
+            let mut text = String::from('\'');
+            self.bump();
+            while self.peek(0).is_some_and(is_ident_continue) {
+                text.push(self.bump().unwrap_or('\0'));
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while self.peek(0).is_some_and(is_ident_continue) {
+            text.push(self.bump().unwrap_or('\0'));
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..len` does not (the range dots are
+                // punctuation) and neither does a method call `1.to_string()`.
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Literal, text, line);
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_identifiers() {
+        let src = r##"
+            // unwrap in a comment
+            /* nested /* unwrap */ still comment */
+            let s = "call .unwrap() here";
+            let r = r#"raw "unwrap" text"#;
+            let b = b"unwrap";
+            let c = 'u';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.iter().any(|i| i == "unwrap"), "{ids:?}");
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'static str { 'x'; '_' }").tokens;
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokenKind::Lifetime).map(|t| &t.text).collect();
+        assert_eq!(lifetimes, ["'a", "'a", "'static"]);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = 1;\nlet b = \"two\nlines\";\nlet c = 3;";
+        let toks = lex(src).tokens;
+        let c_tok = toks.iter().find(|t| t.is_ident("c")).unwrap();
+        assert_eq!(c_tok.line, 4);
+    }
+
+    #[test]
+    fn raw_identifiers_and_numbers() {
+        let toks = lex("let r#type = 0xFF_u64 + 1.5e3; x[0..len]").tokens;
+        assert!(toks.iter().any(|t| t.is_ident("type")));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal && t.text == "0xFF_u64"));
+        // Range dots stay punctuation: `0..len` is three tokens.
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Literal && t.text == "0"));
+        assert!(toks.iter().any(|t| t.is_ident("len")));
+    }
+}

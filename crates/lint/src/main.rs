@@ -1,0 +1,128 @@
+//! `f2-lint` — the CLI wrapper over `f2_lint`.
+//!
+//! Exit codes: `0` clean (or debts all baselined), `1` findings not covered by the
+//! baseline in `--check` mode, `2` usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use f2_lint::{analyze, find_workspace_root, report_json, Baseline};
+
+const BASELINE_FILE: &str = "LINT_baseline.json";
+const REPORT_FILE: &str = "LINT_report.json";
+
+struct Options {
+    check: bool,
+    update_baseline: bool,
+    quiet: bool,
+    root: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: f2-lint [--check] [--update-baseline] [--quiet] [--root <path>]\n\
+     \n\
+     Analyze the F² workspace against the repo lint rules.\n\
+       --check            exit 1 if any finding is not covered by LINT_baseline.json\n\
+       --update-baseline  rewrite LINT_baseline.json to cover current findings\n\
+       --quiet            suppress per-finding diagnostics, print totals only\n\
+       --root <path>      workspace root (default: nearest [workspace] Cargo.toml)"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { check: false, update_baseline: false, quiet: false, root: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--quiet" => opts.quiet = true,
+            "--root" => {
+                let path = args.next().ok_or("--root needs a path")?;
+                opts.root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let opts = parse_args()?;
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no [workspace] Cargo.toml above the current directory")?
+        }
+    };
+
+    let analysis = analyze(&root)?;
+
+    let baseline_path = root.join(BASELINE_FILE);
+    let baseline = if baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+        Baseline::parse(&text)?
+    } else {
+        Baseline::default()
+    };
+    let (covered, fresh) = baseline.partition(&analysis.findings);
+
+    let report =
+        report_json(&analysis.findings, fresh.len(), analysis.files_scanned, analysis.allowed);
+    let report_path = root.join(REPORT_FILE);
+    std::fs::write(&report_path, report)
+        .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+
+    if opts.update_baseline {
+        let new_baseline = Baseline::from_findings(&analysis.findings);
+        std::fs::write(&baseline_path, new_baseline.to_json())
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+    }
+
+    if !opts.quiet {
+        for f in &fresh {
+            println!("error[{}]: {}", f.rule, f.message);
+            println!("  --> {}:{} (in `{}`)", f.file, f.line, f.function);
+            println!("   | {}", f.snippet);
+        }
+    }
+    println!(
+        "f2-lint: {} files, {} findings ({} baselined, {} new), {} allow-suppressed",
+        analysis.files_scanned,
+        analysis.findings.len(),
+        covered.len(),
+        fresh.len(),
+        analysis.allowed,
+    );
+    if opts.update_baseline {
+        println!("f2-lint: baseline rewritten with {} findings", analysis.findings.len());
+    }
+    Ok(fresh.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            let check = std::env::args().any(|a| a == "--check");
+            if check {
+                eprintln!("f2-lint: new findings not covered by {BASELINE_FILE}");
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("f2-lint: {msg}\n\n{}", usage());
+                ExitCode::from(2)
+            }
+        }
+    }
+}

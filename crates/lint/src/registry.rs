@@ -1,0 +1,109 @@
+//! The committed secret-function registry.
+//!
+//! Constant-time rules only make sense relative to a declaration of *which values
+//! are secret where*. That declaration lives in `crates/lint/secret_functions.reg`,
+//! a line-oriented committed file so registry changes show up in review:
+//!
+//! ```text
+//! # comment
+//! crates/crypto/src/montgomery.rs :: pow :: exp
+//! crates/crypto/src/paillier.rs :: decrypt :: p, q, hp, hq
+//! ```
+//!
+//! Each line is `<path-suffix> :: <fn-name> :: <secret idents, comma separated>`.
+//! The path is matched as a suffix of the analyzed file's workspace-relative path,
+//! so the registry survives the repo being checked out anywhere.
+
+/// One registry entry: a function plus the identifiers that hold secrets inside it.
+#[derive(Debug, Clone)]
+pub struct RegistryEntry {
+    /// Workspace-relative path suffix of the file holding the function.
+    pub path_suffix: String,
+    /// The function's name.
+    pub fn_name: String,
+    /// Identifiers seeded as tainted inside the function (parameters, fields,
+    /// locals — anything that holds key material or plaintext-derived state).
+    pub secrets: Vec<String>,
+}
+
+/// The parsed registry.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    /// All entries in file order.
+    pub entries: Vec<RegistryEntry>,
+}
+
+impl Registry {
+    /// Parse the registry file format. Unparseable lines are returned as errors with
+    /// their 1-based line number so a typo fails the lint run loudly instead of
+    /// silently dropping a secret from coverage.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split("::").map(str::trim);
+            let (path, name, secrets) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(p), Some(n), Some(s)) if !p.is_empty() && !n.is_empty() && !s.is_empty() => {
+                    (p, n, s)
+                }
+                _ => {
+                    return Err(format!(
+                        "registry line {}: expected `<path> :: <fn> :: <secrets>`, got `{line}`",
+                        idx + 1
+                    ));
+                }
+            };
+            if parts.next().is_some() {
+                return Err(format!("registry line {}: too many `::` separators", idx + 1));
+            }
+            entries.push(RegistryEntry {
+                path_suffix: path.to_string(),
+                fn_name: name.to_string(),
+                secrets: secrets
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect(),
+            });
+        }
+        Ok(Registry { entries })
+    }
+
+    /// The entry for function `fn_name` in the file at `path` (matched by suffix on
+    /// `/`-normalized paths), if registered.
+    pub fn lookup(&self, path: &str, fn_name: &str) -> Option<&RegistryEntry> {
+        let normalized = path.replace('\\', "/");
+        self.entries
+            .iter()
+            .find(|e| e.fn_name == fn_name && normalized.ends_with(e.path_suffix.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_looks_up_by_suffix() {
+        let reg = Registry::parse(
+            "# secrets\n\ncrates/crypto/src/montgomery.rs :: pow :: exp\n\
+             crates/crypto/src/paillier.rs :: decrypt :: p, q, hp\n",
+        )
+        .unwrap();
+        assert_eq!(reg.entries.len(), 2);
+        let hit = reg.lookup("/work/repo/crates/crypto/src/montgomery.rs", "pow").unwrap();
+        assert_eq!(hit.secrets, ["exp"]);
+        assert!(reg.lookup("/work/repo/crates/crypto/src/montgomery.rs", "mul").is_none());
+        assert!(reg.lookup("crates/io/src/wire.rs", "pow").is_none());
+    }
+
+    #[test]
+    fn bad_lines_error_with_line_number() {
+        let err = Registry::parse("crates/a.rs :: only_two").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+}

@@ -1,0 +1,256 @@
+//! Function and test-region scoping via brace matching.
+//!
+//! Rules need two questions answered per token: *which function is this in?* and
+//! *is it test code?* Both are decidable from the token stream: a function body is
+//! the brace pair following `fn <name> (…)`, and test code is either a `fn` carrying
+//! a `#[test]`-ish attribute or anything inside a `#[cfg(test)] mod … { }` region.
+//! No expression parsing is needed — only balanced-delimiter tracking.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One function's extent in the token stream.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Function name (the identifier after `fn`).
+    pub name: String,
+    /// Token index of the body's opening `{`.
+    pub start: usize,
+    /// Token index of the body's closing `}` (equal to `start` while unclosed).
+    pub end: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword (signature start, for parameter scans).
+    pub sig_start: usize,
+    /// True for `#[test]` functions and functions inside `#[cfg(test)]` modules.
+    pub is_test: bool,
+}
+
+/// All function spans and test regions of one file.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    /// Functions in order of appearance. Nested functions appear after their
+    /// enclosing function.
+    pub functions: Vec<FnSpan>,
+    /// `#[cfg(test)] mod` body extents as `(open_brace_idx, close_brace_idx)`.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl Scopes {
+    /// The innermost function containing token `idx`, if any.
+    pub fn enclosing(&self, idx: usize) -> Option<&FnSpan> {
+        self.functions.iter().rfind(|f| f.start <= idx && idx <= f.end)
+    }
+
+    /// Name of the innermost enclosing function, or `""` at module level.
+    pub fn enclosing_name(&self, idx: usize) -> &str {
+        self.enclosing(idx).map_or("", |f| f.name.as_str())
+    }
+
+    /// True if token `idx` lies in test code (a `#[test]` fn or `#[cfg(test)]` mod).
+    pub fn is_test(&self, idx: usize) -> bool {
+        if self.test_regions.iter().any(|&(s, e)| s <= idx && idx <= e) {
+            return true;
+        }
+        self.enclosing(idx).is_some_and(|f| f.is_test)
+    }
+}
+
+/// Item keywords that consume (and thereby clear) any pending attributes.
+const ITEM_KEYWORDS: &[&str] =
+    &["fn", "mod", "struct", "enum", "impl", "trait", "const", "static", "use", "type"];
+
+/// Compute function spans and test regions for a token stream.
+pub fn scan(tokens: &[Token]) -> Scopes {
+    let mut scopes = Scopes::default();
+    let mut depth: usize = 0;
+    // Attribute state: does a pending `#[…]` contain the ident `test`?
+    let mut pending_test_attr = false;
+    // A `fn` whose body `{` has not been seen yet: (record idx, parens open since).
+    let mut pending_fn: Option<(usize, usize)> = None;
+    // A `#[cfg(test)] mod` awaiting its `{`.
+    let mut pending_test_mod = false;
+    // Open extents: (record index, entry depth). Separate stacks for fns and mods.
+    let mut open_fns: Vec<(usize, usize)> = Vec::new();
+    let mut open_mods: Vec<(usize, usize)> = Vec::new();
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        match tok.kind {
+            TokenKind::Punct if tok.is_punct('#') => {
+                // Attribute: `#[…]` or inner `#![…]`. Scan to the matching `]`.
+                let mut j = i + 1;
+                if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+                    j += 1;
+                }
+                if tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+                    let mut bracket = 0usize;
+                    let mut has_test = false;
+                    while let Some(t) = tokens.get(j) {
+                        if t.is_punct('[') {
+                            bracket += 1;
+                        } else if t.is_punct(']') {
+                            bracket -= 1;
+                            if bracket == 0 {
+                                break;
+                            }
+                        } else if t.is_ident("test") {
+                            has_test = true;
+                        }
+                        j += 1;
+                    }
+                    pending_test_attr |= has_test;
+                    i = j + 1;
+                    continue;
+                }
+            }
+            TokenKind::Ident if tok.text == "fn" => {
+                let name = tokens
+                    .get(i + 1)
+                    .filter(|t| t.kind == TokenKind::Ident)
+                    .map_or_else(String::new, |t| t.text.clone());
+                let in_test_region = !open_mods.is_empty()
+                    || open_fns.iter().any(|&(rec, _)| scopes.functions[rec].is_test);
+                scopes.functions.push(FnSpan {
+                    name,
+                    start: i,
+                    end: i,
+                    line: tok.line,
+                    sig_start: i,
+                    is_test: pending_test_attr || in_test_region,
+                });
+                pending_fn = Some((scopes.functions.len() - 1, 0));
+                pending_test_attr = false;
+                i += 1;
+                continue;
+            }
+            TokenKind::Ident if tok.text == "mod" => {
+                pending_test_mod = pending_test_attr;
+                pending_test_attr = false;
+            }
+            TokenKind::Ident if ITEM_KEYWORDS.contains(&tok.text.as_str()) => {
+                pending_test_attr = false;
+            }
+            TokenKind::Punct => match tok.text.as_str() {
+                "(" => {
+                    if let Some((_, parens)) = pending_fn.as_mut() {
+                        *parens += 1;
+                    }
+                }
+                ")" => {
+                    if let Some((_, parens)) = pending_fn.as_mut() {
+                        *parens = parens.saturating_sub(1);
+                    }
+                }
+                ";" => {
+                    // Trait method declaration or `mod name;` — no body follows.
+                    if pending_fn.is_some_and(|(_, parens)| parens == 0) {
+                        if let Some((rec, _)) = pending_fn.take() {
+                            // A bodyless declaration has no extent; drop the record.
+                            scopes.functions.remove(rec);
+                        }
+                    }
+                    pending_test_mod = false;
+                }
+                "{" => {
+                    if let Some((rec, 0)) = pending_fn {
+                        scopes.functions[rec].start = i;
+                        open_fns.push((rec, depth));
+                        pending_fn = None;
+                    } else if pending_test_mod {
+                        scopes.test_regions.push((i, i));
+                        open_mods.push((scopes.test_regions.len() - 1, depth));
+                        pending_test_mod = false;
+                    }
+                    depth += 1;
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    while open_fns.last().is_some_and(|&(_, d)| d == depth) {
+                        if let Some((rec, _)) = open_fns.pop() {
+                            scopes.functions[rec].end = i;
+                        }
+                    }
+                    while open_mods.last().is_some_and(|&(_, d)| d == depth) {
+                        if let Some((rec, _)) = open_mods.pop() {
+                            scopes.test_regions[rec].1 = i;
+                        }
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    // Close anything left dangling (unterminated input) at end of stream.
+    let last = tokens.len().saturating_sub(1);
+    for (rec, _) in open_fns {
+        scopes.functions[rec].end = last;
+    }
+    for (rec, _) in open_mods {
+        scopes.test_regions[rec].1 = last;
+    }
+    scopes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn scopes_of(src: &str) -> (Vec<crate::lexer::Token>, Scopes) {
+        let lexed = lex(src);
+        let scopes = scan(&lexed.tokens);
+        (lexed.tokens, scopes)
+    }
+
+    #[test]
+    fn fn_extents_and_nesting() {
+        let src = "fn outer() { fn inner() { 1 } inner() }\nfn later() {}";
+        let (tokens, scopes) = scopes_of(src);
+        assert_eq!(scopes.functions.len(), 3);
+        let one = tokens.iter().position(|t| t.text == "1").unwrap();
+        assert_eq!(scopes.enclosing_name(one), "inner");
+        let call = tokens.iter().rposition(|t| t.is_ident("inner")).unwrap();
+        assert_eq!(scopes.enclosing_name(call), "outer");
+    }
+
+    #[test]
+    fn cfg_test_mod_and_test_attr_are_test_code() {
+        let src = r#"
+            fn prod() { body() }
+            #[test]
+            fn unit() { check() }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { aid() }
+            }
+        "#;
+        let (tokens, scopes) = scopes_of(src);
+        let body = tokens.iter().position(|t| t.is_ident("body")).unwrap();
+        let check = tokens.iter().position(|t| t.is_ident("check")).unwrap();
+        let aid = tokens.iter().position(|t| t.is_ident("aid")).unwrap();
+        assert!(!scopes.is_test(body));
+        assert!(scopes.is_test(check));
+        assert!(scopes.is_test(aid));
+    }
+
+    #[test]
+    fn derive_attrs_do_not_mark_following_fn_as_test() {
+        // `#[derive(PartialEq)] struct S;` clears the attribute state before `fn`.
+        let src = "#[derive(PartialEq)] struct S; fn f() { x() }";
+        let (tokens, scopes) = scopes_of(src);
+        let x = tokens.iter().position(|t| t.is_ident("x")).unwrap();
+        assert!(!scopes.is_test(x));
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_extent() {
+        let src = "trait T { fn decl(&self) -> u8; fn with_body(&self) { go() } }";
+        let (tokens, scopes) = scopes_of(src);
+        assert_eq!(scopes.functions.len(), 1);
+        let go = tokens.iter().position(|t| t.is_ident("go")).unwrap();
+        assert_eq!(scopes.enclosing_name(go), "with_body");
+    }
+}

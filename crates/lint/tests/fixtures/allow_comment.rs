@@ -1,0 +1,17 @@
+//! lint: untrusted-input — fixture: reasoned allows suppress; reasonless ones are findings.
+
+pub fn masked(table: &[u32; 256], b: u8, crc: u32) -> u32 {
+    // lint: allow(slice-index, truncating-cast) — masked to 8 bits into a fixed 256-entry table
+    (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize]
+}
+
+pub fn wrapped(buf: &[u8]) -> u8 {
+    // lint: allow(slice-index) — the caller guarantees a non-empty buffer by
+    // construction; this also pins allow comments that wrap across lines
+    buf[0]
+}
+
+pub fn reasonless(buf: &[u8]) -> u8 {
+    // lint: allow(slice-index)
+    buf[0]
+}

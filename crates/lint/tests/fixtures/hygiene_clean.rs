@@ -1,0 +1,20 @@
+//! lint: planning — fixture: clean planning code.
+//! lint: chunk-seed-authority — this fixture is allowed to derive per-chunk seeds.
+
+pub fn chunk_key(stream_seed: u64, index: u64) -> u64 {
+    chunk_seed(stream_seed, index)
+}
+
+fn chunk_seed(seed: u64, index: u64) -> u64 {
+    seed.rotate_left(17) ^ index
+}
+
+pub struct Scheme {
+    seed: u64,
+}
+
+impl Scheme {
+    pub fn reseeded(&self, seed: u64) -> Scheme {
+        Scheme { seed }
+    }
+}

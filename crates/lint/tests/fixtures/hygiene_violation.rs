@@ -1,0 +1,23 @@
+//! lint: planning — fixture: planning-layer hygiene rules.
+
+thread_local! {
+    static CACHE: std::cell::RefCell<Vec<u64>> = std::cell::RefCell::new(Vec::new());
+}
+
+pub fn chunk_key(stream_seed: u64, index: u64) -> u64 {
+    chunk_seed(stream_seed, index) // chunk-seed-discipline: not an authority file
+}
+
+fn chunk_seed(seed: u64, index: u64) -> u64 {
+    // The definition itself is exempt (preceded by `fn`): only call sites count.
+    seed ^ index
+}
+
+pub struct Scheme;
+
+impl Scheme {
+    pub fn reseeded(&self, _seed: u64) -> Scheme {
+        // reseed-uses-seed: the seed parameter is discarded
+        Scheme
+    }
+}

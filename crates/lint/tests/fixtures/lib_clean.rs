@@ -1,0 +1,5 @@
+//! Fixture: a crate root with the mandatory deny-by-default attributes.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

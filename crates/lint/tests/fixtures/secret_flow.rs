@@ -1,0 +1,22 @@
+//! Fixture: constant-time rules fire only inside registry-listed functions.
+
+pub fn mod_exp(base: u64, exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64;
+    let table = [1u64, 2, 4, 8];
+    if exp & 1 == 1 {
+        // secret-branch: control flow on the secret exponent
+        acc = acc.wrapping_mul(base);
+    }
+    let w = (exp % 4) as usize; // secret-divmod, and `w` becomes tainted
+    acc = acc.wrapping_mul(table[w]); // secret-index through the tainted index
+    acc
+}
+
+pub fn public_math(x: u64, m: u64) -> u64 {
+    // The same shapes outside the registry are silent.
+    if x & 1 == 1 {
+        x % m
+    } else {
+        x / 2
+    }
+}

@@ -1,0 +1,31 @@
+//! lint: untrusted-input — fixture: the same operations done safely are silent.
+
+pub fn parse(buf: &[u8]) -> Option<u64> {
+    let first = *buf.first()?;
+    let wanted = usize::from(first);
+    let capped = wanted.min(buf.len());
+    let mut bytes: Vec<u8> = Vec::with_capacity(capped);
+    bytes.extend_from_slice(buf.get(..capped)?);
+    let widened = u64::from(first); // widening conversions are fine
+    Some(widened)
+}
+
+pub fn sized(count: u16) -> Vec<u8> {
+    // `usize::from` is lossless and the u16 bounds the allocation; the guard is
+    // the `min` against a constant cap.
+    let n = usize::from(count).min(1024);
+    Vec::with_capacity(n)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let buf = [1u8, 2];
+        assert_eq!(buf[0], 1); // indexing in tests is fine
+        let v: Vec<u8> = Vec::with_capacity(4096);
+        assert!(v.is_empty());
+        let x: Option<u8> = Some(3);
+        assert_eq!(x.unwrap(), 3);
+    }
+}

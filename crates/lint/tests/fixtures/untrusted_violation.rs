@@ -1,0 +1,23 @@
+//! lint: untrusted-input — fixture: every untrusted-path rule must fire here.
+
+pub fn parse(buf: &[u8]) -> u64 {
+    let first = buf[0]; // slice-index
+    let n = u64::from(first);
+    let len = buf.len() as u32; // truncating-cast
+    let mut sizes = Vec::with_capacity(n as usize); // alloc-before-cap (+ truncating-cast)
+    sizes.push(len);
+    let head = buf.first().unwrap(); // no-unwrap
+    if *head == 0 {
+        panic!("zero header"); // no-panic
+    }
+    n
+}
+
+pub fn parse_more(buf: &[u8]) -> u8 {
+    let b = buf.get(1).expect("needs two bytes"); // no-unwrap (expect form)
+    match b {
+        0 => unreachable!(), // no-panic
+        1 => todo!(),        // no-panic
+        _ => *b,
+    }
+}

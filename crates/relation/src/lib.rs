@@ -1,5 +1,8 @@
 //! # f2-relation — in-memory relational substrate for the F² encryption scheme
 //!
+//! lint: planning — crate-wide: no new `thread_local!` caches (`f2-lint` rule
+//! `thread-local`); interned-relation sharing must stay explicit.
+//!
 //! The F² paper (Dong & Wang, ICDE 2017) operates on a private relational table `D`
 //! with `m` attributes and `n` records, encrypts it cell-by-cell, and reasons about
 //! *partitions* (equivalence classes of tuples that agree on an attribute set).
