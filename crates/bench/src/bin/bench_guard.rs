@@ -26,6 +26,11 @@
 //! first report generated after this guard was introduced); a *fresh* report
 //! without one is an error — the report generator must always emit it.
 //!
+//! The guard also holds an **absolute telemetry ceiling**: the fresh report's
+//! `observability.overhead_frac` (instrumented vs no-op wall clock of the tracked
+//! workload, both timed in the same run) must stay at or under 3%. No baseline is
+//! consulted for this check — the ratio is host-independent by construction.
+//!
 //! Parsing is a small anchored scanner rather than a JSON parser: the offline
 //! vendor set has no JSON crate, and `report` writes the document with a fixed
 //! shape (`"backend": "<name>",` … `"encrypt_mb_s": <num>`).
@@ -37,6 +42,13 @@ const FRAMINGS: [&str; 2] = ["paillier", "paillier-packed"];
 
 /// Default tolerated fractional regression before the guard fails.
 const DEFAULT_MAX_REGRESSION: f64 = 0.20;
+
+/// Absolute ceiling on telemetry overhead: the fresh report's
+/// `observability.overhead_frac` (instrumented vs no-op wall clock on the tracked
+/// workload, both measured in the same run) may not exceed 3%. Unlike the
+/// throughput floors this needs no baseline or hardware normalization — both
+/// sides of the ratio come from the same host and run.
+const OBS_MAX_OVERHEAD_FRAC: f64 = 0.03;
 
 /// The text of a report from its `"paillier"` section onward, if present.
 fn paillier_section(report: &str) -> Option<&str> {
@@ -52,6 +64,17 @@ fn f2_phases_section(report: &str) -> Option<&str> {
 /// The text of a report's `"streaming"` section, if present (same slicing rules).
 fn streaming_section(report: &str) -> Option<&str> {
     section(report, "\"streaming\": {")
+}
+
+/// The text of a report's `"observability"` section, if present (same slicing
+/// rules).
+fn observability_section(report: &str) -> Option<&str> {
+    section(report, "\"observability\": {")
+}
+
+/// The measured telemetry overhead fraction inside an `observability` section.
+fn obs_overhead_frac(section: &str) -> Option<f64> {
+    float_after(section, "\"overhead_frac\": ")
 }
 
 fn section<'a>(report: &'a str, anchor: &str) -> Option<&'a str> {
@@ -234,6 +257,33 @@ fn main() -> ExitCode {
         }
     }
 
+    // Telemetry-overhead ceiling: absolute, on the fresh report only — the
+    // `observability` section compares instrumented vs no-op wall clock measured in
+    // the same run, so host speed cancels and no baseline is needed. A fresh report
+    // without the section fails (the generator always emits it).
+    match observability_section(&fresh).map(obs_overhead_frac) {
+        Some(Some(frac)) => {
+            let verdict = if frac > OBS_MAX_OVERHEAD_FRAC { "REGRESSION" } else { "ok" };
+            println!(
+                "bench_guard: {:<18} overhead {:>11.2}% | ceiling {:>11.0}% | {verdict}",
+                "f2-telemetry",
+                frac * 100.0,
+                OBS_MAX_OVERHEAD_FRAC * 100.0
+            );
+            failed |= frac > OBS_MAX_OVERHEAD_FRAC;
+        }
+        Some(None) => {
+            eprintln!("bench_guard: observability section lacks overhead_frac");
+            failed = true;
+        }
+        None => {
+            eprintln!(
+                "bench_guard: fresh report {fresh_path} is missing the \"observability\" section"
+            );
+            failed = true;
+        }
+    }
+
     if failed {
         eprintln!(
             "bench_guard: hot-path throughput regressed more than \
@@ -264,6 +314,16 @@ mod tests {
     "fp_s": 0.016000,
     "wall_s": 0.083000,
     "throughput_mb_s": 6.7500
+  },
+  "observability": {
+    "rows": 10000,
+    "chunk_rows": 512,
+    "iters": 5,
+    "noop_wall_s": 0.110000,
+    "instrumented_wall_s": 0.111500,
+    "noop_mb_s": 5.0909,
+    "instrumented_mb_s": 5.0224,
+    "overhead_frac": 0.0136
   },
   "paillier": {
     "modulus_bits": 512,
@@ -306,6 +366,16 @@ mod tests {
         let section = paillier_section(SAMPLE).unwrap();
         assert_eq!(calibration_s(section), Some(0.0004));
         assert_eq!(calibration_s("{ \"rows\": 8 }"), None);
+    }
+
+    #[test]
+    fn extracts_observability_overhead() {
+        let section = observability_section(SAMPLE).expect("observability present");
+        assert_eq!(obs_overhead_frac(section), Some(0.0136));
+        // The slice must stop before the paillier section so its numbers can never
+        // leak into the ceiling check.
+        assert!(!section.contains("paillier"));
+        assert!(observability_section("{ \"engine\": [] }").is_none());
     }
 
     #[test]

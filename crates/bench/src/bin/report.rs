@@ -425,6 +425,25 @@ fn engine() {
         streaming.peak_chunk_plain_bytes
     );
 
+    // Telemetry overhead on the same tracked workload: the streaming pipeline (the
+    // most densely instrumented path — spans, chunk histograms, frame and crypto
+    // counters all fire) with the global registry disabled vs enabled. Fixed in
+    // smoke mode like the sections above; `bench_guard` holds the ≤3% ceiling.
+    let obs = observability_overhead();
+    println!(
+        "\nTelemetry [{} rows, {} per chunk, best of {}]:",
+        obs.rows, obs.chunk_rows, obs.iters
+    );
+    println!("{:<14} {:>12} {:>12} {:>10}", "telemetry", "wall", "MB/s", "overhead");
+    println!("{:<14} {:>12} {:>12.2} {:>10}", "disabled", secs(obs.noop_wall), obs.noop_mb_s, "-");
+    println!(
+        "{:<14} {:>12} {:>12.2} {:>9.2}%",
+        "enabled",
+        secs(obs.instrumented_wall),
+        obs.instrumented_mb_s,
+        obs.overhead_frac * 100.0
+    );
+
     // Per-phase Paillier breakdown (keygen / encrypt / decrypt) at the registry's
     // realistic 512-bit modulus. Deliberately NOT shrunk in smoke mode: the sampled
     // workload is tiny anyway, and keeping it identical to the committed full-mode
@@ -463,6 +482,7 @@ fn engine() {
         &framing,
         &f2_phases,
         &streaming,
+        &obs,
         &phases,
     );
     std::fs::write(path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
@@ -616,6 +636,88 @@ fn streaming_breakdown(f2_phases: &F2Phases) -> StreamingPhases {
     }
 }
 
+/// Runs per telemetry mode in [`observability_overhead`]; the fastest run on each
+/// side is compared, and the modes are interleaved so load drift on a shared CI
+/// host hits both alike. Nine pairs (not the 3-5 the other sections use) because
+/// this section estimates a ~1% *difference* between two ~100ms walls — per-side
+/// minima need to converge well below the ±3% single-run jitter of a busy 1-CPU
+/// runner for the `bench_guard` ceiling to hold without flaking.
+const OBS_OVERHEAD_ITERS: usize = 9;
+
+/// The `observability` section of `BENCH_report.json`: the tracked F² workload
+/// pushed through the streaming pipeline — the most densely instrumented path, where
+/// spans, chunk histograms, and the frame/crypto counters all fire — once with the
+/// global telemetry registry disabled and once enabled. `bench_guard` holds
+/// `overhead_frac` under its absolute ≤3% ceiling; because both sides are measured
+/// in the same run on the same host, the check needs no hardware normalization.
+struct ObservabilityOverhead {
+    rows: usize,
+    chunk_rows: usize,
+    iters: usize,
+    plain_bytes: usize,
+    noop_wall: Duration,
+    instrumented_wall: Duration,
+    noop_mb_s: f64,
+    instrumented_mb_s: f64,
+    /// `max(0, instrumented_wall / noop_wall − 1)` — clamped so a faster
+    /// instrumented run (pure jitter) reads as zero overhead, not negative.
+    overhead_frac: f64,
+}
+
+/// Measure telemetry overhead: best-of-[`OBS_OVERHEAD_ITERS`] interleaved
+/// `run_streaming` runs per mode. The two modes' streams are checked byte-identical
+/// (artifact neutrality) and the instrumented stream is reloaded and decrypted, so
+/// a cheap-but-wrong telemetry path cannot pass.
+fn observability_overhead() -> ObservabilityOverhead {
+    use f2_engine::stream::read_outcome;
+    use f2_engine::{Engine, EngineConfig};
+    use f2_io::TableSource;
+    let table = Dataset::Synthetic.generate(F2_PHASE_ROWS, 42);
+    let scheme = f2_scheme(0.2, 2, 7);
+    let engine = Engine::new(EngineConfig { workers: 1, chunk_rows: F2_PHASE_CHUNK_ROWS, seed: 7 })
+        .expect("valid engine config");
+    let registry = f2_obs::global();
+    let run = |enabled: bool| {
+        registry.set_enabled(enabled);
+        let mut stream = Vec::new();
+        let start = Instant::now();
+        engine
+            .run_streaming(&scheme, &mut TableSource::new(&table), &mut stream)
+            .expect("streaming encryption");
+        (start.elapsed(), stream)
+    };
+    let mut noop_wall = Duration::MAX;
+    let mut instrumented_wall = Duration::MAX;
+    let mut streams: Option<(Vec<u8>, Vec<u8>)> = None;
+    for _ in 0..OBS_OVERHEAD_ITERS {
+        let (off_wall, off_stream) = run(false);
+        let (on_wall, on_stream) = run(true);
+        noop_wall = noop_wall.min(off_wall);
+        instrumented_wall = instrumented_wall.min(on_wall);
+        streams.get_or_insert((off_stream, on_stream));
+    }
+    registry.set_enabled(true);
+    let (off_stream, on_stream) = streams.expect("at least one run");
+    assert_eq!(off_stream, on_stream, "telemetry changed the stream bytes");
+    let loaded = read_outcome(&scheme, &on_stream).expect("stream loads");
+    let recovered = scheme.decrypt(&loaded).expect("stream decrypts");
+    assert!(recovered.multiset_eq(&table), "observability round-trip failed");
+    let plain_bytes = table.size_bytes();
+    let mb = plain_bytes as f64 / 1e6;
+    ObservabilityOverhead {
+        rows: F2_PHASE_ROWS,
+        chunk_rows: F2_PHASE_CHUNK_ROWS,
+        iters: OBS_OVERHEAD_ITERS,
+        plain_bytes,
+        noop_wall,
+        instrumented_wall,
+        noop_mb_s: mb / noop_wall.as_secs_f64().max(1e-9),
+        instrumented_mb_s: mb / instrumented_wall.as_secs_f64().max(1e-9),
+        overhead_frac: (instrumented_wall.as_secs_f64() / noop_wall.as_secs_f64().max(1e-9) - 1.0)
+            .max(0.0),
+    }
+}
+
 /// One framing's measured phases.
 struct PaillierFramingPhases {
     backend: String,
@@ -736,6 +838,7 @@ fn engine_json(
     framing: &[(f2_bench::RunMeasurement, f64)],
     f2_phases: &F2Phases,
     streaming: &StreamingPhases,
+    obs: &ObservabilityOverhead,
     phases: &PaillierPhases,
 ) -> String {
     let mut out = String::from("{\n");
@@ -802,6 +905,17 @@ fn engine_json(
     let _ = writeln!(out, "    \"peak_chunk_rows\": {},", streaming.peak_chunk_rows);
     let _ = writeln!(out, "    \"peak_chunk_plain_bytes\": {},", streaming.peak_chunk_plain_bytes);
     let _ = writeln!(out, "    \"peak_chunk_output_rows\": {}", streaming.peak_chunk_output_rows);
+    out.push_str("  },\n  \"observability\": {\n");
+    let _ = writeln!(out, "    \"rows\": {},", obs.rows);
+    let _ = writeln!(out, "    \"chunk_rows\": {},", obs.chunk_rows);
+    let _ = writeln!(out, "    \"iters\": {},", obs.iters);
+    let _ = writeln!(out, "    \"plain_bytes\": {},", obs.plain_bytes);
+    let _ = writeln!(out, "    \"noop_wall_s\": {:.6},", obs.noop_wall.as_secs_f64());
+    let _ =
+        writeln!(out, "    \"instrumented_wall_s\": {:.6},", obs.instrumented_wall.as_secs_f64());
+    let _ = writeln!(out, "    \"noop_mb_s\": {:.4},", obs.noop_mb_s);
+    let _ = writeln!(out, "    \"instrumented_mb_s\": {:.4},", obs.instrumented_mb_s);
+    let _ = writeln!(out, "    \"overhead_frac\": {:.4}", obs.overhead_frac);
     out.push_str("  },\n  \"paillier\": {\n");
     let _ = writeln!(out, "    \"modulus_bits\": {},", phases.modulus_bits);
     let _ = writeln!(out, "    \"rows\": {},", phases.rows);

@@ -402,8 +402,10 @@ impl F2Encryptor {
         }
         let encrypted = Table::new(encrypted_schema, records)?;
 
+        let timings = StepTimings { max: max_time, sse: sse_time, syn: syn_time, fp: fp_time };
+        crate::obs::record_phase_timings(&timings);
         let report = EncryptionReport {
-            timings: StepTimings { max: max_time, sse: sse_time, syn: syn_time, fp: fp_time },
+            timings,
             overhead: OverheadBreakdown {
                 original_rows: n,
                 group_rows,

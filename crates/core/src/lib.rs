@@ -60,6 +60,7 @@ pub mod encryptor;
 pub mod error;
 pub mod fake;
 pub mod fpfd;
+pub(crate) mod obs;
 pub mod provenance;
 pub mod report;
 pub mod scheme;

@@ -1,0 +1,35 @@
+//! Cached telemetry handles for the F² planning phases.
+//!
+//! The encryptor already times its four phases (MAX → SSE → SYN → FP) with
+//! `Instant` for [`StepTimings`](crate::report::StepTimings); this module records
+//! those *already-measured* durations into the process-wide `f2_obs` histograms.
+//! No extra clock reads happen on the encryption path, so instrumentation cannot
+//! perturb the timings it reports — and, like all of `f2_obs`, it never feeds
+//! back into planning, so artifacts are byte-identical with telemetry on or off.
+
+use crate::report::StepTimings;
+use f2_obs::{Histogram, Unit};
+use std::sync::OnceLock;
+
+/// Histogram help shared by the four phase samples.
+const PHASE_HELP: &str = "Wall-clock duration of F2 planning/encryption phases, per encrypt call.";
+
+fn phase(name: &'static str) -> Histogram {
+    f2_obs::global().histogram(
+        "f2_core_phase_seconds",
+        PHASE_HELP,
+        &[("phase", name)],
+        Unit::Seconds,
+    )
+}
+
+/// Record one encrypt call's phase breakdown into `f2_core_phase_seconds`.
+pub(crate) fn record_phase_timings(timings: &StepTimings) {
+    static PHASES: OnceLock<[Histogram; 4]> = OnceLock::new();
+    let [max, sse, syn, fp] =
+        PHASES.get_or_init(|| [phase("max"), phase("sse"), phase("syn"), phase("fp")]);
+    max.record_duration(timings.max);
+    sse.record_duration(timings.sse);
+    syn.record_duration(timings.syn);
+    fp.record_duration(timings.fp);
+}

@@ -409,6 +409,7 @@ impl BigUint {
     /// does not exist) automatically fall back to [`BigUint::mod_pow_generic`], so
     /// callers never need to care about the precondition.
     pub fn mod_pow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        crate::obs::mod_pow_calls().inc();
         assert!(!modulus.is_zero(), "zero modulus");
         if modulus.is_one() {
             return BigUint::zero();

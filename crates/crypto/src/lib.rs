@@ -36,6 +36,7 @@ pub mod det;
 pub mod error;
 pub mod keys;
 pub mod montgomery;
+pub(crate) mod obs;
 pub mod paillier;
 pub mod prf;
 pub mod prob;

@@ -1,0 +1,50 @@
+//! Cached telemetry handles for the crypto hot paths.
+//!
+//! Each accessor registers its counter on the process-wide `f2_obs` registry once
+//! (behind a `OnceLock`) and hands back the cached handle, so instrumentation at
+//! a cipher call site costs one static load plus one relaxed atomic add — and
+//! only the load when the registry is disabled. Counts are batched per *call*
+//! (e.g. one add per keystream, not per AES block) to keep the cipher loops
+//! untouched.
+//!
+//! Nothing here reads or stores secret material: these are operation tallies,
+//! observed by exporters, never consumed by the cipher.
+
+use f2_obs::Counter;
+use std::sync::OnceLock;
+
+/// AES-128 block encryptions, batched per keystream/mask call.
+pub(crate) fn aes_blocks() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_crypto_aes_blocks_total",
+            "AES-128 block encryptions performed by the PRF keystream.",
+            &[],
+        )
+    })
+}
+
+/// Modular exponentiations dispatched through `BigUint::mod_pow`.
+pub(crate) fn mod_pow_calls() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_crypto_mod_pow_total",
+            "Modular exponentiations dispatched through BigUint::mod_pow.",
+            &[],
+        )
+    })
+}
+
+/// Blinding factors drawn from a Paillier `RandomnessPool`.
+pub(crate) fn pool_draws() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_crypto_pool_draws_total",
+            "Blinding factors drawn from Paillier randomness pools.",
+            &[],
+        )
+    })
+}

@@ -140,6 +140,7 @@ impl RandomnessPool {
     /// Draw the next Montgomery-form blinding factor: fold two pooled factors and
     /// raise the result to a secret odd 64-bit exponent.
     fn next_blinding(&mut self, public: &PaillierPublicKey) -> BigUint {
+        crate::obs::pool_draws().inc();
         debug_assert_eq!(
             self.n_squared, public.n_squared,
             "randomness pool used with a different Paillier key"

@@ -37,6 +37,7 @@ impl Prf {
     /// Fill `out` with `F_k(r)` — the write-into-buffer form of [`Prf::keystream`].
     /// Works block-at-a-time on the stack; no heap allocation.
     pub fn keystream_into(&self, r: &[u8; 16], out: &mut [u8]) {
+        crate::obs::aes_blocks().add(out.len().div_ceil(16) as u64);
         let low = u64::from_le_bytes(r[8..16].try_into().expect("8 bytes"));
         for (counter, chunk) in out.chunks_mut(16).enumerate() {
             let mut block = *r;
@@ -62,6 +63,7 @@ impl Prf {
     /// be far worse than the one branch this costs.
     pub fn mask_into(&self, r: &[u8; 16], data: &[u8], out: &mut [u8]) {
         assert_eq!(data.len(), out.len(), "mask_into buffers must have equal length");
+        crate::obs::aes_blocks().add(data.len().div_ceil(16) as u64);
         let low = u64::from_le_bytes(r[8..16].try_into().expect("8 bytes"));
         for (counter, (dchunk, ochunk)) in data.chunks(16).zip(out.chunks_mut(16)).enumerate() {
             let mut block = *r;
@@ -75,6 +77,7 @@ impl Prf {
 
     /// Evaluate the PRF on a single 16-byte block (used for sub-key derivation).
     pub fn block(&self, input: &[u8; 16]) -> [u8; 16] {
+        crate::obs::aes_blocks().inc();
         self.cipher.encrypt_block_copy(input)
     }
 }

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub(crate) mod obs;
 pub mod persist;
 pub mod pipeline;
 pub mod stream;

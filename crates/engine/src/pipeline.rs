@@ -208,6 +208,7 @@ impl Engine {
                 Some(table) => table.append(outcome.encrypted)?,
             }
             let output_end = encrypted.as_ref().map_or(0, Table::row_count);
+            crate::obs::chunk_encrypted(range.len(), output_end - output_offset, wall);
             chunks.push(ChunkRecord {
                 index,
                 rows: range.clone(),

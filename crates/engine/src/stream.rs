@@ -113,7 +113,13 @@ impl Engine {
         let mut rows = 0usize;
         let mut encrypted_rows = 0usize;
         let mut report = EncryptionReport::default();
-        while let Some(chunk) = source.next_chunk(chunk_rows).map_err(F2Error::from)? {
+        loop {
+            let pulled = {
+                // Span covers source I/O plus chunk assembly (e.g. CSV parsing).
+                let _pull = f2_obs::span!("engine.chunk.pull");
+                source.next_chunk(chunk_rows).map_err(F2Error::from)?
+            };
+            let Some(chunk) = pulled else { break };
             let chunk_len = chunk.row_count();
             let index = chunks.len();
             if chunk_len == 0 || chunk_len > chunk_rows {
@@ -149,11 +155,28 @@ impl Engine {
                 worker: 0,
                 wall,
             };
-            let mut payload = Writer::raw();
-            put_chunk_record(&mut payload, &record);
-            payload.put_bytes(&scheme.save_state(&outcome)?);
-            payload.put_bytes(&encode_table(&outcome.encrypted));
-            sink.write_frame(FRAME_CHUNK, &payload.finish()).map_err(F2Error::from)?;
+            let frame_payload = {
+                let _serialize = f2_obs::span!("engine.chunk.serialize");
+                let mut payload = Writer::raw();
+                put_chunk_record(&mut payload, &record);
+                payload.put_bytes(&scheme.save_state(&outcome)?);
+                payload.put_bytes(&encode_table(&outcome.encrypted));
+                payload.finish()
+            };
+            {
+                let _write = f2_obs::span!("engine.chunk.write");
+                sink.write_frame(FRAME_CHUNK, &frame_payload).map_err(F2Error::from)?;
+            }
+            crate::obs::chunk_encrypted(chunk_len, record.output_rows.len(), wall);
+            f2_obs::trace_event(
+                "engine.chunk",
+                &[
+                    ("index", index as u64),
+                    ("rows", chunk_len as u64),
+                    ("encrypted_rows", record.output_rows.len() as u64),
+                    ("stream_bytes", sink.bytes_written()),
+                ],
+            );
             rows = record.rows.end;
             encrypted_rows = record.output_rows.end;
             merge_reports(&mut report, &outcome.report);
@@ -174,6 +197,7 @@ impl Engine {
         put_report(&mut trailer, &persisted);
         sink.write_frame(FRAME_TRAILER, &trailer.finish()).map_err(F2Error::from)?;
         let (_, bytes_written) = sink.finish().map_err(F2Error::from)?;
+        crate::obs::stream_bytes_total().add(bytes_written);
         Ok(StreamOutcome { chunks, rows, encrypted_rows, bytes_written, report })
     }
 }

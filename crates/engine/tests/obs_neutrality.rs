@@ -1,0 +1,83 @@
+//! Artifact neutrality of the telemetry layer: `run_streaming` must produce
+//! byte-identical v2 streams with instrumentation enabled and disabled, and the
+//! in-memory path must stay artifact-identical to the streaming path either way.
+//! (The frozen golden vectors in `stream_compat.rs` run with instrumentation
+//! enabled — its default state — so instrumented-vs-golden equality is already
+//! pinned there; this suite pins the enabled/disabled axis.)
+//!
+//! Everything lives in ONE test function: it toggles the process-wide registry,
+//! and the test binary's other tests would race that global state if they ran in
+//! parallel threads.
+
+use f2_core::{F2Scheme, Scheme, F2};
+use f2_engine::{Engine, EngineConfig};
+use f2_io::TableSource;
+use f2_relation::{table, Table};
+
+fn fixture() -> Table {
+    table! {
+        ["Zip", "City", "Name"];
+        ["07030", "Hoboken", "alice"],
+        ["07030", "Hoboken", "bob"],
+        ["10001", "NewYork", "carol"],
+        ["10001", "NewYork", "dave"],
+        ["08540", "Princeton", "erin"],
+        ["08540", "Princeton", "frank"],
+        ["08540", "Princeton", "grace"],
+    }
+}
+
+fn stream_bytes(engine: &Engine, scheme: &F2Scheme, t: &Table) -> Vec<u8> {
+    let mut out = Vec::new();
+    engine
+        .run_streaming(scheme, &mut TableSource::new(t), &mut out)
+        .expect("streaming run succeeds");
+    out
+}
+
+#[test]
+fn instrumentation_is_artifact_neutral() {
+    let t = fixture();
+    let scheme = F2::builder().alpha(0.5).seed(97).build().expect("scheme builds");
+    let engine = Engine::new(EngineConfig { workers: 2, chunk_rows: 3, seed: 97 }).expect("engine");
+    let registry = f2_obs::global();
+
+    // Enabled (the default): run once and take a metrics snapshot.
+    assert!(registry.is_enabled(), "global registry must start enabled");
+    let instrumented = stream_bytes(&engine, &scheme, &t);
+    let exposition = registry.prometheus_string();
+    for family in [
+        "f2_core_phase_seconds_bucket{phase=\"max\"",
+        "f2_core_phase_seconds_bucket{phase=\"sse\"",
+        "f2_core_phase_seconds_count{phase=\"syn\"}",
+        "f2_core_phase_seconds_count{phase=\"fp\"}",
+        "f2_engine_chunk_seconds_bucket",
+        "f2_span_seconds_count{span=\"engine.chunk.pull\"}",
+        "f2_span_seconds_count{span=\"engine.chunk.encrypt\"}",
+        "f2_span_seconds_count{span=\"engine.chunk.serialize\"}",
+        "f2_span_seconds_count{span=\"engine.chunk.write\"}",
+        "f2_engine_chunks_total 3",
+        "f2_io_frames_written_total",
+        "f2_crypto_aes_blocks_total",
+    ] {
+        assert!(exposition.contains(family), "missing `{family}` in:\n{exposition}");
+    }
+
+    // Disabled: byte-identical stream, no further recording.
+    registry.set_enabled(false);
+    let frames_before = registry.prometheus_string();
+    let uninstrumented = stream_bytes(&engine, &scheme, &t);
+    assert_eq!(registry.prometheus_string(), frames_before, "disabled run recorded metrics");
+    registry.set_enabled(true);
+    assert_eq!(instrumented, uninstrumented, "telemetry changed the stream bytes");
+
+    // Repeat-run determinism with instrumentation on (canonical streams).
+    assert_eq!(instrumented, stream_bytes(&engine, &scheme, &t));
+
+    // And the in-memory path agrees with the streamed artifacts either way.
+    let in_memory = engine.encrypt(&scheme, &t).expect("in-memory run succeeds");
+    let (loaded, _) =
+        f2_engine::stream::load_streamed_outcome(&scheme, &instrumented[..]).expect("stream loads");
+    assert_eq!(loaded.encrypted, in_memory.outcome.encrypted);
+    assert!(scheme.decrypt(&loaded).expect("decrypts").multiset_eq(&t));
+}

@@ -283,6 +283,11 @@ impl<W: Write> FrameSink<W> {
         self.writer.write_all(&buf)?;
         self.bytes_written += buf.len() as u64;
         self.frames += 1;
+        crate::obs::frames_written().inc();
+        crate::obs::bytes_written().add(buf.len() as u64);
+        if flags & FLAG_RLE != 0 {
+            crate::obs::compressed_frames().inc();
+        }
         Ok(())
     }
 }
@@ -340,6 +345,7 @@ impl<R: Read> FrameReader<R> {
         }
         let mut header = [0u8; FRAME_HEADER_BYTES];
         self.reader.read_exact(&mut header).map_err(|_| {
+            crate::obs::truncation_errors().inc();
             IoError::Truncated(format!(
                 "stream ended inside the header of frame {} (no end frame seen)",
                 self.frame_index
@@ -350,6 +356,7 @@ impl<R: Read> FrameReader<R> {
         let raw_len = decoded_len(u32::from_le_bytes([r0, r1, r2, r3]))?;
         let stored_crc = u32::from_le_bytes([c0, c1, c2, c3]);
         if wire_len > MAX_FRAME_BYTES || raw_len > MAX_FRAME_BYTES {
+            crate::obs::oversize_errors().inc();
             return Err(IoError::Oversized {
                 declared: wire_len.max(raw_len),
                 cap: MAX_FRAME_BYTES,
@@ -357,6 +364,7 @@ impl<R: Read> FrameReader<R> {
         }
         let mut wire = vec![0u8; wire_len];
         self.reader.read_exact(&mut wire).map_err(|_| {
+            crate::obs::truncation_errors().inc();
             IoError::Truncated(format!(
                 "stream ended inside the payload of frame {}",
                 self.frame_index
@@ -365,6 +373,7 @@ impl<R: Read> FrameReader<R> {
         let prefix = [frame_type, flags, w0, w1, w2, w3, r0, r1, r2, r3];
         let computed = frame_crc(&prefix, &wire);
         if computed != stored_crc {
+            crate::obs::checksum_errors().inc();
             return Err(IoError::Checksum {
                 frame: self.frame_index,
                 stored: stored_crc,
@@ -372,6 +381,8 @@ impl<R: Read> FrameReader<R> {
             });
         }
         self.frame_index += 1;
+        crate::obs::frames_read().inc();
+        crate::obs::bytes_read().add((FRAME_HEADER_BYTES + wire_len) as u64);
         if frame_type == FRAME_END {
             if wire_len != 0 || raw_len != 0 {
                 return Err(IoError::Malformed("end frame carries a payload".into()));

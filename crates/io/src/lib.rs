@@ -29,6 +29,7 @@
 
 pub mod error;
 pub mod frame;
+pub(crate) mod obs;
 pub mod source;
 pub mod wire;
 

@@ -1,0 +1,91 @@
+//! Cached telemetry handles for the frame transport layer.
+//!
+//! Counters only: frame and byte totals on both directions, how often the
+//! varint-RLE compressor won, and transport-integrity failures by kind. Error
+//! counts complement (never replace) the [`IoError`](crate::error::IoError)s the
+//! readers return — a `/metrics` scrape showing `f2_io_frame_errors_total`
+//! climbing is the operational signal that a store or pipe is corrupting data.
+
+use f2_obs::Counter;
+use std::sync::OnceLock;
+
+/// Frames written to v2 streams (end frames included).
+pub(crate) fn frames_written() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_io_frames_written_total",
+            "Frames written to F2WS v2 streams (end frames included).",
+            &[],
+        )
+    })
+}
+
+/// Bytes written to v2 streams, frame headers included.
+pub(crate) fn bytes_written() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_io_frame_bytes_written_total",
+            "Bytes written to F2WS v2 streams, frame headers included.",
+            &[],
+        )
+    })
+}
+
+/// Frames whose payload shipped varint-RLE compressed.
+pub(crate) fn compressed_frames() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_io_compressed_frames_total",
+            "Frames whose payload shipped varint-RLE compressed.",
+            &[],
+        )
+    })
+}
+
+/// Frames read and checksum-verified from v2 streams.
+pub(crate) fn frames_read() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_io_frames_read_total",
+            "Frames read and checksum-verified from F2WS v2 streams.",
+            &[],
+        )
+    })
+}
+
+/// Bytes read from v2 streams, frame headers included.
+pub(crate) fn bytes_read() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_io_frame_bytes_read_total",
+            "Bytes read from F2WS v2 streams, frame headers included.",
+            &[],
+        )
+    })
+}
+
+const ERRORS_NAME: &str = "f2_io_frame_errors_total";
+const ERRORS_HELP: &str = "Frame transport failures detected while reading v2 streams.";
+
+/// CRC32 mismatches.
+pub(crate) fn checksum_errors() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| f2_obs::global().counter(ERRORS_NAME, ERRORS_HELP, &[("kind", "checksum")]))
+}
+
+/// Streams that ended mid-frame (no end frame seen).
+pub(crate) fn truncation_errors() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| f2_obs::global().counter(ERRORS_NAME, ERRORS_HELP, &[("kind", "truncated")]))
+}
+
+/// Declared frame lengths over the allocation cap.
+pub(crate) fn oversize_errors() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| f2_obs::global().counter(ERRORS_NAME, ERRORS_HELP, &[("kind", "oversized")]))
+}

@@ -1,0 +1,310 @@
+//! Deterministic exporters: Prometheus text exposition and JSON snapshots.
+//!
+//! Both walk the registry's `BTreeMap`s, so output order is fully determined by
+//! metric names and label sets — two exports of the same state are byte-equal,
+//! which is what lets CI pin exposition goldens. Histograms print only their
+//! populated bucket range (plus the mandatory `+Inf`) to keep 65-bucket
+//! power-of-two histograms readable; cumulative counts stay correct because
+//! every omitted leading bucket is empty.
+//!
+//! `Unit::Seconds` histograms store nanoseconds and are scaled to base-unit
+//! seconds here, at the edge, so the hot path never touches floats.
+
+use std::fmt::Write as _;
+use std::io;
+use std::sync::atomic::Ordering;
+
+use crate::metrics::{bucket_upper_bound, Unit, BUCKET_COUNT};
+use crate::registry::{Kind, Registry, Sample};
+
+impl Registry {
+    /// Render the registry in Prometheus text exposition format.
+    #[must_use]
+    pub fn prometheus_string(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in self.lock().iter() {
+            let kind_str = match family.kind {
+                Kind::Counter => "counter",
+                Kind::Gauge => "gauge",
+                Kind::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {name} {kind_str}");
+            for (labels, sample) in &family.samples {
+                match sample {
+                    Sample::Counter(cell) => {
+                        let rendered = render_labels(labels, None);
+                        let _ = writeln!(out, "{name}{rendered} {}", cell.load(Ordering::Relaxed));
+                    }
+                    Sample::Gauge(cell) => {
+                        let rendered = render_labels(labels, None);
+                        let _ = writeln!(out, "{name}{rendered} {}", cell.load(Ordering::Relaxed));
+                    }
+                    Sample::Histogram(data) => {
+                        let counts: Vec<u64> =
+                            data.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+                        let count = data.count.load(Ordering::Relaxed);
+                        let sum = data.sum.load(Ordering::Relaxed);
+                        // Print only the populated range [bottom, top] (+Inf
+                        // closes it): all skipped leading buckets are empty, so
+                        // the cumulative counts stay exact.
+                        let bottom = counts.iter().position(|&c| c != 0);
+                        let top = counts.iter().rposition(|&c| c != 0);
+                        let mut cumulative = 0u64;
+                        if let (Some(bottom), Some(top)) = (bottom, top) {
+                            let last = top.min(BUCKET_COUNT - 2);
+                            for (idx, &bucket) in
+                                counts.iter().enumerate().take(last + 1).skip(bottom)
+                            {
+                                cumulative = cumulative.saturating_add(bucket);
+                                let le = scale(bucket_upper_bound(idx), data.unit);
+                                let rendered = render_labels(labels, Some(&le));
+                                let _ = writeln!(out, "{name}_bucket{rendered} {cumulative}");
+                            }
+                        }
+                        let rendered = render_labels(labels, Some("+Inf"));
+                        let _ = writeln!(out, "{name}_bucket{rendered} {count}");
+                        let rendered = render_labels(labels, None);
+                        let _ = writeln!(out, "{name}_sum{rendered} {}", scale(sum, data.unit));
+                        let _ = writeln!(out, "{name}_count{rendered} {count}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Write the Prometheus text exposition to `w` (the `/metrics` encoder).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `w`.
+    pub fn write_prometheus<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(self.prometheus_string().as_bytes())
+    }
+
+    /// Render the registry as a JSON snapshot (sorted, hand-rolled, no serde).
+    #[must_use]
+    pub fn json_string(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        let mut first_family = true;
+        for (name, family) in self.lock().iter() {
+            if !first_family {
+                out.push(',');
+            }
+            first_family = false;
+            let kind_str = match family.kind {
+                Kind::Counter => "counter",
+                Kind::Gauge => "gauge",
+                Kind::Histogram(_) => "histogram",
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"kind\":\"{kind_str}\",\"help\":{},\"samples\":[",
+                json_string_lit(name),
+                json_string_lit(&family.help)
+            );
+            let mut first_sample = true;
+            for (labels, sample) in &family.samples {
+                if !first_sample {
+                    out.push(',');
+                }
+                first_sample = false;
+                out.push_str("{\"labels\":{");
+                let mut first_label = true;
+                for (k, v) in labels {
+                    if !first_label {
+                        out.push(',');
+                    }
+                    first_label = false;
+                    let _ = write!(out, "{}:{}", json_string_lit(k), json_string_lit(v));
+                }
+                out.push('}');
+                match sample {
+                    Sample::Counter(cell) => {
+                        let _ = write!(out, ",\"value\":{}", cell.load(Ordering::Relaxed));
+                    }
+                    Sample::Gauge(cell) => {
+                        let _ = write!(out, ",\"value\":{}", cell.load(Ordering::Relaxed));
+                    }
+                    Sample::Histogram(data) => {
+                        let count = data.count.load(Ordering::Relaxed);
+                        let sum = data.sum.load(Ordering::Relaxed);
+                        let _ = write!(
+                            out,
+                            ",\"count\":{count},\"sum\":{},\"buckets\":[",
+                            scale(sum, data.unit)
+                        );
+                        let mut cumulative = 0u64;
+                        let mut first_bucket = true;
+                        for (idx, bucket) in data.buckets.iter().enumerate() {
+                            let n = bucket.load(Ordering::Relaxed);
+                            if n == 0 {
+                                continue;
+                            }
+                            cumulative = cumulative.saturating_add(n);
+                            if !first_bucket {
+                                out.push(',');
+                            }
+                            first_bucket = false;
+                            let _ = write!(
+                                out,
+                                "{{\"le\":{},\"count\":{cumulative}}}",
+                                scale(bucket_upper_bound(idx), data.unit)
+                            );
+                        }
+                        out.push(']');
+                    }
+                }
+                out.push('}');
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the JSON snapshot to `w`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from `w`.
+    pub fn write_json<W: io::Write>(&self, w: &mut W) -> io::Result<()> {
+        w.write_all(self.json_string().as_bytes())
+    }
+}
+
+/// Scale a raw metric value into its exposition unit.
+fn scale(value: u64, unit: Unit) -> String {
+    match unit {
+        // Nanoseconds → base-unit seconds. f64 Display is shortest-roundtrip
+        // decimal (never scientific notation), so output is deterministic.
+        Unit::Seconds => format!("{}", value as f64 / 1e9),
+        Unit::Bytes | Unit::Count => format!("{value}"),
+    }
+}
+
+/// Render a label set as `{k="v",…}`, appending `le` last when given;
+/// empty label sets without `le` render as nothing.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Escape a HELP line: backslashes and newlines.
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escape a label value: backslashes, double quotes, and newlines.
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// A JSON string literal with standard escaping (quotes, backslashes, control
+/// characters); non-ASCII passes through as UTF-8.
+fn json_string_lit(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_exposition() {
+        let reg = Registry::new();
+        reg.counter("f2_z_total", "last", &[]).add(2);
+        reg.counter("f2_a_total", "first", &[("phase", "max")]).add(5);
+        reg.gauge("f2_depth", "a gauge", &[]).set(-3);
+        let text = reg.prometheus_string();
+        // Families in name order, regardless of registration order.
+        let a = text.find("f2_a_total").unwrap_or(usize::MAX);
+        let z = text.find("f2_z_total").unwrap_or(0);
+        assert!(a < z, "families not sorted:\n{text}");
+        assert!(text.contains("# TYPE f2_a_total counter"));
+        assert!(text.contains("f2_a_total{phase=\"max\"} 5"));
+        assert!(text.contains("# TYPE f2_depth gauge"));
+        assert!(text.contains("f2_depth -3"));
+    }
+
+    #[test]
+    fn histogram_exposition_has_cumulative_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("f2_lat_seconds", "latency", &[], Unit::Seconds);
+        h.record(1); // bucket 1, le 1ns
+        h.record(3); // bucket 2, le 3ns
+        h.record(3);
+        let text = reg.prometheus_string();
+        assert!(text.contains("f2_lat_seconds_bucket{le=\"0.000000001\"} 1"), "{text}");
+        assert!(text.contains("f2_lat_seconds_bucket{le=\"0.000000003\"} 3"), "{text}");
+        assert!(text.contains("f2_lat_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("f2_lat_seconds_sum 0.000000007"), "{text}");
+        assert!(text.contains("f2_lat_seconds_count 3"), "{text}");
+    }
+
+    #[test]
+    fn empty_histogram_prints_only_inf() {
+        let reg = Registry::new();
+        let _ = reg.histogram("f2_lat_seconds", "latency", &[], Unit::Seconds);
+        let text = reg.prometheus_string();
+        assert!(text.contains("f2_lat_seconds_bucket{le=\"+Inf\"} 0"));
+        assert!(!text.contains("le=\"0\""), "{text}");
+    }
+
+    #[test]
+    fn label_escaping() {
+        let reg = Registry::new();
+        reg.counter("f2_esc_total", "h", &[("path", "a\\b\"c\nd")]).inc();
+        let text = reg.prometheus_string();
+        assert!(text.contains(r#"path="a\\b\"c\nd""#), "{text}");
+    }
+
+    #[test]
+    fn json_snapshot_is_valid_shape() {
+        let reg = Registry::new();
+        reg.counter("f2_a_total", "count \"things\"", &[("k", "v")]).add(4);
+        let h = reg.histogram("f2_b_bytes", "sizes", &[], Unit::Bytes);
+        h.record(100);
+        let json = reg.json_string();
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.contains("\"help\":\"count \\\"things\\\"\""), "{json}");
+        assert!(json.contains("\"value\":4"), "{json}");
+        assert!(
+            json.contains("\"count\":1,\"sum\":100,\"buckets\":[{\"le\":127,\"count\":1}]"),
+            "{json}"
+        );
+    }
+}

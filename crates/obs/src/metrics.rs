@@ -1,0 +1,266 @@
+//! Metric primitives: counters, gauges, and log-bucketed histograms.
+//!
+//! Every handle is a pair of `Arc`s — the shared storage cell and the owning
+//! registry's enabled flag — so handles are `Clone + Send + Sync`, cheap to cache
+//! in `OnceLock` statics at instrumentation sites, and all go quiet together when
+//! the registry is disabled. Recording uses relaxed atomics throughout: metrics
+//! are monotone tallies read at export time, not synchronization primitives.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of histogram buckets: one for zero plus one per bit length 1..=64.
+pub const BUCKET_COUNT: usize = 65;
+
+/// The bucket a value lands in: 0 for zero, otherwise the value's bit length.
+///
+/// Buckets are powers of two — bucket `k ≥ 1` covers `[2^(k-1), 2^k - 1]` — so
+/// bucketing is a `leading_zeros` instruction, needs no configuration per metric,
+/// and spans the full `u64` range (nanoseconds to half a millennium, bytes to
+/// exbibytes) with 65 slots.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket: `2^index - 1` (and `u64::MAX` for the last).
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+/// Inclusive lower bound of a bucket: `2^(index-1)` (and 0 for bucket 0).
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index.min(64) - 1)
+    }
+}
+
+/// What a histogram's raw `u64` values denote, fixing how exporters scale them.
+///
+/// `Seconds` histograms record **nanoseconds** internally (the natural output of
+/// [`std::time::Instant`]) and are divided by 1e9 at export so Prometheus sees
+/// base-unit seconds. `Bytes` and `Count` export their raw values unscaled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Durations, recorded as nanoseconds, exported as seconds.
+    Seconds,
+    /// Sizes in bytes, exported unscaled.
+    Bytes,
+    /// Dimensionless tallies, exported unscaled.
+    Count,
+}
+
+/// A monotonically increasing tally.
+#[derive(Debug, Clone)]
+pub struct Counter {
+    enabled: Arc<AtomicBool>,
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub(crate) fn new(enabled: Arc<AtomicBool>, value: Arc<AtomicU64>) -> Self {
+        Counter { enabled, value }
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`. A single relaxed load and branch when the registry is disabled.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can move both ways (queue depths, in-flight chunks).
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    enabled: Arc<AtomicBool>,
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub(crate) fn new(enabled: Arc<AtomicBool>, value: Arc<AtomicI64>) -> Self {
+        Gauge { enabled, value }
+    }
+
+    /// Set the gauge to `v`.
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `delta` (negative to decrement).
+    pub fn add(&self, delta: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared storage of one histogram sample: power-of-two buckets, count, and sum.
+#[derive(Debug)]
+pub(crate) struct HistogramData {
+    pub(crate) unit: Unit,
+    pub(crate) buckets: Box<[AtomicU64]>,
+    pub(crate) count: AtomicU64,
+    pub(crate) sum: AtomicU64,
+}
+
+impl HistogramData {
+    pub(crate) fn new(unit: Unit) -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect();
+        HistogramData {
+            unit,
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log-bucketed distribution of latencies or sizes.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    enabled: Arc<AtomicBool>,
+    data: Arc<HistogramData>,
+}
+
+impl Histogram {
+    pub(crate) fn new(enabled: Arc<AtomicBool>, data: Arc<HistogramData>) -> Self {
+        Histogram { enabled, data }
+    }
+
+    /// Record one observation in the histogram's native unit (nanoseconds for
+    /// [`Unit::Seconds`], raw values otherwise).
+    pub fn record(&self, value: u64) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let idx = bucket_index(value);
+        if let Some(bucket) = self.data.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.data.count.fetch_add(1, Ordering::Relaxed);
+        self.data.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration into a [`Unit::Seconds`] histogram (as nanoseconds).
+    pub fn record_duration(&self, d: Duration) {
+        let ns = d.as_nanos();
+        self.record(if ns > u128::from(u64::MAX) { u64::MAX } else { ns as u64 });
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.data.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values, in the native unit.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.data.sum.load(Ordering::Relaxed)
+    }
+
+    /// Observations in bucket `index` (not cumulative), 0 if out of range.
+    #[must_use]
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.data.buckets.get(index).map_or(0, |b| b.load(Ordering::Relaxed))
+    }
+
+    /// The histogram's declared unit.
+    #[must_use]
+    pub fn unit(&self) -> Unit {
+        self.data.unit
+    }
+
+    /// True when the owning registry currently records observations.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_their_values() {
+        for idx in 0..BUCKET_COUNT {
+            let lo = bucket_lower_bound(idx);
+            let hi = bucket_upper_bound(idx);
+            assert!(lo <= hi, "bucket {idx}: {lo} > {hi}");
+            assert_eq!(bucket_index(lo), idx);
+            assert_eq!(bucket_index(hi), idx);
+        }
+    }
+
+    #[test]
+    fn disabled_handles_record_nothing() {
+        let enabled = Arc::new(AtomicBool::new(false));
+        let c = Counter::new(Arc::clone(&enabled), Arc::new(AtomicU64::new(0)));
+        let h = Histogram::new(Arc::clone(&enabled), Arc::new(HistogramData::new(Unit::Count)));
+        c.add(7);
+        h.record(7);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        enabled.store(true, Ordering::Relaxed);
+        c.add(7);
+        h.record(7);
+        assert_eq!(c.get(), 7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.bucket(bucket_index(7)), 1);
+    }
+
+    #[test]
+    fn saturating_duration_record() {
+        let enabled = Arc::new(AtomicBool::new(true));
+        let h = Histogram::new(enabled, Arc::new(HistogramData::new(Unit::Seconds)));
+        h.record_duration(Duration::from_nanos(1_500));
+        assert_eq!(h.sum(), 1_500);
+        assert_eq!(h.bucket(bucket_index(1_500)), 1);
+    }
+}

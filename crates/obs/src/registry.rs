@@ -1,0 +1,227 @@
+//! Metric registration and the process-wide default registry.
+//!
+//! A [`Registry`] owns a map of metric families keyed by name; each family holds
+//! samples keyed by their (sorted) label set. Registration is idempotent —
+//! asking for the same (name, labels) twice returns a handle onto the same
+//! storage — so instrumentation sites can register lazily through `OnceLock`
+//! caches without coordination. The lock is only ever taken at registration and
+//! export; the record path touches atomics exclusively.
+//!
+//! Registration never panics. A request that conflicts with an existing family
+//! (same name, different kind or unit) returns a *detached* handle: it records
+//! into private storage that no exporter will ever visit, which keeps misuse
+//! observable in tests (the family keeps its first shape) without poisoning the
+//! hot path with `Result`s.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramData, Unit};
+
+/// The shape of a metric family, fixed by its first registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Kind {
+    Counter,
+    Gauge,
+    Histogram(Unit),
+}
+
+/// One sample's shared storage inside a family.
+#[derive(Debug)]
+pub(crate) enum Sample {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramData>),
+}
+
+/// A named metric family: help text, kind, and samples by label set.
+#[derive(Debug)]
+pub(crate) struct Family {
+    pub(crate) help: String,
+    pub(crate) kind: Kind,
+    pub(crate) samples: BTreeMap<Vec<(String, String)>, Sample>,
+}
+
+/// A set of metrics with a shared enabled flag and deterministic export order.
+///
+/// Cloning a `Registry` clones the handle, not the metrics: all clones share the
+/// same families and the same enabled flag.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    families: Arc<Mutex<BTreeMap<String, Family>>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A fresh, enabled registry. Use for scoped (per-test) metric sets.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            families: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// Turn recording on or off for every handle minted from this registry.
+    ///
+    /// Disabling is the guaranteed-cheap no-op mode: handles see one relaxed
+    /// load and skip all stores; spans additionally skip their clock reads.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// True when handles from this registry currently record.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Register (or look up) a counter under `name` with the given label set.
+    #[must_use]
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        let cell = self.sample(name, help, labels, Kind::Counter, |sample| match sample {
+            Sample::Counter(cell) => Some(Arc::clone(cell)),
+            _ => None,
+        });
+        Counter::new(Arc::clone(&self.enabled), cell.unwrap_or_default())
+    }
+
+    /// Register (or look up) a gauge under `name` with the given label set.
+    #[must_use]
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        let cell = self.sample(name, help, labels, Kind::Gauge, |sample| match sample {
+            Sample::Gauge(cell) => Some(Arc::clone(cell)),
+            _ => None,
+        });
+        Gauge::new(Arc::clone(&self.enabled), cell.unwrap_or_default())
+    }
+
+    /// Register (or look up) a histogram under `name` with the given label set.
+    #[must_use]
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        unit: Unit,
+    ) -> Histogram {
+        let data = self.sample(name, help, labels, Kind::Histogram(unit), |sample| match sample {
+            Sample::Histogram(data) => Some(Arc::clone(data)),
+            _ => None,
+        });
+        let data = data.unwrap_or_else(|| Arc::new(HistogramData::new(unit)));
+        Histogram::new(Arc::clone(&self.enabled), data)
+    }
+
+    /// Shared registration walk: find or insert the family, then the sample.
+    /// Returns `None` on a kind conflict, in which case the caller mints a
+    /// detached cell.
+    fn sample<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        extract: impl Fn(&Sample) -> Option<T>,
+    ) -> Option<T> {
+        let key = normalize_labels(labels);
+        let mut families = self.lock();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            samples: BTreeMap::new(),
+        });
+        if family.kind != kind {
+            return None;
+        }
+        let sample = family.samples.entry(key).or_insert_with(|| match kind {
+            Kind::Counter => Sample::Counter(Arc::new(AtomicU64::new(0))),
+            Kind::Gauge => Sample::Gauge(Arc::new(AtomicI64::new(0))),
+            Kind::Histogram(unit) => Sample::Histogram(Arc::new(HistogramData::new(unit))),
+        });
+        extract(sample)
+    }
+
+    /// Lock the family map, recovering from poisoning (a panicking exporter
+    /// must not take the whole registry down with it).
+    pub(crate) fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Family>> {
+        match self.families.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Sort labels by key so registration and export agree on sample identity.
+fn normalize_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> =
+        labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+    out.sort();
+    out
+}
+
+/// The process-wide default registry that `span!` and all pipeline
+/// instrumentation record into. Created enabled on first touch.
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let reg = Registry::new();
+        let a = reg.counter("f2_test_total", "help", &[("k", "v")]);
+        let b = reg.counter("f2_test_total", "help", &[("k", "v")]);
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    fn label_order_does_not_split_samples() {
+        let reg = Registry::new();
+        let a = reg.counter("f2_test_total", "help", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("f2_test_total", "help", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn kind_conflict_returns_detached_handle() {
+        let reg = Registry::new();
+        let counter = reg.counter("f2_test_total", "help", &[]);
+        let gauge = reg.gauge("f2_test_total", "help", &[]);
+        counter.inc();
+        gauge.set(9);
+        // The detached gauge records privately; the family keeps its shape.
+        assert_eq!(counter.get(), 1);
+        assert_eq!(gauge.get(), 9);
+        assert!(!reg.prometheus_string().contains(" 9"));
+    }
+
+    #[test]
+    fn scoped_registries_are_independent() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.set_enabled(false);
+        let ca = a.counter("f2_test_total", "help", &[]);
+        let cb = b.counter("f2_test_total", "help", &[]);
+        ca.inc();
+        cb.inc();
+        assert_eq!(ca.get(), 0);
+        assert_eq!(cb.get(), 1);
+    }
+}

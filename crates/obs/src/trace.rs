@@ -1,0 +1,99 @@
+//! Env-gated event sink for streaming runs.
+//!
+//! `F2_TRACE=1` (or `human`) echoes span completions and pipeline events to
+//! stderr as human-readable lines; `F2_TRACE=json` (or `jsonl`) emits one JSON
+//! object per line for log scrapers. Unset (or `0`/empty) keeps the sink off.
+//! The variable is read once per process, so the hot-path check is a single
+//! `OnceLock` load — and writes use `write!` with the error discarded rather
+//! than `eprintln!`, so a closed stderr never panics a streaming run.
+
+use std::io::Write as _;
+use std::sync::OnceLock;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Off,
+    Human,
+    Jsonl,
+}
+
+fn mode() -> Mode {
+    static MODE: OnceLock<Mode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("F2_TRACE").as_deref() {
+        Err(_) | Ok("") | Ok("0") => Mode::Off,
+        Ok("json") | Ok("jsonl") => Mode::Jsonl,
+        Ok(_) => Mode::Human,
+    })
+}
+
+/// True when `F2_TRACE` enables the event sink for this process.
+#[must_use]
+pub fn trace_enabled() -> bool {
+    mode() != Mode::Off
+}
+
+/// Emit a span completion (called by [`Span`](crate::Span) on drop).
+pub(crate) fn emit_span(name: &str, ns: u64) {
+    match mode() {
+        Mode::Off => {}
+        Mode::Human => {
+            let stderr = std::io::stderr();
+            let _ = writeln!(stderr.lock(), "[f2-trace] span={name} {}", human_duration(ns));
+        }
+        Mode::Jsonl => {
+            let stderr = std::io::stderr();
+            let _ = writeln!(stderr.lock(), "{{\"span\":\"{name}\",\"ns\":{ns}}}");
+        }
+    }
+}
+
+/// Emit a named event with numeric fields (e.g. per-chunk progress from the
+/// streaming engine). A no-op unless `F2_TRACE` is set.
+pub fn trace_event(name: &str, fields: &[(&str, u64)]) {
+    match mode() {
+        Mode::Off => {}
+        Mode::Human => {
+            let stderr = std::io::stderr();
+            let mut line = format!("[f2-trace] event={name}");
+            for (k, v) in fields {
+                line.push_str(&format!(" {k}={v}"));
+            }
+            let _ = writeln!(stderr.lock(), "{line}");
+        }
+        Mode::Jsonl => {
+            let stderr = std::io::stderr();
+            let mut line = format!("{{\"event\":\"{name}\"");
+            for (k, v) in fields {
+                line.push_str(&format!(",\"{k}\":{v}"));
+            }
+            line.push('}');
+            let _ = writeln!(stderr.lock(), "{line}");
+        }
+    }
+}
+
+/// Format nanoseconds with an adaptive unit for human-readable trace lines.
+fn human_duration(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_duration_units() {
+        assert_eq!(human_duration(999), "999ns");
+        assert_eq!(human_duration(1_500), "1.500us");
+        assert_eq!(human_duration(2_500_000), "2.500ms");
+        assert_eq!(human_duration(3_250_000_000), "3.250s");
+    }
+}

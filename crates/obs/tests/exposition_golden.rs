@@ -1,0 +1,98 @@
+//! Frozen exposition goldens: a fixed scoped registry must render byte-for-byte
+//! identical Prometheus text and JSON snapshots on every revision. Exporter
+//! output is an interface — `f2_server`'s `/metrics` endpoint will serve it
+//! verbatim and scrapers will parse it — so format drift must be a deliberate,
+//! visible change to this file, never an accident.
+
+use f2_obs::{Registry, Unit};
+
+/// One fixed registry state shared by both goldens.
+fn fixture() -> Registry {
+    let reg = Registry::new();
+    reg.counter("f2_io_frames_written_total", "Frames written.", &[]).add(12);
+    let phase = |name| {
+        reg.histogram(
+            "f2_core_phase_seconds",
+            "Planning phase durations.",
+            &[("phase", name)],
+            Unit::Seconds,
+        )
+    };
+    let max = phase("max");
+    max.record(900); // 900ns → bucket le 1023ns
+    max.record(1_000_000); // 1ms → bucket le (2^20 - 1)ns
+    let sse = phase("sse");
+    sse.record(0); // the zero bucket
+    reg.gauge("f2_engine_inflight_chunks", "Chunks in flight.", &[]).set(1);
+    reg.counter("f2_quoted_total", "Help with a\nnewline and \\ slash.", &[("k", "a\"b")]).add(3);
+    reg
+}
+
+#[test]
+fn prometheus_exposition_matches_golden() {
+    let expected = "\
+# HELP f2_core_phase_seconds Planning phase durations.
+# TYPE f2_core_phase_seconds histogram
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.000001023\"} 1
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.000002047\"} 1
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.000004095\"} 1
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.000008191\"} 1
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.000016383\"} 1
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.000032767\"} 1
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.000065535\"} 1
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.000131071\"} 1
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.000262143\"} 1
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.000524287\"} 1
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"0.001048575\"} 2
+f2_core_phase_seconds_bucket{phase=\"max\",le=\"+Inf\"} 2
+f2_core_phase_seconds_sum{phase=\"max\"} 0.0010009
+f2_core_phase_seconds_count{phase=\"max\"} 2
+f2_core_phase_seconds_bucket{phase=\"sse\",le=\"0\"} 1
+f2_core_phase_seconds_bucket{phase=\"sse\",le=\"+Inf\"} 1
+f2_core_phase_seconds_sum{phase=\"sse\"} 0
+f2_core_phase_seconds_count{phase=\"sse\"} 1
+# HELP f2_engine_inflight_chunks Chunks in flight.
+# TYPE f2_engine_inflight_chunks gauge
+f2_engine_inflight_chunks 1
+# HELP f2_io_frames_written_total Frames written.
+# TYPE f2_io_frames_written_total counter
+f2_io_frames_written_total 12
+# HELP f2_quoted_total Help with a\\nnewline and \\\\ slash.
+# TYPE f2_quoted_total counter
+f2_quoted_total{k=\"a\\\"b\"} 3
+";
+    assert_eq!(fixture().prometheus_string(), expected);
+}
+
+#[test]
+fn json_snapshot_matches_golden() {
+    let expected = concat!(
+        "{\"metrics\":[",
+        "{\"name\":\"f2_core_phase_seconds\",\"kind\":\"histogram\",",
+        "\"help\":\"Planning phase durations.\",\"samples\":[",
+        "{\"labels\":{\"phase\":\"max\"},\"count\":2,\"sum\":0.0010009,",
+        "\"buckets\":[{\"le\":0.000001023,\"count\":1},{\"le\":0.001048575,\"count\":2}]},",
+        "{\"labels\":{\"phase\":\"sse\"},\"count\":1,\"sum\":0,",
+        "\"buckets\":[{\"le\":0,\"count\":1}]}]},",
+        "{\"name\":\"f2_engine_inflight_chunks\",\"kind\":\"gauge\",",
+        "\"help\":\"Chunks in flight.\",\"samples\":[{\"labels\":{},\"value\":1}]},",
+        "{\"name\":\"f2_io_frames_written_total\",\"kind\":\"counter\",",
+        "\"help\":\"Frames written.\",\"samples\":[{\"labels\":{},\"value\":12}]},",
+        "{\"name\":\"f2_quoted_total\",\"kind\":\"counter\",",
+        "\"help\":\"Help with a\\nnewline and \\\\ slash.\",",
+        "\"samples\":[{\"labels\":{\"k\":\"a\\\"b\"},\"value\":3}]}",
+        "]}",
+    );
+    assert_eq!(fixture().json_string(), expected);
+}
+
+#[test]
+fn write_variants_match_the_strings() {
+    let reg = fixture();
+    let mut prom = Vec::new();
+    reg.write_prometheus(&mut prom).expect("write succeeds");
+    assert_eq!(prom, reg.prometheus_string().into_bytes());
+    let mut json = Vec::new();
+    reg.write_json(&mut json).expect("write succeeds");
+    assert_eq!(json, reg.json_string().into_bytes());
+}

@@ -1,0 +1,92 @@
+//! Property tests for exporter escaping: hostile label values (quotes, newlines,
+//! backslashes, multi-byte UTF-8) round-trip through Prometheus label escaping,
+//! never break the line structure of the exposition, and stay valid inside the
+//! JSON snapshot.
+
+use f2_obs::Registry;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A palette weighted toward the characters escaping must handle: quotes,
+/// backslashes, newlines, and multi-byte UTF-8 alongside plain ASCII.
+const PALETTE: &[char] =
+    &['a', 'Z', '0', ' ', '"', '\\', '\n', '\t', 'é', 'λ', '→', '∞', '字', '🙂'];
+
+fn label_value() -> impl Strategy<Value = String> {
+    vec(0usize..PALETTE.len(), 0..24)
+        .prop_map(|idxs| idxs.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+/// Reference JSON string escaping, mirroring the exporter's contract.
+fn json_escape(text: &str) -> String {
+    let mut out = String::new();
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undo Prometheus label-value escaping (`\\`, `\"`, `\n`).
+fn unescape_label(escaped: &str) -> String {
+    let mut out = String::new();
+    let mut chars = escaped.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            other => panic!("unknown escape \\{other:?} in {escaped:?}"),
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn label_values_roundtrip_through_exposition(value in label_value()) {
+        let reg = Registry::new();
+        reg.counter("f2_esc_total", "escape test", &[("path", &value)]).add(7);
+        let text = reg.prometheus_string();
+        // The sample line survives as ONE line: escaped values contain no raw
+        // newline, so the exposition stays line-structured.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("f2_esc_total{"))
+            .expect("sample line present");
+        prop_assert!(line.ends_with(" 7"));
+        // Extract the escaped payload between `path="` and the closing `"}` and
+        // undo the escaping: the original value must come back exactly.
+        let start = line.find("path=\"").expect("label rendered") + "path=\"".len();
+        let end = line.rfind("\"}").expect("label closed");
+        prop_assert_eq!(unescape_label(&line[start..end]), value.clone());
+    }
+
+    #[test]
+    fn json_snapshot_escapes_hostile_values(value in label_value(), help in label_value()) {
+        let reg = Registry::new();
+        reg.counter("f2_esc_total", &help, &[("path", &value)]).add(1);
+        let json = reg.json_string();
+        // Control characters must be escaped, never raw.
+        prop_assert!(!json.contains('\n'));
+        prop_assert!(!json.contains('\t'));
+        // The escaped forms of both hostile strings appear verbatim.
+        prop_assert!(json.contains(&json_escape(&value)), "{}", json);
+        prop_assert!(json.contains(&json_escape(&help)), "{}", json);
+        prop_assert!(json.starts_with("{\"metrics\":["));
+        prop_assert!(json.ends_with("]}"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the power-of-two histogram bucketing: the bucket index is
+//! monotone in the value, bounds round-trip through the index, and recorded
+//! values always land inside their bucket's bounds with exact count/sum
+//! accounting.
+
+use f2_obs::{bucket_index, bucket_lower_bound, bucket_upper_bound, Registry, Unit, BUCKET_COUNT};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Values spread across the full `u64` range: a uniform draw almost always has
+/// ~64 bits, so mask down to a random bit width first.
+fn spread_u64() -> impl Strategy<Value = u64> {
+    (0u32..=64, 0u64..=u64::MAX).prop_map(
+        |(bits, raw)| {
+            if bits == 0 {
+                0
+            } else {
+                raw >> (64 - bits)
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bucket_index_is_monotone(a in spread_u64(), b in spread_u64()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    #[test]
+    fn values_land_within_their_bucket_bounds(v in spread_u64()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < BUCKET_COUNT);
+        prop_assert!(bucket_lower_bound(idx) <= v);
+        prop_assert!(v <= bucket_upper_bound(idx));
+    }
+
+    #[test]
+    fn bucket_bounds_roundtrip_through_the_index(idx in 0usize..BUCKET_COUNT) {
+        prop_assert_eq!(bucket_index(bucket_lower_bound(idx)), idx);
+        prop_assert_eq!(bucket_index(bucket_upper_bound(idx)), idx);
+        // Bounds tile the u64 range with no gap: the next bucket starts one
+        // past this bucket's upper bound.
+        if idx + 1 < BUCKET_COUNT {
+            prop_assert_eq!(bucket_upper_bound(idx).wrapping_add(1), bucket_lower_bound(idx + 1));
+        }
+    }
+
+    #[test]
+    fn recording_accounts_exactly(values in vec(spread_u64(), 0..64)) {
+        let reg = Registry::new();
+        let hist = reg.histogram("f2_test_hist", "test", &[], Unit::Count);
+        for &v in &values {
+            hist.record(v);
+        }
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        let expected_sum = values.iter().fold(0u64, |acc, &v| acc.wrapping_add(v));
+        prop_assert_eq!(hist.sum(), expected_sum);
+        // Per-bucket tallies match a reference count, and they sum to the total.
+        let mut reference = [0u64; BUCKET_COUNT];
+        for &v in &values {
+            reference[bucket_index(v)] += 1;
+        }
+        let mut total = 0u64;
+        for (idx, &expected) in reference.iter().enumerate() {
+            prop_assert_eq!(hist.bucket(idx), expected);
+            total += expected;
+        }
+        prop_assert_eq!(total, hist.count());
+    }
+}

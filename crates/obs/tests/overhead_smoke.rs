@@ -1,0 +1,66 @@
+//! The no-op guarantee, checked two ways: functionally (a disabled registry
+//! records nothing, and re-enabling picks up where it left off) and — in release
+//! builds only, with a deliberately generous bound — that a disabled handle's
+//! per-operation cost is in the nanoseconds, not microseconds. The authoritative
+//! end-to-end overhead number lives in `BENCH_report.json`'s `observability`
+//! section, enforced at ≤3% by `bench_guard`; this smoke test just catches a
+//! rewrite that accidentally makes the disabled path allocate, lock, or format.
+
+use f2_obs::{Registry, Span, Unit};
+
+#[test]
+fn disabled_registry_is_functionally_silent() {
+    let reg = Registry::new();
+    let counter = reg.counter("f2_smoke_total", "smoke", &[]);
+    let hist = reg.histogram("f2_smoke_seconds", "smoke", &[], Unit::Seconds);
+    let gauge = reg.gauge("f2_smoke_depth", "smoke", &[]);
+
+    reg.set_enabled(false);
+    assert!(!reg.is_enabled());
+    counter.add(5);
+    hist.record(5);
+    gauge.set(5);
+    {
+        let _span = Span::enter("smoke", &hist);
+    }
+    assert_eq!(counter.get(), 0);
+    assert_eq!(hist.count(), 0);
+    assert_eq!(gauge.get(), 0);
+
+    reg.set_enabled(true);
+    counter.add(5);
+    hist.record(5);
+    {
+        let _span = Span::enter("smoke", &hist);
+    }
+    assert_eq!(counter.get(), 5);
+    assert_eq!(hist.count(), 2);
+}
+
+/// Release-mode only: debug builds make no performance promises.
+#[cfg(not(debug_assertions))]
+#[test]
+fn disabled_counter_costs_nanoseconds_per_op() {
+    let reg = Registry::new();
+    reg.set_enabled(false);
+    let counter = reg.counter("f2_smoke_total", "smoke", &[]);
+    let hist = reg.histogram("f2_smoke_seconds", "smoke", &[], Unit::Seconds);
+
+    const OPS: u64 = 1_000_000;
+    let start = std::time::Instant::now();
+    for i in 0..OPS {
+        counter.add(i);
+        hist.record(i);
+    }
+    let elapsed = start.elapsed();
+    // Nothing was recorded...
+    assert_eq!(counter.get(), 0);
+    assert_eq!(hist.count(), 0);
+    // ...and the two disabled calls together stayed under 1µs/iteration on
+    // average — a bound ~100x above the expected cost, so only a disabled path
+    // that allocates, locks, or formats can trip it, not a noisy CI runner.
+    assert!(
+        elapsed.as_micros() < u128::from(OPS),
+        "disabled path took {elapsed:?} for {OPS} iterations"
+    );
+}

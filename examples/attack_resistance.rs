@@ -106,4 +106,9 @@ fn main() {
          across worker counts by construction). The residual cross-boundary risk is\n\
          instance linkage; see f2_attack::cross_chunk for the analysis."
     );
+
+    // Telemetry recorded by all the encryptions above — per-phase planning
+    // histograms, chunk latencies, and cipher counters — as Prometheus text.
+    println!("\n── Prometheus metrics snapshot ──");
+    print!("{}", f2::obs::global().prometheus_string());
 }

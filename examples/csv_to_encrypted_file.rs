@@ -91,6 +91,13 @@ fn main() {
     println!("\nDecrypted {rows} rows back in {chunks} chunks — checksums verified throughout. ✓");
     println!("Encrypted stream: {}", output.display());
 
+    // ── Telemetry: what the pipeline recorded along the way ────────────────────────
+    // Every stage above fed the process-wide registry (per-phase MAX/SSE/SYN/FP and
+    // per-chunk latency histograms, frame and cipher counters). This is the same
+    // Prometheus text a `/metrics` endpoint would serve via `write_prometheus`.
+    println!("\n── Prometheus metrics snapshot ──");
+    print!("{}", f2::obs::global().prometheus_string());
+
     if generated {
         std::fs::remove_file(&input).ok();
     }

@@ -30,7 +30,13 @@
 //! * [`attack`] — the frequency-analysis and Kerckhoffs adversaries and the empirical
 //!   α-security experiment, runnable against **any** [`Scheme`];
 //! * [`datagen`] — TPC-H/TPC-C-style and synthetic workload generators used by the
-//!   evaluation.
+//!   evaluation;
+//! * [`obs`] — the zero-dependency telemetry layer: every pipeline stage records
+//!   into the process-wide [`obs::Registry`](f2_obs::Registry) (phase and chunk
+//!   latency histograms, frame and cipher counters), exportable as Prometheus text
+//!   or JSON via [`obs::Registry::write_prometheus`](f2_obs::Registry::write_prometheus) /
+//!   [`write_json`](f2_obs::Registry::write_json), and disableable at runtime for a
+//!   guaranteed-cheap no-op mode (see `docs/OBSERVABILITY.md`).
 //!
 //! ## Quick start
 //!
@@ -105,6 +111,7 @@ pub use f2_datagen as datagen;
 pub use f2_engine as engine;
 pub use f2_fd as fd;
 pub use f2_io as io;
+pub use f2_obs as obs;
 pub use f2_relation as relation;
 
 pub use f2_core::{
