@@ -15,6 +15,15 @@ pub enum F2Error {
     ProvenanceMismatch(String),
     /// The input table cannot be encrypted (e.g. empty schema).
     UnsupportedInput(String),
+    /// A worker thread panicked while encrypting a chunk. The panic was contained
+    /// (the process keeps running, other chunks finished or were abandoned cleanly);
+    /// the payload message is preserved for diagnosis.
+    WorkerPanicked {
+        /// Index of the chunk whose encryption panicked.
+        chunk: usize,
+        /// The panic payload, when it was a string (the common case).
+        message: String,
+    },
 }
 
 impl fmt::Display for F2Error {
@@ -25,6 +34,9 @@ impl fmt::Display for F2Error {
             F2Error::Crypto(m) => write!(f, "cryptographic error: {m}"),
             F2Error::ProvenanceMismatch(m) => write!(f, "provenance mismatch: {m}"),
             F2Error::UnsupportedInput(m) => write!(f, "unsupported input: {m}"),
+            F2Error::WorkerPanicked { chunk, message } => {
+                write!(f, "worker panicked while encrypting chunk {chunk}: {message}")
+            }
         }
     }
 }
@@ -55,5 +67,8 @@ mod tests {
         assert!(matches!(r, F2Error::Relation(_)));
         let c: F2Error = f2_crypto::CryptoError::DecryptionFailed.into();
         assert!(matches!(c, F2Error::Crypto(_)));
+        let p = F2Error::WorkerPanicked { chunk: 3, message: "index out of bounds".into() };
+        assert!(p.to_string().contains("chunk 3"), "{p}");
+        assert!(p.to_string().contains("index out of bounds"), "{p}");
     }
 }

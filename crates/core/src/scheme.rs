@@ -122,6 +122,32 @@ pub trait ChunkedScheme: Scheme + Send + Sync {
     /// Fold per-chunk owner states (in chunk order) into the owner state of the
     /// concatenated table. Errors if any state was not produced by this backend.
     fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState>;
+
+    /// Reconstruct the **persisted** (timing-free) [`EncryptionReport`] contribution
+    /// of an already-encrypted chunk of `rows` input rows, without re-encrypting it —
+    /// or `None` when this backend's report carries planning statistics that only
+    /// encryption can produce.
+    ///
+    /// Crash-safe resume (`f2_engine::Engine::resume_streaming`) rebuilds a stream's
+    /// trailer from the chunk frames already on disk; the wire format stores no
+    /// per-chunk report, so the report must be re-derivable. The cell-wise baselines
+    /// override this (their report is just the input row count); F² keeps the `None`
+    /// default, making resume fall back to re-encrypting — and thereby verifying —
+    /// the already-written chunks.
+    fn rederive_chunk_report(&self, rows: usize) -> Option<EncryptionReport> {
+        let _ = rows;
+        None
+    }
+}
+
+/// The persisted report shape shared by every cell-wise baseline: the whole chunk is
+/// original rows, no artificial rows, no planning statistics (timings are zeroed on
+/// the wire anyway).
+fn cell_wise_chunk_report(rows: usize) -> EncryptionReport {
+    EncryptionReport {
+        overhead: OverheadBreakdown { original_rows: rows, ..OverheadBreakdown::default() },
+        ..EncryptionReport::default()
+    }
 }
 
 /// Merge chunk states for cell-wise backends: each chunk only carries the plaintext
@@ -595,6 +621,10 @@ impl ChunkedScheme for DetScheme {
     fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState> {
         merge_cell_wise_states(self.name(), chunks)
     }
+
+    fn rederive_chunk_report(&self, rows: usize) -> Option<EncryptionReport> {
+        Some(cell_wise_chunk_report(rows))
+    }
 }
 
 // ─────────────────────────── Probabilistic PRF baseline ────────────────────────────
@@ -674,6 +704,10 @@ impl ChunkedScheme for ProbScheme {
 
     fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState> {
         merge_cell_wise_states(self.name(), chunks)
+    }
+
+    fn rederive_chunk_report(&self, rows: usize) -> Option<EncryptionReport> {
+        Some(cell_wise_chunk_report(rows))
     }
 }
 
@@ -1059,6 +1093,10 @@ impl ChunkedScheme for PaillierScheme {
 
     fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> Result<OwnerState> {
         merge_cell_wise_states(self.name(), chunks)
+    }
+
+    fn rederive_chunk_report(&self, rows: usize) -> Option<EncryptionReport> {
+        Some(cell_wise_chunk_report(rows))
     }
 }
 

@@ -46,13 +46,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod lossy;
 pub(crate) mod obs;
 pub mod persist;
 pub mod pipeline;
+pub mod resume;
 pub mod stream;
 pub use f2_io::wire;
 
+pub use lossy::{decrypt_streaming_lossy, DamageReport};
 pub use persist::{load_outcome, save_outcome, StatefulScheme};
 pub use pipeline::{chunk_seed, ChunkRecord, Engine, EngineConfig, EngineOutcome};
 pub use stream::{decrypt_streaming, load_streamed_outcome, read_outcome, StreamOutcome};
 pub use wire::{Reader, WireError, Writer};
+
+/// The engine's error type — an alias for [`f2_core::F2Error`], under the name
+/// engine callers reach for when matching on streaming failures (for example
+/// [`EngineError::WorkerPanicked`](f2_core::F2Error::WorkerPanicked)).
+pub use f2_core::F2Error as EngineError;

@@ -1,0 +1,182 @@
+//! Lossy, best-effort decryption of damaged `F2WS` v2 streams.
+//!
+//! lint: untrusted-input — everything below decodes wire-derived, possibly
+//! corrupted frames.
+//!
+//! [`decrypt_streaming`](crate::decrypt_streaming) is all-or-nothing: the
+//! first damaged frame fails the whole run, which is the right default for a
+//! pipeline but useless for salvage. [`decrypt_streaming_lossy`] instead
+//! drives [`FrameReader::recover`] over every damaged region — resynchronizing
+//! to the next frame whose checksum verifies — decrypts **every intact
+//! chunk** (per-chunk owner states are chunk-local, so one lost chunk never
+//! takes its neighbours down), and accounts for what could not be saved in a
+//! [`DamageReport`]: chunks and rows lost, the exact byte ranges skipped, and
+//! whether the header and trailer survived.
+//!
+//! Limits, by construction: chunks torn off the *tail* of a stream that also
+//! lost its trailer are invisible (nothing records how many chunks there
+//! should have been), and a damaged preamble fails the whole call — the
+//! 7-byte preamble is what identifies the stream format in the first place.
+
+use crate::persist::{decode_table, take_report, StatefulScheme};
+use crate::stream::{take_chunk_record, FRAME_CHUNK, FRAME_HEADER, FRAME_TRAILER};
+use crate::wire::Reader;
+use f2_core::{ChunkedScheme, EncryptionReport, F2Error, Result, SchemeOutcome};
+use f2_io::frame::{Frame, FrameReader};
+use f2_io::SkippedRange;
+use f2_relation::Table;
+use std::io::Read;
+
+/// What a [`decrypt_streaming_lossy`] salvage run recovered and what it lost.
+#[derive(Debug, Clone, Default)]
+pub struct DamageReport {
+    /// Chunk count the trailer promised, when the trailer survived.
+    pub chunks_total: Option<usize>,
+    /// Chunks decrypted and emitted.
+    pub chunks_recovered: usize,
+    /// Chunks known to be lost: the trailer's count minus recovered when the
+    /// trailer survived, otherwise the gaps in the recovered chunk indices
+    /// (tail losses are invisible without a trailer).
+    pub chunks_lost: usize,
+    /// Plaintext rows decrypted and emitted.
+    pub rows_recovered: usize,
+    /// Rows lost with the lost chunks, when the trailer survived to say.
+    pub rows_lost: Option<usize>,
+    /// Total damaged bytes skipped while resynchronizing.
+    pub bytes_skipped: u64,
+    /// The exact byte ranges skipped, as absolute stream offsets.
+    pub skipped_ranges: Vec<SkippedRange>,
+    /// Whether the header frame survived.
+    pub header_recovered: bool,
+    /// Whether the trailer frame survived.
+    pub trailer_recovered: bool,
+}
+
+impl DamageReport {
+    /// True when the salvage run saw no damage at all: every frame intact,
+    /// header and trailer included, no bytes skipped.
+    pub fn is_lossless(&self) -> bool {
+        self.header_recovered
+            && self.trailer_recovered
+            && self.chunks_lost == 0
+            && self.bytes_skipped == 0
+    }
+}
+
+/// Decrypt every intact chunk of a (possibly damaged) v2 stream, handing each
+/// recovered plaintext chunk to `emit` in stream order, and report the damage.
+/// Peak memory stays one chunk, as in [`decrypt_streaming`](crate::decrypt_streaming).
+///
+/// Per-chunk failures — a frame that resisted recovery, a chunk whose payload
+/// does not decode or decrypt — are counted, never propagated; the only errors
+/// returned are a damaged preamble, a header naming a different scheme, a
+/// non-transport I/O failure from the reader, or an error from `emit` itself.
+pub fn decrypt_streaming_lossy<S, R>(
+    scheme: &S,
+    reader: R,
+    mut emit: impl FnMut(Table) -> Result<()>,
+) -> Result<DamageReport>
+where
+    S: ChunkedScheme + StatefulScheme + ?Sized,
+    R: Read,
+{
+    let mut frames = FrameReader::new(reader).map_err(F2Error::from)?;
+    let mut report = DamageReport::default();
+    // Highest chunk index seen plus one — with no trailer, index gaps are the
+    // only evidence of loss.
+    let mut indices_seen = 0usize;
+    let mut trailer_rows: Option<usize> = None;
+
+    loop {
+        let frame = match frames.next_frame() {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            // Damage: resynchronize to the next checksum-verified frame. The
+            // skipped ranges are tracked by the reader itself.
+            Err(_) => match frames.recover().map_err(F2Error::from)? {
+                Some(frame) => frame,
+                None => break,
+            },
+        };
+        match frame.frame_type {
+            FRAME_HEADER => {
+                // Validate the scheme name when the header is intact — a
+                // wrong-scheme salvage would "recover" garbage rows.
+                let mut r = Reader::raw(&frame.payload);
+                if let Ok(name) = r.str() {
+                    if name != scheme.name() {
+                        return Err(F2Error::UnsupportedInput(format!(
+                            "stream was produced by the `{name}` scheme, salvage holds `{}`",
+                            scheme.name()
+                        )));
+                    }
+                }
+                report.header_recovered = true;
+            }
+            FRAME_CHUNK => match salvage_chunk(scheme, &frame) {
+                Some((index, plain)) => {
+                    indices_seen = indices_seen.max(index + 1);
+                    report.chunks_recovered += 1;
+                    report.rows_recovered += plain.row_count();
+                    emit(plain)?;
+                }
+                // A CRC-valid frame that fails to decode or decrypt is a lost
+                // chunk, not a fatal error: its neighbours are still intact.
+                None => report.chunks_lost += 1,
+            },
+            FRAME_TRAILER => {
+                let mut r = Reader::raw(&frame.payload);
+                let parsed = (|| -> Result<(usize, usize)> {
+                    let chunks = r.usize().map_err(F2Error::from)?;
+                    let rows = r.usize().map_err(F2Error::from)?;
+                    let _encrypted_rows = r.usize().map_err(F2Error::from)?;
+                    let _report = take_report(&mut r)?;
+                    Ok((chunks, rows))
+                })();
+                if let Ok((chunks, rows)) = parsed {
+                    report.chunks_total = Some(chunks);
+                    trailer_rows = Some(rows);
+                    report.trailer_recovered = true;
+                }
+            }
+            // Unknown frame types are skipped: forward compatibility over
+            // strictness in a salvage path.
+            _ => {}
+        }
+    }
+
+    if let Some(total) = report.chunks_total {
+        report.chunks_lost = total.saturating_sub(report.chunks_recovered);
+    } else {
+        report.chunks_lost =
+            report.chunks_lost.max(indices_seen.saturating_sub(report.chunks_recovered));
+    }
+    report.rows_lost = trailer_rows.map(|rows| rows.saturating_sub(report.rows_recovered));
+    report.skipped_ranges = frames.skipped_ranges().to_vec();
+    report.bytes_skipped = report.skipped_ranges.iter().map(SkippedRange::len).sum();
+    Ok(report)
+}
+
+/// Decode and decrypt one chunk frame; `None` means the chunk is lost even
+/// though its frame's checksum verified (undecodable payload, state blob the
+/// scheme rejects, or ciphertext that fails to decrypt).
+fn salvage_chunk<S>(scheme: &S, frame: &Frame) -> Option<(usize, Table)>
+where
+    S: ChunkedScheme + StatefulScheme + ?Sized,
+{
+    let mut r = Reader::raw(&frame.payload);
+    let record = take_chunk_record(&mut r).ok()?;
+    let state_blob = r.bytes().ok()?.to_vec();
+    let encrypted = decode_table(r.bytes().ok()?).ok()?;
+    r.finish().ok()?;
+    if encrypted.row_count() != record.output_rows.len() {
+        return None;
+    }
+    let chunk_outcome = SchemeOutcome {
+        encrypted,
+        state: scheme.load_state(&state_blob).ok()?,
+        report: EncryptionReport::default(),
+    };
+    let plain = scheme.decrypt(&chunk_outcome).ok()?;
+    Some((record.index, plain))
+}

@@ -86,6 +86,19 @@ pub(crate) fn stream_bytes_total() -> &'static Counter {
     })
 }
 
+/// Streams picked back up by `Engine::resume_streaming` (header-damaged
+/// restarts-from-scratch included).
+pub(crate) fn resumes() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_engine_resume_total",
+            "Interrupted F2WS v2 streams resumed by Engine::resume_streaming.",
+            &[],
+        )
+    })
+}
+
 /// Record one encrypted chunk: volume counters plus both latency views of the
 /// already-measured encrypt wall-clock.
 pub(crate) fn chunk_encrypted(rows: usize, encrypted_rows: usize, wall: Duration) {

@@ -16,8 +16,10 @@
 //! one as far as the decryptor is concerned.
 
 use f2_core::{ChunkState, ChunkedScheme, EncryptionReport, F2Error, Result, SchemeOutcome};
+use f2_io::RetryPolicy;
 use f2_relation::Table;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -108,6 +110,7 @@ pub struct EngineOutcome {
 #[derive(Debug, Clone, Default)]
 pub struct Engine {
     config: EngineConfig,
+    retry: Option<RetryPolicy>,
 }
 
 /// What one worker records for one finished chunk.
@@ -121,12 +124,29 @@ impl Engine {
     /// Create an engine, validating the configuration.
     pub fn new(config: EngineConfig) -> Result<Self> {
         config.validate()?;
-        Ok(Engine { config })
+        Ok(Engine { config, retry: None })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Opt the *streaming* paths into transient-failure retries: source pulls
+    /// and sink writes in [`Engine::run_streaming`] run under `policy`
+    /// (bounded attempts, deterministic backoff — see [`RetryPolicy`]). The
+    /// in-memory [`Engine::encrypt`] does no I/O and is unaffected. Without
+    /// this, every I/O error is final — the fault-free hot path pays nothing.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// The streaming retry policy, if one was opted into via
+    /// [`Engine::with_retry`].
+    pub fn retry(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
     }
 
     /// Encrypt `table` with `scheme`, chunked and (for `workers > 1`) in parallel.
@@ -152,7 +172,13 @@ impl Engine {
         let run_worker = |worker: usize| loop {
             let index = next.fetch_add(1, Ordering::Relaxed);
             let Some(range) = ranges.get(index) else { break };
-            let result = (|| {
+            // A panicking backend loses its chunk, not the process: the panic is
+            // contained here and surfaces as a typed `WorkerPanicked` from
+            // `assemble`, with the worker going on to its next chunk. Unwind
+            // safety holds because everything the closure mutates is chunk-local
+            // (the reseeded scheme clone and the outcome under construction) and
+            // is discarded with the catch.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
                 // A borrowed view, not a cloned sub-table: cell-wise backends encrypt
                 // straight off the parent's rows, and F² materialises with the
                 // chunk's dictionaries derived from the parent's index.
@@ -162,7 +188,10 @@ impl Engine {
                     .reseeded(chunk_seed(self.config.seed, index as u64))
                     .encrypt_view(&chunk)?;
                 Ok(ChunkSlot { outcome, worker, wall: start.elapsed() })
-            })();
+            }));
+            let result = attempt.unwrap_or_else(|payload| {
+                Err(F2Error::WorkerPanicked { chunk: index, message: panic_text(&*payload) })
+            });
             *slots[index].lock().expect("no poisoned chunk slot") = Some(result);
         };
 
@@ -223,6 +252,16 @@ impl Engine {
         let state = scheme.merge_chunk_states(chunk_states)?;
         Ok(EngineOutcome { outcome: SchemeOutcome { encrypted, state, report }, chunks })
     }
+}
+
+/// Render a caught panic payload — `&str` and `String` cover what `panic!` and
+/// the `assert!`/`expect` families produce; anything else gets a placeholder.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
 }
 
 /// Accumulate one chunk's report into the table-level report: timings and row counts

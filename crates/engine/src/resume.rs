@@ -1,0 +1,297 @@
+//! Crash-safe resume of an interrupted `F2WS` v2 stream.
+//!
+//! lint: untrusted-input — the scan below decodes a possibly damaged stream.
+//!
+//! A streaming encryption job that dies mid-write leaves a *prefix* of a valid
+//! stream behind: the preamble, the header frame, some number of complete
+//! chunk frames, and usually a torn frame at the tail. [`Engine::resume_streaming`]
+//! turns that wreckage back into exactly the stream an uninterrupted run would
+//! have produced:
+//!
+//! 1. **Scan** — walk the store's frames, validating the header against the
+//!    engine configuration, scheme, and source, and each chunk record's
+//!    continuity and seed, until the first damage (torn or checksum-failing
+//!    frame) or the trailer.
+//! 2. **Truncate** — cut the store back to the end of the last complete chunk
+//!    frame; a torn tail is unusable by construction, and a surviving trailer
+//!    is rewritten rather than trusted (its totals must cover the whole run).
+//! 3. **Replay** — advance the source past the rows the prefix already
+//!    covers. Backends whose per-chunk report is a pure function of the row
+//!    count ([`ChunkedScheme::rederive_chunk_report`]) skip straight over
+//!    them; F² (whose report depends on the data) re-encrypts the prefix
+//!    chunks — deterministic under the stored chunk seeds — and verifies them
+//!    against the stored frames' payload checksums, refusing to extend a
+//!    stream whose source has changed since the interrupted run.
+//! 4. **Continue** — encrypt and append the remaining chunks, the trailer,
+//!    and the end frame through the same code path as
+//!    [`Engine::run_streaming`].
+//!
+//! The result is **byte-identical** to the uninterrupted stream at every
+//! interruption point (pinned per backend by `tests/resume_golden.rs`):
+//! chunk seeds are pure functions of the engine seed and chunk index,
+//! ciphertexts are deterministic given those seeds, and the persisted trailer
+//! zeroes its run-varying timings. A store damaged before its first chunk
+//! frame (torn preamble or header) has no usable prefix and is restarted from
+//! scratch. Resumes are counted in `f2_engine_resume_total`.
+
+use crate::persist::{encode_table, take_schema, StatefulScheme};
+use crate::pipeline::{merge_reports, ChunkRecord, Engine};
+use crate::stream::{
+    finish_stream, pump_chunks, put_chunk_record, take_chunk_record, verify_chunk_seed,
+    StreamOutcome, StreamProgress, FRAME_CHUNK, FRAME_HEADER,
+};
+use crate::wire::{Reader, Writer};
+use f2_core::{ChunkedScheme, F2Error, Result};
+use f2_io::frame::{crc32, FrameReader, FrameSink};
+use f2_io::{IoError, RetryPolicy, RowSource, StreamStore, TableChunk};
+use f2_relation::Schema;
+use std::io::{Read, Seek, SeekFrom};
+
+/// The validated prefix of an interrupted stream: everything before the first
+/// damaged byte (or before the trailer, for a stream that only lost its tail).
+struct StreamPrefix {
+    /// Complete chunk records in order, continuity- and seed-verified.
+    records: Vec<ChunkRecord>,
+    /// CRC32 of each chunk frame's (decompressed) payload — what F²'s replay
+    /// verification compares its re-encryptions against.
+    payload_crcs: Vec<u32>,
+    /// Store offset one past the last complete chunk frame: the resume point.
+    bytes: u64,
+    /// Frames in the prefix (header + chunks) — seeds the resumed sink's count.
+    frames: u64,
+}
+
+impl Engine {
+    /// Resume an interrupted [`Engine::run_streaming`] job in `store`,
+    /// producing a stream **byte-identical** to the one an uninterrupted run
+    /// over the same `scheme`, `source`, and engine configuration would have
+    /// written. `source` must be the original source, rewound to its first
+    /// row — resume replays (or, for F², re-encrypts and verifies) the rows
+    /// the surviving prefix already covers before continuing with the rest.
+    ///
+    /// The engine seed and `chunk_rows` must match the interrupted run's; a
+    /// readable header that contradicts them (or the scheme, or the source
+    /// schema) is an error rather than damage. A store torn before its first
+    /// chunk frame is truncated to zero and re-encrypted from scratch.
+    pub fn resume_streaming<S, T>(
+        &self,
+        scheme: &S,
+        source: &mut dyn RowSource,
+        store: &mut T,
+    ) -> Result<StreamOutcome>
+    where
+        S: ChunkedScheme + StatefulScheme + ?Sized,
+        T: StreamStore,
+    {
+        crate::obs::resumes().inc();
+        let retry = self.retry().cloned().unwrap_or_else(RetryPolicy::disabled);
+        let schema = source.schema().clone();
+        seek_to(store, 0)?;
+        let prefix = match self.scan_prefix(scheme, &schema, &mut *store)? {
+            Some(prefix) => prefix,
+            None => {
+                // Nothing usable survives a torn preamble or header frame:
+                // start the stream over from the first byte.
+                store.set_len(0).map_err(io_err)?;
+                seek_to(store, 0)?;
+                return self.run_streaming(scheme, source, &mut *store);
+            }
+        };
+        store.set_len(prefix.bytes).map_err(io_err)?;
+        seek_to(store, prefix.bytes)?;
+
+        let mut progress = StreamProgress::start();
+        self.replay_prefix(scheme, source, &retry, &prefix, &mut progress)?;
+
+        let mut sink = FrameSink::resume(retry.writer(&mut *store), prefix.bytes, prefix.frames);
+        pump_chunks(
+            scheme,
+            self.config().seed,
+            self.config().chunk_rows,
+            source,
+            &retry,
+            &mut sink,
+            &mut progress,
+        )?;
+        finish_stream(sink, progress)
+    }
+
+    /// Scan the store for its intact prefix. `Ok(None)` means no usable prefix
+    /// (torn preamble or header frame); a readable header that contradicts the
+    /// engine configuration, scheme, or source schema is a hard error — the
+    /// caller would otherwise splice two different runs into one stream.
+    fn scan_prefix<S>(
+        &self,
+        scheme: &S,
+        source_schema: &Schema,
+        reader: impl Read,
+    ) -> Result<Option<StreamPrefix>>
+    where
+        S: ChunkedScheme + StatefulScheme + ?Sized,
+    {
+        let Ok(mut frames) = FrameReader::new(reader) else { return Ok(None) };
+        let header = match frames.next_frame() {
+            Ok(Some(frame)) if frame.frame_type == FRAME_HEADER => frame,
+            Ok(_) | Err(_) => return Ok(None),
+        };
+        let parsed = (|| -> Result<(String, u64, usize, Schema)> {
+            let mut r = Reader::raw(&header.payload);
+            let name = r.str().map_err(F2Error::from)?.to_string();
+            let seed = r.u64().map_err(F2Error::from)?;
+            let chunk_rows = r.usize().map_err(F2Error::from)?;
+            let schema = take_schema(&mut r)?;
+            r.finish().map_err(F2Error::from)?;
+            Ok((name, seed, chunk_rows, schema))
+        })();
+        // The frame passed its CRC, so an undecodable header is a producer bug,
+        // not transport damage — but either way there is no prefix to keep.
+        let Ok((name, seed, chunk_rows, schema)) = parsed else { return Ok(None) };
+        if name != scheme.name() {
+            return Err(F2Error::UnsupportedInput(format!(
+                "stream was produced by the `{name}` scheme, resume holds `{}`",
+                scheme.name()
+            )));
+        }
+        if seed != self.config().seed || chunk_rows != self.config().chunk_rows {
+            return Err(F2Error::UnsupportedInput(format!(
+                "stream was produced with seed {seed} / chunk_rows {chunk_rows}, the resuming \
+                 engine holds seed {} / chunk_rows {} — resume needs the original configuration",
+                self.config().seed,
+                self.config().chunk_rows
+            )));
+        }
+        if &schema != source_schema {
+            return Err(F2Error::UnsupportedInput(
+                "stream header schema disagrees with the source — resume needs the original \
+                 source"
+                    .into(),
+            ));
+        }
+
+        let mut records: Vec<ChunkRecord> = Vec::new();
+        let mut payload_crcs = Vec::new();
+        let mut bytes = frames.bytes_consumed();
+        let mut frame_count = 1u64;
+        loop {
+            // Only a full-sized chunk may be followed by another: a short chunk
+            // is the stream's final one, so the prefix cannot extend past it.
+            if records.last().is_some_and(|prev| prev.rows.len() != chunk_rows) {
+                break;
+            }
+            let frame = match frames.next_frame() {
+                Ok(Some(frame)) if frame.frame_type == FRAME_CHUNK => frame,
+                // Trailer, end marker, unknown frame type, torn or damaged
+                // tail: the chunk prefix ends here — everything at and past
+                // this offset is rewritten by the resumed run.
+                _ => break,
+            };
+            let mut r = Reader::raw(&frame.payload);
+            let Ok(record) = take_chunk_record(&mut r) else { break };
+            let next_row = records.last().map_or(0, |prev| prev.rows.end);
+            let next_output = records.last().map_or(0, |prev| prev.output_rows.end);
+            if record.index != records.len()
+                || record.rows.start != next_row
+                || record.output_rows.start != next_output
+                || record.rows.is_empty()
+                || record.rows.len() > chunk_rows
+            {
+                break;
+            }
+            verify_chunk_seed(seed, record.index as u64, record.seed)?;
+            payload_crcs.push(crc32(&frame.payload));
+            records.push(record);
+            bytes = frames.bytes_consumed();
+            frame_count += 1;
+        }
+        Ok(Some(StreamPrefix { records, payload_crcs, bytes, frames: frame_count }))
+    }
+
+    /// Advance `source` past the rows the prefix covers, rebuilding the running
+    /// report (and, for F², verifying the stored frames against the source) and
+    /// seeding `progress` so the continued run picks up at the right chunk.
+    fn replay_prefix<S>(
+        &self,
+        scheme: &S,
+        source: &mut dyn RowSource,
+        retry: &RetryPolicy,
+        prefix: &StreamPrefix,
+        progress: &mut StreamProgress,
+    ) -> Result<()>
+    where
+        S: ChunkedScheme + StatefulScheme + ?Sized,
+    {
+        let mut pulls = retry.begin();
+        let mut remaining = prefix.records.iter().zip(&prefix.payload_crcs);
+        let mut current = remaining.next();
+        while let Some((record, &stored_crc)) = current {
+            let want = record.rows.len();
+            // The same inline retry loop as `pump_chunks` — the pulled chunk
+            // borrows the source, so `RetryPolicy::run` cannot wrap the pull.
+            let chunk = match source.next_chunk(want) {
+                Err(error) => {
+                    pulls.absorb(error).map_err(F2Error::from)?;
+                    continue;
+                }
+                Ok(None) => {
+                    return Err(F2Error::UnsupportedInput(format!(
+                        "source ended at row {} but the stream prefix covers {} rows — resume \
+                         needs the original source, rewound to its first row",
+                        record.rows.start,
+                        prefix.records.last().map_or(0, |last| last.rows.end)
+                    )));
+                }
+                Ok(Some(chunk)) => chunk,
+            };
+            if chunk.row_count() != want {
+                return Err(F2Error::UnsupportedInput(format!(
+                    "source produced {} rows where the stream prefix recorded {want} — resume \
+                     needs the original source",
+                    chunk.row_count()
+                )));
+            }
+            match scheme.rederive_chunk_report(want) {
+                Some(report) => merge_reports(&mut progress.report, &report),
+                None => {
+                    // F²: the per-chunk report depends on the data, so the
+                    // chunk is re-encrypted (deterministic under the stored,
+                    // seed-verified chunk seed). Comparing the rebuilt frame
+                    // payload's checksum against the stored frame's doubles as
+                    // proof that the source still holds the rows the prefix
+                    // was built from.
+                    let reseeded = scheme.reseeded(record.seed);
+                    let outcome = match &chunk {
+                        TableChunk::Owned(table) => reseeded.encrypt(table)?,
+                        TableChunk::Borrowed(view) => reseeded.encrypt_view(view)?,
+                    };
+                    let mut payload = Writer::raw();
+                    put_chunk_record(&mut payload, record);
+                    payload.put_bytes(&scheme.save_state(&outcome)?);
+                    payload.put_bytes(&encode_table(&outcome.encrypted));
+                    if crc32(&payload.finish()) != stored_crc {
+                        return Err(F2Error::UnsupportedInput(format!(
+                            "chunk {} re-encrypted from the source does not match the stored \
+                             stream — the source changed since the interrupted run",
+                            record.index
+                        )));
+                    }
+                    merge_reports(&mut progress.report, &outcome.report);
+                }
+            }
+            progress.rows = record.rows.end;
+            progress.encrypted_rows = record.output_rows.end;
+            progress.chunks.push(record.clone());
+            current = remaining.next();
+            pulls = retry.begin();
+        }
+        Ok(())
+    }
+}
+
+fn io_err(error: std::io::Error) -> F2Error {
+    F2Error::from(IoError::Io(error))
+}
+
+fn seek_to<T: Seek + ?Sized>(store: &mut T, offset: u64) -> Result<()> {
+    store.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+    Ok(())
+}

@@ -43,7 +43,7 @@ use crate::pipeline::{chunk_seed, merge_reports, ChunkRecord, Engine};
 use crate::wire::{Reader, Writer};
 use f2_core::{ChunkState, ChunkedScheme, EncryptionReport, F2Error, Result, SchemeOutcome};
 use f2_io::frame::{FrameReader, FrameSink};
-use f2_io::{sniff_version, RowSource};
+use f2_io::{sniff_version, RetryPolicy, RowSource, TableChunk};
 use f2_relation::Table;
 use std::io::{Read, Write};
 use std::time::{Duration, Instant};
@@ -100,7 +100,12 @@ impl Engine {
         }
         let chunk_rows = self.config().chunk_rows;
         let seed = self.config().seed;
-        let mut sink = FrameSink::new(writer).map_err(F2Error::from)?;
+        let retry = self.retry().cloned().unwrap_or_else(RetryPolicy::disabled);
+        // Transient write failures are absorbed *below* the frame layer: a failed
+        // raw `write` is guaranteed to have written nothing, so retrying it is
+        // exact, whereas retrying a whole `write_frame` could duplicate the bytes
+        // a partially-successful `write_all` already pushed out.
+        let mut sink = FrameSink::new(retry.writer(writer)).map_err(F2Error::from)?;
 
         let mut header = Writer::raw();
         header.put_str(scheme.name());
@@ -109,97 +114,190 @@ impl Engine {
         put_schema(&mut header, &schema);
         sink.write_frame(FRAME_HEADER, &header.finish()).map_err(F2Error::from)?;
 
-        let mut chunks: Vec<ChunkRecord> = Vec::new();
-        let mut rows = 0usize;
-        let mut encrypted_rows = 0usize;
-        let mut report = EncryptionReport::default();
-        loop {
-            let pulled = {
-                // Span covers source I/O plus chunk assembly (e.g. CSV parsing).
-                let _pull = f2_obs::span!("engine.chunk.pull");
-                source.next_chunk(chunk_rows).map_err(F2Error::from)?
-            };
-            let Some(chunk) = pulled else { break };
-            let chunk_len = chunk.row_count();
-            let index = chunks.len();
-            if chunk_len == 0 || chunk_len > chunk_rows {
-                return Err(F2Error::UnsupportedInput(format!(
-                    "source produced a {chunk_len}-row chunk (expected 1..={chunk_rows})"
-                )));
-            }
-            if chunks.last().is_some_and(|prev| prev.rows.len() != chunk_rows) {
-                return Err(F2Error::UnsupportedInput(
-                    "source produced a short chunk before the final one \
-                     (chunk boundaries would diverge from the in-memory path)"
-                        .into(),
-                ));
-            }
-            let chunk_seed_value = chunk_seed(seed, index as u64);
-            let start = Instant::now();
-            // Owned chunks (e.g. freshly parsed CSV rows) go straight through
-            // `encrypt` — materialising a view of an already-owned table would just
-            // clone its rows again; borrowed chunks take the zero-copy view path.
-            // The two are byte-identical by the `encrypt_view` contract (pinned by
-            // `tests/stream_parity.rs`).
-            let reseeded = scheme.reseeded(chunk_seed_value);
-            let outcome = match &chunk {
-                f2_io::TableChunk::Owned(table) => reseeded.encrypt(table)?,
-                f2_io::TableChunk::Borrowed(view) => reseeded.encrypt_view(view)?,
-            };
-            let wall = start.elapsed();
-            let record = ChunkRecord {
-                index,
-                rows: rows..rows + chunk_len,
-                output_rows: encrypted_rows..encrypted_rows + outcome.encrypted.row_count(),
-                seed: chunk_seed_value,
-                worker: 0,
-                wall,
-            };
-            let frame_payload = {
-                let _serialize = f2_obs::span!("engine.chunk.serialize");
-                let mut payload = Writer::raw();
-                put_chunk_record(&mut payload, &record);
-                payload.put_bytes(&scheme.save_state(&outcome)?);
-                payload.put_bytes(&encode_table(&outcome.encrypted));
-                payload.finish()
-            };
-            {
-                let _write = f2_obs::span!("engine.chunk.write");
-                sink.write_frame(FRAME_CHUNK, &frame_payload).map_err(F2Error::from)?;
-            }
-            crate::obs::chunk_encrypted(chunk_len, record.output_rows.len(), wall);
-            f2_obs::trace_event(
-                "engine.chunk",
-                &[
-                    ("index", index as u64),
-                    ("rows", chunk_len as u64),
-                    ("encrypted_rows", record.output_rows.len() as u64),
-                    ("stream_bytes", sink.bytes_written()),
-                ],
-            );
-            rows = record.rows.end;
-            encrypted_rows = record.output_rows.end;
-            merge_reports(&mut report, &outcome.report);
-            chunks.push(record);
-            // `outcome` (the only live copy of the chunk's ciphertext) drops here,
-            // before the next chunk is pulled.
-        }
-
-        let mut trailer = Writer::raw();
-        trailer.put_usize(chunks.len());
-        trailer.put_usize(rows);
-        trailer.put_usize(encrypted_rows);
-        // Persist the structural report (row overheads, MAS/EC counts) with the
-        // wall-clock step timings zeroed: like `ChunkRecord::wall`, timings vary run
-        // to run and would make equal datasets produce byte-different streams.
-        let mut persisted = report.clone();
-        persisted.timings = Default::default();
-        put_report(&mut trailer, &persisted);
-        sink.write_frame(FRAME_TRAILER, &trailer.finish()).map_err(F2Error::from)?;
-        let (_, bytes_written) = sink.finish().map_err(F2Error::from)?;
-        crate::obs::stream_bytes_total().add(bytes_written);
-        Ok(StreamOutcome { chunks, rows, encrypted_rows, bytes_written, report })
+        let mut progress = StreamProgress::start();
+        pump_chunks(scheme, seed, chunk_rows, source, &retry, &mut sink, &mut progress)?;
+        finish_stream(sink, progress)
     }
+}
+
+/// Running totals of one streaming run. `run_streaming` starts from zero;
+/// `resume_streaming` seeds it with the recovered prefix before pumping the
+/// remaining chunks through the same code path.
+pub(crate) struct StreamProgress {
+    pub(crate) chunks: Vec<ChunkRecord>,
+    pub(crate) rows: usize,
+    pub(crate) encrypted_rows: usize,
+    pub(crate) report: EncryptionReport,
+}
+
+impl StreamProgress {
+    pub(crate) fn start() -> Self {
+        StreamProgress {
+            chunks: Vec::new(),
+            rows: 0,
+            encrypted_rows: 0,
+            report: EncryptionReport::default(),
+        }
+    }
+}
+
+/// Pull chunks from `source` until it is exhausted, encrypting each and
+/// appending its frame to `sink` — the shared main loop of `run_streaming` and
+/// `resume_streaming`. Pulls run under `retry`: retrying a pull is sound only
+/// because a failed `next_chunk` consumes nothing (see the soundness notes in
+/// `f2_io::retry`). The retry loop is inlined rather than wrapped in
+/// [`RetryPolicy::run`] because the pulled chunk borrows the source, so the
+/// borrow may not escape to a retrying closure's caller.
+pub(crate) fn pump_chunks<S, W>(
+    scheme: &S,
+    seed: u64,
+    chunk_rows: usize,
+    source: &mut dyn RowSource,
+    retry: &RetryPolicy,
+    sink: &mut FrameSink<W>,
+    progress: &mut StreamProgress,
+) -> Result<()>
+where
+    S: ChunkedScheme + StatefulScheme + ?Sized,
+    W: Write,
+{
+    let mut pulls = retry.begin();
+    loop {
+        let attempt = {
+            // Span covers source I/O plus chunk assembly (e.g. CSV parsing).
+            let _pull = f2_obs::span!("engine.chunk.pull");
+            source.next_chunk(chunk_rows)
+        };
+        let chunk = match attempt {
+            Ok(None) => return Ok(()),
+            Ok(Some(chunk)) => chunk,
+            Err(error) => {
+                pulls.absorb(error).map_err(F2Error::from)?;
+                continue;
+            }
+        };
+        encode_chunk(scheme, seed, chunk_rows, &chunk, sink, progress)?;
+        // The pull budget is per-chunk, not per-stream: a success resets it.
+        pulls = retry.begin();
+        // `chunk` (the only live copy of the chunk's plaintext) drops here,
+        // before the next chunk is pulled.
+    }
+}
+
+/// Encrypt one pulled chunk and append its frame: the shared per-chunk step of
+/// `run_streaming` and `resume_streaming`.
+pub(crate) fn encode_chunk<S, W>(
+    scheme: &S,
+    seed: u64,
+    chunk_rows: usize,
+    chunk: &TableChunk<'_>,
+    sink: &mut FrameSink<W>,
+    progress: &mut StreamProgress,
+) -> Result<()>
+where
+    S: ChunkedScheme + StatefulScheme + ?Sized,
+    W: Write,
+{
+    let chunk_len = chunk.row_count();
+    let index = progress.chunks.len();
+    if chunk_len == 0 || chunk_len > chunk_rows {
+        return Err(F2Error::UnsupportedInput(format!(
+            "source produced a {chunk_len}-row chunk (expected 1..={chunk_rows})"
+        )));
+    }
+    if progress.chunks.last().is_some_and(|prev| prev.rows.len() != chunk_rows) {
+        return Err(F2Error::UnsupportedInput(
+            "source produced a short chunk before the final one \
+             (chunk boundaries would diverge from the in-memory path)"
+                .into(),
+        ));
+    }
+    let chunk_seed_value = chunk_seed(seed, index as u64);
+    let start = Instant::now();
+    // Owned chunks (e.g. freshly parsed CSV rows) go straight through
+    // `encrypt` — materialising a view of an already-owned table would just
+    // clone its rows again; borrowed chunks take the zero-copy view path.
+    // The two are byte-identical by the `encrypt_view` contract (pinned by
+    // `tests/stream_parity.rs`).
+    let reseeded = scheme.reseeded(chunk_seed_value);
+    let outcome = match chunk {
+        TableChunk::Owned(table) => reseeded.encrypt(table)?,
+        TableChunk::Borrowed(view) => reseeded.encrypt_view(view)?,
+    };
+    let wall = start.elapsed();
+    let record = ChunkRecord {
+        index,
+        rows: progress.rows..progress.rows + chunk_len,
+        output_rows: progress.encrypted_rows
+            ..progress.encrypted_rows + outcome.encrypted.row_count(),
+        seed: chunk_seed_value,
+        worker: 0,
+        wall,
+    };
+    let frame_payload = {
+        let _serialize = f2_obs::span!("engine.chunk.serialize");
+        let mut payload = Writer::raw();
+        put_chunk_record(&mut payload, &record);
+        payload.put_bytes(&scheme.save_state(&outcome)?);
+        payload.put_bytes(&encode_table(&outcome.encrypted));
+        payload.finish()
+    };
+    {
+        let _write = f2_obs::span!("engine.chunk.write");
+        sink.write_frame(FRAME_CHUNK, &frame_payload).map_err(F2Error::from)?;
+    }
+    crate::obs::chunk_encrypted(chunk_len, record.output_rows.len(), wall);
+    f2_obs::trace_event(
+        "engine.chunk",
+        &[
+            ("index", index as u64),
+            ("rows", chunk_len as u64),
+            ("encrypted_rows", record.output_rows.len() as u64),
+            ("stream_bytes", sink.bytes_written()),
+        ],
+    );
+    progress.rows = record.rows.end;
+    progress.encrypted_rows = record.output_rows.end;
+    merge_reports(&mut progress.report, &outcome.report);
+    progress.chunks.push(record);
+    Ok(())
+    // `outcome` (the only live copy of the chunk's ciphertext) drops here.
+}
+
+/// Validate that a stored chunk record carries the seed this engine would have
+/// derived for its index — resume refuses to extend a stream whose chunk seeds
+/// were not produced from the engine seed it holds. Lives here so seed
+/// derivation stays inside the chunk-seed-authority files.
+pub(crate) fn verify_chunk_seed(engine_seed: u64, index: u64, stored: u64) -> Result<()> {
+    if chunk_seed(engine_seed, index) != stored {
+        return Err(F2Error::UnsupportedInput(format!(
+            "stream chunk {index} was encrypted under a different engine seed"
+        )));
+    }
+    Ok(())
+}
+
+/// Write the trailer and end frames and close out the stream — the shared
+/// epilogue of `run_streaming` and `resume_streaming`.
+pub(crate) fn finish_stream<W: Write>(
+    mut sink: FrameSink<W>,
+    progress: StreamProgress,
+) -> Result<StreamOutcome> {
+    let StreamProgress { chunks, rows, encrypted_rows, report } = progress;
+    let mut trailer = Writer::raw();
+    trailer.put_usize(chunks.len());
+    trailer.put_usize(rows);
+    trailer.put_usize(encrypted_rows);
+    // Persist the structural report (row overheads, MAS/EC counts) with the
+    // wall-clock step timings zeroed: like `ChunkRecord::wall`, timings vary run
+    // to run and would make equal datasets produce byte-different streams.
+    let mut persisted = report.clone();
+    persisted.timings = Default::default();
+    put_report(&mut trailer, &persisted);
+    sink.write_frame(FRAME_TRAILER, &trailer.finish()).map_err(F2Error::from)?;
+    let (_, bytes_written) = sink.finish().map_err(F2Error::from)?;
+    crate::obs::stream_bytes_total().add(bytes_written);
+    Ok(StreamOutcome { chunks, rows, encrypted_rows, bytes_written, report })
 }
 
 /// The parsed header frame of one stream.
@@ -407,7 +505,7 @@ where
 // same dataset byte-different — breaking reproducible artifacts and the frozen v2
 // golden vectors. Loaded records report `worker = 0` and `wall = 0`.
 
-fn put_chunk_record(w: &mut Writer, record: &ChunkRecord) {
+pub(crate) fn put_chunk_record(w: &mut Writer, record: &ChunkRecord) {
     w.put_usize(record.index);
     w.put_usize(record.rows.start);
     w.put_usize(record.rows.end);
@@ -416,7 +514,7 @@ fn put_chunk_record(w: &mut Writer, record: &ChunkRecord) {
     w.put_u64(record.seed);
 }
 
-fn take_chunk_record(r: &mut Reader<'_>) -> Result<ChunkRecord> {
+pub(crate) fn take_chunk_record(r: &mut Reader<'_>) -> Result<ChunkRecord> {
     let index = r.usize().map_err(F2Error::from)?;
     let rows = r.usize().map_err(F2Error::from)?..r.usize().map_err(F2Error::from)?;
     let output_rows = r.usize().map_err(F2Error::from)?..r.usize().map_err(F2Error::from)?;

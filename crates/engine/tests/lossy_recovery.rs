@@ -1,0 +1,207 @@
+//! Lossy salvage of damaged `F2WS` v2 streams: `decrypt_streaming_lossy` must
+//! decrypt every intact chunk, account precisely for what was lost, and — under
+//! arbitrary seeded fault plans — never panic and never invent rows. Chunk
+//! frames are self-contained (per-chunk owner state travels in the frame), so
+//! one damaged chunk never takes its neighbours down.
+
+use f2_core::{DetScheme, ProbScheme};
+use f2_crypto::MasterKey;
+use f2_engine::{decrypt_streaming_lossy, DamageReport, Engine, EngineConfig};
+use f2_io::{FaultKind, FaultPlan, FaultyReader, FrameReader, TableSource};
+use f2_relation::Table;
+use proptest::prelude::*;
+
+fn fixture(rows: usize) -> Table {
+    f2_datagen::Dataset::Orders.generate(rows, 77)
+}
+
+fn scheme() -> DetScheme {
+    DetScheme::new(MasterKey::from_seed(41))
+}
+
+/// A stream of `rows` fixture rows in 5-row chunks, plus each frame's offset
+/// (preamble first, stream length last).
+fn golden(rows: usize) -> (Table, Vec<u8>, Vec<u64>) {
+    let t = fixture(rows);
+    let engine = Engine::new(EngineConfig { workers: 1, chunk_rows: 5, seed: 41 }).unwrap();
+    let mut stream = Vec::new();
+    engine.run_streaming(&scheme(), &mut TableSource::new(&t), &mut stream).unwrap();
+    let mut reader = FrameReader::new(&stream[..]).unwrap();
+    let mut offsets = vec![reader.bytes_consumed()];
+    while reader.next_frame().unwrap().is_some() {
+        offsets.push(reader.bytes_consumed());
+    }
+    offsets.push(reader.bytes_consumed());
+    (t, stream, offsets)
+}
+
+fn salvage(stream: &[u8]) -> (DamageReport, Vec<Table>) {
+    let mut chunks = Vec::new();
+    let report = decrypt_streaming_lossy(&scheme(), stream, |chunk| {
+        chunks.push(chunk);
+        Ok(())
+    })
+    .expect("salvage itself must not fail on frame damage");
+    (report, chunks)
+}
+
+#[test]
+fn an_intact_stream_salvages_losslessly() {
+    let (t, stream, _) = golden(23);
+    let (report, chunks) = salvage(&stream);
+    assert!(report.is_lossless(), "{report:?}");
+    assert_eq!(report.chunks_total, Some(5));
+    assert_eq!(report.chunks_recovered, 5);
+    assert_eq!(report.rows_recovered, t.row_count());
+    assert_eq!(report.rows_lost, Some(0));
+    assert_eq!(report.bytes_skipped, 0);
+    let mut all = chunks.into_iter();
+    let mut recovered = all.next().unwrap();
+    for chunk in all {
+        recovered.append(chunk).unwrap();
+    }
+    assert!(recovered.multiset_eq(&t), "lossless salvage must reproduce the plaintext");
+}
+
+#[test]
+fn one_damaged_chunk_loses_exactly_that_chunk() {
+    let (t, mut stream, offsets) = golden(23);
+    // Frame layout: [0]=preamble end, [1]=header end, [2..=6]=chunk ends.
+    // Corrupt chunk 2 (the third chunk) mid-frame.
+    let mid = usize::try_from((offsets[3] + offsets[4]) / 2).unwrap();
+    stream[mid] ^= 0x08;
+    let (report, chunks) = salvage(&stream);
+    assert!(!report.is_lossless());
+    assert_eq!(report.chunks_total, Some(5));
+    assert_eq!(report.chunks_recovered, 4);
+    assert_eq!(report.chunks_lost, 1);
+    assert_eq!(report.rows_recovered, t.row_count() - 5);
+    assert_eq!(report.rows_lost, Some(5));
+    assert!(report.trailer_recovered && report.header_recovered);
+    assert!(report.bytes_skipped > 0);
+    assert_eq!(report.skipped_ranges.len(), 1);
+    assert!(
+        report.skipped_ranges[0].start >= offsets[3] && report.skipped_ranges[0].end <= offsets[4],
+        "skipped range {:?} must lie inside the damaged frame {}..{}",
+        report.skipped_ranges[0],
+        offsets[3],
+        offsets[4],
+    );
+    assert_eq!(chunks.len(), 4);
+}
+
+#[test]
+fn a_damaged_trailer_still_salvages_every_chunk() {
+    let (t, mut stream, offsets) = golden(23);
+    let trailer_mid = usize::try_from((offsets[6] + offsets[7]) / 2).unwrap();
+    stream[trailer_mid] ^= 0x01;
+    let (report, chunks) = salvage(&stream);
+    assert!(!report.trailer_recovered);
+    assert_eq!(report.chunks_total, None, "no trailer, no promised total");
+    assert_eq!(report.chunks_recovered, 5);
+    assert_eq!(report.chunks_lost, 0, "all indices present: no observable gap");
+    assert_eq!(report.rows_lost, None, "row losses are unknowable without the trailer");
+    assert_eq!(chunks.iter().map(Table::row_count).sum::<usize>(), t.row_count());
+}
+
+#[test]
+fn a_lost_tail_without_a_trailer_is_the_documented_blind_spot() {
+    let (_, stream, offsets) = golden(23);
+    // Cut after chunk 3: chunk 4, the trailer, and the end frame are gone.
+    let cut = usize::try_from(offsets[5]).unwrap();
+    let (report, chunks) = salvage(&stream[..cut]);
+    assert_eq!(report.chunks_recovered, 4);
+    assert!(!report.trailer_recovered);
+    // The blind spot, by construction: nothing records how many chunks should
+    // have followed, so tail losses are invisible without a trailer.
+    assert_eq!(report.chunks_lost, 0);
+    assert_eq!(chunks.len(), 4);
+}
+
+#[test]
+fn an_interior_gap_is_visible_even_without_a_trailer() {
+    let (_, mut stream, offsets) = golden(23);
+    // Damage chunk 1 *and* the trailer: the index gap still convicts the loss.
+    let chunk1_mid = usize::try_from((offsets[2] + offsets[3]) / 2).unwrap();
+    let trailer_mid = usize::try_from((offsets[6] + offsets[7]) / 2).unwrap();
+    stream[chunk1_mid] ^= 0x40;
+    stream[trailer_mid] ^= 0x40;
+    let (report, chunks) = salvage(&stream);
+    assert!(!report.trailer_recovered);
+    assert_eq!(report.chunks_recovered, 4);
+    assert_eq!(report.chunks_lost, 1, "highest index seen is 4: one chunk is missing");
+    assert_eq!(chunks.len(), 4);
+}
+
+#[test]
+fn salvage_rejects_the_wrong_scheme_and_a_damaged_preamble() {
+    let (_, mut stream, _) = golden(13);
+    let wrong = ProbScheme::new(MasterKey::from_seed(41), 41);
+    let err = decrypt_streaming_lossy(&wrong, &stream[..], |_| Ok(())).unwrap_err();
+    assert!(err.to_string().contains("scheme"), "{err}");
+
+    stream[1] ^= 0xFF; // inside the magic
+    assert!(decrypt_streaming_lossy(&scheme(), &stream[..], |_| Ok(())).is_err());
+}
+
+#[test]
+fn emit_errors_propagate() {
+    let (_, stream, _) = golden(13);
+    let err = decrypt_streaming_lossy(&scheme(), &stream[..], |_| {
+        Err(f2_core::F2Error::UnsupportedInput("downstream is full".into()))
+    })
+    .unwrap_err();
+    assert!(err.to_string().contains("downstream is full"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary seeded fault plans (bit flips, transient errors absorbed by a
+    /// reader-side retry, and an occasional truncation) against the salvage
+    /// path: it must never panic, every emitted chunk must decrypt to original
+    /// rows of the right shape, and when the trailer survives the loss
+    /// accounting must balance exactly.
+    #[test]
+    fn random_fault_plans_never_panic_salvage_and_always_balance(
+        seed in 0u64..1 << 48,
+        fault_count in 0usize..10,
+    ) {
+        let (t, stream, _) = golden(23);
+        let mut plan = FaultPlan::random(seed, stream.len() as u64, fault_count);
+        if seed % 4 == 0 {
+            plan.push(7 + seed % (stream.len() as u64 - 7), FaultKind::Truncate);
+        }
+        // Reader-side faults include transients; absorb them with a retrying
+        // reader below the frame layer, as a production caller would.
+        let retry = f2_io::RetryPolicy::no_backoff(16);
+        let reader = retry.reader(FaultyReader::new(&stream[..], plan));
+        let mut emitted_rows = 0usize;
+        let mut emitted_chunks = 0usize;
+        let result = decrypt_streaming_lossy(&scheme(), reader, |chunk| {
+            prop_assert_eq!(chunk.schema(), t.schema());
+            prop_assert!(chunk.row_count() >= 1 && chunk.row_count() <= 5);
+            emitted_rows += chunk.row_count();
+            emitted_chunks += 1;
+            Ok(())
+        });
+        let Ok(report) = result else {
+            // A damaged preamble (or an exhausted retry budget) is a clean,
+            // non-panicking failure — nothing more to check.
+            continue;
+        };
+        prop_assert_eq!(report.chunks_recovered, emitted_chunks);
+        prop_assert_eq!(report.rows_recovered, emitted_rows);
+        prop_assert!(emitted_rows <= t.row_count(), "salvage invented rows");
+        if report.trailer_recovered {
+            // The trailer survived: every chunk is accounted for, one way or
+            // the other.
+            prop_assert_eq!(report.chunks_total, Some(5));
+            prop_assert_eq!(report.chunks_recovered + report.chunks_lost, 5);
+            prop_assert_eq!(
+                report.rows_lost.map(|lost| lost + report.rows_recovered),
+                Some(t.row_count())
+            );
+        }
+    }
+}

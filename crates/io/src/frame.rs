@@ -53,10 +53,10 @@ pub const FRAME_END: u8 = 0;
 pub const MAX_FRAME_BYTES: usize = 1 << 28; // 256 MiB
 
 /// Frame flag bit: the payload is varint-RLE compressed.
-const FLAG_RLE: u8 = 1;
+pub(crate) const FLAG_RLE: u8 = 1;
 
 /// Bytes of the fixed per-frame header (type, flags, wire_len, raw_len, crc32).
-const FRAME_HEADER_BYTES: usize = 1 + 1 + 4 + 4 + 4;
+pub(crate) const FRAME_HEADER_BYTES: usize = 1 + 1 + 4 + 4 + 4;
 
 // ── CRC32 ──────────────────────────────────────────────────────────────────────────
 
@@ -91,7 +91,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 /// The checksum stored in a frame: CRC-32 over the header bytes before the checksum
 /// field, continued over the wire payload (no concatenation buffer needed).
-fn frame_crc(header_prefix: &[u8], wire: &[u8]) -> u32 {
+pub(crate) fn frame_crc(header_prefix: &[u8], wire: &[u8]) -> u32 {
     !crc32_update(crc32_update(!0, header_prefix), wire)
 }
 
@@ -230,6 +230,16 @@ impl<W: Write> FrameSink<W> {
         Ok(FrameSink { writer, bytes_written: preamble.len() as u64, frames: 0 })
     }
 
+    /// Reopen a sink mid-stream: `writer` must be positioned right after the last
+    /// complete frame of a stream whose preamble was already written, and the
+    /// counters pick up from `bytes_already` / `frames_already`. No preamble is
+    /// emitted — this is the append constructor crash-safe resume
+    /// (`f2_engine::Engine::resume_streaming`) builds on, so the resumed stream's
+    /// byte totals match an uninterrupted run exactly.
+    pub fn resume(writer: W, bytes_already: u64, frames_already: u64) -> Self {
+        FrameSink { writer, bytes_written: bytes_already, frames: frames_already }
+    }
+
     /// Append one frame. `frame_type` must not be [`FRAME_END`] (that frame is
     /// written by [`FrameSink::finish`]); the payload is compressed when that helps.
     pub fn write_frame(&mut self, frame_type: u8, payload: &[u8]) -> IoResult<()> {
@@ -304,12 +314,26 @@ pub struct Frame {
 }
 
 /// Incremental reader of an `F2WS` v2 frame stream. Corrupt, truncated, or
-/// bit-flipped input surfaces as an [`IoError`] — never a panic.
+/// bit-flipped input surfaces as an [`IoError`] — never a panic — and the bytes
+/// of a failed frame are retained so [`FrameReader::recover`] (see
+/// [`crate::recover`]) can resynchronize to the next intact frame instead of
+/// abandoning the stream.
 #[derive(Debug)]
 pub struct FrameReader<R: Read> {
-    reader: R,
-    frame_index: u64,
-    ended: bool,
+    pub(crate) reader: R,
+    pub(crate) frame_index: u64,
+    pub(crate) ended: bool,
+    /// Absolute stream offset (preamble included) of the next byte [`Self::fill`]
+    /// will serve — i.e. of `pending[cursor]` when the pushback buffer is
+    /// non-empty.
+    pub(crate) consumed: u64,
+    /// Pushback buffer: bytes pulled from the reader but handed back on an error
+    /// path (`pending[cursor..]` is live). Empty throughout fault-free streaming,
+    /// so the hot path pays one emptiness check and nothing else.
+    pub(crate) pending: Vec<u8>,
+    pub(crate) cursor: usize,
+    /// Byte ranges recovery skipped as damaged, in scan order.
+    pub(crate) skipped: Vec<crate::recover::SkippedRange>,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -333,7 +357,76 @@ impl<R: Read> FrameReader<R> {
                 "version-2 payload has kind {kind}, expected a frame stream ({KIND_STREAM})"
             )));
         }
-        Ok(FrameReader { reader, frame_index: 0, ended: false })
+        Ok(FrameReader {
+            reader,
+            frame_index: 0,
+            ended: false,
+            consumed: preamble.len() as u64,
+            pending: Vec::new(),
+            cursor: 0,
+            skipped: Vec::new(),
+        })
+    }
+
+    /// Bytes still buffered in the pushback buffer.
+    pub(crate) fn buffered(&self) -> usize {
+        self.pending.len() - self.cursor
+    }
+
+    /// Fill `buf` from the pushback buffer, then the reader. Returns the bytes
+    /// filled, which is short of `buf.len()` only at end of input. On a reader
+    /// error, bytes already filled are handed back first, so a retried call (or a
+    /// recovery scan) resumes exactly where this one started.
+    fn fill(&mut self, buf: &mut [u8]) -> IoResult<usize> {
+        let mut filled = 0usize;
+        let avail = self.buffered();
+        if avail > 0 {
+            let n = avail.min(buf.len());
+            let (dst, _) = buf.split_at_mut(n);
+            if let Some(src) = self.pending.get(self.cursor..self.cursor + n) {
+                dst.copy_from_slice(src);
+            }
+            self.cursor += n;
+            self.consumed += n as u64;
+            filled = n;
+            if self.cursor == self.pending.len() {
+                self.pending.clear();
+                self.cursor = 0;
+            }
+        }
+        while filled < buf.len() {
+            let Some(target) = buf.get_mut(filled..) else { break };
+            match self.reader.read(target) {
+                Ok(0) => break,
+                Ok(n) => {
+                    filled += n;
+                    self.consumed += n as u64;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    let (head, _) = buf.split_at(filled);
+                    let head = head.to_vec();
+                    self.unread(&head);
+                    return Err(IoError::Io(e));
+                }
+            }
+        }
+        Ok(filled)
+    }
+
+    /// Hand bytes back to the front of the pushback buffer (they will be served
+    /// again before the reader is touched). Error-path only — the fault-free hot
+    /// path never copies through `pending`.
+    pub(crate) fn unread(&mut self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let mut buf = Vec::with_capacity(bytes.len() + self.buffered());
+        buf.extend_from_slice(bytes);
+        buf.extend_from_slice(self.pending.get(self.cursor..).unwrap_or(&[]));
+        self.pending = buf;
+        self.cursor = 0;
+        self.consumed -= bytes.len() as u64;
     }
 
     /// The next frame, or `None` once the end frame has been consumed. Reaching EOF
@@ -344,18 +437,22 @@ impl<R: Read> FrameReader<R> {
             return Ok(None);
         }
         let mut header = [0u8; FRAME_HEADER_BYTES];
-        self.reader.read_exact(&mut header).map_err(|_| {
+        let got = self.fill(&mut header)?;
+        if got < FRAME_HEADER_BYTES {
+            let (head, _) = header.split_at(got);
+            self.unread(head);
             crate::obs::truncation_errors().inc();
-            IoError::Truncated(format!(
+            return Err(IoError::Truncated(format!(
                 "stream ended inside the header of frame {} (no end frame seen)",
                 self.frame_index
-            ))
-        })?;
+            )));
+        }
         let [frame_type, flags, w0, w1, w2, w3, r0, r1, r2, r3, c0, c1, c2, c3] = header;
         let wire_len = decoded_len(u32::from_le_bytes([w0, w1, w2, w3]))?;
         let raw_len = decoded_len(u32::from_le_bytes([r0, r1, r2, r3]))?;
         let stored_crc = u32::from_le_bytes([c0, c1, c2, c3]);
         if wire_len > MAX_FRAME_BYTES || raw_len > MAX_FRAME_BYTES {
+            self.unread(&header);
             crate::obs::oversize_errors().inc();
             return Err(IoError::Oversized {
                 declared: wire_len.max(raw_len),
@@ -363,16 +460,26 @@ impl<R: Read> FrameReader<R> {
             });
         }
         let mut wire = vec![0u8; wire_len];
-        self.reader.read_exact(&mut wire).map_err(|_| {
+        let got = self.fill(&mut wire)?;
+        if got < wire_len {
+            wire.truncate(got);
+            let mut salvage = Vec::with_capacity(FRAME_HEADER_BYTES + wire.len());
+            salvage.extend_from_slice(&header);
+            salvage.extend_from_slice(&wire);
+            self.unread(&salvage);
             crate::obs::truncation_errors().inc();
-            IoError::Truncated(format!(
+            return Err(IoError::Truncated(format!(
                 "stream ended inside the payload of frame {}",
                 self.frame_index
-            ))
-        })?;
+            )));
+        }
         let prefix = [frame_type, flags, w0, w1, w2, w3, r0, r1, r2, r3];
         let computed = frame_crc(&prefix, &wire);
         if computed != stored_crc {
+            let mut salvage = Vec::with_capacity(FRAME_HEADER_BYTES + wire.len());
+            salvage.extend_from_slice(&header);
+            salvage.extend_from_slice(&wire);
+            self.unread(&salvage);
             crate::obs::checksum_errors().inc();
             return Err(IoError::Checksum {
                 frame: self.frame_index,
@@ -406,6 +513,18 @@ impl<R: Read> FrameReader<R> {
     /// Frames fully consumed so far (end frame included once seen).
     pub fn frames_read(&self) -> u64 {
         self.frame_index
+    }
+
+    /// Bytes of the underlying stream consumed so far (preamble included).
+    /// After a frame error, points at the start of the failed frame — the bytes
+    /// were handed back for recovery.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Whether the end frame has been consumed (the stream terminated cleanly).
+    pub fn ended(&self) -> bool {
+        self.ended
     }
 }
 

@@ -19,6 +19,13 @@
 //! * [`wire`] — the low-level `F2WS` primitives (length-prefixed little-endian
 //!   encoding, the v1 single-blob header), re-exported by `f2_engine::wire` for the
 //!   owner-state codecs.
+//! * [`fault`] / [`retry`] — the fault-tolerance substrate: deterministic,
+//!   seeded fault injection ([`FaultPlan`] replayed by [`FaultyReader`] /
+//!   [`FaultyWriter`] / [`FaultySource`]) and bounded retry with deterministic
+//!   decorrelated-jitter backoff ([`RetryPolicy`], [`RetryingReader`] /
+//!   [`RetryingWriter`]). [`FrameReader::recover`] resynchronizes a damaged
+//!   stream to its next intact frame; see `docs/ROBUSTNESS.md` for the failure
+//!   model end to end.
 //!
 //! The engine composes these into end-to-end streaming encryption
 //! (`f2_engine::Engine::run_streaming`): CSV/table source in, checksummed encrypted
@@ -28,11 +35,17 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub(crate) mod obs;
+pub mod recover;
+pub mod retry;
 pub mod source;
 pub mod wire;
 
 pub use error::{IoError, IoResult};
+pub use fault::{Fault, FaultKind, FaultPlan, FaultyReader, FaultySource, FaultyWriter};
 pub use frame::{crc32, sniff_version, Frame, FrameReader, FrameSink};
+pub use recover::{SkippedRange, StreamStore};
+pub use retry::{RetryPolicy, RetryState, RetryingReader, RetryingWriter};
 pub use source::{CsvOptions, CsvSource, RowSource, TableChunk, TableSource};

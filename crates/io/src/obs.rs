@@ -69,6 +69,42 @@ pub(crate) fn bytes_read() -> &'static Counter {
     })
 }
 
+/// Transient I/O failures absorbed by a [`RetryPolicy`](crate::retry::RetryPolicy).
+pub(crate) fn retries() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_io_retries_total",
+            "Transient I/O failures absorbed by RetryPolicy backoff.",
+            &[],
+        )
+    })
+}
+
+/// Frames re-acquired by `FrameReader::recover` after damage.
+pub(crate) fn frames_recovered() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_io_frames_recovered_total",
+            "Frames re-acquired by FrameReader::recover after stream damage.",
+            &[],
+        )
+    })
+}
+
+/// Bytes skipped while resynchronizing to the next valid frame.
+pub(crate) fn recovery_bytes_skipped() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_io_recovery_skipped_bytes_total",
+            "Bytes of damaged stream skipped while resynchronizing to a valid frame.",
+            &[],
+        )
+    })
+}
+
 const ERRORS_NAME: &str = "f2_io_frame_errors_total";
 const ERRORS_HELP: &str = "Frame transport failures detected while reading v2 streams.";
 

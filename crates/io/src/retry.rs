@@ -1,0 +1,408 @@
+//! Bounded retry with deterministic decorrelated-jitter backoff.
+//!
+//! A transient `io::Error` — a timeout, a reset connection, a `WouldBlock` from
+//! an overloaded pipe — should cost a retry, not a whole streaming encryption
+//! job. [`RetryPolicy`] is the one place that decides *which* errors are worth
+//! retrying and *how long* to wait between attempts:
+//!
+//! | `ErrorKind`                                   | classification |
+//! |-----------------------------------------------|----------------|
+//! | `Interrupted`¹, `WouldBlock`, `TimedOut`      | transient      |
+//! | `ConnectionReset`, `ConnectionAborted`        | transient      |
+//! | everything else (`NotFound`, `BrokenPipe`, …) | fatal          |
+//! | non-I/O [`IoError`]s (checksum, malformed, …) | fatal          |
+//!
+//! ¹ `std`'s `read_exact` / `write_all` loops absorb `Interrupted` before this
+//! layer ever sees it; it is classified here for callers issuing raw reads.
+//!
+//! Backoff is **decorrelated jitter** (`delay = min(cap, uniform(base, 3·prev))`)
+//! driven by a seeded splitmix64 generator, so a run's retry schedule is fully
+//! deterministic and reproducible — the property the fault-injection suite
+//! depends on. Every absorbed failure increments `f2_io_retries_total`.
+//!
+//! Retrying is only sound at a layer where a failed operation consumed nothing.
+//! The `std` contracts guarantee exactly that for single `read`/`write` calls,
+//! so [`RetryingReader`] / [`RetryingWriter`] wrap a transport at that level;
+//! for [`RowSource`](crate::RowSource) pulls, [`RetryPolicy::run`] is safe when
+//! the source fails before consuming input (true of
+//! [`FaultySource`](crate::FaultySource) and [`TableSource`](crate::TableSource);
+//! for [`CsvSource`](crate::CsvSource) over an unreliable device, wrap the raw
+//! reader in a [`RetryingReader`] *below* the parser instead).
+
+use crate::error::{IoError, IoResult};
+use crate::fault::splitmix64;
+use std::io::{ErrorKind, Read, Write};
+use std::time::Duration;
+
+/// Bounded-attempt retry with deterministic decorrelated-jitter backoff. See the
+/// [module docs](self) for the classification table and soundness rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (the first try included). `1` disables
+    /// retrying; `0` is treated as `1`.
+    pub max_attempts: u32,
+    /// Lower bound of every backoff delay.
+    pub base_delay: Duration,
+    /// Upper bound (cap) of every backoff delay.
+    pub max_delay: Duration,
+    /// Seed of the jitter generator — same seed, same backoff schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts with millisecond-scale jittered backoff.
+    fn default() -> Self {
+        RetryPolicy::new(4)
+    }
+}
+
+impl RetryPolicy {
+    /// A policy of `max_attempts` total attempts with millisecond-scale backoff
+    /// (2 ms base, 250 ms cap).
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(250),
+            seed: 0xF2_0DE1,
+        }
+    }
+
+    /// A single attempt, no backoff: every error is final. The engine's default —
+    /// fault tolerance is opt-in so the fault-free hot path stays untouched.
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// `max_attempts` attempts with zero delay between them — for tests that
+    /// exercise the retry logic without sleeping.
+    pub fn no_backoff(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Re-seed the jitter generator.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether this policy ever retries.
+    pub fn is_enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Whether an [`ErrorKind`] is worth retrying (see the classification table
+    /// in the [module docs](self)).
+    pub fn is_transient(kind: ErrorKind) -> bool {
+        matches!(
+            kind,
+            ErrorKind::Interrupted
+                | ErrorKind::WouldBlock
+                | ErrorKind::TimedOut
+                | ErrorKind::ConnectionReset
+                | ErrorKind::ConnectionAborted
+        )
+    }
+
+    /// Whether an [`IoError`] is worth retrying: only transport-level
+    /// [`IoError::Io`] with a transient kind. Data damage (checksum, truncation,
+    /// malformed) is *never* transient — retrying cannot un-corrupt bytes.
+    pub fn error_is_transient(error: &IoError) -> bool {
+        matches!(error, IoError::Io(e) if Self::is_transient(e.kind()))
+    }
+
+    /// Run `op` under this policy: transient failures are absorbed (with backoff)
+    /// until the attempt budget runs out; the first fatal error — or the last
+    /// transient one — is returned as-is.
+    pub fn run<T>(&self, op: impl FnMut() -> IoResult<T>) -> IoResult<T> {
+        self.run_classified(op, Self::error_is_transient)
+    }
+
+    /// [`RetryPolicy::run`] for raw `std::io` operations.
+    pub fn run_io<T>(&self, op: impl FnMut() -> std::io::Result<T>) -> std::io::Result<T> {
+        self.run_classified(op, |e: &std::io::Error| Self::is_transient(e.kind()))
+    }
+
+    fn run_classified<T, E>(
+        &self,
+        mut op: impl FnMut() -> Result<T, E>,
+        transient: impl Fn(&E) -> bool,
+    ) -> Result<T, E> {
+        let mut state = self.begin();
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(error) => state.absorb_classified(error, &transient)?,
+            }
+        }
+    }
+
+    /// Start an incremental attempt tracker for call sites where the retried
+    /// operation's success value borrows from its receiver — e.g. a
+    /// [`RowSource`](crate::RowSource) pull returning a chunk that borrows the
+    /// source — so [`RetryPolicy::run`] cannot wrap it (the borrow would have to
+    /// escape the retry closure). Make the attempt inline and feed each failure
+    /// to [`RetryState::absorb`].
+    pub fn begin(&self) -> RetryState<'_> {
+        RetryState { policy: self, failures: 0, rng: self.seed, prev: self.base_delay }
+    }
+
+    /// Next decorrelated-jitter delay: `min(cap, uniform(base, 3·prev))`. Public
+    /// so callers (and the fault-injection suite) can inspect the deterministic
+    /// schedule a given seed produces; `rng` is the caller-held generator state,
+    /// initially the policy's seed.
+    pub fn next_delay(&self, rng: &mut u64, prev: Duration) -> Duration {
+        let base = duration_nanos(self.base_delay);
+        let cap = duration_nanos(self.max_delay);
+        let hi = duration_nanos(prev).saturating_mul(3).max(base);
+        let span = hi - base;
+        let nanos = if span == 0 {
+            base
+        } else {
+            base.saturating_add(splitmix64(rng) % span.saturating_add(1))
+        };
+        Duration::from_nanos(nanos.min(cap))
+    }
+
+    /// Wrap a reader so every `read` call runs under this policy.
+    pub fn reader<R: Read>(&self, inner: R) -> RetryingReader<R> {
+        RetryingReader { inner, policy: self.clone() }
+    }
+
+    /// Wrap a writer so every `write`/`flush` call runs under this policy.
+    pub fn writer<W: Write>(&self, inner: W) -> RetryingWriter<W> {
+        RetryingWriter { inner, policy: self.clone() }
+    }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Incremental retry state created by [`RetryPolicy::begin`]: one value tracks
+/// one operation's attempt budget and backoff schedule, for call sites where
+/// the attempt itself must stay inline (its success value borrows from the
+/// receiver). Semantics are identical to [`RetryPolicy::run`]: the first fatal
+/// error — or the last transient one once the budget is spent — comes back out
+/// of [`RetryState::absorb`].
+#[derive(Debug)]
+pub struct RetryState<'p> {
+    policy: &'p RetryPolicy,
+    failures: u32,
+    rng: u64,
+    prev: Duration,
+}
+
+impl RetryState<'_> {
+    /// Absorb one failed attempt: sleeps the backoff delay and returns `Ok(())`
+    /// ("try again"), or hands the error back once it is fatal or the attempt
+    /// budget is exhausted.
+    pub fn absorb(&mut self, error: IoError) -> IoResult<()> {
+        self.absorb_classified(error, RetryPolicy::error_is_transient)
+    }
+
+    fn absorb_classified<E>(&mut self, error: E, transient: impl Fn(&E) -> bool) -> Result<(), E> {
+        self.failures = self.failures.saturating_add(1);
+        if self.failures >= self.policy.max_attempts.max(1) || !transient(&error) {
+            return Err(error);
+        }
+        crate::obs::retries().inc();
+        let delay = self.policy.next_delay(&mut self.rng, self.prev);
+        self.prev = delay.max(self.policy.base_delay);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        Ok(())
+    }
+}
+
+// ── Retrying transports ────────────────────────────────────────────────────────────
+
+/// A [`Read`] adapter that absorbs transient errors per the wrapped
+/// [`RetryPolicy`]. Sound because a failed `read` is guaranteed to have consumed
+/// nothing, so the retried call resumes exactly where the failed one started.
+#[derive(Debug)]
+pub struct RetryingReader<R: Read> {
+    inner: R,
+    policy: RetryPolicy,
+}
+
+impl<R: Read> RetryingReader<R> {
+    /// Unwrap the underlying reader.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for RetryingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let inner = &mut self.inner;
+        self.policy.run_io(|| inner.read(buf))
+    }
+}
+
+/// A [`Write`] adapter that absorbs transient errors per the wrapped
+/// [`RetryPolicy`]. Sound because a failed `write` is guaranteed to have written
+/// nothing. Short writes are left to the caller's `write_all` loop — they are
+/// progress, not failure.
+#[derive(Debug)]
+pub struct RetryingWriter<W: Write> {
+    inner: W,
+    policy: RetryPolicy,
+}
+
+impl<W: Write> RetryingWriter<W> {
+    /// Unwrap the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// The underlying writer, borrowed.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Write> Write for RetryingWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let inner = &mut self.inner;
+        self.policy.run_io(|| inner.write(buf))
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        let inner = &mut self.inner;
+        self.policy.run_io(|| inner.flush())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultKind, FaultPlan, FaultyReader, FaultyWriter};
+    use std::io::Cursor;
+
+    #[test]
+    fn classification_matches_the_table() {
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+            ErrorKind::ConnectionReset,
+            ErrorKind::ConnectionAborted,
+        ] {
+            assert!(RetryPolicy::is_transient(kind), "{kind:?}");
+            assert!(RetryPolicy::error_is_transient(&IoError::Io(std::io::Error::new(kind, "x"))));
+        }
+        for kind in [ErrorKind::NotFound, ErrorKind::BrokenPipe, ErrorKind::UnexpectedEof] {
+            assert!(!RetryPolicy::is_transient(kind), "{kind:?}");
+        }
+        // Data damage is never transient.
+        assert!(!RetryPolicy::error_is_transient(&IoError::BadMagic));
+        assert!(!RetryPolicy::error_is_transient(&IoError::Checksum {
+            frame: 0,
+            stored: 1,
+            computed: 2
+        }));
+    }
+
+    #[test]
+    fn run_absorbs_transients_within_budget_and_reports_the_last() {
+        let policy = RetryPolicy::no_backoff(3);
+        let mut calls = 0;
+        let out: IoResult<u32> = policy.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(IoError::Io(std::io::Error::new(ErrorKind::TimedOut, "flaky")))
+            } else {
+                Ok(99)
+            }
+        });
+        assert_eq!(out.unwrap(), 99);
+        assert_eq!(calls, 3);
+        // Budget exhausted: the last transient error surfaces.
+        let mut calls = 0;
+        let out: IoResult<u32> = policy.run(|| {
+            calls += 1;
+            Err(IoError::Io(std::io::Error::new(ErrorKind::WouldBlock, "always")))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3);
+        // Fatal errors are not retried at all.
+        let mut calls = 0;
+        let out: IoResult<u32> = policy.run(|| {
+            calls += 1;
+            Err(IoError::BadMagic)
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_capped() {
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_nanos(100),
+            max_delay: Duration::from_nanos(900),
+            seed: 42,
+        };
+        let schedule = |p: &RetryPolicy| {
+            let mut rng = p.seed;
+            let mut prev = p.base_delay;
+            let mut out = Vec::new();
+            for _ in 0..6 {
+                let d = p.next_delay(&mut rng, prev);
+                prev = d.max(p.base_delay);
+                out.push(d);
+            }
+            out
+        };
+        let a = schedule(&policy);
+        assert_eq!(a, schedule(&policy), "same seed, same schedule");
+        assert!(a.iter().all(|d| *d >= policy.base_delay && *d <= policy.max_delay));
+        let reseeded = policy.clone().with_seed(43);
+        assert_ne!(a, schedule(&reseeded), "different seed, different jitter");
+    }
+
+    #[test]
+    fn retrying_transports_absorb_injected_faults() {
+        let data: Vec<u8> = (0..=63).collect();
+        let plan = FaultPlan::new()
+            .with(10, FaultKind::Transient(ErrorKind::TimedOut))
+            .with(40, FaultKind::Transient(ErrorKind::ConnectionReset));
+        let mut reader =
+            RetryPolicy::no_backoff(3).reader(FaultyReader::new(Cursor::new(data.clone()), plan));
+        let mut out = Vec::new();
+        reader.read_to_end(&mut out).unwrap();
+        assert_eq!(out, data);
+
+        let plan = FaultPlan::new()
+            .with(5, FaultKind::Transient(ErrorKind::WouldBlock))
+            .with(6, FaultKind::ShortWrite(1));
+        let mut writer = RetryPolicy::no_backoff(3).writer(FaultyWriter::new(Vec::new(), plan));
+        writer.write_all(&data).unwrap();
+        writer.flush().unwrap();
+        assert_eq!(writer.into_inner().into_inner(), data);
+    }
+
+    #[test]
+    fn disabled_policy_fails_on_the_first_transient() {
+        let plan = FaultPlan::new().with(3, FaultKind::Transient(ErrorKind::TimedOut));
+        let mut reader =
+            RetryPolicy::disabled().reader(FaultyReader::new(Cursor::new(vec![0u8; 16]), plan));
+        let mut out = Vec::new();
+        assert!(reader.read_to_end(&mut out).is_err());
+        assert!(!RetryPolicy::disabled().is_enabled());
+        assert!(RetryPolicy::default().is_enabled());
+    }
+}

@@ -22,7 +22,7 @@
 
 use crate::error::{IoError, IoResult};
 use f2_relation::csv::{parse_typed_field, split_record};
-use f2_relation::{Attribute, DataType, Record, Schema, Table, TableView};
+use f2_relation::{Attribute, DataType, Record, Schema, Table, TableView, Value};
 use std::collections::VecDeque;
 use std::io::BufRead;
 use std::path::Path;
@@ -124,17 +124,18 @@ impl RowSource for TableSource<'_> {
 pub struct CsvOptions {
     delimiter: u8,
     schema: Option<Schema>,
+    coerce_to_text: bool,
 }
 
 impl CsvOptions {
     /// Comma-separated values with type inference.
     pub fn csv() -> Self {
-        CsvOptions { delimiter: b',', schema: None }
+        CsvOptions { delimiter: b',', schema: None, coerce_to_text: false }
     }
 
     /// Tab-separated values with type inference.
     pub fn tsv() -> Self {
-        CsvOptions { delimiter: b'\t', schema: None }
+        CsvOptions { delimiter: b'\t', schema: None, coerce_to_text: false }
     }
 
     /// Use an explicit schema instead of inference: the header must have the same
@@ -147,6 +148,20 @@ impl CsvOptions {
     /// Use a custom single-byte delimiter.
     pub fn with_delimiter(mut self, delimiter: u8) -> Self {
         self.delimiter = delimiter;
+        self
+    }
+
+    /// In inference mode, widen a contradicting cell to text instead of failing.
+    ///
+    /// Type inference only sees the first [`INFERENCE_SAMPLE_ROWS`] rows; a later
+    /// row can contradict the inferred type and, by default, fails the pull with a
+    /// precise line-numbered error. With coercion on, such a cell is stored as
+    /// [`Value::Text`] holding the raw field verbatim and parsing continues;
+    /// [`CsvSource::coerced_cells`] counts how many cells were widened. Explicit
+    /// schemas ([`with_schema`](Self::with_schema)) stay strict regardless — a
+    /// declared type is a contract, not a guess.
+    pub fn coerce_to_text(mut self, coerce: bool) -> Self {
+        self.coerce_to_text = coerce;
         self
     }
 }
@@ -164,6 +179,10 @@ pub struct CsvSource<R: BufRead> {
     /// Whether the schema's types were inferred from a sample (vs declared by the
     /// caller) — decides how a type mismatch on a later row is explained.
     inferred_types: bool,
+    /// Widen inference-contradicting cells to text instead of erroring.
+    coerce_to_text: bool,
+    /// Cells widened to text under [`CsvOptions::coerce_to_text`].
+    coerced_cells: u64,
     /// 1-based line of the most recently *started* record (header = line 1).
     line: u64,
     exhausted: bool,
@@ -193,6 +212,8 @@ impl<R: BufRead> CsvSource<R> {
             line: 0,
             exhausted: false,
             inferred_types: options.schema.is_none(),
+            coerce_to_text: options.coerce_to_text,
+            coerced_cells: 0,
         };
         let (_, header) = source
             .read_raw_record(false)?
@@ -313,30 +334,50 @@ impl<R: BufRead> CsvSource<R> {
     }
 
     /// Parse one raw record under the source schema.
-    fn parse_record(&self, fields: &[String], line: u64) -> IoResult<Record> {
+    fn parse_record(&mut self, fields: &[String], line: u64) -> IoResult<Record> {
         if fields.len() != self.schema.arity() {
             return Err(arity_error(line, fields.len(), self.schema.arity()));
         }
+        // Only inferred types may be coerced: an explicit schema is a contract.
+        let coerce = self.inferred_types && self.coerce_to_text;
+        let mut coerced = 0u64;
         let mut values = Vec::with_capacity(fields.len());
         for (field, attr) in fields.iter().zip(self.schema.attributes()) {
-            values.push(parse_typed_field(field, attr).map_err(|e| {
-                let remedy = if self.inferred_types {
-                    format!(
-                        "{:?} was inferred for column `{}` from the first {} rows and the row \
-                         on line {line} contradicts it; pass an explicit schema \
-                         (`CsvOptions::with_schema`) to override the inference",
-                        attr.data_type, attr.name, INFERENCE_SAMPLE_ROWS
-                    )
-                } else {
-                    format!(
-                        "column `{}` is declared {:?} by the explicit schema",
-                        attr.name, attr.data_type
-                    )
-                };
-                IoError::Csv { line, message: format!("{e} ({remedy})") }
-            })?);
+            let value = match parse_typed_field(field, attr) {
+                Ok(value) => value,
+                Err(_) if coerce => {
+                    coerced += 1;
+                    Value::text(field.clone())
+                }
+                Err(e) => {
+                    let remedy = if self.inferred_types {
+                        format!(
+                            "{:?} was inferred for column `{}` from the first {} rows and the \
+                             row on line {line} contradicts it; pass an explicit schema \
+                             (`CsvOptions::with_schema`) to override the inference, or set \
+                             `CsvOptions::coerce_to_text(true)` to widen such cells to text",
+                            attr.data_type, attr.name, INFERENCE_SAMPLE_ROWS
+                        )
+                    } else {
+                        format!(
+                            "column `{}` is declared {:?} by the explicit schema",
+                            attr.name, attr.data_type
+                        )
+                    };
+                    return Err(IoError::Csv { line, message: format!("{e} ({remedy})") });
+                }
+            };
+            values.push(value);
         }
+        self.coerced_cells += coerced;
         Ok(Record::new(values))
+    }
+
+    /// How many cells were widened to [`Value::Text`] under
+    /// [`CsvOptions::coerce_to_text`] so far. Always zero with an explicit schema
+    /// or with coercion off.
+    pub fn coerced_cells(&self) -> u64 {
+        self.coerced_cells
     }
 }
 
@@ -585,6 +626,54 @@ mod tests {
         assert!(CsvSource::new("".as_bytes(), CsvOptions::csv()).is_err());
         let err = CsvSource::new("A\n\"open\n".as_bytes(), CsvOptions::csv()).unwrap_err();
         assert!(matches!(err, IoError::Csv { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn coerce_to_text_widens_contradicting_cells_and_continues() {
+        // Same shape as `errors_carry_line_numbers`: an Int column inferred from
+        // 300 rows, contradicted past the sample — but with coercion on the pull
+        // survives, the offending cell holds the raw field verbatim, and parsing
+        // runs to exhaustion.
+        let csv = format!(
+            "A\n{}\nnot-a-number\n9000\n",
+            (1..=300).map(|i| i.to_string()).collect::<Vec<_>>().join("\n")
+        );
+        let mut source =
+            CsvSource::new(csv.as_bytes(), CsvOptions::csv().coerce_to_text(true)).unwrap();
+        // The schema itself is untouched: the column stays Int, only the cell widens.
+        assert_eq!(source.schema().attribute(0).unwrap().data_type, DataType::Int);
+        let all = concat(drain(&mut source, 64));
+        assert_eq!(all.row_count(), 302);
+        assert_eq!(all.cell(299, 0).unwrap(), &Value::Int(300));
+        assert_eq!(all.cell(300, 0).unwrap(), &Value::text("not-a-number"));
+        assert_eq!(all.cell(301, 0).unwrap(), &Value::Int(9000));
+        assert_eq!(source.coerced_cells(), 1);
+        // Coercion off (the default) keeps the precise error and counts nothing.
+        let mut strict = CsvSource::new(csv.as_bytes(), CsvOptions::csv()).unwrap();
+        let err = loop {
+            match strict.next_chunk(64) {
+                Ok(Some(_)) => continue,
+                Ok(None) => panic!("the contradicting row must surface"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, IoError::Csv { line: 302, .. }), "{err}");
+        assert!(err.to_string().contains("coerce_to_text"), "{err}");
+        assert_eq!(strict.coerced_cells(), 0);
+    }
+
+    #[test]
+    fn coerce_to_text_never_applies_to_explicit_schemas() {
+        // A declared type is a contract: the flag is ignored, the error stays.
+        let schema = Schema::new(vec![Attribute::new("A", DataType::Int)]).unwrap();
+        let options = CsvOptions::csv().with_schema(schema).coerce_to_text(true);
+        let mut source = CsvSource::new("A\n1\nx\n".as_bytes(), options).unwrap();
+        let first = source.next_chunk(1).unwrap().expect("row 1 parses");
+        assert_eq!(first.row_count(), 1);
+        drop(first);
+        let err = source.next_chunk(1).unwrap_err();
+        assert!(err.to_string().contains("declared Int by the explicit schema"), "{err}");
+        assert_eq!(source.coerced_cells(), 0);
     }
 
     #[test]

@@ -19,14 +19,23 @@
 //!   parses CSV/TSV with schema inference in constant memory, [`TableSource`] wraps
 //!   in-memory tables as zero-copy views) and the checksummed, compressed `F2WS` v2
 //!   frame stream ([`io::FrameSink`](f2_io::FrameSink) /
-//!   [`io::FrameReader`](f2_io::FrameReader));
+//!   [`io::FrameReader`](f2_io::FrameReader)); plus the fault-tolerance toolkit:
+//!   [`RetryPolicy`] (bounded, deterministic-jitter retry of transient I/O
+//!   failures), frame-level damage recovery
+//!   ([`io::FrameReader::recover`](f2_io::FrameReader::recover)), and the seeded
+//!   fault-injection harness ([`FaultPlan`] and friends) that makes failure paths
+//!   testable;
 //! * [`engine`] — the streaming outsourcing layer: [`Engine`] shards a table into
 //!   chunks, encrypts them on parallel workers over any [`ChunkedScheme`] backend with
 //!   per-chunk nonce domains, and reassembles a deterministic outcome —
 //!   or streams source → encrypted file end to end in bounded memory
 //!   ([`Engine::run_streaming`], `engine::stream::decrypt_streaming`); the
 //!   [`StatefulScheme`] extension persists owner state over the versioned
-//!   `f2_engine::wire` format so decryption can happen in a later process;
+//!   `f2_engine::wire` format so decryption can happen in a later process; crashed
+//!   streaming jobs resume byte-exactly ([`Engine::resume_streaming`]), damaged
+//!   streams salvage chunk-wise ([`decrypt_streaming_lossy`] → [`DamageReport`]),
+//!   and worker panics surface as typed [`EngineError::WorkerPanicked`] errors
+//!   (see `docs/ROBUSTNESS.md`);
 //! * [`attack`] — the frequency-analysis and Kerckhoffs adversaries and the empirical
 //!   α-security experiment, runnable against **any** [`Scheme`];
 //! * [`datagen`] — TPC-H/TPC-C-style and synthetic workload generators used by the
@@ -120,7 +129,11 @@ pub use f2_core::{
     PaillierScheme, ProbScheme, Provenance, RowOrigin, Scheme, SchemeOutcome, F2,
 };
 pub use f2_engine::{
-    ChunkRecord, Engine, EngineConfig, EngineOutcome, StatefulScheme, StreamOutcome,
+    decrypt_streaming_lossy, ChunkRecord, DamageReport, Engine, EngineConfig, EngineError,
+    EngineOutcome, StatefulScheme, StreamOutcome,
 };
-pub use f2_io::{CsvOptions, CsvSource, RowSource, TableChunk, TableSource};
+pub use f2_io::{
+    CsvOptions, CsvSource, FaultKind, FaultPlan, FaultyReader, FaultySource, FaultyWriter,
+    RetryPolicy, RetryState, RowSource, SkippedRange, StreamStore, TableChunk, TableSource,
+};
 pub use f2_relation::{AttrSet, Record, Schema, Table, TableView, Value};
