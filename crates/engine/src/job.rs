@@ -1,0 +1,304 @@
+//! Push-model streaming jobs: open a stream, append chunks as they arrive,
+//! finish (or crash and resume) — the engine layer under a long-running service.
+//!
+//! [`Engine::run_streaming`] is pull-model: it owns the loop and drains a
+//! [`RowSource`](f2_io::RowSource) to completion in one call. A server cannot
+//! use that shape — rows arrive from a client one request at a time, with
+//! arbitrary gaps (and possibly a process restart) between them. [`StreamJob`]
+//! inverts control while reusing the exact same per-chunk encoder, so the bytes
+//! a job writes are **byte-identical** to what `run_streaming` would have
+//! produced over the same rows, scheme, and engine configuration:
+//!
+//! * [`Engine::begin_job`] truncates a [`StreamStore`] and writes the preamble
+//!   and header frame.
+//! * [`StreamJob::append_chunk`] encrypts one chunk and appends its frame —
+//!   the caller must push full `chunk_rows` chunks until the final short one,
+//!   exactly like a source on the pull path (violations are typed errors).
+//! * [`StreamJob::finish`] writes the trailer and end marker and returns the
+//!   same [`StreamOutcome`] the pull path reports.
+//! * [`Engine::resume_job`] reopens a store torn by a crash or disconnect:
+//!   it scans the intact prefix (the same validation as
+//!   [`Engine::resume_streaming`]), truncates the tear, and returns a job
+//!   positioned at the next chunk index. Unlike `resume_streaming` it needs
+//!   **no source**: backends with derivable per-chunk reports rebuild their
+//!   running totals arithmetically, and F² rebuilds them by decrypting each
+//!   stored prefix chunk and re-encrypting it under its recorded seed,
+//!   verifying the re-encryption CRC-matches the stored frame (which proves
+//!   the store, owner state, and key material all still agree). The caller
+//!   re-sends rows from [`StreamJob::rows`] onward.
+//!
+//! This is the substrate `f2_server` builds its crash-resumable, multi-tenant
+//! job sessions on; it is equally usable directly for incremental encryption
+//! pipelines that materialize rows in batches.
+
+use crate::persist::{decode_table, encode_table, put_schema, StatefulScheme};
+use crate::pipeline::{merge_reports, ChunkRecord, Engine};
+use crate::resume::StreamPrefix;
+use crate::stream::{
+    encode_chunk, finish_stream, put_chunk_record, take_chunk_record, StreamOutcome,
+    StreamProgress, FRAME_CHUNK, FRAME_HEADER,
+};
+use crate::wire::{Reader, Writer};
+use f2_core::{ChunkedScheme, EncryptionReport, F2Error, Result, SchemeOutcome};
+use f2_io::frame::{crc32, FrameReader, FrameSink};
+use f2_io::{RetryPolicy, RetryingWriter, StreamStore, TableChunk};
+use f2_relation::Schema;
+use std::io::{Seek, SeekFrom};
+
+/// An open push-model encryption stream over a [`StreamStore`].
+///
+/// Created by [`Engine::begin_job`] or [`Engine::resume_job`]; see the
+/// [module docs](self) for the contract. The job owns the store (through the
+/// engine's retrying writer) until [`StreamJob::finish`] closes the stream.
+pub struct StreamJob<T: StreamStore> {
+    seed: u64,
+    chunk_rows: usize,
+    sink: FrameSink<RetryingWriter<T>>,
+    progress: StreamProgress,
+}
+
+impl<T: StreamStore> std::fmt::Debug for StreamJob<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamJob")
+            .field("chunk_rows", &self.chunk_rows)
+            .field("rows", &self.progress.rows)
+            .field("encrypted_rows", &self.progress.encrypted_rows)
+            .field("chunks", &self.progress.chunks.len())
+            .field("bytes_written", &self.sink.bytes_written())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Start a fresh push-model stream in `store` (truncating whatever it
+    /// held), writing the preamble and header frame for `scheme` and `schema`.
+    /// The header pins the engine seed and `chunk_rows`, exactly as
+    /// [`Engine::run_streaming`] writes it.
+    pub fn begin_job<S, T>(&self, scheme: &S, schema: &Schema, mut store: T) -> Result<StreamJob<T>>
+    where
+        S: ChunkedScheme + StatefulScheme + ?Sized,
+        T: StreamStore,
+    {
+        if schema.arity() == 0 {
+            return Err(F2Error::UnsupportedInput("schema has no attributes".into()));
+        }
+        store.set_len(0).map_err(io_err)?;
+        seek_to(&mut store, 0)?;
+        let retry = self.retry().cloned().unwrap_or_else(RetryPolicy::disabled);
+        let mut sink = FrameSink::new(retry.writer(store)).map_err(F2Error::from)?;
+        let mut header = Writer::raw();
+        header.put_str(scheme.name());
+        header.put_u64(self.config().seed);
+        header.put_usize(self.config().chunk_rows);
+        put_schema(&mut header, schema);
+        sink.write_frame(FRAME_HEADER, &header.finish()).map_err(F2Error::from)?;
+        Ok(StreamJob {
+            seed: self.config().seed,
+            chunk_rows: self.config().chunk_rows,
+            sink,
+            progress: StreamProgress::start(),
+        })
+    }
+
+    /// Reopen an interrupted push-model stream in `store`, returning a job
+    /// positioned after the last intact chunk frame; everything past it
+    /// (torn bytes, or the trailer of a finished stream) is truncated away.
+    /// The caller continues by appending rows from [`StreamJob::rows`] onward
+    /// — appends then produce a stream byte-identical to an uninterrupted one.
+    ///
+    /// A store torn before its first chunk frame starts over from scratch
+    /// (exactly [`Engine::begin_job`]); a readable header that contradicts the
+    /// scheme, engine configuration, or `schema` is an error, not damage. No
+    /// source is needed: see the [module docs](self) for how each backend's
+    /// running report is rebuilt, and the CRC cross-check that catches a
+    /// store/key mismatch before any new bytes are written.
+    pub fn resume_job<S, T>(
+        &self,
+        scheme: &S,
+        schema: &Schema,
+        mut store: T,
+    ) -> Result<StreamJob<T>>
+    where
+        S: ChunkedScheme + StatefulScheme + ?Sized,
+        T: StreamStore,
+    {
+        crate::obs::resumes().inc();
+        seek_to(&mut store, 0)?;
+        let Some(prefix) = self.scan_prefix(scheme, schema, &mut store)? else {
+            // Nothing usable survives a torn preamble or header frame.
+            return self.begin_job(scheme, schema, store);
+        };
+        let mut progress = StreamProgress::start();
+        replay_stored_prefix(scheme, &prefix, &mut store, &mut progress)?;
+        store.set_len(prefix.bytes).map_err(io_err)?;
+        seek_to(&mut store, prefix.bytes)?;
+        let retry = self.retry().cloned().unwrap_or_else(RetryPolicy::disabled);
+        let sink = FrameSink::resume(retry.writer(store), prefix.bytes, prefix.frames);
+        Ok(StreamJob {
+            seed: self.config().seed,
+            chunk_rows: self.config().chunk_rows,
+            sink,
+            progress,
+        })
+    }
+}
+
+impl<T: StreamStore> StreamJob<T> {
+    /// Encrypt `chunk` and append its frame, returning the chunk's provenance
+    /// record. The pull path's invariants apply: every chunk must hold
+    /// `1..=chunk_rows` rows, and a short chunk must be the stream's last —
+    /// an append after a short chunk is a typed error, never silent damage.
+    pub fn append_chunk<S>(&mut self, scheme: &S, chunk: &TableChunk<'_>) -> Result<&ChunkRecord>
+    where
+        S: ChunkedScheme + StatefulScheme + ?Sized,
+    {
+        encode_chunk(
+            scheme,
+            self.seed,
+            self.chunk_rows,
+            chunk,
+            &mut self.sink,
+            &mut self.progress,
+        )?;
+        // encode_chunk pushed exactly one record on success.
+        self.progress
+            .chunks
+            .last()
+            .ok_or_else(|| F2Error::UnsupportedInput("chunk was encoded but not recorded".into()))
+    }
+
+    /// Write the trailer and end marker, close the stream, and report the
+    /// totals — identical in content to [`Engine::run_streaming`]'s outcome.
+    pub fn finish(self) -> Result<StreamOutcome> {
+        finish_stream(self.sink, self.progress).map(|(outcome, _)| outcome)
+    }
+
+    /// Like [`StreamJob::finish`], but also hand the store back — for callers
+    /// that need to sync, inspect, or reuse it after the stream closes.
+    pub fn finish_into_store(self) -> Result<(StreamOutcome, T)> {
+        finish_stream(self.sink, self.progress)
+            .map(|(outcome, writer)| (outcome, writer.into_inner()))
+    }
+
+    /// Plaintext rows encrypted so far — the row index the next append's
+    /// chunk must start at (and the resume point a reconnecting client
+    /// re-sends from).
+    pub fn rows(&self) -> usize {
+        self.progress.rows
+    }
+
+    /// Encrypted rows written so far (padding rows included).
+    pub fn encrypted_rows(&self) -> usize {
+        self.progress.encrypted_rows
+    }
+
+    /// Index the next appended chunk will occupy.
+    pub fn next_chunk_index(&self) -> usize {
+        self.progress.chunks.len()
+    }
+
+    /// Provenance of the chunks written so far, in order.
+    pub fn chunks(&self) -> &[ChunkRecord] {
+        &self.progress.chunks
+    }
+
+    /// The stream's pinned chunk size.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Stream bytes written so far, preamble and frame headers included.
+    pub fn bytes_written(&self) -> u64 {
+        self.sink.bytes_written()
+    }
+}
+
+/// Rebuild the running [`StreamProgress`] for a validated prefix using only
+/// the store. Backends whose per-chunk reports are derivable from the row
+/// count rebuild arithmetically; F² decrypts each stored chunk, re-encrypts
+/// it under its recorded seed, and requires the re-encryption to CRC-match
+/// the stored frame payload before trusting its report.
+fn replay_stored_prefix<S, T>(
+    scheme: &S,
+    prefix: &StreamPrefix,
+    store: &mut T,
+    progress: &mut StreamProgress,
+) -> Result<()>
+where
+    S: ChunkedScheme + StatefulScheme + ?Sized,
+    T: StreamStore,
+{
+    let rederived: Option<Vec<_>> =
+        prefix.records.iter().map(|r| scheme.rederive_chunk_report(r.rows.len())).collect();
+    if let Some(reports) = rederived {
+        for (record, report) in prefix.records.iter().zip(&reports) {
+            merge_reports(&mut progress.report, report);
+            progress.rows = record.rows.end;
+            progress.encrypted_rows = record.output_rows.end;
+            progress.chunks.push(record.clone());
+        }
+        return Ok(());
+    }
+
+    seek_to(store, 0)?;
+    let mut frames = FrameReader::new(&mut *store).map_err(F2Error::from)?;
+    // scan_prefix already validated the header frame; skip past it.
+    let header = frames.next_frame().map_err(F2Error::from)?;
+    if header.as_ref().map(|f| f.frame_type) != Some(FRAME_HEADER) {
+        return Err(F2Error::UnsupportedInput(
+            "stream changed between prefix scan and replay (header frame vanished)".into(),
+        ));
+    }
+    for (record, &stored_crc) in prefix.records.iter().zip(&prefix.payload_crcs) {
+        let frame = frames
+            .next_frame()
+            .map_err(F2Error::from)?
+            .filter(|f| f.frame_type == FRAME_CHUNK)
+            .ok_or_else(|| {
+                F2Error::UnsupportedInput(
+                    "stream changed between prefix scan and replay (chunk frame vanished)".into(),
+                )
+            })?;
+        let mut r = Reader::raw(&frame.payload);
+        let _ = take_chunk_record(&mut r)?;
+        let state_blob = r.bytes().map_err(F2Error::from)?.to_vec();
+        let encrypted = decode_table(r.bytes().map_err(F2Error::from)?)?;
+        r.finish().map_err(F2Error::from)?;
+        let stored = SchemeOutcome {
+            encrypted,
+            state: scheme.load_state(&state_blob)?,
+            report: EncryptionReport::default(),
+        };
+        // `Scheme::decrypt` restores original row order (provenance rows are
+        // sorted by source index), so re-encrypting its output under the
+        // chunk's recorded seed must reproduce the stored bytes exactly.
+        let plain = scheme.decrypt(&stored)?;
+        let reencrypted = scheme.reseeded(record.seed).encrypt(&plain)?;
+        let mut payload = Writer::raw();
+        put_chunk_record(&mut payload, record);
+        payload.put_bytes(&scheme.save_state(&reencrypted)?);
+        payload.put_bytes(&encode_table(&reencrypted.encrypted));
+        if crc32(&payload.finish()) != stored_crc {
+            return Err(F2Error::UnsupportedInput(format!(
+                "chunk {} re-encryption differs from the stored stream — the store was \
+                 written under different key material or scheme parameters than the \
+                 resuming scheme holds",
+                record.index
+            )));
+        }
+        merge_reports(&mut progress.report, &reencrypted.report);
+        progress.rows = record.rows.end;
+        progress.encrypted_rows = record.output_rows.end;
+        progress.chunks.push(record.clone());
+    }
+    Ok(())
+}
+
+fn io_err(error: std::io::Error) -> F2Error {
+    F2Error::from(f2_io::IoError::Io(error))
+}
+
+fn seek_to<T: Seek>(store: &mut T, pos: u64) -> Result<()> {
+    store.seek(SeekFrom::Start(pos)).map_err(io_err)?;
+    Ok(())
+}

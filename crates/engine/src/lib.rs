@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod job;
 pub mod lossy;
 pub(crate) mod obs;
 pub mod persist;
@@ -54,6 +55,7 @@ pub mod resume;
 pub mod stream;
 pub use f2_io::wire;
 
+pub use job::StreamJob;
 pub use lossy::{decrypt_streaming_lossy, DamageReport};
 pub use persist::{load_outcome, save_outcome, StatefulScheme};
 pub use pipeline::{chunk_seed, ChunkRecord, Engine, EngineConfig, EngineOutcome};

@@ -14,9 +14,13 @@
 //! whether the header and trailer survived.
 //!
 //! Limits, by construction: chunks torn off the *tail* of a stream that also
-//! lost its trailer are invisible (nothing records how many chunks there
-//! should have been), and a damaged preamble fails the whole call — the
-//! 7-byte preamble is what identifies the stream format in the first place.
+//! lost its trailer cannot be counted exactly (nothing intact records how many
+//! chunks there should have been), so the tail's damaged bytes are converted
+//! into a size-based *estimate* — [`DamageReport::suspected_lost`] — by
+//! dividing them by the mean intact chunk-frame size. A tail torn off cleanly
+//! at a frame boundary leaves zero damaged bytes and therefore zero suspected
+//! chunks; and a damaged preamble fails the whole call — the 7-byte preamble
+//! is what identifies the stream format in the first place.
 
 use crate::persist::{decode_table, take_report, StatefulScheme};
 use crate::stream::{take_chunk_record, FRAME_CHUNK, FRAME_HEADER, FRAME_TRAILER};
@@ -42,6 +46,13 @@ pub struct DamageReport {
     pub rows_recovered: usize,
     /// Rows lost with the lost chunks, when the trailer survived to say.
     pub rows_lost: Option<usize>,
+    /// Estimated chunks torn off the *tail* of a stream whose trailer was also
+    /// lost — the case [`DamageReport::chunks_lost`] cannot see. Computed from
+    /// the damaged bytes past the last intact frame, divided by the mean
+    /// intact chunk-frame size (rounded to nearest); zero whenever the trailer
+    /// survived (exact accounting wins) or the tail left no damaged bytes.
+    /// An estimate, not a count: trust it to flag loss, not to size it.
+    pub suspected_lost: usize,
     /// Total damaged bytes skipped while resynchronizing.
     pub bytes_skipped: u64,
     /// The exact byte ranges skipped, as absolute stream offsets.
@@ -59,6 +70,7 @@ impl DamageReport {
         self.header_recovered
             && self.trailer_recovered
             && self.chunks_lost == 0
+            && self.suspected_lost == 0
             && self.bytes_skipped == 0
     }
 }
@@ -86,8 +98,15 @@ where
     // only evidence of loss.
     let mut indices_seen = 0usize;
     let mut trailer_rows: Option<usize> = None;
+    // Tail-loss evidence: where the last intact frame ended, and how big an
+    // intact chunk frame is on average (wire bytes, headers included).
+    let mut last_intact_end = frames.bytes_consumed();
+    let mut chunk_wire_bytes = 0u64;
+    let mut chunk_frames_seen = 0u64;
 
     loop {
+        let before_bytes = frames.bytes_consumed();
+        let before_skipped: u64 = frames.skipped_ranges().iter().map(SkippedRange::len).sum();
         let frame = match frames.next_frame() {
             Ok(Some(frame)) => frame,
             Ok(None) => break,
@@ -98,6 +117,16 @@ where
                 None => break,
             },
         };
+        let after_skipped: u64 = frames.skipped_ranges().iter().map(SkippedRange::len).sum();
+        let frame_bytes = frames
+            .bytes_consumed()
+            .saturating_sub(before_bytes)
+            .saturating_sub(after_skipped.saturating_sub(before_skipped));
+        last_intact_end = frames.bytes_consumed();
+        if frame.frame_type == FRAME_CHUNK {
+            chunk_wire_bytes += frame_bytes;
+            chunk_frames_seen += 1;
+        }
         match frame.frame_type {
             FRAME_HEADER => {
                 // Validate the scheme name when the header is intact — a
@@ -154,6 +183,27 @@ where
     report.rows_lost = trailer_rows.map(|rows| rows.saturating_sub(report.rows_recovered));
     report.skipped_ranges = frames.skipped_ranges().to_vec();
     report.bytes_skipped = report.skipped_ranges.iter().map(SkippedRange::len).sum();
+    if !report.trailer_recovered {
+        // No trailer to count against: estimate tail losses from the damaged
+        // bytes past the last intact frame. (With a trailer, `chunks_lost`
+        // already accounts for every chunk exactly.)
+        let tail: u64 = report
+            .skipped_ranges
+            .iter()
+            .filter(|r| r.start >= last_intact_end)
+            .map(SkippedRange::len)
+            .sum();
+        if tail > 0 {
+            report.suspected_lost = if chunk_frames_seen == 0 {
+                // No intact chunk to size the estimate against; all that is
+                // certain is that *something* was torn off.
+                1
+            } else {
+                let avg = chunk_wire_bytes.checked_div(chunk_frames_seen).unwrap_or(0).max(1);
+                usize::try_from((tail + avg / 2) / avg).unwrap_or(usize::MAX)
+            };
+        }
+    }
     Ok(report)
 }
 

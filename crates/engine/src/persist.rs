@@ -190,7 +190,10 @@ fn data_type_from_tag(tag: u8) -> WireResult<DataType> {
     })
 }
 
-pub(crate) fn put_schema(w: &mut Writer, schema: &Schema) {
+/// Serialize a [`Schema`] into a wire [`Writer`] (arity-prefixed attribute
+/// names and type tags) — the same encoding stream headers and owner states
+/// embed, exported so protocol layers (e.g. `f2_server`) can carry schemas.
+pub fn put_schema(w: &mut Writer, schema: &Schema) {
     // lint: allow(truncating-cast) — arity ≤ 64: attribute sets are 64-bit masks
     w.put_u16(schema.arity() as u16);
     for attr in schema.attributes() {
@@ -199,7 +202,9 @@ pub(crate) fn put_schema(w: &mut Writer, schema: &Schema) {
     }
 }
 
-pub(crate) fn take_schema(r: &mut Reader<'_>) -> Result<Schema> {
+/// Decode a [`Schema`] previously written by [`put_schema`]. Corrupt or
+/// truncated input errors, never panics.
+pub fn take_schema(r: &mut Reader<'_>) -> Result<Schema> {
     let arity = usize::from(r.u16()?);
     // lint: allow(alloc-before-cap) — the u16 arity caps this allocation at 65 535
     let mut attrs = Vec::with_capacity(arity);

@@ -18,10 +18,13 @@
 //! 3. **Replay** — advance the source past the rows the prefix already
 //!    covers. Backends whose per-chunk report is a pure function of the row
 //!    count ([`ChunkedScheme::rederive_chunk_report`]) skip straight over
-//!    them; F² (whose report depends on the data) re-encrypts the prefix
-//!    chunks — deterministic under the stored chunk seeds — and verifies them
-//!    against the stored frames' payload checksums, refusing to extend a
-//!    stream whose source has changed since the interrupted run.
+//!    them — and when the source is also a
+//!    [`SeekableSource`](f2_io::SeekableSource), the skip is a single
+//!    `seek_to_row` with **zero** prefix pulls; F² (whose report depends on
+//!    the data) re-encrypts the prefix chunks — deterministic under the
+//!    stored chunk seeds — and verifies them against the stored frames'
+//!    payload checksums, refusing to extend a stream whose source has changed
+//!    since the interrupted run.
 //! 4. **Continue** — encrypt and append the remaining chunks, the trailer,
 //!    and the end frame through the same code path as
 //!    [`Engine::run_streaming`].
@@ -49,16 +52,16 @@ use std::io::{Read, Seek, SeekFrom};
 
 /// The validated prefix of an interrupted stream: everything before the first
 /// damaged byte (or before the trailer, for a stream that only lost its tail).
-struct StreamPrefix {
+pub(crate) struct StreamPrefix {
     /// Complete chunk records in order, continuity- and seed-verified.
-    records: Vec<ChunkRecord>,
+    pub(crate) records: Vec<ChunkRecord>,
     /// CRC32 of each chunk frame's (decompressed) payload — what F²'s replay
     /// verification compares its re-encryptions against.
-    payload_crcs: Vec<u32>,
+    pub(crate) payload_crcs: Vec<u32>,
     /// Store offset one past the last complete chunk frame: the resume point.
-    bytes: u64,
+    pub(crate) bytes: u64,
     /// Frames in the prefix (header + chunks) — seeds the resumed sink's count.
-    frames: u64,
+    pub(crate) frames: u64,
 }
 
 impl Engine {
@@ -113,14 +116,14 @@ impl Engine {
             &mut sink,
             &mut progress,
         )?;
-        finish_stream(sink, progress)
+        finish_stream(sink, progress).map(|(outcome, _)| outcome)
     }
 
     /// Scan the store for its intact prefix. `Ok(None)` means no usable prefix
     /// (torn preamble or header frame); a readable header that contradicts the
     /// engine configuration, scheme, or source schema is a hard error — the
     /// caller would otherwise splice two different runs into one stream.
-    fn scan_prefix<S>(
+    pub(crate) fn scan_prefix<S>(
         &self,
         scheme: &S,
         source_schema: &Schema,
@@ -220,6 +223,33 @@ impl Engine {
     where
         S: ChunkedScheme + StatefulScheme + ?Sized,
     {
+        // Seekable fast path: when every prefix chunk's report is a pure
+        // function of its row count *and* the source can seek, there is
+        // nothing to replay — merge the rederived reports and jump the source
+        // straight to the resume row. F² stays on the slow path by design
+        // (`rederive_chunk_report` is `None`): its reports depend on the data,
+        // and the replay's CRC comparison is what proves the source unchanged.
+        let rederived: Option<Vec<_>> =
+            prefix.records.iter().map(|r| scheme.rederive_chunk_report(r.rows.len())).collect();
+        if let Some(reports) = rederived {
+            if let Some(seekable) = source.as_seekable() {
+                let resume_row = prefix.records.last().map_or(0, |last| last.rows.end);
+                seekable.seek_to_row(resume_row).map_err(|e| {
+                    F2Error::UnsupportedInput(format!(
+                        "source ended (or refused to seek) before the {resume_row} rows the \
+                         stream prefix covers — resume needs the original source: {e}"
+                    ))
+                })?;
+                for (record, report) in prefix.records.iter().zip(&reports) {
+                    merge_reports(&mut progress.report, report);
+                    progress.rows = record.rows.end;
+                    progress.encrypted_rows = record.output_rows.end;
+                    progress.chunks.push(record.clone());
+                }
+                return Ok(());
+            }
+        }
+
         let mut pulls = retry.begin();
         let mut remaining = prefix.records.iter().zip(&prefix.payload_crcs);
         let mut current = remaining.next();

@@ -116,7 +116,7 @@ impl Engine {
 
         let mut progress = StreamProgress::start();
         pump_chunks(scheme, seed, chunk_rows, source, &retry, &mut sink, &mut progress)?;
-        finish_stream(sink, progress)
+        finish_stream(sink, progress).map(|(outcome, _)| outcome)
     }
 }
 
@@ -282,7 +282,7 @@ pub(crate) fn verify_chunk_seed(engine_seed: u64, index: u64, stored: u64) -> Re
 pub(crate) fn finish_stream<W: Write>(
     mut sink: FrameSink<W>,
     progress: StreamProgress,
-) -> Result<StreamOutcome> {
+) -> Result<(StreamOutcome, W)> {
     let StreamProgress { chunks, rows, encrypted_rows, report } = progress;
     let mut trailer = Writer::raw();
     trailer.put_usize(chunks.len());
@@ -295,9 +295,9 @@ pub(crate) fn finish_stream<W: Write>(
     persisted.timings = Default::default();
     put_report(&mut trailer, &persisted);
     sink.write_frame(FRAME_TRAILER, &trailer.finish()).map_err(F2Error::from)?;
-    let (_, bytes_written) = sink.finish().map_err(F2Error::from)?;
+    let (writer, bytes_written) = sink.finish().map_err(F2Error::from)?;
     crate::obs::stream_bytes_total().add(bytes_written);
-    Ok(StreamOutcome { chunks, rows, encrypted_rows, bytes_written, report })
+    Ok((StreamOutcome { chunks, rows, encrypted_rows, bytes_written, report }, writer))
 }
 
 /// The parsed header frame of one stream.

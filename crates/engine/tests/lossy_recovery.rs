@@ -101,21 +101,67 @@ fn a_damaged_trailer_still_salvages_every_chunk() {
     assert_eq!(report.chunks_recovered, 5);
     assert_eq!(report.chunks_lost, 0, "all indices present: no observable gap");
     assert_eq!(report.rows_lost, None, "row losses are unknowable without the trailer");
+    assert_eq!(report.suspected_lost, 0, "a trailer-sized tail is below the chunk estimate");
     assert_eq!(chunks.iter().map(Table::row_count).sum::<usize>(), t.row_count());
 }
 
 #[test]
-fn a_lost_tail_without_a_trailer_is_the_documented_blind_spot() {
+fn a_torn_tail_without_a_trailer_is_estimated_not_silent() {
     let (_, stream, offsets) = golden(23);
-    // Cut after chunk 3: chunk 4, the trailer, and the end frame are gone.
+    // Cut three quarters into chunk 4: its partial frame, the trailer, and the
+    // end frame are gone, but the torn bytes are evidence of the loss.
+    let cut = usize::try_from(offsets[5] + (offsets[6] - offsets[5]) * 3 / 4).unwrap();
+    let (report, chunks) = salvage(&stream[..cut]);
+    assert_eq!(report.chunks_recovered, 4);
+    assert!(!report.trailer_recovered);
+    // Index gaps cannot see tail losses …
+    assert_eq!(report.chunks_lost, 0);
+    // … but the size-based estimate convicts the torn chunk.
+    assert_eq!(report.suspected_lost, 1, "{report:?}");
+    assert!(!report.is_lossless());
+    assert_eq!(chunks.len(), 4);
+}
+
+#[test]
+fn a_cleanly_cut_tail_leaves_no_evidence_and_no_estimate() {
+    let (_, stream, offsets) = golden(23);
+    // Cut exactly at a frame boundary: zero damaged bytes survive, so the
+    // estimator has nothing to convict with — the residual blind spot.
     let cut = usize::try_from(offsets[5]).unwrap();
     let (report, chunks) = salvage(&stream[..cut]);
     assert_eq!(report.chunks_recovered, 4);
     assert!(!report.trailer_recovered);
-    // The blind spot, by construction: nothing records how many chunks should
-    // have followed, so tail losses are invisible without a trailer.
     assert_eq!(report.chunks_lost, 0);
+    assert_eq!(report.suspected_lost, 0);
     assert_eq!(chunks.len(), 4);
+}
+
+#[test]
+fn two_tail_chunks_and_the_trailer_lost_suspects_two_chunks() {
+    // Bigger chunks keep the trailer well under half a chunk frame, so the
+    // rounded estimate resolves cleanly.
+    let t = fixture(100);
+    let engine = Engine::new(EngineConfig { workers: 1, chunk_rows: 20, seed: 41 }).unwrap();
+    let mut stream = Vec::new();
+    engine.run_streaming(&scheme(), &mut TableSource::new(&t), &mut stream).unwrap();
+    let mut reader = FrameReader::new(&stream[..]).unwrap();
+    let mut offsets = vec![reader.bytes_consumed()];
+    while reader.next_frame().unwrap().is_some() {
+        offsets.push(reader.bytes_consumed());
+    }
+    offsets.push(reader.bytes_consumed());
+    // Layout: [0]=preamble, [1]=header, [2..=6]=chunks 0..4, [7]=trailer, [8]=end.
+    // Corrupt chunks 3 and 4 *and* the trailer; the end frame stays intact.
+    for frame in [4usize, 5, 6] {
+        let mid = usize::try_from((offsets[frame] + offsets[frame + 1]) / 2).unwrap();
+        stream[mid] ^= 0x20;
+    }
+    let (report, chunks) = salvage(&stream);
+    assert_eq!(report.chunks_recovered, 3);
+    assert!(!report.trailer_recovered);
+    assert_eq!(report.chunks_lost, 0, "no index gap: the losses are all tail");
+    assert_eq!(report.suspected_lost, 2, "{report:?}");
+    assert_eq!(chunks.len(), 3);
 }
 
 #[test]

@@ -334,6 +334,9 @@ pub struct FrameReader<R: Read> {
     pub(crate) cursor: usize,
     /// Byte ranges recovery skipped as damaged, in scan order.
     pub(crate) skipped: Vec<crate::recover::SkippedRange>,
+    /// Per-reader payload cap, `≤` [`MAX_FRAME_BYTES`]. Consumers of untrusted
+    /// streams (the server protocol) lower it to bound per-connection memory.
+    pub(crate) frame_cap: usize,
 }
 
 impl<R: Read> FrameReader<R> {
@@ -365,7 +368,20 @@ impl<R: Read> FrameReader<R> {
             pending: Vec::new(),
             cursor: 0,
             skipped: Vec::new(),
+            frame_cap: MAX_FRAME_BYTES,
         })
+    }
+
+    /// Lower the per-frame payload cap below the format-wide
+    /// [`MAX_FRAME_BYTES`]: frames declaring a larger wire or raw length fail
+    /// with [`IoError::Oversized`] *before* any allocation, and recovery
+    /// ([`FrameReader::recover`](crate::recover)) treats them as implausible.
+    /// Values outside `1..=MAX_FRAME_BYTES` are clamped. Use this on untrusted
+    /// transports to bound a single peer's memory footprint.
+    #[must_use]
+    pub fn with_frame_cap(mut self, cap: usize) -> Self {
+        self.frame_cap = cap.clamp(1, MAX_FRAME_BYTES);
+        self
     }
 
     /// Bytes still buffered in the pushback buffer.
@@ -451,15 +467,15 @@ impl<R: Read> FrameReader<R> {
         let wire_len = decoded_len(u32::from_le_bytes([w0, w1, w2, w3]))?;
         let raw_len = decoded_len(u32::from_le_bytes([r0, r1, r2, r3]))?;
         let stored_crc = u32::from_le_bytes([c0, c1, c2, c3]);
-        if wire_len > MAX_FRAME_BYTES || raw_len > MAX_FRAME_BYTES {
+        if wire_len > self.frame_cap || raw_len > self.frame_cap {
             self.unread(&header);
             crate::obs::oversize_errors().inc();
             return Err(IoError::Oversized {
                 declared: wire_len.max(raw_len),
-                cap: MAX_FRAME_BYTES,
+                cap: self.frame_cap,
             });
         }
-        let mut wire = vec![0u8; wire_len];
+        let mut wire = vec![0u8; wire_len.min(self.frame_cap)];
         let got = self.fill(&mut wire)?;
         if got < wire_len {
             wire.truncate(got);

@@ -25,7 +25,6 @@
 use crate::error::{IoError, IoResult};
 use crate::frame::{
     frame_crc, rle_decompress, Frame, FrameReader, FLAG_RLE, FRAME_END, FRAME_HEADER_BYTES,
-    MAX_FRAME_BYTES,
 };
 use std::io::{Read, Seek, Write};
 
@@ -91,8 +90,8 @@ impl<R: Read> FrameReader<R> {
             // over the cap, a non-empty end frame, or length fields inconsistent
             // with the compression flag cannot be a frame this sink wrote.
             let plausible = flags <= FLAG_RLE
-                && wire_len <= MAX_FRAME_BYTES
-                && raw_len <= MAX_FRAME_BYTES
+                && wire_len <= self.frame_cap
+                && raw_len <= self.frame_cap
                 && (frame_type != FRAME_END || (wire_len == 0 && raw_len == 0))
                 && (flags & FLAG_RLE != 0 || wire_len == raw_len)
                 && (flags & FLAG_RLE == 0 || wire_len < raw_len);
@@ -221,6 +220,12 @@ impl<R: Read> FrameReader<R> {
 pub trait StreamStore: Read + Write + Seek {
     /// Truncate (or zero-extend) the store to exactly `len` bytes.
     fn set_len(&mut self, len: u64) -> std::io::Result<()>;
+}
+
+impl<S: StreamStore + ?Sized> StreamStore for Box<S> {
+    fn set_len(&mut self, len: u64) -> std::io::Result<()> {
+        (**self).set_len(len)
+    }
 }
 
 impl StreamStore for std::fs::File {

@@ -19,12 +19,25 @@
 //!
 //! Chunks are handed out as [`TableChunk`], either owned (parsed fresh) or borrowed
 //! (a view); [`TableChunk::view`] is the uniform way to consume one.
+//!
+//! Two robustness hooks matter to callers that retry or resume:
+//!
+//! * **Retry-safety.** The engine's pull-retry assumes a failed `next_chunk`
+//!   consumed nothing — true for [`TableSource`], but a transient read error in
+//!   the middle of a CSV record discards the record's partially consumed bytes.
+//!   [`CsvSource::with_retry`] / [`CsvSource::open_with_retry`] absorb transient
+//!   errors *below* the parser (a [`RetryingReader`] under the [`BufRead`]
+//!   buffer), so the parser only ever sees healed reads.
+//! * **Seekability.** [`SeekableSource`] lets crash-safe resume
+//!   (`f2_engine::Engine::resume_streaming`) skip the already-encrypted prefix
+//!   by seeking to the resume row instead of re-pulling from row 0.
 
 use crate::error::{IoError, IoResult};
+use crate::retry::{RetryPolicy, RetryingReader};
 use f2_relation::csv::{parse_typed_field, split_record};
 use f2_relation::{Attribute, DataType, Record, Schema, Table, TableView, Value};
 use std::collections::VecDeque;
-use std::io::BufRead;
+use std::io::{BufRead, BufReader, Read};
 use std::path::Path;
 
 /// Rows buffered (at most) to infer column types when no explicit schema is given.
@@ -42,6 +55,26 @@ pub trait RowSource {
     /// Produce the next chunk of at most `max_rows` rows (`max_rows ≥ 1`), or `None`
     /// when the source is exhausted.
     fn next_chunk(&mut self, max_rows: usize) -> IoResult<Option<TableChunk<'_>>>;
+
+    /// The source as a [`SeekableSource`], when it supports seeking. The default
+    /// is `None`; resumable pipelines use this to skip an already-processed
+    /// prefix instead of re-pulling it row by row.
+    fn as_seekable(&mut self) -> Option<&mut dyn SeekableSource> {
+        None
+    }
+}
+
+/// A [`RowSource`] that can reposition itself so the next produced row is a
+/// given 0-based data row.
+///
+/// Contract: after `seek_to_row(n)` succeeds, the next `next_chunk` pull yields
+/// row `n` onward; seeking past the end of the data is an error. In-memory
+/// sources may seek anywhere; streaming sources ([`CsvSource`]) are
+/// **forward-only** — seeking behind the rows already produced is an error, not
+/// a rewind.
+pub trait SeekableSource: RowSource {
+    /// Position the source so the next produced row is data row `row` (0-based).
+    fn seek_to_row(&mut self, row: usize) -> IoResult<()>;
 }
 
 /// One chunk produced by a [`RowSource`]: parsed fresh (owned) or borrowed from an
@@ -115,6 +148,23 @@ impl RowSource for TableSource<'_> {
         self.cursor = end;
         Ok(Some(TableChunk::Borrowed(view)))
     }
+
+    fn as_seekable(&mut self) -> Option<&mut dyn SeekableSource> {
+        Some(self)
+    }
+}
+
+impl SeekableSource for TableSource<'_> {
+    fn seek_to_row(&mut self, row: usize) -> IoResult<()> {
+        if row > self.table.row_count() {
+            return Err(IoError::Malformed(format!(
+                "seek to row {row} is past the table's {} rows",
+                self.table.row_count()
+            )));
+        }
+        self.cursor = row;
+        Ok(())
+    }
 }
 
 // ── CsvSource ──────────────────────────────────────────────────────────────────────
@@ -185,14 +235,46 @@ pub struct CsvSource<R: BufRead> {
     coerced_cells: u64,
     /// 1-based line of the most recently *started* record (header = line 1).
     line: u64,
+    /// Data rows already handed out through `next_chunk` (or skipped by
+    /// [`SeekableSource::seek_to_row`]) — the seek cursor.
+    rows_consumed: usize,
     exhausted: bool,
 }
 
-impl CsvSource<std::io::BufReader<std::fs::File>> {
+impl CsvSource<BufReader<std::fs::File>> {
     /// Open a file as a CSV/TSV source.
     pub fn open(path: impl AsRef<Path>, options: CsvOptions) -> IoResult<Self> {
         let file = std::fs::File::open(path)?;
-        Self::new(std::io::BufReader::new(file), options)
+        Self::new(BufReader::new(file), options)
+    }
+}
+
+impl CsvSource<BufReader<RetryingReader<std::fs::File>>> {
+    /// Open a file as a CSV/TSV source with transient read errors absorbed
+    /// *below* the parser. See [`CsvSource::with_retry`] for why the layering
+    /// matters.
+    pub fn open_with_retry(
+        path: impl AsRef<Path>,
+        options: CsvOptions,
+        policy: RetryPolicy,
+    ) -> IoResult<Self> {
+        let file = std::fs::File::open(path)?;
+        Self::with_retry(file, options, policy)
+    }
+}
+
+impl<R: Read> CsvSource<BufReader<RetryingReader<R>>> {
+    /// Wrap an unbuffered reader with a [`RetryingReader`] *under* the
+    /// [`BufRead`] buffer, making the source safe to pull-retry.
+    ///
+    /// The layering is the point: a record's bytes are accumulated across
+    /// `read` calls, so a transient error surfacing *above* the buffer discards
+    /// the partially consumed record — a retried pull then resumes mid-record
+    /// and corrupts or drops rows. With the retry below the buffer, transient
+    /// errors are healed before the parser ever sees a byte, and a failed pull
+    /// really has consumed nothing (the engine pull-retry's assumption).
+    pub fn with_retry(reader: R, options: CsvOptions, policy: RetryPolicy) -> IoResult<Self> {
+        Self::new(BufReader::new(policy.reader(reader)), options)
     }
 }
 
@@ -210,6 +292,7 @@ impl<R: BufRead> CsvSource<R> {
                 .map_err(|e| IoError::Malformed(format!("empty schema rejected: {e}")))?,
             buffered: VecDeque::new(),
             line: 0,
+            rows_consumed: 0,
             exhausted: false,
             inferred_types: options.schema.is_none(),
             coerce_to_text: options.coerce_to_text,
@@ -379,6 +462,12 @@ impl<R: BufRead> CsvSource<R> {
     pub fn coerced_cells(&self) -> u64 {
         self.coerced_cells
     }
+
+    /// Data rows already produced through [`RowSource::next_chunk`] (or skipped
+    /// by [`SeekableSource::seek_to_row`]).
+    pub fn rows_consumed(&self) -> usize {
+        self.rows_consumed
+    }
 }
 
 impl<R: BufRead> RowSource for CsvSource<R> {
@@ -424,9 +513,56 @@ impl<R: BufRead> RowSource for CsvSource<R> {
         if records.is_empty() {
             return Ok(None);
         }
+        self.rows_consumed += records.len();
         let table = Table::new(self.schema.clone(), records)
             .map_err(|e| IoError::Malformed(format!("chunk assembly failed: {e}")))?;
         Ok(Some(TableChunk::Owned(table)))
+    }
+
+    fn as_seekable(&mut self) -> Option<&mut dyn SeekableSource> {
+        Some(self)
+    }
+}
+
+impl<R: BufRead> SeekableSource for CsvSource<R> {
+    /// Forward-only: skipped rows are read raw and checked for arity, but not
+    /// typed-parsed — a resume caller has already validated them on the first
+    /// pass, and skipping must not re-trip inference coercion or type errors.
+    fn seek_to_row(&mut self, row: usize) -> IoResult<()> {
+        if row < self.rows_consumed {
+            return Err(IoError::Malformed(format!(
+                "CsvSource is forward-only: cannot seek back to row {row} after producing {}",
+                self.rows_consumed
+            )));
+        }
+        while self.rows_consumed < row {
+            if self.buffered.pop_front().is_some() {
+                self.rows_consumed += 1;
+                continue;
+            }
+            if self.exhausted {
+                break;
+            }
+            match self.read_raw_record(self.schema.arity() != 1)? {
+                Some((line, fields)) => {
+                    if fields.len() != self.schema.arity() {
+                        return Err(arity_error(line, fields.len(), self.schema.arity()));
+                    }
+                    self.rows_consumed += 1;
+                }
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        if self.rows_consumed < row {
+            return Err(IoError::Malformed(format!(
+                "seek to row {row} is past the input's {} rows",
+                self.rows_consumed
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -710,6 +846,101 @@ mod tests {
         let all = concat(drain(&mut source, 10));
         assert_eq!(all.cell(0, 1).unwrap(), &Value::text("6\" pipe"));
         assert_eq!(all.row_count(), 2);
+    }
+
+    #[test]
+    fn transient_read_faults_below_the_parser_are_absorbed() {
+        use crate::fault::{FaultKind, FaultPlan, FaultyReader};
+        // Big enough that the BufReader refills mid-record; the faults fire on
+        // refills, after partial record bytes are already out of the buffer.
+        let mut csv = String::from("id,tag\n");
+        for i in 0..1500 {
+            csv.push_str(&format!("{i:06},row-{i:06}\n"));
+        }
+        let plan = FaultPlan::new()
+            .with(8_700, FaultKind::Transient(std::io::ErrorKind::TimedOut))
+            .with(17_000, FaultKind::Transient(std::io::ErrorKind::ConnectionReset));
+        let clean =
+            concat(drain(&mut CsvSource::new(csv.as_bytes(), CsvOptions::csv()).unwrap(), 64));
+        // The retry sits *below* the parser: every pull succeeds, nothing is
+        // lost or duplicated (`drain` unwraps, so a surfaced error panics).
+        let mut source = CsvSource::with_retry(
+            FaultyReader::new(csv.as_bytes(), plan),
+            CsvOptions::csv(),
+            RetryPolicy::no_backoff(4),
+        )
+        .unwrap();
+        let all = concat(drain(&mut source, 64));
+        assert_eq!(all.row_count(), clean.row_count());
+        assert!(all.multiset_eq(&clean), "healed parse must match the clean parse exactly");
+    }
+
+    #[test]
+    fn pull_level_retry_over_an_unprotected_reader_corrupts_rows() {
+        use crate::fault::{FaultKind, FaultPlan, FaultyReader};
+        // The same fault against the *old* layering — retry above the parser,
+        // as the engine's chunk-level pull-retry does — loses the partially
+        // consumed record: the documented debt `with_retry` retires.
+        let mut csv = String::from("id,tag\n");
+        for i in 0..1500 {
+            csv.push_str(&format!("{i:06},row-{i:06}\n"));
+        }
+        let plan = FaultPlan::new().with(8_700, FaultKind::Transient(std::io::ErrorKind::TimedOut));
+        let mut source = CsvSource::new(
+            BufReader::new(FaultyReader::new(csv.as_bytes(), plan)),
+            CsvOptions::csv(),
+        )
+        .unwrap();
+        let mut rows = 0usize;
+        let mut pull_errors = 0usize;
+        loop {
+            match source.next_chunk(64) {
+                Ok(Some(chunk)) => rows += chunk.row_count(),
+                Ok(None) => break,
+                Err(_) => pull_errors += 1, // retry the pull, as the engine would
+            }
+        }
+        assert!(pull_errors > 0, "the transient fault must surface to the pull loop");
+        assert!(rows < 1500, "the record split across the failed refill is lost ({rows} rows)");
+    }
+
+    #[test]
+    fn table_source_seeks_anywhere_csv_source_seeks_forward() {
+        let t = f2_relation::table! { ["A"]; ["r0"], ["r1"], ["r2"], ["r3"], ["r4"] };
+        let mut source = TableSource::new(&t);
+        let seekable = source.as_seekable().expect("tables are seekable");
+        seekable.seek_to_row(3).unwrap();
+        assert_eq!(source.next_chunk(10).unwrap().unwrap().row_count(), 2);
+        source.as_seekable().unwrap().seek_to_row(0).unwrap(); // rewind is fine
+        assert_eq!(source.next_chunk(10).unwrap().unwrap().row_count(), 5);
+        assert!(source.as_seekable().unwrap().seek_to_row(6).is_err());
+
+        let csv = "A,B\n1,a\n2,b\n3,c\n4,d\n5,e\n";
+        let mut source = CsvSource::new(csv.as_bytes(), CsvOptions::csv()).unwrap();
+        source.seek_to_row(3).unwrap();
+        assert_eq!(source.rows_consumed(), 3);
+        let rest = concat(drain(&mut source, 10));
+        assert_eq!(rest.row_count(), 2);
+        assert_eq!(rest.cell(0, 0).unwrap(), &Value::Int(4));
+        // Forward-only: the rows are gone.
+        assert!(source.seek_to_row(1).is_err());
+        // Seeking to the current position is a no-op; past the end errors.
+        source.seek_to_row(5).unwrap();
+        let mut source = CsvSource::new(csv.as_bytes(), CsvOptions::csv()).unwrap();
+        assert!(source.seek_to_row(9).is_err());
+    }
+
+    #[test]
+    fn csv_seek_skips_past_the_inference_sample() {
+        // Seeking beyond the buffered inference sample must drop buffered rows
+        // *and* raw-skip the remainder, without typed parsing.
+        let csv =
+            format!("A\n{}\n", (1..=300).map(|i| i.to_string()).collect::<Vec<_>>().join("\n"));
+        let mut source = CsvSource::new(csv.as_bytes(), CsvOptions::csv()).unwrap();
+        source.seek_to_row(280).unwrap();
+        let rest = concat(drain(&mut source, 64));
+        assert_eq!(rest.row_count(), 20);
+        assert_eq!(rest.cell(0, 0).unwrap(), &Value::Int(281));
     }
 
     #[test]

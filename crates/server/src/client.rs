@@ -1,0 +1,208 @@
+//! A blocking client for the service protocol.
+//!
+//! [`Client`] wraps any `Read + Write` transport (a [`TcpStream`], a
+//! [`duplex`](crate::pipe::duplex) pipe end, a fault-injected wrapper) in the
+//! same framed, CRC-checked, retry-wrapped layers the server uses, and
+//! exposes one method per request. Typed server errors come back as the
+//! exact [`ServerError`](crate::ServerError) variant the server sent —
+//! `Overloaded` carries its retry-after hint, `WrongChunk` the index to
+//! re-send from — so callers branch on variants, not on message strings.
+//!
+//! [`TcpStream`]: std::net::TcpStream
+
+use crate::error::{ServerError, ServerResult};
+use crate::proto::{Request, Response};
+use crate::transport::Shared;
+use f2_io::frame::{FrameReader, FrameSink};
+use f2_io::{RetryPolicy, RetryingReader, RetryingWriter, RowSource, TableSource};
+use f2_relation::{Schema, Table};
+use std::io::{Read, Write};
+
+/// Reply to a successful `open`: the job's resume credential and geometry.
+#[derive(Debug, Clone, Copy)]
+pub struct JobOpened {
+    /// The job token — keep it; it is the resume credential.
+    pub token: u64,
+    /// Rows every append must carry (the final one may be shorter).
+    pub chunk_rows: u64,
+}
+
+/// Reply to a successful `append`.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendAck {
+    /// Plaintext rows the job holds after this append.
+    pub rows: u64,
+    /// Encrypted rows written so far.
+    pub encrypted_rows: u64,
+    /// Index the next append must carry.
+    pub next_chunk: u64,
+}
+
+/// Reply to a successful `finish`.
+#[derive(Debug, Clone, Copy)]
+pub struct FinishAck {
+    /// Total plaintext rows encrypted.
+    pub rows: u64,
+    /// Total encrypted rows written (padding included).
+    pub encrypted_rows: u64,
+    /// Chunks in the finished stream.
+    pub chunks: u64,
+    /// Stream bytes, preamble and frame headers included.
+    pub bytes_written: u64,
+}
+
+/// Reply to a successful `resume`: where to pick back up.
+#[derive(Debug, Clone, Copy)]
+pub struct ResumeAck {
+    /// The job token (echoed).
+    pub token: u64,
+    /// Index the next append must carry.
+    pub next_chunk: u64,
+    /// Rows already durably encrypted — re-send from this row onward.
+    pub rows_done: u64,
+    /// Rows every append must carry.
+    pub chunk_rows: u64,
+}
+
+/// A blocking protocol client over any byte transport.
+pub struct Client<T: Read + Write> {
+    sink: FrameSink<RetryingWriter<Shared<T>>>,
+    frames: FrameReader<RetryingReader<Shared<T>>>,
+}
+
+impl<T: Read + Write> Client<T> {
+    /// Connect over `transport` with the default retry policy.
+    pub fn connect(transport: T) -> ServerResult<Self> {
+        Self::connect_with(transport, &RetryPolicy::new(4))
+    }
+
+    /// Connect with an explicit retry policy for the transport I/O.
+    pub fn connect_with(transport: T, retry: &RetryPolicy) -> ServerResult<Self> {
+        let shared = Shared::new(transport);
+        let reader_shared = shared.clone();
+        match FrameSink::new(retry.writer(shared)) {
+            Ok(sink) => {
+                let frames = FrameReader::new(retry.reader(reader_shared))?;
+                Ok(Client { sink, frames })
+            }
+            // A shedding or draining server rejects inline: it writes its
+            // typed reply and hangs up, possibly before our preamble goes
+            // out. The reply is still buffered — surface it instead of the
+            // raw broken-pipe error.
+            Err(write_err) => {
+                let salvaged = FrameReader::new(retry.reader(reader_shared))
+                    .and_then(|mut frames| frames.next_frame());
+                match salvaged {
+                    Ok(Some(frame)) => match Response::decode(frame.frame_type, &frame.payload) {
+                        Err(typed) => Err(typed),
+                        Ok(_) => Err(write_err.into()),
+                    },
+                    _ => Err(write_err.into()),
+                }
+            }
+        }
+    }
+
+    /// Open a new encryption job for `tenant`.
+    pub fn open(&mut self, tenant: &str, schema: &Schema) -> ServerResult<JobOpened> {
+        match self.request(&Request::Open { tenant: tenant.to_string(), schema: schema.clone() })? {
+            Response::Open { token, chunk_rows } => Ok(JobOpened { token, chunk_rows }),
+            other => Err(unexpected("open", &other)),
+        }
+    }
+
+    /// Append one chunk of rows to the job.
+    pub fn append(
+        &mut self,
+        token: u64,
+        chunk_index: u64,
+        table: Table,
+    ) -> ServerResult<AppendAck> {
+        match self.request(&Request::Append { token, chunk_index, table })? {
+            Response::Append { rows, encrypted_rows, next_chunk } => {
+                Ok(AppendAck { rows, encrypted_rows, next_chunk })
+            }
+            other => Err(unexpected("append", &other)),
+        }
+    }
+
+    /// Finish the job's stream and retire the token.
+    pub fn finish(&mut self, token: u64) -> ServerResult<FinishAck> {
+        match self.request(&Request::Finish { token })? {
+            Response::Finish { rows, encrypted_rows, chunks, bytes_written } => {
+                Ok(FinishAck { rows, encrypted_rows, chunks, bytes_written })
+            }
+            other => Err(unexpected("finish", &other)),
+        }
+    }
+
+    /// Reattach to a persisted job (after a disconnect, a server fault, or a
+    /// full server restart).
+    pub fn resume(&mut self, tenant: &str, token: u64, schema: &Schema) -> ServerResult<ResumeAck> {
+        match self.request(&Request::Resume {
+            tenant: tenant.to_string(),
+            token,
+            schema: schema.clone(),
+        })? {
+            Response::Resume { token, next_chunk, rows_done, chunk_rows } => {
+                Ok(ResumeAck { token, next_chunk, rows_done, chunk_rows })
+            }
+            other => Err(unexpected("resume", &other)),
+        }
+    }
+
+    /// Fetch the service's Prometheus metrics snapshot.
+    pub fn metrics(&mut self) -> ServerResult<String> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Convenience: encrypt a whole table through one job — open, append in
+    /// server-sized chunks, finish.
+    pub fn encrypt_table(&mut self, tenant: &str, table: &Table) -> ServerResult<FinishAck> {
+        let opened = self.open(tenant, table.schema())?;
+        let chunk_rows = usize::try_from(opened.chunk_rows.max(1)).unwrap_or(usize::MAX);
+        let mut source = TableSource::new(table);
+        let mut chunk_index = 0_u64;
+        while let Some(chunk) = source.next_chunk(chunk_rows)? {
+            self.append(opened.token, chunk_index, chunk.view().to_table())?;
+            chunk_index = chunk_index.saturating_add(1);
+        }
+        self.finish(opened.token)
+    }
+
+    /// End the conversation cleanly: the server sees an orderly close, not a
+    /// disconnect.
+    pub fn close(self) -> ServerResult<()> {
+        let Client { sink, frames } = self;
+        drop(frames);
+        sink.finish()?;
+        Ok(())
+    }
+
+    fn request(&mut self, request: &Request) -> ServerResult<Response> {
+        let (ty, payload) = request.encode();
+        // A shedding or draining server replies and hangs up without reading
+        // our request, so the write may fail while a typed reply already sits
+        // buffered in the transport. Always attempt the read; surface the
+        // write error only when no reply arrived.
+        let wrote = self.sink.write_frame(ty, &payload);
+        match self.frames.next_frame() {
+            Ok(Some(frame)) => Response::decode(frame.frame_type, &frame.payload),
+            Ok(None) => Err(match wrote {
+                Ok(()) => ServerError::Disconnected,
+                Err(err) => err.into(),
+            }),
+            Err(read_err) => Err(match wrote {
+                Ok(()) => read_err.into(),
+                Err(err) => err.into(),
+            }),
+        }
+    }
+}
+
+fn unexpected(what: &str, got: &Response) -> ServerError {
+    ServerError::BadRequest(format!("unexpected reply to {what}: {got:?}"))
+}

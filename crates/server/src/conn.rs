@@ -1,0 +1,366 @@
+//! The per-connection request loop: frames in, typed replies out.
+//!
+//! Every request is bracketed by a [`DeadlineGuard`](crate::deadline) (fire →
+//! hang up the transport, reply `DeadlineExpired`) and dispatched inside
+//! [`catch_unwind`], so a panicking handler costs one connection and parks
+//! its job resumable — never the process. Jobs are handled under a checkout
+//! discipline: a request takes the job out of the [`Sessions`] table, works
+//! on it with no lock held, and a drop guard puts it back — live on success,
+//! parked if the handler panicked mid-flight.
+
+use crate::error::{ServerError, ServerResult};
+use crate::obs;
+use crate::proto::{self, Request, Response};
+use crate::server::Core;
+use crate::session::{Checkout, LoadedJob, Sessions};
+use crate::transport::{Hangup, Shared, Transport};
+use f2_io::frame::{FrameReader, FrameSink};
+use f2_io::TableChunk;
+use f2_relation::{Schema, Table};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Run one connection to completion. Never panics; never takes the process
+/// down with it.
+pub(crate) fn serve(core: &Core, mut transport: Box<dyn Transport>) {
+    obs::connections_total().inc();
+    let _ = transport.set_io_timeout(Some(core.config.idle_timeout));
+    let hangup: Arc<dyn Hangup> = Arc::from(transport.hangup_handle());
+    let conn_id = core.conns.register(Arc::clone(&hangup));
+    let _ = run_connection(core, transport, &hangup);
+    core.conns.unregister(conn_id);
+    if core.is_draining() {
+        obs::drained_total().inc();
+    }
+}
+
+fn run_connection(
+    core: &Core,
+    transport: Box<dyn Transport>,
+    hangup: &Arc<dyn Hangup>,
+) -> ServerResult<()> {
+    let shared = Shared::new(transport);
+    let mut sink = FrameSink::new(core.config.retry.writer(shared.clone()))?;
+    let mut frames =
+        FrameReader::new(core.config.retry.reader(shared))?.with_frame_cap(core.config.frame_cap);
+    loop {
+        let frame = match frames.next_frame() {
+            Ok(Some(frame)) => frame,
+            // FRAME_END: the client closed the conversation cleanly.
+            Ok(None) => return Ok(()),
+            Err(e) => {
+                let err = ServerError::from(e);
+                if !matches!(err, ServerError::Io(_)) {
+                    // Corrupt/oversized frame: tell the peer why, then close.
+                    let (ty, payload) = proto::encode_error(&err);
+                    let _ = sink.write_frame(ty, &payload);
+                }
+                return Err(err);
+            }
+        };
+        obs::requests_total().inc();
+        let started = Instant::now();
+        let deadline =
+            core.wheel.register(started + core.config.request_deadline, Arc::clone(hangup));
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| dispatch(core, frame.frame_type, &frame.payload)));
+        let expired = deadline.expired();
+        drop(deadline);
+        let reply = match outcome {
+            Ok(reply) => reply,
+            Err(panic_payload) => {
+                obs::worker_panics_total().inc();
+                Err(ServerError::Internal(format!(
+                    "request handler panicked: {}",
+                    panic_message(panic_payload.as_ref())
+                )))
+            }
+        };
+        let reply = if expired {
+            obs::deadline_expired_total().inc();
+            Err(ServerError::DeadlineExpired)
+        } else {
+            reply
+        };
+        obs::request_seconds().record_duration(started.elapsed());
+        // A malformed request or an internal failure ends the conversation
+        // after the typed reply; the client reconnects and resumes.
+        let close_after =
+            matches!(reply, Err(ServerError::BadRequest(_) | ServerError::Internal(_)));
+        let (ty, payload) = match &reply {
+            Ok(response) => response.encode(),
+            Err(error) => proto::encode_error(error),
+        };
+        sink.write_frame(ty, &payload)?;
+        if expired {
+            // The deadline already hung the transport up; stop driving it.
+            return Err(ServerError::DeadlineExpired);
+        }
+        if close_after {
+            return Ok(());
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("opaque panic payload")
+}
+
+fn dispatch(core: &Core, frame_type: u8, payload: &[u8]) -> ServerResult<Response> {
+    match Request::decode(frame_type, payload)? {
+        Request::Open { tenant, schema } => handle_open(core, tenant, &schema),
+        Request::Append { token, chunk_index, table } => {
+            handle_append(core, token, chunk_index, table)
+        }
+        Request::Finish { token } => handle_finish(core, token),
+        Request::Resume { tenant, token, schema } => handle_resume(core, &tenant, token, &schema),
+        Request::Metrics => Ok(Response::Metrics(metrics_snapshot())),
+    }
+}
+
+/// The served metrics snapshot: one `write_prometheus` render of the global
+/// registry — everything the process meters, not just the server crate.
+fn metrics_snapshot() -> String {
+    let mut buf = Vec::new();
+    let _ = f2_obs::global().write_prometheus(&mut buf);
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+fn handle_open(core: &Core, tenant: String, schema: &Schema) -> ServerResult<Response> {
+    if core.is_draining() {
+        return Err(ServerError::ShuttingDown);
+    }
+    let scheme =
+        core.schemes.scheme(&tenant).ok_or_else(|| ServerError::UnknownTenant(tenant.clone()))?;
+    let token = core.sessions.allocate(core.stores.as_ref());
+    let store = core
+        .stores
+        .open(token)
+        .map_err(|e| ServerError::Internal(format!("job store open: {e}")))?;
+    let job = core.sessions.engine_for(token)?.begin_job(scheme.as_ref(), schema, store)?;
+    let chunk_rows = as_u64(job.chunk_rows());
+    core.sessions.insert_live(token, LoadedJob { tenant, scheme, schema: schema.clone(), job });
+    Ok(Response::Open { token, chunk_rows })
+}
+
+fn handle_append(
+    core: &Core,
+    token: u64,
+    chunk_index: u64,
+    table: Table,
+) -> ServerResult<Response> {
+    let mut held = acquire(core, token)?;
+    let Some(entry) = held.job.as_mut() else {
+        return Err(ServerError::Internal("checkout yielded no job".into()));
+    };
+    let rows = table.row_count();
+    let cap = entry.job.chunk_rows();
+    if rows > cap {
+        return Err(ServerError::TooLarge { rows, cap });
+    }
+    if rows == 0 {
+        return Err(ServerError::BadRequest("append carries no rows".into()));
+    }
+    if table.schema() != &entry.schema {
+        return Err(ServerError::BadRequest(
+            "append schema disagrees with the job's schema".into(),
+        ));
+    }
+    let expected = as_u64(entry.job.next_chunk_index());
+    if chunk_index != expected {
+        return Err(ServerError::WrongChunk { expected, got: chunk_index });
+    }
+    let scheme = Arc::clone(&entry.scheme);
+    match entry.job.append_chunk(scheme.as_ref(), &TableChunk::Owned(table)) {
+        Ok(_) => Ok(Response::Append {
+            rows: as_u64(entry.job.rows()),
+            encrypted_rows: as_u64(entry.job.encrypted_rows()),
+            next_chunk: as_u64(entry.job.next_chunk_index()),
+        }),
+        Err(e) => {
+            // The store may hold a torn frame; park so the next touch goes
+            // through `resume_job`, which truncates and replays.
+            held.park();
+            Err(e.into())
+        }
+    }
+}
+
+fn handle_finish(core: &Core, token: u64) -> ServerResult<Response> {
+    let mut held = acquire(core, token)?;
+    let Some(entry) = held.job.take() else {
+        return Err(ServerError::Internal("checkout yielded no job".into()));
+    };
+    // The job is out of the guard now; this settle guard parks it if
+    // `finish` fails or panics, so the token can never wedge checked-out.
+    let mut settle = SlotGuard {
+        sessions: &core.sessions,
+        token,
+        disposition: Some(Disposition::Park {
+            tenant: entry.tenant.clone(),
+            schema: entry.schema.clone(),
+        }),
+    };
+    let outcome = entry.job.finish()?;
+    settle.disposition = Some(Disposition::Remove);
+    drop(settle);
+    Ok(Response::Finish {
+        rows: as_u64(outcome.rows),
+        encrypted_rows: as_u64(outcome.encrypted_rows),
+        chunks: as_u64(outcome.chunks.len()),
+        bytes_written: outcome.bytes_written,
+    })
+}
+
+fn handle_resume(core: &Core, tenant: &str, token: u64, schema: &Schema) -> ServerResult<Response> {
+    if core.is_draining() {
+        return Err(ServerError::ShuttingDown);
+    }
+    let held = match core.sessions.checkout(token) {
+        Ok(Checkout::Live(job)) => Checked { sessions: &core.sessions, token, job: Some(*job) },
+        Ok(Checkout::Reload { tenant: stored_tenant, schema: stored_schema }) => {
+            reload_checked(core, token, stored_tenant, stored_schema, None)?
+        }
+        // Not in memory at all: the restart path. The store is the truth;
+        // the request supplies the tenant and schema the reload needs.
+        Err(ServerError::UnknownJob(_)) => {
+            if !core.stores.exists(token) {
+                return Err(ServerError::UnknownJob(token));
+            }
+            core.sessions.claim_for_load(token)?;
+            reload_checked(
+                core,
+                token,
+                tenant.to_string(),
+                schema.clone(),
+                Some(Disposition::Remove),
+            )?
+        }
+        Err(e) => return Err(e),
+    };
+    let Some(entry) = held.job.as_ref() else {
+        return Err(ServerError::Internal("checkout yielded no job".into()));
+    };
+    // A token is only addressable by its owning tenant; to anyone else it
+    // does not exist.
+    if entry.tenant != tenant {
+        return Err(ServerError::UnknownJob(token));
+    }
+    if &entry.schema != schema {
+        return Err(ServerError::BadRequest(
+            "resume schema disagrees with the job's schema".into(),
+        ));
+    }
+    Ok(Response::Resume {
+        token,
+        next_chunk: as_u64(entry.job.next_chunk_index()),
+        rows_done: as_u64(entry.job.rows()),
+        chunk_rows: as_u64(entry.job.chunk_rows()),
+    })
+}
+
+/// Take exclusive hold of `token`, reloading it from its store if parked.
+fn acquire<'a>(core: &'a Core, token: u64) -> ServerResult<Checked<'a>> {
+    match core.sessions.checkout(token)? {
+        Checkout::Live(job) => Ok(Checked { sessions: &core.sessions, token, job: Some(*job) }),
+        Checkout::Reload { tenant, schema } => reload_checked(core, token, tenant, schema, None),
+    }
+}
+
+/// Reload a checked-out slot from its persisted stream. `on_failure` is what
+/// the slot becomes if the reload fails (or panics): `None` re-parks with the
+/// given tenant/schema, `Some(Remove)` forgets a freshly claimed slot.
+fn reload_checked<'a>(
+    core: &'a Core,
+    token: u64,
+    tenant: String,
+    schema: Schema,
+    on_failure: Option<Disposition>,
+) -> ServerResult<Checked<'a>> {
+    let mut claim = SlotGuard {
+        sessions: &core.sessions,
+        token,
+        disposition: Some(on_failure.unwrap_or_else(|| Disposition::Park {
+            tenant: tenant.clone(),
+            schema: schema.clone(),
+        })),
+    };
+    let scheme =
+        core.schemes.scheme(&tenant).ok_or_else(|| ServerError::UnknownTenant(tenant.clone()))?;
+    let store = core
+        .stores
+        .open(token)
+        .map_err(|e| ServerError::Internal(format!("job store open: {e}")))?;
+    let job = core.sessions.engine_for(token)?.resume_job(scheme.as_ref(), &schema, store)?;
+    claim.disposition = None;
+    drop(claim);
+    Ok(Checked {
+        sessions: &core.sessions,
+        token,
+        job: Some(LoadedJob { tenant, scheme, schema, job }),
+    })
+}
+
+/// A checked-out job. Drop checks it back in live — or parks it if the
+/// thread is unwinding, so a panic mid-append leaves the token resumable.
+struct Checked<'a> {
+    sessions: &'a Sessions,
+    token: u64,
+    job: Option<LoadedJob>,
+}
+
+impl Checked<'_> {
+    /// Park explicitly (the store may hold a torn frame after an error).
+    fn park(&mut self) {
+        if let Some(job) = self.job.take() {
+            self.sessions.park(self.token, job.tenant, job.schema);
+        }
+    }
+}
+
+impl Drop for Checked<'_> {
+    fn drop(&mut self) {
+        if let Some(job) = self.job.take() {
+            if std::thread::panicking() {
+                self.sessions.park(self.token, job.tenant, job.schema);
+            } else {
+                self.sessions.checkin_live(self.token, job);
+            }
+        }
+    }
+}
+
+/// What happens to a checked-out slot if its holder bails (error or panic).
+enum Disposition {
+    /// Forget the token (fresh claim that never produced a job).
+    Remove,
+    /// Park it for a later resume.
+    Park { tenant: String, schema: Schema },
+}
+
+struct SlotGuard<'a> {
+    sessions: &'a Sessions,
+    token: u64,
+    disposition: Option<Disposition>,
+}
+
+impl Drop for SlotGuard<'_> {
+    fn drop(&mut self) {
+        match self.disposition.take() {
+            Some(Disposition::Remove) => self.sessions.remove(self.token),
+            Some(Disposition::Park { tenant, schema }) => {
+                self.sessions.park(self.token, tenant, schema);
+            }
+            None => {}
+        }
+    }
+}
+
+fn as_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}

@@ -1,0 +1,254 @@
+//! A monotonic hashed deadline wheel.
+//!
+//! Every request registers its absolute deadline (an [`Instant`], so wall
+//! clock jumps cannot fire or starve it) together with the connection's
+//! [`Hangup`] handle. A single detached ticker thread advances a cursor over
+//! [`BUCKETS`] fixed buckets every [`tick`](DeadlineWheel::tick); an entry
+//! lands in the bucket its deadline hashes to, so each tick scans only the
+//! entries due roughly now — the classic hashed-timing-wheel trade of O(1)
+//! insert/cancel against one-revolution firing granularity.
+//!
+//! Firing sets the entry's `expired` flag and hangs the connection up, which
+//! errors the blocked I/O out promptly; the request loop then reports
+//! [`DeadlineExpired`](crate::ServerError::DeadlineExpired) and accounts the
+//! expiry. Guards cancel themselves on drop, so the happy path never fires.
+
+use crate::transport::Hangup;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Number of wheel buckets. A deadline further out than one revolution
+/// (`BUCKETS * tick`) is still honored — it just shares a bucket with nearer
+/// deadlines and is skipped (not fired) until its instant passes.
+pub const BUCKETS: usize = 64;
+
+/// Default tick granularity. Deadlines fire at most one tick late.
+pub const DEFAULT_TICK: Duration = Duration::from_millis(10);
+
+struct Entry {
+    id: u64,
+    at: Instant,
+    expired: Arc<AtomicBool>,
+    hangup: Arc<dyn Hangup>,
+}
+
+struct WheelState {
+    buckets: Vec<Vec<Entry>>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    state: Mutex<WheelState>,
+    ticker: Condvar,
+    epoch: Instant,
+    tick: Duration,
+}
+
+impl Inner {
+    fn bucket_for(&self, at: Instant) -> usize {
+        let ticks =
+            at.saturating_duration_since(self.epoch).as_nanos() / self.tick.as_nanos().max(1);
+        // lint: allow(truncating-cast) — reduced mod BUCKETS, always in range.
+        (ticks % BUCKETS as u128) as usize
+    }
+}
+
+/// The wheel. Dropping it stops the ticker thread; outstanding guards keep
+/// their `expired` flags but nothing fires after shutdown.
+pub struct DeadlineWheel {
+    inner: Arc<Inner>,
+    ticker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl DeadlineWheel {
+    /// A wheel ticking at [`DEFAULT_TICK`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_tick(DEFAULT_TICK)
+    }
+
+    /// A wheel with an explicit tick (tests use a coarse one to prove
+    /// deadlines fire, a fine one to prove they don't fire early).
+    #[must_use]
+    pub fn with_tick(tick: Duration) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(WheelState {
+                buckets: (0..BUCKETS).map(|_| Vec::new()).collect(),
+                next_id: 1,
+                shutdown: false,
+            }),
+            ticker: Condvar::new(),
+            epoch: Instant::now(),
+            tick: tick.max(Duration::from_millis(1)),
+        });
+        let ticker_inner = Arc::clone(&inner);
+        let ticker = std::thread::Builder::new()
+            .name("f2-deadline-wheel".into())
+            .spawn(move || run_ticker(&ticker_inner))
+            .ok();
+        DeadlineWheel { inner, ticker }
+    }
+
+    /// The wheel's tick granularity.
+    #[must_use]
+    pub fn tick(&self) -> Duration {
+        self.inner.tick
+    }
+
+    /// Arm a deadline: at `at`, set the guard's expired flag and hang up the
+    /// connection. Dropping the guard before then cancels it.
+    #[must_use]
+    pub fn register(&self, at: Instant, hangup: Arc<dyn Hangup>) -> DeadlineGuard {
+        let expired = Arc::new(AtomicBool::new(false));
+        let bucket = self.inner.bucket_for(at);
+        let mut state = self.inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let id = state.next_id;
+        state.next_id = state.next_id.wrapping_add(1);
+        if let Some(slot) = state.buckets.get_mut(bucket) {
+            slot.push(Entry { id, at, expired: Arc::clone(&expired), hangup });
+        }
+        drop(state);
+        DeadlineGuard { inner: Arc::clone(&self.inner), id, bucket, expired }
+    }
+}
+
+impl Default for DeadlineWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for DeadlineWheel {
+    fn drop(&mut self) {
+        self.inner.state.lock().unwrap_or_else(PoisonError::into_inner).shutdown = true;
+        self.inner.ticker.notify_all();
+        if let Some(handle) = self.ticker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn run_ticker(inner: &Inner) {
+    let mut cursor = 0_usize;
+    let mut state = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        if state.shutdown {
+            return;
+        }
+        let (guard, _) =
+            inner.ticker.wait_timeout(state, inner.tick).unwrap_or_else(PoisonError::into_inner);
+        state = guard;
+        if state.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        // Fire everything due in the cursor bucket; keep the rest (entries
+        // whose deadline is a revolution or more away).
+        if let Some(slot) = state.buckets.get_mut(cursor % BUCKETS) {
+            let mut due = Vec::new();
+            slot.retain(|entry| {
+                if entry.at <= now {
+                    entry.expired.store(true, Ordering::SeqCst);
+                    due.push(Arc::clone(&entry.hangup));
+                    false
+                } else {
+                    true
+                }
+            });
+            if !due.is_empty() {
+                // Hang up outside the lock: a hangup may take a transport
+                // mutex held by code that is about to touch the wheel.
+                drop(state);
+                for hangup in due {
+                    hangup.hangup();
+                }
+                state = inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        cursor = cursor.wrapping_add(1);
+    }
+}
+
+/// An armed deadline. `expired()` reports whether it fired; dropping cancels.
+pub struct DeadlineGuard {
+    inner: Arc<Inner>,
+    id: u64,
+    bucket: usize,
+    expired: Arc<AtomicBool>,
+}
+
+impl DeadlineGuard {
+    /// Whether the deadline fired (and the connection was hung up).
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.expired.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(slot) = state.buckets.get_mut(self.bucket) {
+            slot.retain(|entry| entry.id != self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FlagHangup(Arc<AtomicBool>);
+
+    impl Hangup for FlagHangup {
+        fn hangup(&self) {
+            self.0.store(true, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn an_expired_deadline_fires_and_hangs_up() {
+        let wheel = DeadlineWheel::with_tick(Duration::from_millis(2));
+        let hung = Arc::new(AtomicBool::new(false));
+        let guard = wheel.register(
+            Instant::now() + Duration::from_millis(5),
+            Arc::new(FlagHangup(Arc::clone(&hung))),
+        );
+        let waited = Instant::now();
+        while !guard.expired() && waited.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(guard.expired(), "deadline never fired");
+        assert!(hung.load(Ordering::SeqCst), "hangup was not invoked");
+    }
+
+    #[test]
+    fn a_cancelled_deadline_never_fires() {
+        let wheel = DeadlineWheel::with_tick(Duration::from_millis(2));
+        let hung = Arc::new(AtomicBool::new(false));
+        let guard = wheel.register(
+            Instant::now() + Duration::from_millis(30),
+            Arc::new(FlagHangup(Arc::clone(&hung))),
+        );
+        assert!(!guard.expired());
+        drop(guard);
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(!hung.load(Ordering::SeqCst), "cancelled deadline fired");
+    }
+
+    #[test]
+    fn a_far_deadline_survives_a_full_revolution_unfired() {
+        let wheel = DeadlineWheel::with_tick(Duration::from_millis(1));
+        let hung = Arc::new(AtomicBool::new(false));
+        let guard = wheel.register(
+            Instant::now() + Duration::from_secs(600),
+            Arc::new(FlagHangup(Arc::clone(&hung))),
+        );
+        // One full revolution is BUCKETS ticks ≈ 64ms at this tick.
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(!guard.expired(), "far deadline fired early");
+        assert!(!hung.load(Ordering::SeqCst));
+    }
+}

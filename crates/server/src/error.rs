@@ -1,0 +1,150 @@
+//! The service's typed error vocabulary — every failure a client can see has a
+//! stable numeric code, so remote callers can branch without parsing messages.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Result alias over [`ServerError`].
+pub type ServerResult<T> = Result<T, ServerError>;
+
+/// Everything that can go wrong between a client request and its reply.
+///
+/// The variants up to [`ServerError::Internal`] travel over the wire as
+/// `(code, retry_after_ms, message)` error replies; [`ServerError::Io`] and
+/// [`ServerError::Disconnected`] are local transport failures (there is no one
+/// left to send them to).
+#[derive(Debug)]
+pub enum ServerError {
+    /// The request frame decoded, but its payload is malformed, violates a
+    /// protocol cap, or uses an unknown frame type.
+    BadRequest(String),
+    /// The request names a tenant the service has no scheme for.
+    UnknownTenant(String),
+    /// The request names a job token that is neither live nor persisted.
+    UnknownJob(u64),
+    /// Another connection currently holds the job checked out.
+    JobBusy(u64),
+    /// An append arrived out of order; `expected` is the index to resend from.
+    WrongChunk {
+        /// The chunk index the job expects next.
+        expected: u64,
+        /// The index the request carried.
+        got: u64,
+    },
+    /// An append exceeded the per-request row cap.
+    TooLarge {
+        /// Rows the request carried.
+        rows: usize,
+        /// The service's per-append row cap.
+        cap: usize,
+    },
+    /// The service is past its admission high-water mark; retry after the hint.
+    Overloaded {
+        /// Backoff hint for the client.
+        retry_after: Duration,
+    },
+    /// The service is draining and admits no new work.
+    ShuttingDown,
+    /// The per-request deadline expired before the reply was ready.
+    DeadlineExpired,
+    /// The engine rejected the request (configuration or input mismatch).
+    Engine(String),
+    /// An internal failure (worker panic, store fault). The job, if any, was
+    /// parked resumable.
+    Internal(String),
+    /// A local transport failure — the connection is gone.
+    Io(std::io::Error),
+    /// The peer closed the connection cleanly.
+    Disconnected,
+}
+
+impl ServerError {
+    /// The stable wire code (0 for the local-only variants, which never
+    /// travel).
+    #[must_use]
+    pub fn code(&self) -> u16 {
+        match self {
+            ServerError::BadRequest(_) => 1,
+            ServerError::UnknownTenant(_) => 2,
+            ServerError::UnknownJob(_) => 3,
+            ServerError::JobBusy(_) => 4,
+            ServerError::WrongChunk { .. } => 5,
+            ServerError::TooLarge { .. } => 6,
+            ServerError::Overloaded { .. } => 7,
+            ServerError::ShuttingDown => 8,
+            ServerError::DeadlineExpired => 9,
+            ServerError::Engine(_) => 10,
+            ServerError::Internal(_) => 11,
+            ServerError::Io(_) | ServerError::Disconnected => 0,
+        }
+    }
+
+    /// Whether the client should retry the same request later (possibly on a
+    /// new connection), as opposed to fixing it first.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServerError::Overloaded { .. }
+                | ServerError::JobBusy(_)
+                | ServerError::DeadlineExpired
+                | ServerError::Internal(_)
+        )
+    }
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServerError::UnknownTenant(t) => write!(f, "unknown tenant `{t}`"),
+            ServerError::UnknownJob(token) => write!(f, "unknown job {token:#018x}"),
+            ServerError::JobBusy(token) => {
+                write!(f, "job {token:#018x} is checked out by another connection")
+            }
+            ServerError::WrongChunk { expected, got } => {
+                write!(f, "chunk {got} arrived but the job expects chunk {expected}")
+            }
+            ServerError::TooLarge { rows, cap } => {
+                write!(f, "append carries {rows} rows, the per-request cap is {cap}")
+            }
+            ServerError::Overloaded { retry_after } => {
+                write!(f, "service overloaded, retry after {}ms", retry_after.as_millis())
+            }
+            ServerError::ShuttingDown => write!(f, "service is draining, no new work admitted"),
+            ServerError::DeadlineExpired => write!(f, "request deadline expired"),
+            ServerError::Engine(m) => write!(f, "engine rejected the request: {m}"),
+            ServerError::Internal(m) => write!(f, "internal failure (job parked resumable): {m}"),
+            ServerError::Io(e) => write!(f, "transport failure: {e}"),
+            ServerError::Disconnected => write!(f, "peer disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<f2_io::IoError> for ServerError {
+    fn from(e: f2_io::IoError) -> Self {
+        match e {
+            f2_io::IoError::Io(inner) => ServerError::Io(inner),
+            other => ServerError::BadRequest(other.to_string()),
+        }
+    }
+}
+
+impl From<f2_core::F2Error> for ServerError {
+    fn from(e: f2_core::F2Error) -> Self {
+        match e {
+            f2_core::F2Error::WorkerPanicked { chunk, message } => {
+                ServerError::Internal(format!("worker panicked on chunk {chunk}: {message}"))
+            }
+            other => ServerError::Engine(other.to_string()),
+        }
+    }
+}

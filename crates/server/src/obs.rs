@@ -1,0 +1,109 @@
+//! Cached telemetry handles for the service.
+//!
+//! Admission, shedding, deadlines, panics, and drain each get a counter so an
+//! operator can read the service's health from one Prometheus scrape: a
+//! rising `f2_server_shed_total` means the admission queue is past its
+//! high-water mark, `f2_server_deadline_expired_total` means workers are too
+//! slow for the configured deadline, `f2_server_worker_panics_total` means
+//! jobs are being parked resumable. The queue-depth gauge and the request
+//! latency histogram give the load picture between those events.
+
+use f2_obs::{Counter, Gauge, Histogram, Unit};
+use std::sync::OnceLock;
+
+/// Connections the service accepted (shed connections included).
+pub(crate) fn connections_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_server_connections_total",
+            "Connections accepted by the service.",
+            &[],
+        )
+    })
+}
+
+/// Requests the service dispatched (errors included).
+pub(crate) fn requests_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_server_requests_total",
+            "Requests dispatched by the service.",
+            &[],
+        )
+    })
+}
+
+/// Connections rejected with `Overloaded` past the admission high-water mark.
+pub(crate) fn shed_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_server_shed_total",
+            "Connections shed with a typed Overloaded reply.",
+            &[],
+        )
+    })
+}
+
+/// Requests whose per-request deadline fired before the reply was ready.
+pub(crate) fn deadline_expired_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_server_deadline_expired_total",
+            "Requests cut off by the per-request deadline.",
+            &[],
+        )
+    })
+}
+
+/// Connections that completed during a graceful drain.
+pub(crate) fn drained_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_server_drained_total",
+            "Connections drained to completion during shutdown.",
+            &[],
+        )
+    })
+}
+
+/// Request handlers caught panicking; the touched job was parked resumable.
+pub(crate) fn worker_panics_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_server_worker_panics_total",
+            "Request handlers that panicked (job parked resumable).",
+            &[],
+        )
+    })
+}
+
+/// Connections waiting in the admission queue right now.
+pub(crate) fn queue_depth() -> &'static Gauge {
+    static G: OnceLock<Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        f2_obs::global().gauge(
+            "f2_server_queue_depth",
+            "Connections waiting in the admission queue.",
+            &[],
+        )
+    })
+}
+
+/// End-to-end request latency (decode → dispatch → reply encoded).
+pub(crate) fn request_seconds() -> &'static Histogram {
+    static H: OnceLock<Histogram> = OnceLock::new();
+    H.get_or_init(|| {
+        f2_obs::global().histogram(
+            "f2_server_request_seconds",
+            "Wall-clock latency per request, decode through reply.",
+            &[],
+            Unit::Seconds,
+        )
+    })
+}

@@ -1,0 +1,204 @@
+//! An in-memory duplex byte pipe implementing [`Transport`], so the whole
+//! service — admission, deadlines, shedding, drain — can be exercised in
+//! tests without binding sockets, and chaos suites can interpose
+//! [`f2_io::fault`] wrappers on exact byte offsets deterministically.
+//!
+//! [`duplex`] returns two ends; bytes written into one are read from the
+//! other. Each direction is an unbounded buffer guarded by a mutex +
+//! condvar. Hanging up (from either side's [`Hangup`] handle, or by dropping
+//! an end) wakes all waiters: readers drain what is already buffered and then
+//! see EOF, writers fail with [`std::io::ErrorKind::BrokenPipe`] — the same
+//! shape a killed TCP socket presents.
+
+use crate::transport::{Hangup, Transport};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// One direction of the pipe: a byte queue plus the hangup flag.
+struct Channel {
+    state: Mutex<ChannelState>,
+    readable: Condvar,
+}
+
+struct ChannelState {
+    buf: VecDeque<u8>,
+    hungup: bool,
+}
+
+impl Channel {
+    fn new() -> Arc<Self> {
+        Arc::new(Channel {
+            state: Mutex::new(ChannelState { buf: VecDeque::new(), hungup: false }),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn hangup(&self) {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).hungup = true;
+        self.readable.notify_all();
+    }
+}
+
+/// One end of an in-memory duplex transport. See the module docs.
+pub struct PipeEnd {
+    read_from: Arc<Channel>,
+    write_to: Arc<Channel>,
+    read_timeout: Option<Duration>,
+}
+
+/// A matched pair of pipe ends: bytes written to one are read from the other.
+#[must_use]
+pub fn duplex() -> (PipeEnd, PipeEnd) {
+    let a_to_b = Channel::new();
+    let b_to_a = Channel::new();
+    (
+        PipeEnd {
+            read_from: Arc::clone(&b_to_a),
+            write_to: Arc::clone(&a_to_b),
+            read_timeout: None,
+        },
+        PipeEnd { read_from: a_to_b, write_to: b_to_a, read_timeout: None },
+    )
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.read_from.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !state.buf.is_empty() {
+                let n = buf.len().min(state.buf.len());
+                for slot in buf.iter_mut().take(n) {
+                    // The length check above guarantees `n` buffered bytes.
+                    *slot = state.buf.pop_front().unwrap_or_default();
+                }
+                return Ok(n);
+            }
+            if state.hungup {
+                return Ok(0);
+            }
+            state = match self.read_timeout {
+                Some(timeout) => {
+                    let (guard, wait) = self
+                        .read_from
+                        .readable
+                        .wait_timeout(state, timeout)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    if wait.timed_out() && guard.buf.is_empty() && !guard.hungup {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "pipe read timed out",
+                        ));
+                    }
+                    guard
+                }
+                None => self.read_from.readable.wait(state).unwrap_or_else(PoisonError::into_inner),
+            };
+        }
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let mut state = self.write_to.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.hungup {
+            return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe peer hung up"));
+        }
+        state.buf.extend(buf.iter().copied());
+        drop(state);
+        self.write_to.readable.notify_all();
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+struct PipeHangup {
+    a: Arc<Channel>,
+    b: Arc<Channel>,
+}
+
+impl Hangup for PipeHangup {
+    fn hangup(&self) {
+        self.a.hangup();
+        self.b.hangup();
+    }
+}
+
+impl Transport for PipeEnd {
+    fn hangup_handle(&self) -> Box<dyn Hangup> {
+        Box::new(PipeHangup { a: Arc::clone(&self.read_from), b: Arc::clone(&self.write_to) })
+    }
+
+    fn set_io_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.read_timeout = timeout;
+        Ok(())
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        // Dropping an end hangs up both directions, like closing a socket:
+        // the peer's reads drain then EOF, its writes fail.
+        self.read_from.hangup();
+        self.write_to.hangup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn bytes_cross_the_pipe_in_order() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"hello").expect("write");
+        let mut out = [0_u8; 5];
+        b.read_exact(&mut out).expect("read");
+        assert_eq!(&out, b"hello");
+    }
+
+    #[test]
+    fn dropping_one_end_gives_the_peer_buffered_bytes_then_eof() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"tail").expect("write");
+        drop(a);
+        let mut out = Vec::new();
+        b.read_to_end(&mut out).expect("drain");
+        assert_eq!(out, b"tail");
+        assert_eq!(
+            b.write(b"x").expect_err("write after hangup").kind(),
+            std::io::ErrorKind::BrokenPipe
+        );
+    }
+
+    #[test]
+    fn a_read_timeout_surfaces_as_timed_out() {
+        let (mut a, _b) = duplex();
+        a.set_io_timeout(Some(Duration::from_millis(10))).expect("timeout");
+        let mut buf = [0_u8; 1];
+        assert_eq!(a.read(&mut buf).expect_err("empty pipe").kind(), std::io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn the_hangup_handle_wakes_a_blocked_reader() {
+        let (mut a, b) = duplex();
+        let hangup = a.hangup_handle();
+        let reader = std::thread::spawn(move || {
+            let mut buf = [0_u8; 1];
+            a.read(&mut buf)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        hangup.hangup();
+        let got = reader.join().expect("reader thread");
+        assert_eq!(got.expect("EOF after hangup"), 0);
+        drop(b);
+    }
+}

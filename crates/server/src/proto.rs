@@ -1,0 +1,478 @@
+//! The request/reply protocol: typed messages over `F2WS` frames.
+//!
+//! lint: untrusted-input
+//!
+//! Every connection is a sequence of length-prefixed, CRC-checked frames (the
+//! same [`f2_io::FrameSink`] / [`f2_io::FrameReader`] layer the encrypted
+//! stream format uses, so transport corruption surfaces as a typed
+//! [`IoError`](f2_io::IoError) before any payload byte is parsed). The frame
+//! *type* byte selects the message; the payload is a flat
+//! [`wire`](f2_engine::wire) record. This module is the protocol's only
+//! parser and printer, and it is in f2-lint's `untrusted-input` scope: no
+//! panics, no unchecked indexing, no allocations sized by unvalidated input —
+//! a hostile payload must decode to [`ServerError::BadRequest`], never
+//! undefined behavior or an abort.
+//!
+//! Request frames: `OPEN` (new session for a tenant + schema), `APPEND` (one
+//! chunk of rows for a job token), `FINISH` (close the stream), `RESUME`
+//! (reattach to a persisted job), `METRICS` (fetch a Prometheus snapshot).
+//! Replies mirror them; errors travel as a `(code, a, b, message)` record
+//! that [`decode_error`] turns back into the exact [`ServerError`] variant.
+
+use crate::error::{ServerError, ServerResult};
+use f2_engine::persist::{decode_table, encode_table, put_schema, take_schema};
+use f2_engine::wire::{Reader, Writer};
+use f2_relation::{Schema, Table};
+use std::time::Duration;
+
+/// Request frame: open a new encryption session.
+pub const REQ_OPEN: u8 = 0x10;
+/// Request frame: append one chunk of plaintext rows to a job.
+pub const REQ_APPEND: u8 = 0x11;
+/// Request frame: finish a job's stream (trailer + end frame).
+pub const REQ_FINISH: u8 = 0x12;
+/// Request frame: reattach to a persisted job after a disconnect or restart.
+pub const REQ_RESUME: u8 = 0x13;
+/// Request frame: fetch the service's Prometheus metrics snapshot.
+pub const REQ_METRICS: u8 = 0x14;
+
+/// Reply frame for [`REQ_OPEN`].
+pub const RESP_OPEN: u8 = 0x20;
+/// Reply frame for [`REQ_APPEND`].
+pub const RESP_APPEND: u8 = 0x21;
+/// Reply frame for [`REQ_FINISH`].
+pub const RESP_FINISH: u8 = 0x22;
+/// Reply frame for [`REQ_RESUME`].
+pub const RESP_RESUME: u8 = 0x23;
+/// Reply frame for [`REQ_METRICS`].
+pub const RESP_METRICS: u8 = 0x24;
+/// Reply frame carrying a typed [`ServerError`].
+pub const RESP_ERR: u8 = 0x2F;
+
+/// Cap on a tenant name — longer is a malformed request, not a bigger buffer.
+pub const MAX_TENANT_BYTES: usize = 128;
+/// Cap on an encoded schema — 64 KiB covers thousands of attributes.
+pub const MAX_SCHEMA_BYTES: usize = 64 * 1024;
+
+/// One decoded client request.
+#[derive(Debug)]
+pub enum Request {
+    /// Open a new session: the service allocates a job token and starts a
+    /// fresh stream for `tenant` with this row `schema`.
+    Open {
+        /// Tenant whose scheme (keys, parameters) encrypts the job.
+        tenant: String,
+        /// Schema of every row the job will carry.
+        schema: Schema,
+    },
+    /// Append one chunk of plaintext rows to the job.
+    Append {
+        /// The job token from `Open` / `Resume`.
+        token: u64,
+        /// Position the client believes this chunk occupies (0-based).
+        chunk_index: u64,
+        /// The rows, as an encoded table.
+        table: Table,
+    },
+    /// Close the job's stream and retire the token.
+    Finish {
+        /// The job token.
+        token: u64,
+    },
+    /// Reattach to a job whose connection (or server) died. The schema is
+    /// revalidated against the persisted stream header.
+    Resume {
+        /// Tenant whose scheme encrypts the job.
+        tenant: String,
+        /// The job token to reattach to.
+        token: u64,
+        /// Schema the client believes the job carries.
+        schema: Schema,
+    },
+    /// Fetch a Prometheus text snapshot of the service's metrics.
+    Metrics,
+}
+
+impl Request {
+    /// Encode into `(frame_type, payload)` for a [`f2_io::FrameSink`].
+    #[must_use]
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Request::Open { tenant, schema } => {
+                let mut w = Writer::raw();
+                w.put_str(tenant);
+                w.put_bytes(&encode_schema(schema));
+                (REQ_OPEN, w.finish())
+            }
+            Request::Append { token, chunk_index, table } => {
+                let mut w = Writer::raw();
+                w.put_u64(*token);
+                w.put_u64(*chunk_index);
+                w.put_bytes(&encode_table(table));
+                (REQ_APPEND, w.finish())
+            }
+            Request::Finish { token } => {
+                let mut w = Writer::raw();
+                w.put_u64(*token);
+                (REQ_FINISH, w.finish())
+            }
+            Request::Resume { tenant, token, schema } => {
+                let mut w = Writer::raw();
+                w.put_str(tenant);
+                w.put_u64(*token);
+                w.put_bytes(&encode_schema(schema));
+                (REQ_RESUME, w.finish())
+            }
+            Request::Metrics => (REQ_METRICS, Writer::raw().finish()),
+        }
+    }
+
+    /// Decode a request frame. Any structural violation — unknown type, short
+    /// payload, trailing bytes, over-cap field — is a
+    /// [`ServerError::BadRequest`].
+    pub fn decode(frame_type: u8, payload: &[u8]) -> ServerResult<Request> {
+        let mut r = Reader::raw(payload);
+        let request = match frame_type {
+            REQ_OPEN => {
+                let tenant = take_tenant(&mut r)?;
+                let schema = take_schema_blob(&mut r)?;
+                Request::Open { tenant, schema }
+            }
+            REQ_APPEND => {
+                let token = r.u64().map_err(bad)?;
+                let chunk_index = r.u64().map_err(bad)?;
+                let table = decode_table(r.bytes().map_err(bad)?)
+                    .map_err(|e| ServerError::BadRequest(format!("append table: {e}")))?;
+                Request::Append { token, chunk_index, table }
+            }
+            REQ_FINISH => Request::Finish { token: r.u64().map_err(bad)? },
+            REQ_RESUME => {
+                let tenant = take_tenant(&mut r)?;
+                let token = r.u64().map_err(bad)?;
+                let schema = take_schema_blob(&mut r)?;
+                Request::Resume { tenant, token, schema }
+            }
+            REQ_METRICS => Request::Metrics,
+            other => {
+                return Err(ServerError::BadRequest(format!("unknown request frame {other:#04x}")))
+            }
+        };
+        r.finish().map_err(bad)?;
+        Ok(request)
+    }
+}
+
+/// One decoded server reply (errors decode to `Err(ServerError)` instead).
+#[derive(Debug)]
+pub enum Response {
+    /// Reply to [`Request::Open`].
+    Open {
+        /// The allocated job token — the client's resume credential.
+        token: u64,
+        /// Rows per chunk the job expects (full chunks until the last).
+        chunk_rows: u64,
+    },
+    /// Reply to [`Request::Append`].
+    Append {
+        /// Plaintext rows the job now holds.
+        rows: u64,
+        /// Encrypted rows written so far.
+        encrypted_rows: u64,
+        /// Index the next append must carry.
+        next_chunk: u64,
+    },
+    /// Reply to [`Request::Finish`].
+    Finish {
+        /// Total plaintext rows encrypted.
+        rows: u64,
+        /// Total encrypted rows written.
+        encrypted_rows: u64,
+        /// Chunks in the finished stream.
+        chunks: u64,
+        /// Stream bytes, preamble and frame headers included.
+        bytes_written: u64,
+    },
+    /// Reply to [`Request::Resume`].
+    Resume {
+        /// The token (echoed).
+        token: u64,
+        /// Index the next append must carry.
+        next_chunk: u64,
+        /// Rows already encrypted — the client re-sends from this row onward.
+        rows_done: u64,
+        /// Rows per chunk the job expects.
+        chunk_rows: u64,
+    },
+    /// Reply to [`Request::Metrics`]: a Prometheus text snapshot.
+    Metrics(String),
+}
+
+impl Response {
+    /// Encode into `(frame_type, payload)` for a [`f2_io::FrameSink`].
+    #[must_use]
+    pub fn encode(&self) -> (u8, Vec<u8>) {
+        match self {
+            Response::Open { token, chunk_rows } => {
+                let mut w = Writer::raw();
+                w.put_u64(*token);
+                w.put_u64(*chunk_rows);
+                (RESP_OPEN, w.finish())
+            }
+            Response::Append { rows, encrypted_rows, next_chunk } => {
+                let mut w = Writer::raw();
+                w.put_u64(*rows);
+                w.put_u64(*encrypted_rows);
+                w.put_u64(*next_chunk);
+                (RESP_APPEND, w.finish())
+            }
+            Response::Finish { rows, encrypted_rows, chunks, bytes_written } => {
+                let mut w = Writer::raw();
+                w.put_u64(*rows);
+                w.put_u64(*encrypted_rows);
+                w.put_u64(*chunks);
+                w.put_u64(*bytes_written);
+                (RESP_FINISH, w.finish())
+            }
+            Response::Resume { token, next_chunk, rows_done, chunk_rows } => {
+                let mut w = Writer::raw();
+                w.put_u64(*token);
+                w.put_u64(*next_chunk);
+                w.put_u64(*rows_done);
+                w.put_u64(*chunk_rows);
+                (RESP_RESUME, w.finish())
+            }
+            Response::Metrics(text) => {
+                let mut w = Writer::raw();
+                w.put_bytes(text.as_bytes());
+                (RESP_METRICS, w.finish())
+            }
+        }
+    }
+
+    /// Decode a reply frame; [`RESP_ERR`] decodes to the carried
+    /// [`ServerError`].
+    pub fn decode(frame_type: u8, payload: &[u8]) -> ServerResult<Response> {
+        let mut r = Reader::raw(payload);
+        let response = match frame_type {
+            RESP_OPEN => {
+                Response::Open { token: r.u64().map_err(bad)?, chunk_rows: r.u64().map_err(bad)? }
+            }
+            RESP_APPEND => Response::Append {
+                rows: r.u64().map_err(bad)?,
+                encrypted_rows: r.u64().map_err(bad)?,
+                next_chunk: r.u64().map_err(bad)?,
+            },
+            RESP_FINISH => Response::Finish {
+                rows: r.u64().map_err(bad)?,
+                encrypted_rows: r.u64().map_err(bad)?,
+                chunks: r.u64().map_err(bad)?,
+                bytes_written: r.u64().map_err(bad)?,
+            },
+            RESP_RESUME => Response::Resume {
+                token: r.u64().map_err(bad)?,
+                next_chunk: r.u64().map_err(bad)?,
+                rows_done: r.u64().map_err(bad)?,
+                chunk_rows: r.u64().map_err(bad)?,
+            },
+            RESP_METRICS => {
+                let text = String::from_utf8(r.bytes().map_err(bad)?.to_vec())
+                    .map_err(|_| ServerError::BadRequest("metrics text is not UTF-8".into()))?;
+                Response::Metrics(text)
+            }
+            RESP_ERR => {
+                let error = decode_error(&mut r)?;
+                r.finish().map_err(bad)?;
+                return Err(error);
+            }
+            other => {
+                return Err(ServerError::BadRequest(format!("unknown reply frame {other:#04x}")))
+            }
+        };
+        r.finish().map_err(bad)?;
+        Ok(response)
+    }
+}
+
+/// Encode a [`ServerError`] as a [`RESP_ERR`] payload: `code | a | b | message`,
+/// where `a`/`b` carry the variant's structured fields (token, chunk indices,
+/// row caps, or the retry-after hint in milliseconds).
+#[must_use]
+pub fn encode_error(error: &ServerError) -> (u8, Vec<u8>) {
+    let (a, b) = match error {
+        ServerError::UnknownJob(token) | ServerError::JobBusy(token) => (*token, 0),
+        ServerError::WrongChunk { expected, got } => (*expected, *got),
+        ServerError::TooLarge { rows, cap } => (rows_u64(*rows), rows_u64(*cap)),
+        ServerError::Overloaded { retry_after } => (millis_u64(*retry_after), 0),
+        _ => (0, 0),
+    };
+    let mut w = Writer::raw();
+    w.put_u16(error.code());
+    w.put_u64(a);
+    w.put_u64(b);
+    w.put_str(&error.to_string());
+    (RESP_ERR, w.finish())
+}
+
+/// Decode a [`RESP_ERR`] payload back into the [`ServerError`] it carried.
+fn decode_error(r: &mut Reader<'_>) -> ServerResult<ServerError> {
+    let code = r.u16().map_err(bad)?;
+    let a = r.u64().map_err(bad)?;
+    let b = r.u64().map_err(bad)?;
+    let message = r.str().map_err(bad)?.to_string();
+    Ok(match code {
+        1 => ServerError::BadRequest(message),
+        2 => ServerError::UnknownTenant(message),
+        3 => ServerError::UnknownJob(a),
+        4 => ServerError::JobBusy(a),
+        5 => ServerError::WrongChunk { expected: a, got: b },
+        6 => ServerError::TooLarge { rows: rows_usize(a), cap: rows_usize(b) },
+        7 => ServerError::Overloaded { retry_after: Duration::from_millis(a) },
+        8 => ServerError::ShuttingDown,
+        9 => ServerError::DeadlineExpired,
+        10 => ServerError::Engine(message),
+        11 => ServerError::Internal(message),
+        other => {
+            return Err(ServerError::BadRequest(format!("unknown error code {other}: {message}")))
+        }
+    })
+}
+
+/// Serialize a schema as a standalone blob (nested wire record).
+fn encode_schema(schema: &Schema) -> Vec<u8> {
+    let mut w = Writer::raw();
+    put_schema(&mut w, schema);
+    w.finish()
+}
+
+fn take_tenant(r: &mut Reader<'_>) -> ServerResult<String> {
+    let tenant = r.str().map_err(bad)?;
+    if tenant.is_empty() || tenant.len() > MAX_TENANT_BYTES {
+        return Err(ServerError::BadRequest(format!(
+            "tenant name must be 1..={MAX_TENANT_BYTES} bytes, got {}",
+            tenant.len()
+        )));
+    }
+    Ok(tenant.to_string())
+}
+
+fn take_schema_blob(r: &mut Reader<'_>) -> ServerResult<Schema> {
+    let blob = r.bytes().map_err(bad)?;
+    if blob.len() > MAX_SCHEMA_BYTES {
+        return Err(ServerError::BadRequest(format!(
+            "encoded schema is {} bytes, the cap is {MAX_SCHEMA_BYTES}",
+            blob.len()
+        )));
+    }
+    let mut inner = Reader::raw(blob);
+    let schema =
+        take_schema(&mut inner).map_err(|e| ServerError::BadRequest(format!("schema: {e}")))?;
+    inner.finish().map_err(bad)?;
+    Ok(schema)
+}
+
+fn bad(e: impl std::fmt::Display) -> ServerError {
+    ServerError::BadRequest(e.to_string())
+}
+
+fn rows_u64(rows: usize) -> u64 {
+    u64::try_from(rows).unwrap_or(u64::MAX)
+}
+
+fn millis_u64(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+fn rows_usize(rows: u64) -> usize {
+    usize::try_from(rows).unwrap_or(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use f2_relation::{Attribute, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::new("zip", DataType::Text),
+            Attribute::new("city", DataType::Text),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = vec![
+            Request::Open { tenant: "acme".into(), schema: schema() },
+            Request::Finish { token: 7 },
+            Request::Resume { tenant: "acme".into(), token: 9, schema: schema() },
+            Request::Metrics,
+        ];
+        for req in reqs {
+            let (ty, payload) = req.encode();
+            let back = Request::decode(ty, &payload).unwrap();
+            assert_eq!(format!("{req:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn errors_roundtrip_with_their_structured_fields() {
+        let errors = vec![
+            ServerError::UnknownJob(42),
+            ServerError::JobBusy(7),
+            ServerError::WrongChunk { expected: 3, got: 9 },
+            ServerError::TooLarge { rows: 1000, cap: 64 },
+            ServerError::Overloaded { retry_after: Duration::from_millis(250) },
+            ServerError::ShuttingDown,
+            ServerError::DeadlineExpired,
+            ServerError::BadRequest("nope".into()),
+            ServerError::Internal("boom".into()),
+        ];
+        for error in errors {
+            let (ty, payload) = encode_error(&error);
+            assert_eq!(ty, RESP_ERR);
+            let decoded = Response::decode(ty, &payload).unwrap_err();
+            assert_eq!(error.code(), decoded.code());
+            match (&error, &decoded) {
+                (
+                    ServerError::WrongChunk { expected: e1, got: g1 },
+                    ServerError::WrongChunk { expected: e2, got: g2 },
+                ) => assert_eq!((e1, g1), (e2, g2)),
+                (
+                    ServerError::Overloaded { retry_after: r1 },
+                    ServerError::Overloaded { retry_after: r2 },
+                ) => assert_eq!(r1, r2),
+                (ServerError::UnknownJob(t1), ServerError::UnknownJob(t2)) => assert_eq!(t1, t2),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_payloads_decode_to_bad_request_never_panic() {
+        // Truncations, trailing garbage, unknown types: all typed errors.
+        let (ty, good) = Request::Open { tenant: "t".into(), schema: schema() }.encode();
+        for cut in 0..good.len() {
+            let sliced = good.get(..cut).unwrap_or(&good);
+            assert!(Request::decode(ty, sliced).is_err());
+        }
+        let mut trailing = good.clone();
+        trailing.push(0xFF);
+        assert!(Request::decode(ty, &trailing).is_err());
+        assert!(Request::decode(0x7F, &good).is_err());
+        // An over-cap tenant name.
+        let mut w = Writer::raw();
+        w.put_str(&"x".repeat(MAX_TENANT_BYTES + 1));
+        w.put_bytes(&[]);
+        assert!(Request::decode(REQ_OPEN, &w.finish()).is_err());
+    }
+
+    #[test]
+    fn append_roundtrips_its_table() {
+        let t = f2_datagen::Dataset::Orders.generate(8, 3);
+        let (ty, payload) = Request::Append { token: 5, chunk_index: 2, table: t.clone() }.encode();
+        match Request::decode(ty, &payload).unwrap() {
+            Request::Append { token: 5, chunk_index: 2, table } => assert_eq!(table, t),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+}

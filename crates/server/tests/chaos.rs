@@ -1,0 +1,697 @@
+//! Chaos suite: the service under concurrent clients, injected transport
+//! faults, killed connections, overload, expired deadlines, and a full
+//! drain/restart — the properties the supervisor guarantees:
+//!
+//! - no panic ever escapes a connection;
+//! - every *accepted* job completes **byte-identical** to a local
+//!   single-process run of the same engine configuration, or stays
+//!   resumable until it does;
+//! - shed connections receive a typed `Overloaded` reply with the
+//!   configured retry-after hint;
+//! - a drain loses zero accepted jobs, and shed / deadline / drain events
+//!   are visible in the *served* Prometheus snapshot.
+
+use f2_core::{
+    ChunkState, ChunkedScheme, DetScheme, EncryptionReport, OwnerState, Scheme, SchemeOutcome, F2,
+};
+use f2_crypto::MasterKey;
+use f2_engine::{chunk_seed, Engine, EngineConfig, StatefulScheme};
+use f2_io::TableSource;
+use f2_io::{FaultPlan, FaultyReader, FaultyWriter, RetryPolicy, RowSource};
+use f2_relation::{Table, TableView};
+use f2_server::{
+    channel_acceptor, duplex, Client, FinishAck, Hangup, MemoryStores, PipeEnd, SchemeProvider,
+    ServerConfig, ServerError, ServerScheme, Service, StaticTenants, StoreProvider, TcpAcceptor,
+    Transport,
+};
+use std::io::{Cursor, Read, Write};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// ───────────────────────── fixtures ─────────────────────────
+
+const SERVICE_SEED: u64 = 0xC0FFEE;
+
+fn f2_scheme(key: u64) -> Arc<dyn ServerScheme> {
+    Arc::new(
+        F2::builder()
+            .alpha(0.5)
+            .seed(17)
+            .master_key(MasterKey::from_seed(key))
+            .build()
+            .expect("valid F2 parameters"),
+    )
+}
+
+fn det_scheme(key: u64) -> Arc<dyn ServerScheme> {
+    Arc::new(DetScheme::new(MasterKey::from_seed(key)))
+}
+
+fn chaos_config() -> ServerConfig {
+    ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        request_deadline: Duration::from_secs(5),
+        deadline_tick: Duration::from_millis(10),
+        idle_timeout: Duration::from_millis(500),
+        drain_deadline: Duration::from_millis(500),
+        retry_after: Duration::from_millis(25),
+        chunk_rows: 8,
+        frame_cap: 1 << 22,
+        seed: SERVICE_SEED,
+        retry: RetryPolicy::no_backoff(3),
+    }
+}
+
+fn table(rows: usize, seed: u64) -> Table {
+    f2_datagen::Dataset::Orders.generate(rows, seed)
+}
+
+/// The local ground truth: the exact stream a single process produces for the
+/// same scheme, chunking, and token-derived engine seed the service uses.
+fn reference_stream(
+    scheme: &Arc<dyn ServerScheme>,
+    data: &Table,
+    chunk_rows: usize,
+    token: u64,
+) -> Vec<u8> {
+    let engine =
+        Engine::new(EngineConfig { workers: 1, chunk_rows, seed: chunk_seed(SERVICE_SEED, token) })
+            .expect("valid engine config");
+    let mut job = engine
+        .begin_job(scheme.as_ref(), data.schema(), Cursor::new(Vec::new()))
+        .expect("begin reference job");
+    let mut source = TableSource::new(data);
+    while let Some(chunk) = source.next_chunk(chunk_rows).expect("table source") {
+        job.append_chunk(scheme.as_ref(), &chunk).expect("reference append");
+    }
+    let (_, store) = job.finish_into_store().expect("finish reference job");
+    store.into_inner()
+}
+
+/// Shuts the service down when dropped, so a failed assertion inside a
+/// `thread::scope` unwinds into a drain instead of hanging the scope join on
+/// a server thread that would otherwise accept forever.
+struct ShutdownOnExit(f2_server::ServiceHandle);
+
+impl Drop for ShutdownOnExit {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn metric_value(prometheus: &str, name: &str) -> f64 {
+    prometheus
+        .lines()
+        .find_map(|line| line.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+        .unwrap_or(0.0)
+}
+
+// ───────────── a fault-injected server-side transport ─────────────
+
+/// Both directions of one pipe end, shareable between the fault wrappers.
+#[derive(Clone)]
+struct Half(Arc<Mutex<PipeEnd>>);
+
+impl Read for Half {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("transport lock").read(buf)
+    }
+}
+
+impl Write for Half {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("transport lock").write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.lock().expect("transport lock").flush()
+    }
+}
+
+/// A pipe end whose reads and writes pass through seeded fault injectors —
+/// what the service sees when the chaos tests dial it.
+struct ChaosTransport {
+    reader: FaultyReader<Half>,
+    writer: FaultyWriter<Half>,
+    shared: Arc<Mutex<PipeEnd>>,
+}
+
+fn chaos_wrap(end: PipeEnd, seed: u64) -> ChaosTransport {
+    let shared = Arc::new(Mutex::new(end));
+    ChaosTransport {
+        reader: FaultyReader::new(Half(Arc::clone(&shared)), FaultPlan::random(seed, 8192, 2)),
+        writer: FaultyWriter::new(
+            Half(Arc::clone(&shared)),
+            FaultPlan::random(seed.wrapping_add(1), 8192, 2),
+        ),
+        shared,
+    }
+}
+
+impl Read for ChaosTransport {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        self.reader.read(buf)
+    }
+}
+
+impl Write for ChaosTransport {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.writer.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+impl Transport for ChaosTransport {
+    fn hangup_handle(&self) -> Box<dyn Hangup> {
+        self.shared.lock().expect("transport lock").hangup_handle()
+    }
+
+    fn set_io_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.shared.lock().expect("transport lock").set_io_timeout(timeout)
+    }
+}
+
+// ───────────── a resume-driven client that survives chaos ─────────────
+
+struct ClientPlan<'a> {
+    tenant: &'a str,
+    data: &'a Table,
+    dial: Sender<Box<dyn Transport>>,
+    seed: u64,
+    /// On the first attempt, drop the connection cold after this many
+    /// appends (simulating a client crash mid-stream).
+    kill_after_appends: Option<usize>,
+    /// Wrap the server side of every dialed connection in fault injectors.
+    faulty: bool,
+}
+
+/// Drive one job to completion through as many connections as it takes.
+/// Returns the token (for byte verification) and the final ack when this
+/// driver observed it (a finish whose reply was lost returns `None`).
+fn drive_to_completion(plan: &ClientPlan<'_>) -> (u64, Option<FinishAck>) {
+    let mut token = None;
+    for attempt in 0..80_u64 {
+        let (ours, theirs) = duplex();
+        let transport: Box<dyn Transport> = if plan.faulty {
+            Box::new(chaos_wrap(theirs, plan.seed.wrapping_add(attempt.wrapping_mul(7919))))
+        } else {
+            Box::new(theirs)
+        };
+        if plan.dial.send(transport).is_err() {
+            break;
+        }
+        let mut client = match Client::connect(ours) {
+            Ok(client) => client,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        match push_through(&mut client, plan, &mut token, attempt) {
+            Ok(ack) => return (token.expect("finished job has a token"), Some(ack)),
+            // A resume met a retired token: the finish landed but its reply
+            // was lost in transit. The byte check below is the arbiter.
+            Err(ServerError::UnknownJob(_)) if token.is_some() => {
+                return (token.expect("token observed"), None);
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    panic!("job for tenant {} never completed", plan.tenant);
+}
+
+fn push_through(
+    client: &mut Client<PipeEnd>,
+    plan: &ClientPlan<'_>,
+    token: &mut Option<u64>,
+    attempt: u64,
+) -> Result<FinishAck, ServerError> {
+    let (tok, mut next_chunk, rows_done, chunk_rows) = match *token {
+        None => {
+            let opened = client.open(plan.tenant, plan.data.schema())?;
+            *token = Some(opened.token);
+            (opened.token, 0, 0, opened.chunk_rows as usize)
+        }
+        Some(tok) => {
+            let ack = client.resume(plan.tenant, tok, plan.data.schema())?;
+            (tok, ack.next_chunk, ack.rows_done, ack.chunk_rows as usize)
+        }
+    };
+    let mut source = TableSource::new(plan.data);
+    if rows_done > 0 {
+        source.as_seekable().expect("table sources seek").seek_to_row(rows_done as usize)?;
+    }
+    let mut appends = 0;
+    while let Some(chunk) = source.next_chunk(chunk_rows.max(1))? {
+        if attempt == 0 && plan.kill_after_appends == Some(appends) {
+            // Simulated client crash: abandon the connection cold.
+            return Err(ServerError::Disconnected);
+        }
+        let ack = client.append(tok, next_chunk, chunk.view().to_table())?;
+        next_chunk = ack.next_chunk;
+        appends += 1;
+    }
+    client.finish(tok)
+}
+
+// ───────────────────────── the chaos drill ─────────────────────────
+
+/// ≥ 8 concurrent clients, mixed F²/deterministic tenants, every server-side
+/// socket wrapped in seeded fault injectors, half the clients crashing cold
+/// mid-stream. Every job must complete and match the local ground truth
+/// byte for byte.
+#[test]
+fn eight_faulty_clients_complete_byte_identical_jobs() {
+    let tenants: Vec<(String, Arc<dyn ServerScheme>)> = (0..8)
+        .map(|i| {
+            let scheme = if i % 2 == 0 { f2_scheme(100 + i) } else { det_scheme(100 + i) };
+            (format!("tenant-{i}"), scheme)
+        })
+        .collect();
+    let mut registry = StaticTenants::new();
+    for (name, scheme) in &tenants {
+        registry = registry.with_tenant(name.clone(), Arc::clone(scheme));
+    }
+    let schemes = Arc::new(registry);
+    let stores = Arc::new(MemoryStores::new());
+    let config = chaos_config();
+    let chunk_rows = config.chunk_rows;
+    let service = Service::new(config, schemes, Arc::clone(&stores) as Arc<dyn StoreProvider>);
+    let handle = service.handle();
+    let (dial, acceptor) = channel_acceptor();
+
+    let tables: Vec<Table> = (0..8).map(|i| table(12 + 7 * i, 1000 + i as u64)).collect();
+
+    let completions: Vec<(usize, u64)> = std::thread::scope(|s| {
+        let _drain_on_panic = ShutdownOnExit(handle.clone());
+        let server = s.spawn(|| service.run(acceptor));
+        let clients: Vec<_> = (0..8)
+            .map(|i| {
+                let plan_dial = dial.clone();
+                let tenant = tenants[i].0.clone();
+                let data = &tables[i];
+                s.spawn(move || {
+                    let plan = ClientPlan {
+                        tenant: &tenant,
+                        data,
+                        dial: plan_dial,
+                        seed: 0x5EED_0000 + i as u64,
+                        kill_after_appends: (i % 2 == 1).then_some(1),
+                        faulty: true,
+                    };
+                    let (token, _ack) = drive_to_completion(&plan);
+                    (i, token)
+                })
+            })
+            .collect();
+        let completions: Vec<(usize, u64)> =
+            clients.into_iter().map(|c| c.join().expect("client thread")).collect();
+        handle.shutdown();
+        server.join().expect("server thread").expect("server ran");
+        completions
+    });
+
+    assert_eq!(completions.len(), 8);
+    for (i, token) in completions {
+        let served = stores.snapshot(token).unwrap_or_else(|| panic!("job {token} left no stream"));
+        let expected = reference_stream(&tenants[i].1, &tables[i], chunk_rows, token);
+        assert_eq!(
+            served, expected,
+            "tenant-{i} (token {token}): served stream differs from the local ground truth"
+        );
+    }
+}
+
+// ───────────────────────── load shedding ─────────────────────────
+
+/// With one worker held busy and a one-deep queue, excess connections are
+/// shed with a typed `Overloaded` carrying the configured retry-after hint —
+/// and the event shows up in a *served* metrics snapshot.
+#[test]
+fn excess_connections_are_shed_with_a_typed_overloaded_reply() {
+    let schemes = Arc::new(StaticTenants::new().with_tenant("acme", det_scheme(7)));
+    let stores = Arc::new(MemoryStores::new());
+    // A long idle timeout keeps the worker pinned for the whole test; the
+    // pinned connections are released by hangup (dropping our ends), which
+    // wakes the blocked reads immediately.
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        idle_timeout: Duration::from_secs(30),
+        retry_after: Duration::from_millis(37),
+        retry: RetryPolicy::no_backoff(2),
+        seed: SERVICE_SEED,
+        ..ServerConfig::default()
+    };
+    let retry_after = config.retry_after;
+    let service = Service::new(config, schemes, stores);
+    let handle = service.handle();
+    let (dial, acceptor) = channel_acceptor();
+
+    std::thread::scope(|s| {
+        let _drain_on_panic = ShutdownOnExit(handle.clone());
+        let server = s.spawn(|| service.run(acceptor));
+
+        // Occupy the worker: a connection that never sends a request sits in
+        // the server's preamble read until we hang it up. Reading the
+        // server's preamble back confirms the worker has *popped* it — only
+        // then is the queue slot free for the next connection, so the
+        // occupancy setup is race-free even with one worker.
+        let (mut idle_ours, idle_theirs) = duplex();
+        dial.send(Box::new(idle_theirs)).expect("dial");
+        let mut preamble_byte = [0_u8; 1];
+        idle_ours.read_exact(&mut preamble_byte).expect("worker picked up the pinned connection");
+        // Fill the one queue slot the same way (the only worker is busy, so
+        // this one stays queued).
+        let (queued_ours, queued_theirs) = duplex();
+        dial.send(Box::new(queued_theirs)).expect("dial");
+
+        // Everyone else must be shed, typed. The rejection can surface at
+        // connect time (the server's reply-and-hangup beat our preamble) or
+        // on the first request — both deliver the typed error.
+        for attempt in 0..6 {
+            let (ours, theirs) = duplex();
+            dial.send(Box::new(theirs)).expect("dial");
+            let outcome = Client::connect(ours).and_then(|mut c| c.metrics());
+            match outcome {
+                Err(ServerError::Overloaded { retry_after: hint }) => {
+                    assert_eq!(hint, retry_after, "retry-after hint must be the configured one");
+                }
+                other => panic!("attempt {attempt}: expected a typed Overloaded, got {other:?}"),
+            }
+        }
+        drop((idle_ours, queued_ours));
+
+        // Once the pool frees up, a served snapshot reports the shedding.
+        let mut reported = 0.0;
+        for _ in 0..100 {
+            let (ours, theirs) = duplex();
+            dial.send(Box::new(theirs)).expect("dial");
+            let served = Client::connect(ours).and_then(|mut c| {
+                let text = c.metrics()?;
+                let _ = c.close();
+                Ok(text)
+            });
+            if let Ok(text) = served {
+                reported = metric_value(&text, "f2_server_shed_total");
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(reported >= 1.0, "served snapshot must report f2_server_shed_total >= 1");
+
+        handle.shutdown();
+        server.join().expect("server thread").expect("server ran");
+    });
+}
+
+// ───────────────────────── deadlines ─────────────────────────
+
+/// A scheme that encrypts correctly but slowly — the deadline wheel's prey.
+struct SlowScheme {
+    inner: Arc<DetScheme>,
+    delay: Duration,
+}
+
+impl Scheme for SlowScheme {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn encrypt(&self, data: &Table) -> f2_core::Result<SchemeOutcome> {
+        std::thread::sleep(self.delay);
+        self.inner.encrypt(data)
+    }
+
+    fn decrypt(&self, outcome: &SchemeOutcome) -> f2_core::Result<Table> {
+        self.inner.decrypt(outcome)
+    }
+
+    fn real_rows(&self, outcome: &SchemeOutcome) -> f2_core::Result<Vec<(usize, usize)>> {
+        self.inner.real_rows(outcome)
+    }
+}
+
+impl ChunkedScheme for SlowScheme {
+    fn reseeded(&self, _seed: u64) -> Box<dyn ChunkedScheme> {
+        // Deterministic backend: reseeding is the identity.
+        Box::new(SlowScheme { inner: Arc::clone(&self.inner), delay: self.delay })
+    }
+
+    fn encrypt_view(&self, view: &TableView<'_>) -> f2_core::Result<SchemeOutcome> {
+        std::thread::sleep(self.delay);
+        self.inner.encrypt_view(view)
+    }
+
+    fn merge_chunk_states(&self, chunks: Vec<ChunkState>) -> f2_core::Result<OwnerState> {
+        self.inner.merge_chunk_states(chunks)
+    }
+
+    fn rederive_chunk_report(&self, rows: usize) -> Option<EncryptionReport> {
+        self.inner.rederive_chunk_report(rows)
+    }
+}
+
+impl StatefulScheme for SlowScheme {
+    fn save_state(&self, outcome: &SchemeOutcome) -> f2_core::Result<Vec<u8>> {
+        self.inner.save_state(outcome)
+    }
+
+    fn load_state(&self, bytes: &[u8]) -> f2_core::Result<OwnerState> {
+        self.inner.load_state(bytes)
+    }
+}
+
+/// An append that outlives its deadline gets the connection hung up, the
+/// expiry is metered, and the job stays consistent: the committed chunk is
+/// visible after resume and the job still finishes byte-identical.
+#[test]
+fn an_expired_deadline_hangs_up_but_never_corrupts_the_job() {
+    let det = Arc::new(DetScheme::new(MasterKey::from_seed(21)));
+    let slow: Arc<dyn ServerScheme> =
+        Arc::new(SlowScheme { inner: Arc::clone(&det), delay: Duration::from_millis(200) });
+    let plain: Arc<dyn ServerScheme> = det;
+    let schemes = Arc::new(StaticTenants::new().with_tenant("slow", Arc::clone(&slow)));
+    let stores = Arc::new(MemoryStores::new());
+    let config = ServerConfig {
+        workers: 2,
+        request_deadline: Duration::from_millis(40),
+        deadline_tick: Duration::from_millis(5),
+        idle_timeout: Duration::from_secs(2),
+        retry: RetryPolicy::no_backoff(2),
+        chunk_rows: 8,
+        seed: SERVICE_SEED,
+        ..ServerConfig::default()
+    };
+    let chunk_rows = config.chunk_rows;
+    let service = Service::new(config, schemes, Arc::clone(&stores) as Arc<dyn StoreProvider>);
+    let handle = service.handle();
+    let (dial, acceptor) = channel_acceptor();
+    let data = table(16, 5);
+
+    std::thread::scope(|s| {
+        let _drain_on_panic = ShutdownOnExit(handle.clone());
+        let server = s.spawn(|| service.run(acceptor));
+
+        let before =
+            metric_value(&f2_obs::global().prometheus_string(), "f2_server_deadline_expired_total");
+
+        // The plain resume-driven client: its first append blows the
+        // deadline, loses the connection, resumes, and still gets there.
+        let plan = ClientPlan {
+            tenant: "slow",
+            data: &data,
+            dial: dial.clone(),
+            seed: 0xDEAD,
+            kill_after_appends: None,
+            faulty: false,
+        };
+        let (token, _ack) = drive_to_completion(&plan);
+
+        // The expiry was metered, and serves in a snapshot.
+        let mut served = String::new();
+        for _ in 0..50 {
+            let (ours, theirs) = duplex();
+            dial.send(Box::new(theirs)).expect("dial");
+            let mut client = Client::connect(ours).expect("client preamble");
+            if let Ok(text) = client.metrics() {
+                served = text;
+                let _ = client.close();
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let after = metric_value(&served, "f2_server_deadline_expired_total");
+        assert!(
+            after > before,
+            "deadline expiries must be metered (before {before}, after {after})"
+        );
+
+        // And the stream is exactly what a calm local run produces.
+        let served_stream = stores.snapshot(token).expect("job stream persisted");
+        let expected = reference_stream(&slow, &data, chunk_rows, token);
+        assert_eq!(served_stream, expected, "deadline chaos corrupted the stream");
+        drop(plain);
+
+        handle.shutdown();
+        server.join().expect("server thread").expect("server ran");
+    });
+}
+
+// ───────────────────────── graceful drain ─────────────────────────
+
+/// Shutdown with a half-finished job: the drain completes within its
+/// deadline, the drained connection is metered, and a *new* service over the
+/// same stores resumes the job to a byte-identical finish — zero accepted
+/// work lost.
+#[test]
+fn a_drain_preserves_half_finished_jobs_across_a_service_restart() {
+    let scheme = f2_scheme(55);
+    let schemes = Arc::new(StaticTenants::new().with_tenant("acme", Arc::clone(&scheme)));
+    let stores = Arc::new(MemoryStores::new());
+    let config = ServerConfig {
+        workers: 2,
+        idle_timeout: Duration::from_secs(3),
+        drain_deadline: Duration::from_millis(300),
+        retry: RetryPolicy::no_backoff(2),
+        chunk_rows: 8,
+        seed: SERVICE_SEED,
+        ..ServerConfig::default()
+    };
+    let chunk_rows = config.chunk_rows;
+    let data = table(24, 9);
+
+    // ── Service A: accept a job, append one chunk, then drain. ──
+    let service_a = Service::new(
+        config.clone(),
+        Arc::clone(&schemes) as Arc<dyn SchemeProvider>,
+        Arc::clone(&stores) as Arc<dyn StoreProvider>,
+    );
+    let handle_a = service_a.handle();
+    let (dial_a, acceptor_a) = channel_acceptor();
+    let token = std::thread::scope(|s| {
+        let _drain_on_panic = ShutdownOnExit(handle_a.clone());
+        let server = s.spawn(|| service_a.run(acceptor_a));
+        let (ours, theirs) = duplex();
+        dial_a.send(Box::new(theirs)).expect("dial");
+        let mut client = Client::connect(ours).expect("connect");
+        let opened = client.open("acme", data.schema()).expect("open");
+        let first = TableSource::new(&data)
+            .next_chunk(chunk_rows)
+            .expect("chunk")
+            .expect("rows")
+            .view()
+            .to_table();
+        client.append(opened.token, 0, first).expect("append");
+
+        // New work is refused once the drain begins…
+        handle_a.shutdown();
+        let refused = client.open("acme", data.schema());
+        assert!(
+            matches!(refused, Err(ServerError::ShuttingDown)),
+            "admissions during drain must be refused typed, got {refused:?}"
+        );
+        // …and the connection (still open, now idle) is cut by the drain
+        // deadline rather than held forever.
+        server.join().expect("server thread").expect("drain completed");
+        opened.token
+    });
+
+    // ── Service B over the SAME stores: the job resumes and finishes. ──
+    let service_b = Service::new(config, schemes, Arc::clone(&stores) as Arc<dyn StoreProvider>);
+    let handle_b = service_b.handle();
+    let (dial_b, acceptor_b) = channel_acceptor();
+    std::thread::scope(|s| {
+        let _drain_on_panic = ShutdownOnExit(handle_b.clone());
+        let server = s.spawn(|| service_b.run(acceptor_b));
+        let (ours, theirs) = duplex();
+        dial_b.send(Box::new(theirs)).expect("dial");
+        let mut client = Client::connect(ours).expect("connect");
+        let ack = client.resume("acme", token, data.schema()).expect("resume after restart");
+        assert_eq!(ack.next_chunk, 1, "the acknowledged chunk survived the drain");
+        assert_eq!(ack.rows_done, chunk_rows as u64);
+
+        let mut source = TableSource::new(&data);
+        source
+            .as_seekable()
+            .expect("table sources seek")
+            .seek_to_row(ack.rows_done as usize)
+            .expect("seek");
+        let mut next = ack.next_chunk;
+        while let Some(chunk) = source.next_chunk(chunk_rows).expect("chunk") {
+            next = client
+                .append(token, next, chunk.view().to_table())
+                .expect("append after restart")
+                .next_chunk;
+        }
+        let fin = client.finish(token).expect("finish after restart");
+        assert_eq!(fin.rows, data.row_count() as u64);
+
+        // Drain events from service A are visible in B's served snapshot.
+        let text = client.metrics().expect("metrics");
+        assert!(
+            metric_value(&text, "f2_server_drained_total") >= 1.0,
+            "served snapshot must report f2_server_drained_total >= 1"
+        );
+        let _ = client.close();
+        handle_b.shutdown();
+        server.join().expect("server thread").expect("server ran");
+    });
+
+    let served = stores.snapshot(token).expect("job stream persisted");
+    let expected = reference_stream(&scheme, &data, chunk_rows, token);
+    assert_eq!(served, expected, "drain + restart must lose nothing");
+}
+
+// ───────────────────────── real sockets ─────────────────────────
+
+/// The same service over real TCP: a client encrypts a table end-to-end and
+/// fetches metrics through the socket.
+#[test]
+fn the_service_speaks_tcp() {
+    let scheme = f2_scheme(77);
+    let schemes = Arc::new(StaticTenants::new().with_tenant("acme", Arc::clone(&scheme)));
+    let stores = Arc::new(MemoryStores::new());
+    let config = ServerConfig {
+        workers: 2,
+        chunk_rows: 8,
+        seed: SERVICE_SEED,
+        retry: RetryPolicy::no_backoff(2),
+        ..ServerConfig::default()
+    };
+    let chunk_rows = config.chunk_rows;
+    let service = Service::new(config, schemes, Arc::clone(&stores) as Arc<dyn StoreProvider>);
+    let handle = service.handle();
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind");
+    let addr = acceptor.local_addr().expect("local addr");
+    let data = table(20, 3);
+
+    std::thread::scope(|s| {
+        let _drain_on_panic = ShutdownOnExit(handle.clone());
+        let server = s.spawn(|| service.run(acceptor));
+        let socket = std::net::TcpStream::connect(addr).expect("connect");
+        let mut client = Client::connect(socket).expect("client");
+        let ack = client.encrypt_table("acme", &data).expect("encrypt over TCP");
+        assert_eq!(ack.rows, 20);
+        assert_eq!(ack.chunks, 3);
+        let text = client.metrics().expect("metrics over TCP");
+        assert!(
+            metric_value(&text, "f2_server_requests_total") >= 1.0,
+            "served snapshot must count requests"
+        );
+        let _ = client.close();
+        handle.shutdown();
+        server.join().expect("server thread").expect("server ran");
+    });
+
+    // TCP jobs persist and verify exactly like in-memory ones.
+    let (token, bytes) =
+        (1..10).find_map(|t| stores.snapshot(t).map(|b| (t, b))).expect("a job stream persisted");
+    let expected = reference_stream(&scheme, &data, chunk_rows, token);
+    assert_eq!(bytes, expected);
+}

@@ -36,6 +36,14 @@
 //!   streams salvage chunk-wise ([`decrypt_streaming_lossy`] → [`DamageReport`]),
 //!   and worker panics surface as typed [`EngineError::WorkerPanicked`] errors
 //!   (see `docs/ROBUSTNESS.md`);
+//! * [`server`] — a supervised, multi-tenant encryption service over the engine's
+//!   push-model jobs: a typed, CRC-checked request protocol ([`server::proto`](f2_server::proto)),
+//!   a bounded worker pool with admission-queue load shedding (typed
+//!   [`Overloaded`](f2_server::ServerError::Overloaded) replies), per-request
+//!   deadlines from a monotonic deadline wheel, crash-resumable per-tenant jobs
+//!   (every acknowledged chunk persists with its owner state; panics park the
+//!   job, reconnecting clients resume byte-identically), and a graceful,
+//!   deadline-bound drain (see `docs/SERVER.md`);
 //! * [`attack`] — the frequency-analysis and Kerckhoffs adversaries and the empirical
 //!   α-security experiment, runnable against **any** [`Scheme`];
 //! * [`datagen`] — TPC-H/TPC-C-style and synthetic workload generators used by the
@@ -122,6 +130,7 @@ pub use f2_fd as fd;
 pub use f2_io as io;
 pub use f2_obs as obs;
 pub use f2_relation as relation;
+pub use f2_server as server;
 
 pub use f2_core::{
     ChunkState, ChunkedScheme, DetScheme, EncryptionOutcome, EncryptionReport, F2Builder, F2Config,
@@ -137,3 +146,4 @@ pub use f2_io::{
     RetryPolicy, RetryState, RowSource, SkippedRange, StreamStore, TableChunk, TableSource,
 };
 pub use f2_relation::{AttrSet, Record, Schema, Table, TableView, Value};
+pub use f2_server::{ServerConfig, ServerError, Service, ServiceHandle};
