@@ -23,7 +23,9 @@ fn phase(name: &'static str) -> Histogram {
     )
 }
 
-/// Record one encrypt call's phase breakdown into `f2_core_phase_seconds`.
+/// Record one encrypt call's phase breakdown into `f2_core_phase_seconds`,
+/// and attribute the same durations to the active request trace (if any) —
+/// still no extra clock reads.
 pub(crate) fn record_phase_timings(timings: &StepTimings) {
     static PHASES: OnceLock<[Histogram; 4]> = OnceLock::new();
     let [max, sse, syn, fp] =
@@ -32,4 +34,12 @@ pub(crate) fn record_phase_timings(timings: &StepTimings) {
     sse.record_duration(timings.sse);
     syn.record_duration(timings.syn);
     fp.record_duration(timings.fp);
+    f2_obs::ctx::record_stage("core.max", as_ns(timings.max));
+    f2_obs::ctx::record_stage("core.sse", as_ns(timings.sse));
+    f2_obs::ctx::record_stage("core.syn", as_ns(timings.syn));
+    f2_obs::ctx::record_stage("core.fp", as_ns(timings.fp));
+}
+
+fn as_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }

@@ -247,6 +247,11 @@ where
         sink.write_frame(FRAME_CHUNK, &frame_payload).map_err(F2Error::from)?;
     }
     crate::obs::chunk_encrypted(chunk_len, record.output_rows.len(), wall);
+    // Attribute this chunk's volume to the active request trace, if any (the
+    // server runs each request under one); no-ops otherwise.
+    f2_obs::ctx::add_count("rows", chunk_len as u64);
+    f2_obs::ctx::add_count("encrypted_rows", record.output_rows.len() as u64);
+    f2_obs::ctx::add_count("chunk_bytes", frame_payload.len() as u64);
     f2_obs::trace_event(
         "engine.chunk",
         &[

@@ -71,6 +71,32 @@ fn instrumentation_is_artifact_neutral() {
     registry.set_enabled(true);
     assert_eq!(instrumented, uninstrumented, "telemetry changed the stream bytes");
 
+    // Traced: an active request context feeding the enabled trace journal
+    // must not perturb artifacts either — stage/count attribution reuses the
+    // values the spans already measured.
+    let journal = f2_obs::journal();
+    assert!(journal.is_enabled(), "global journal must start enabled");
+    let guard = journal.begin(f2_obs::TraceCtx::new(0xBEEF, 1), "neutrality");
+    let traced = stream_bytes(&engine, &scheme, &t);
+    let entry = guard.complete("ok").expect("enabled journal completes the trace");
+    assert_eq!(instrumented, traced, "request tracing changed the stream bytes");
+    assert_eq!(entry.count("rows"), 7, "trace missed the row count: {entry:?}");
+    assert!(entry.count("chunk_bytes") > 0, "trace missed the byte count: {entry:?}");
+    // Attribution is thread-local by design: stages measured on the calling
+    // thread (pull/serialize/write, plus the core phase timings it records)
+    // land in the trace; spans on pool worker threads keep feeding only the
+    // process-wide histograms.
+    for stage in ["core.max", "core.sse", "core.syn", "core.fp", "engine.chunk.serialize"] {
+        assert!(
+            entry.stages.iter().any(|s| s.name == stage),
+            "stage `{stage}` missing from trace: {entry:?}"
+        );
+    }
+    assert!(
+        journal.recent().iter().any(|e| e.trace_id == 0xBEEF),
+        "completed trace not retained by the journal"
+    );
+
     // Repeat-run determinism with instrumentation on (canonical streams).
     assert_eq!(instrumented, stream_bytes(&engine, &scheme, &t));
 

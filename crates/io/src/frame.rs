@@ -295,6 +295,7 @@ impl<W: Write> FrameSink<W> {
         self.frames += 1;
         crate::obs::frames_written().inc();
         crate::obs::bytes_written().add(buf.len() as u64);
+        f2_obs::ctx::add_count("io_frames", 1);
         if flags & FLAG_RLE != 0 {
             crate::obs::compressed_frames().inc();
         }

@@ -21,6 +21,7 @@ impl Registry {
     /// Render the registry in Prometheus text exposition format.
     #[must_use]
     pub fn prometheus_string(&self) -> String {
+        self.refresh_process_metrics();
         let mut out = String::new();
         for (name, family) in self.lock().iter() {
             let kind_str = match family.kind {
@@ -85,6 +86,7 @@ impl Registry {
     /// Render the registry as a JSON snapshot (sorted, hand-rolled, no serde).
     #[must_use]
     pub fn json_string(&self) -> String {
+        self.refresh_process_metrics();
         let mut out = String::from("{\"metrics\":[");
         let mut first_family = true;
         for (name, family) in self.lock().iter() {
@@ -218,8 +220,9 @@ fn escape_label(value: &str) -> String {
 }
 
 /// A JSON string literal with standard escaping (quotes, backslashes, control
-/// characters); non-ASCII passes through as UTF-8.
-fn json_string_lit(text: &str) -> String {
+/// characters); non-ASCII passes through as UTF-8. Shared with the trace
+/// journal's `/tracez` rendering.
+pub(crate) fn json_string_lit(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
     out.push('"');
     for c in text.chars() {

@@ -1,0 +1,367 @@
+//! The trace journal: a bounded, non-blocking ring of completed request
+//! traces.
+//!
+//! Every completed [`TraceGuard`](crate::TraceGuard) records one
+//! [`TraceEntry`] — ids, tenant, outcome, total wall-clock, the per-stage
+//! breakdown, and the request's counts. The journal keeps the most recent
+//! `capacity` entries in a ring plus a small leaderboard of the slowest
+//! requests seen, and renders both as one deterministic JSON document for a
+//! `/tracez` endpoint.
+//!
+//! The write path never blocks a request: the ring head is an atomic
+//! `fetch_add` and each slot is guarded by a `try_lock` — if a scraper (or a
+//! colliding writer) holds the slot at that instant, the entry is counted
+//! dropped rather than stalling the worker. Under `forbid(unsafe_code)` this
+//! try-lock ring is the lock-free design point: no request ever waits on a
+//! reader.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::export::json_string_lit;
+
+/// Entries kept on the slowest-requests leaderboard.
+const SLOWEST_CAP: usize = 8;
+
+/// Ring capacity of the process-wide [`journal()`].
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+
+/// One stage of a completed request: accumulated wall-clock and completions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// The span (or phase) name, e.g. `engine.chunk.encrypt`.
+    pub name: &'static str,
+    /// Total nanoseconds attributed to this stage.
+    pub total_ns: u64,
+    /// How many times the stage completed during the request.
+    pub count: u64,
+}
+
+/// One completed request trace.
+#[derive(Debug, Clone)]
+pub struct TraceEntry {
+    /// Conversation id (shared across the requests of one client session).
+    pub trace_id: u64,
+    /// Request id (unique per request).
+    pub request_id: u64,
+    /// Request kind (`open`, `append`, `finish`, `resume`, `metrics`, …).
+    pub kind: &'static str,
+    /// Tenant the request served, when one was resolved.
+    pub tenant: Option<String>,
+    /// `"ok"`, an error kind, or `"abandoned"` for an unwound guard.
+    pub outcome: String,
+    /// End-to-end wall-clock of the request, in nanoseconds.
+    pub total_ns: u64,
+    /// Per-stage breakdown, in first-touch order.
+    pub stages: Vec<Stage>,
+    /// Named counts (rows, bytes, frames …), in first-touch order.
+    pub counts: Vec<(&'static str, u64)>,
+}
+
+impl TraceEntry {
+    /// The named count, or 0 when the request never recorded it.
+    #[must_use]
+    pub fn count(&self, name: &str) -> u64 {
+        self.counts.iter().find(|(k, _)| *k == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Render this entry as one JSON object (ids in fixed-width hex).
+    #[must_use]
+    pub fn json_string(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"trace_id\":\"{:016x}\",\"request_id\":\"{:016x}\",\"kind\":{},",
+            self.trace_id,
+            self.request_id,
+            json_string_lit(self.kind)
+        ));
+        match &self.tenant {
+            Some(tenant) => out.push_str(&format!("\"tenant\":{},", json_string_lit(tenant))),
+            None => out.push_str("\"tenant\":null,"),
+        }
+        out.push_str(&format!(
+            "\"outcome\":{},\"total_ns\":{},\"stages\":[",
+            json_string_lit(&self.outcome),
+            self.total_ns
+        ));
+        for (i, stage) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":{},\"total_ns\":{},\"count\":{}}}",
+                json_string_lit(stage.name),
+                stage.total_ns,
+                stage.count
+            ));
+        }
+        out.push_str("],\"counts\":{");
+        for (i, (name, value)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{value}", json_string_lit(name)));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A bounded, non-blocking journal of recently completed request traces.
+#[derive(Debug)]
+pub struct TraceJournal {
+    enabled: AtomicBool,
+    slots: Box<[Mutex<Option<Arc<TraceEntry>>>]>,
+    head: AtomicU64,
+    dropped: AtomicU64,
+    slowest: Mutex<Vec<Arc<TraceEntry>>>,
+    /// Fast-reject floor: entries faster than this cannot make the (full)
+    /// leaderboard, so the common case skips the `slowest` lock entirely.
+    slowest_floor: AtomicU64,
+}
+
+impl TraceJournal {
+    /// A journal keeping the `capacity` most recent traces (min 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> TraceJournal {
+        let slots: Vec<Mutex<Option<Arc<TraceEntry>>>> =
+            (0..capacity.max(1)).map(|_| Mutex::new(None)).collect();
+        TraceJournal {
+            enabled: AtomicBool::new(true),
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slowest: Mutex::new(Vec::new()),
+            slowest_floor: AtomicU64::new(0),
+        }
+    }
+
+    /// Turn journaling on or off. Disabling makes
+    /// [`begin`](TraceJournal::begin) hand out inert guards — the zero-cost
+    /// mode the neutrality and overhead suites compare against.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// True when the journal currently accepts traces.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Entries discarded because their slot was contended at write time.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Record a completed trace. Never blocks: a contended ring slot counts
+    /// the entry dropped instead of waiting. Returns the shared entry either
+    /// way so callers can keep using it (slow-request logs, tenant metrics).
+    pub fn record(&self, entry: TraceEntry) -> Arc<TraceEntry> {
+        let entry = Arc::new(entry);
+        if !self.is_enabled() {
+            return entry;
+        }
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot_index = (idx % self.slots.len() as u64) as usize;
+        match self.slots.get(slot_index).map(Mutex::try_lock) {
+            Some(Ok(mut slot)) => *slot = Some(Arc::clone(&entry)),
+            _ => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if entry.total_ns >= self.slowest_floor.load(Ordering::Relaxed) {
+            if let Ok(mut slowest) = self.slowest.try_lock() {
+                let at = slowest
+                    .binary_search_by(|probe: &Arc<TraceEntry>| entry.total_ns.cmp(&probe.total_ns))
+                    .unwrap_or_else(|e| e);
+                slowest.insert(at, Arc::clone(&entry));
+                slowest.truncate(SLOWEST_CAP);
+                if slowest.len() == SLOWEST_CAP {
+                    let floor = slowest.last().map_or(0, |e| e.total_ns);
+                    self.slowest_floor.store(floor, Ordering::Relaxed);
+                }
+            }
+        }
+        entry
+    }
+
+    /// The retained traces, newest first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<Arc<TraceEntry>> {
+        let head = self.head.load(Ordering::Relaxed);
+        let len = self.slots.len() as u64;
+        let span = head.min(len);
+        let mut out = Vec::new();
+        for back in 1..=span {
+            let slot_index = ((head - back) % len) as usize;
+            if let Some(Ok(slot)) = self.slots.get(slot_index).map(Mutex::try_lock) {
+                if let Some(entry) = slot.as_ref() {
+                    out.push(Arc::clone(entry));
+                }
+            }
+        }
+        out
+    }
+
+    /// The slowest traces seen since the last [`clear`](TraceJournal::clear),
+    /// slowest first (at most 8).
+    #[must_use]
+    pub fn slowest(&self) -> Vec<Arc<TraceEntry>> {
+        self.slowest.try_lock().map(|s| s.clone()).unwrap_or_default()
+    }
+
+    /// Forget every retained trace (scoped tests, journal reuse).
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            if let Ok(mut slot) = slot.try_lock() {
+                *slot = None;
+            }
+        }
+        if let Ok(mut slowest) = self.slowest.try_lock() {
+            slowest.clear();
+        }
+        self.slowest_floor.store(0, Ordering::Relaxed);
+        self.head.store(0, Ordering::Relaxed);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Render the journal as one JSON document: `recent` (newest first),
+    /// `slowest` (slowest first), the drop counter, and the ring capacity.
+    /// Deterministic given deterministic entries — the `/tracez` body.
+    #[must_use]
+    pub fn json_string(&self) -> String {
+        let mut out = String::from("{\"recent\":[");
+        for (i, entry) in self.recent().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&entry.json_string());
+        }
+        out.push_str("],\"slowest\":[");
+        for (i, entry) in self.slowest().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&entry.json_string());
+        }
+        out.push_str(&format!(
+            "],\"dropped\":{},\"capacity\":{}}}",
+            self.dropped(),
+            self.capacity()
+        ));
+        out
+    }
+}
+
+/// The process-wide trace journal the server's request loop records into and
+/// a `/tracez` endpoint snapshots. Created enabled on first touch.
+#[must_use]
+pub fn journal() -> &'static Arc<TraceJournal> {
+    static JOURNAL: OnceLock<Arc<TraceJournal>> = OnceLock::new();
+    JOURNAL.get_or_init(|| Arc::new(TraceJournal::with_capacity(DEFAULT_JOURNAL_CAPACITY)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(trace_id: u64, total_ns: u64) -> TraceEntry {
+        TraceEntry {
+            trace_id,
+            request_id: trace_id + 1,
+            kind: "test",
+            tenant: Some("acme".to_string()),
+            outcome: "ok".to_string(),
+            total_ns,
+            stages: vec![Stage { name: "phase.a", total_ns: total_ns / 2, count: 1 }],
+            counts: vec![("rows", 8)],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_entries_newest_first() {
+        let journal = TraceJournal::with_capacity(3);
+        for i in 0..5u64 {
+            journal.record(entry(i, i * 100));
+        }
+        let recent = journal.recent();
+        let ids: Vec<u64> = recent.iter().map(|e| e.trace_id).collect();
+        assert_eq!(ids, vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn slowest_leaderboard_orders_and_caps() {
+        let journal = TraceJournal::with_capacity(64);
+        for i in 0..20u64 {
+            journal.record(entry(i, (i % 10) * 1000));
+        }
+        let slowest = journal.slowest();
+        assert_eq!(slowest.len(), SLOWEST_CAP);
+        let times: Vec<u64> = slowest.iter().map(|e| e.total_ns).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(times, sorted, "slowest must be ordered descending");
+        assert_eq!(times[0], 9000);
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing_but_returns_the_entry() {
+        let journal = TraceJournal::with_capacity(4);
+        journal.set_enabled(false);
+        let arc = journal.record(entry(7, 700));
+        assert_eq!(arc.trace_id, 7);
+        assert!(journal.recent().is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let journal = TraceJournal::with_capacity(4);
+        journal.record(entry(1, 100));
+        journal.clear();
+        assert!(journal.recent().is_empty());
+        assert!(journal.slowest().is_empty());
+        assert_eq!(journal.dropped(), 0);
+    }
+
+    #[test]
+    fn json_shape_is_frozen() {
+        let journal = TraceJournal::with_capacity(2);
+        journal.record(TraceEntry {
+            trace_id: 0xAB,
+            request_id: 0xCD,
+            kind: "append",
+            tenant: Some("acme\"co".to_string()),
+            outcome: "ok".to_string(),
+            total_ns: 1234,
+            stages: vec![Stage { name: "engine.chunk.encrypt", total_ns: 1000, count: 2 }],
+            counts: vec![("rows", 16)],
+        });
+        let json = journal.json_string();
+        assert_eq!(
+            json,
+            "{\"recent\":[{\"trace_id\":\"00000000000000ab\",\"request_id\":\"00000000000000cd\",\
+             \"kind\":\"append\",\"tenant\":\"acme\\\"co\",\"outcome\":\"ok\",\"total_ns\":1234,\
+             \"stages\":[{\"stage\":\"engine.chunk.encrypt\",\"total_ns\":1000,\"count\":2}],\
+             \"counts\":{\"rows\":16}}],\"slowest\":[{\"trace_id\":\"00000000000000ab\",\
+             \"request_id\":\"00000000000000cd\",\"kind\":\"append\",\"tenant\":\"acme\\\"co\",\
+             \"outcome\":\"ok\",\"total_ns\":1234,\"stages\":[{\"stage\":\"engine.chunk.encrypt\",\
+             \"total_ns\":1000,\"count\":2}],\"counts\":{\"rows\":16}}],\"dropped\":0,\
+             \"capacity\":2}"
+        );
+    }
+
+    #[test]
+    fn entry_without_tenant_renders_null() {
+        let mut e = entry(1, 10);
+        e.tenant = None;
+        assert!(e.json_string().contains("\"tenant\":null"));
+    }
+}

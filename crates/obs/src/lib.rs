@@ -16,9 +16,17 @@
 //!    names (`engine.chunk.encrypt`), which become the `span` label of the
 //!    `f2_span_seconds` family on the global registry.
 //! 3. **Exporters** — deterministic-ordered Prometheus text exposition and JSON
-//!    snapshots targeting any [`std::io::Write`] (the encoders a future
-//!    `f2_server` `/metrics` endpoint mounts directly), plus an env-gated
-//!    (`F2_TRACE`) human/JSONL event sink on stderr for streaming runs.
+//!    snapshots targeting any [`std::io::Write`] (the encoders `f2_server`'s
+//!    HTTP `/metrics` endpoint mounts directly), plus an env-gated (`F2_TRACE`)
+//!    human/JSONL event sink on stderr for streaming runs.
+//! 4. **Request traces** ([`ctx`], [`TraceJournal`]) — a per-thread trace
+//!    context ([`TraceCtx`]) that existing `span!` sites attribute to with zero
+//!    signature churn, feeding a bounded lock-free journal of completed request
+//!    traces (per-stage durations, tenant, outcome, byte/row counts) that
+//!    `f2_server`'s `/tracez` endpoint renders.
+//!
+//! [`MetricsSnapshot`] is the read side: a total parser over Prometheus text
+//! expositions so clients assert on typed samples instead of grepping strings.
 //!
 //! # Artifact neutrality
 //!
@@ -39,17 +47,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ctx;
 mod export;
+mod journal;
 mod metrics;
 mod registry;
+mod snapshot;
 mod span;
 mod trace;
 
+pub use ctx::{IdSource, TraceCtx, TraceGuard};
+pub use journal::{journal, Stage, TraceEntry, TraceJournal, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{
     bucket_index, bucket_lower_bound, bucket_upper_bound, Counter, Gauge, Histogram, Unit,
     BUCKET_COUNT,
 };
-pub use registry::{global, Registry};
+pub use registry::{global, install_process_metrics, Registry};
+pub use snapshot::{MetricsSample, MetricsSnapshot};
 pub use span::Span;
 pub use trace::{trace_enabled, trace_event};
 

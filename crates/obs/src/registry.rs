@@ -15,9 +15,19 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramData, Unit};
+
+/// Uptime/build-info handles installed by
+/// [`install_process_metrics`](Registry::install_process_metrics).
+#[derive(Debug)]
+struct ProcessMetrics {
+    start: Instant,
+    uptime: Gauge,
+    build_info: Gauge,
+}
 
 /// The shape of a metric family, fixed by its first registration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +61,7 @@ pub(crate) struct Family {
 pub struct Registry {
     enabled: Arc<AtomicBool>,
     families: Arc<Mutex<BTreeMap<String, Family>>>,
+    process: Arc<Mutex<Option<ProcessMetrics>>>,
 }
 
 impl Default for Registry {
@@ -66,6 +77,44 @@ impl Registry {
         Registry {
             enabled: Arc::new(AtomicBool::new(true)),
             families: Arc::new(Mutex::new(BTreeMap::new())),
+            process: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Install the process-level info metrics: the `f2_uptime_seconds` gauge
+    /// (refreshed at every export) and the `f2_build_info{version,profile}`
+    /// info-metric (value always 1).
+    ///
+    /// Installation is explicit — never automatic on [`global()`] — so
+    /// registries that pin byte-frozen exports (exposition goldens, the
+    /// neutrality suite) stay deterministic unless they opt in. Idempotent:
+    /// the first installation fixes the uptime epoch and build labels.
+    pub fn install_process_metrics(&self, version: &str, profile: &str) {
+        let mut slot = self.process.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_some() {
+            return;
+        }
+        let uptime =
+            self.gauge("f2_uptime_seconds", "Seconds since process metrics were installed.", &[]);
+        let build_info = self.gauge(
+            "f2_build_info",
+            "Build metadata carried as labels; the value is always 1.",
+            &[("version", version), ("profile", profile)],
+        );
+        *slot = Some(ProcessMetrics { start: Instant::now(), uptime, build_info });
+        drop(slot);
+        self.refresh_process_metrics();
+    }
+
+    /// Bring `f2_uptime_seconds` (and the build-info constant) up to date.
+    /// Exporters call this so every scrape sees current uptime; a no-op when
+    /// process metrics were never installed or the registry is disabled.
+    pub(crate) fn refresh_process_metrics(&self) {
+        let slot = self.process.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(process) = slot.as_ref() {
+            let secs = process.start.elapsed().as_secs();
+            process.uptime.set(i64::try_from(secs).unwrap_or(i64::MAX));
+            process.build_info.set(1);
         }
     }
 
@@ -175,6 +224,15 @@ pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
+/// Install uptime + build-info metrics on the [global](global()) registry,
+/// stamped with this crate's version and the compile profile. Long-running
+/// binaries (the encryption service, the HTTP scrape listener) call this once
+/// at startup; short-lived tests that pin exports simply never do.
+pub fn install_process_metrics() {
+    let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    global().install_process_metrics(env!("CARGO_PKG_VERSION"), profile);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +268,32 @@ mod tests {
         assert_eq!(counter.get(), 1);
         assert_eq!(gauge.get(), 9);
         assert!(!reg.prometheus_string().contains(" 9"));
+    }
+
+    #[test]
+    fn process_metrics_appear_in_both_exporters() {
+        let reg = Registry::new();
+        reg.install_process_metrics("9.9.9", "test");
+        // Idempotent: a second install keeps the first epoch and labels.
+        reg.install_process_metrics("0.0.0", "other");
+        let text = reg.prometheus_string();
+        assert!(text.contains("# TYPE f2_build_info gauge"), "{text}");
+        assert!(text.contains("f2_build_info{profile=\"test\",version=\"9.9.9\"} 1"), "{text}");
+        assert!(text.contains("# TYPE f2_uptime_seconds gauge"), "{text}");
+        assert!(text.contains("f2_uptime_seconds 0"), "{text}");
+        assert!(!text.contains("0.0.0"), "{text}");
+        let json = reg.json_string();
+        assert!(json.contains("\"name\":\"f2_build_info\""), "{json}");
+        assert!(json.contains("\"name\":\"f2_uptime_seconds\""), "{json}");
+    }
+
+    #[test]
+    fn uninstalled_process_metrics_leave_exports_untouched() {
+        let reg = Registry::new();
+        reg.counter("f2_only_total", "h", &[]).inc();
+        let text = reg.prometheus_string();
+        assert!(!text.contains("f2_uptime_seconds"), "{text}");
+        assert!(!text.contains("f2_build_info"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! A typed view over a Prometheus text exposition.
+//!
+//! [`MetricsSnapshot::parse`] turns the text a `/metrics` endpoint (or the
+//! service's `METRICS` reply) serves into name/label/value samples, so clients
+//! assert on `snapshot.value("f2_server_requests_total")` instead of grepping
+//! strings. The parser is total: malformed lines are skipped, never panicked
+//! on, and the raw text stays available to callers that want it.
+//!
+//! Only plain samples are kept — `# HELP`/`# TYPE` comments are dropped, and
+//! histogram series surface under their exported sample names
+//! (`…_bucket`/`…_sum`/`…_count`), exactly as Prometheus itself sees them.
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSample {
+    /// The sample name (family name, or `…_bucket`/`…_sum`/`…_count`).
+    pub name: String,
+    /// Label pairs in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed Prometheus text exposition.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    samples: Vec<MetricsSample>,
+}
+
+impl MetricsSnapshot {
+    /// Parse an exposition. Lines that are comments, blank, or malformed are
+    /// skipped; parsing never fails or panics.
+    #[must_use]
+    pub fn parse(text: &str) -> MetricsSnapshot {
+        let samples = text.lines().filter_map(parse_line).collect();
+        MetricsSnapshot { samples }
+    }
+
+    /// Every parsed sample, in exposition order.
+    #[must_use]
+    pub fn samples(&self) -> &[MetricsSample] {
+        &self.samples
+    }
+
+    /// The value of the unlabeled sample named `name`, if present.
+    #[must_use]
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.samples.iter().find(|s| s.name == name && s.labels.is_empty()).map(|s| s.value)
+    }
+
+    /// The value of the sample named `name` whose labels contain every pair in
+    /// `labels` (extra labels on the sample are allowed).
+    #[must_use]
+    pub fn value_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// The sum of every sample named `name` across all label sets (0.0 when
+    /// the family is absent).
+    #[must_use]
+    pub fn total(&self, name: &str) -> f64 {
+        self.samples.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+    }
+
+    /// True when at least one sample named `name` is present.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.samples.iter().any(|s| s.name == name)
+    }
+}
+
+/// Parse one `name{k="v",…} value` line; `None` for comments/garbage.
+fn parse_line(line: &str) -> Option<MetricsSample> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return None;
+    }
+    let name_end = line.find(|c: char| c == '{' || c.is_whitespace())?;
+    let name = line.get(..name_end)?.to_string();
+    if name.is_empty() {
+        return None;
+    }
+    let rest = line.get(name_end..)?;
+    let (labels, value_text) = if let Some(body) = rest.strip_prefix('{') {
+        let close = find_label_close(body)?;
+        let label_text = body.get(..close)?;
+        (parse_labels(label_text)?, body.get(close + 1..)?)
+    } else {
+        (Vec::new(), rest)
+    };
+    let value: f64 = value_text.trim().parse().ok()?;
+    Some(MetricsSample { name, labels, value })
+}
+
+/// Index of the `}` closing a label block, honoring quoted values.
+fn find_label_close(body: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (idx, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(idx),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parse `k="v",k2="v2"` with Prometheus label-value unescaping.
+fn parse_labels(text: &str) -> Option<Vec<(String, String)>> {
+    let mut labels = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=')?;
+        let key = rest.get(..eq)?.trim().to_string();
+        let after = rest.get(eq + 1..)?.trim_start().strip_prefix('"')?;
+        let (value, tail) = take_quoted(after)?;
+        labels.push((key, value));
+        rest = tail.trim_start();
+        match rest.strip_prefix(',') {
+            Some(more) => rest = more.trim_start(),
+            None if rest.is_empty() => break,
+            None => return None,
+        }
+    }
+    Some(labels)
+}
+
+/// Consume an already-opened quoted value, unescaping `\\`, `\"`, and `\n`;
+/// returns the value and the text after the closing quote.
+fn take_quoted(text: &str) -> Option<(String, &str)> {
+    let mut value = String::new();
+    let mut chars = text.char_indices();
+    while let Some((idx, c)) = chars.next() {
+        match c {
+            '\\' => match chars.next() {
+                Some((_, 'n')) => value.push('\n'),
+                Some((_, escaped)) => value.push(escaped),
+                None => return None,
+            },
+            '"' => return Some((value, text.get(idx + 1..)?)),
+            c => value.push(c),
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEXT: &str = "\
+# HELP f2_server_requests_total Requests dispatched by the service.
+# TYPE f2_server_requests_total counter
+f2_server_requests_total 12
+f2_server_requests_total{tenant=\"acme\"} 7
+f2_server_requests_total{tenant=\"a b\\\"c\"} 5
+f2_server_request_seconds_bucket{le=\"+Inf\"} 12
+f2_server_request_seconds_sum 0.25
+not a metric line
+";
+
+    #[test]
+    fn parses_values_and_labels() {
+        let snap = MetricsSnapshot::parse(TEXT);
+        assert_eq!(snap.value("f2_server_requests_total"), Some(12.0));
+        assert_eq!(snap.value_with("f2_server_requests_total", &[("tenant", "acme")]), Some(7.0));
+        assert_eq!(snap.value_with("f2_server_requests_total", &[("tenant", "a b\"c")]), Some(5.0));
+        assert_eq!(snap.total("f2_server_requests_total"), 24.0);
+        assert_eq!(snap.value("f2_server_request_seconds_sum"), Some(0.25));
+        assert!(snap.contains("f2_server_request_seconds_bucket"));
+        assert!(!snap.contains("not"));
+    }
+
+    #[test]
+    fn roundtrips_a_real_exposition() {
+        let reg = crate::Registry::new();
+        reg.counter("f2_a_total", "a", &[("k", "v\"w\nx")]).add(3);
+        reg.gauge("f2_g", "g", &[]).set(-4);
+        let snap = MetricsSnapshot::parse(&reg.prometheus_string());
+        assert_eq!(snap.value_with("f2_a_total", &[("k", "v\"w\nx")]), Some(3.0));
+        assert_eq!(snap.value("f2_g"), Some(-4.0));
+    }
+
+    #[test]
+    fn hostile_lines_are_skipped_not_panicked_on() {
+        for text in [
+            "{=} 1",
+            "name{unclosed=\"v",
+            "name{k=\"v\" 3",
+            "name{k=v} 3",
+            "name notanumber",
+            "name{} ",
+            "\u{0}\u{1}garbage",
+        ] {
+            let _ = MetricsSnapshot::parse(text);
+        }
+        let snap = MetricsSnapshot::parse("name{} 4");
+        assert_eq!(snap.value("name"), Some(4.0));
+    }
+}

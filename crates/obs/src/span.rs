@@ -1,9 +1,12 @@
 //! RAII span timers.
 //!
 //! A [`Span`] reads the clock on entry and records the elapsed nanoseconds into
-//! its histogram on drop. When the owning registry is disabled *and* tracing is
-//! off, `enter` skips the clock read entirely and drop is a no-op — the span
-//! costs two relaxed loads, preserving the registry's ~0-overhead guarantee.
+//! its histogram on drop. When the owning registry is disabled, tracing is off,
+//! *and* no request trace is active on this thread, `enter` skips the clock read
+//! entirely and drop is a no-op — the span costs a few relaxed loads, preserving
+//! the registry's ~0-overhead guarantee. With a request trace active (see
+//! [`crate::ctx`]), drop also attributes the elapsed time to the current
+//! request's per-stage breakdown.
 
 use std::time::Instant;
 
@@ -28,7 +31,7 @@ impl Span {
     #[must_use]
     pub fn enter(name: &'static str, hist: &Histogram) -> Span {
         let recording = hist.is_enabled();
-        if recording || trace::trace_enabled() {
+        if recording || trace::trace_enabled() || crate::ctx::active() {
             Span { name, start: Some(Instant::now()), hist: recording.then(|| hist.clone()) }
         } else {
             Span { name, start: None, hist: None }
@@ -44,6 +47,7 @@ impl Drop for Span {
         if let Some(hist) = &self.hist {
             hist.record(ns);
         }
+        crate::ctx::record_stage(self.name, ns);
         trace::emit_span(self.name, ns);
     }
 }

@@ -15,6 +15,7 @@ use crate::proto::{Request, Response};
 use crate::transport::Shared;
 use f2_io::frame::{FrameReader, FrameSink};
 use f2_io::{RetryPolicy, RetryingReader, RetryingWriter, RowSource, TableSource};
+use f2_obs::{IdSource, MetricsSnapshot, TraceCtx};
 use f2_relation::{Schema, Table};
 use std::io::{Read, Write};
 
@@ -64,10 +65,23 @@ pub struct ResumeAck {
     pub chunk_rows: u64,
 }
 
+/// Request-tracing state on a tracing-enabled [`Client`].
+struct ClientTrace {
+    /// Mints one fresh request id per request.
+    ids: IdSource,
+    /// The conversation's trace id, shared by every request this client sends.
+    trace_id: u64,
+    /// The context attached to the most recent request.
+    last_sent: Option<TraceCtx>,
+    /// The context the server echoed on the most recent successful reply.
+    last_echo: Option<TraceCtx>,
+}
+
 /// A blocking protocol client over any byte transport.
 pub struct Client<T: Read + Write> {
     sink: FrameSink<RetryingWriter<Shared<T>>>,
     frames: FrameReader<RetryingReader<Shared<T>>>,
+    trace: Option<ClientTrace>,
 }
 
 impl<T: Read + Write> Client<T> {
@@ -83,7 +97,7 @@ impl<T: Read + Write> Client<T> {
         match FrameSink::new(retry.writer(shared)) {
             Ok(sink) => {
                 let frames = FrameReader::new(retry.reader(reader_shared))?;
-                Ok(Client { sink, frames })
+                Ok(Client { sink, frames, trace: None })
             }
             // A shedding or draining server rejects inline: it writes its
             // typed reply and hangs up, possibly before our preamble goes
@@ -101,6 +115,34 @@ impl<T: Read + Write> Client<T> {
                 }
             }
         }
+    }
+
+    /// Turn on request tracing: every request from here on carries a wire
+    /// trace context (one trace id for the whole conversation, a fresh
+    /// request id per request), and the server's echo is kept for
+    /// [`last_server_trace`](Client::last_server_trace).
+    ///
+    /// Requires a trace-aware server — an older server rejects the unknown
+    /// trailing field as a `BadRequest`, which is why tracing is opt-in.
+    #[must_use]
+    pub fn with_tracing(mut self, ids: IdSource) -> Self {
+        let trace_id = ids.next_id();
+        self.trace = Some(ClientTrace { ids, trace_id, last_sent: None, last_echo: None });
+        self
+    }
+
+    /// The trace context attached to the most recent request, when tracing
+    /// is on.
+    #[must_use]
+    pub fn last_trace(&self) -> Option<TraceCtx> {
+        self.trace.as_ref().and_then(|t| t.last_sent)
+    }
+
+    /// The trace context the server echoed on the most recent successful
+    /// reply — confirmation of which trace the server filed the work under.
+    #[must_use]
+    pub fn last_server_trace(&self) -> Option<TraceCtx> {
+        self.trace.as_ref().and_then(|t| t.last_echo)
     }
 
     /// Open a new encryption job for `tenant`.
@@ -151,8 +193,13 @@ impl<T: Read + Write> Client<T> {
         }
     }
 
-    /// Fetch the service's Prometheus metrics snapshot.
-    pub fn metrics(&mut self) -> ServerResult<String> {
+    /// Fetch the service's metrics as a typed, queryable snapshot.
+    pub fn metrics(&mut self) -> ServerResult<MetricsSnapshot> {
+        Ok(MetricsSnapshot::parse(&self.metrics_text()?))
+    }
+
+    /// Fetch the service's raw Prometheus text exposition.
+    pub fn metrics_text(&mut self) -> ServerResult<String> {
         match self.request(&Request::Metrics)? {
             Response::Metrics(text) => Ok(text),
             other => Err(unexpected("metrics", &other)),
@@ -176,21 +223,33 @@ impl<T: Read + Write> Client<T> {
     /// End the conversation cleanly: the server sees an orderly close, not a
     /// disconnect.
     pub fn close(self) -> ServerResult<()> {
-        let Client { sink, frames } = self;
+        let Client { sink, frames, trace: _ } = self;
         drop(frames);
         sink.finish()?;
         Ok(())
     }
 
     fn request(&mut self, request: &Request) -> ServerResult<Response> {
-        let (ty, payload) = request.encode();
+        let ctx = self.trace.as_mut().map(|trace| {
+            let ctx = TraceCtx::new(trace.trace_id, trace.ids.next_id());
+            trace.last_sent = Some(ctx);
+            trace.last_echo = None;
+            ctx
+        });
+        let (ty, payload) = request.encode_traced(ctx.as_ref());
         // A shedding or draining server replies and hangs up without reading
         // our request, so the write may fail while a typed reply already sits
         // buffered in the transport. Always attempt the read; surface the
         // write error only when no reply arrived.
         let wrote = self.sink.write_frame(ty, &payload);
         match self.frames.next_frame() {
-            Ok(Some(frame)) => Response::decode(frame.frame_type, &frame.payload),
+            Ok(Some(frame)) => {
+                let (response, echo) = Response::decode_traced(frame.frame_type, &frame.payload)?;
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.last_echo = echo;
+                }
+                Ok(response)
+            }
             Ok(None) => Err(match wrote {
                 Ok(()) => ServerError::Disconnected,
                 Err(err) => err.into(),

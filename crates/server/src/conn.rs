@@ -19,7 +19,7 @@ use f2_io::TableChunk;
 use f2_relation::{Schema, Table};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Run one connection to completion. Never panics; never takes the process
 /// down with it.
@@ -61,10 +61,22 @@ fn run_connection(
         };
         obs::requests_total().inc();
         let started = Instant::now();
+        // Decode up front (the decoder is panic-free by construction) so a
+        // wire trace context, if the client sent one, governs the whole
+        // request; untraced requests get server-minted ids.
+        let decoded = Request::decode_traced(frame.frame_type, &frame.payload);
+        let wire_ctx = match &decoded {
+            Ok((_, ctx)) => *ctx,
+            Err(_) => None,
+        };
+        let ctx = wire_ctx.unwrap_or_else(|| core.ids.next_ctx());
+        let trace = f2_obs::journal().begin(ctx, request_kind(frame.frame_type));
         let deadline =
             core.wheel.register(started + core.config.request_deadline, Arc::clone(hangup));
-        let outcome =
-            catch_unwind(AssertUnwindSafe(|| dispatch(core, frame.frame_type, &frame.payload)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| match decoded {
+            Ok((request, _)) => dispatch(core, request),
+            Err(e) => Err(e),
+        }));
         let expired = deadline.expired();
         drop(deadline);
         let reply = match outcome {
@@ -83,13 +95,24 @@ fn run_connection(
         } else {
             reply
         };
-        obs::request_seconds().record_duration(started.elapsed());
+        let elapsed = started.elapsed();
+        obs::request_seconds().record_duration(elapsed);
+        let outcome_kind = match &reply {
+            Ok(_) => "ok",
+            Err(error) => error.kind(),
+        };
+        if let Some(entry) = trace.complete(outcome_kind) {
+            account(core, &entry, elapsed);
+        }
         // A malformed request or an internal failure ends the conversation
         // after the typed reply; the client reconnects and resumes.
         let close_after =
             matches!(reply, Err(ServerError::BadRequest(_) | ServerError::Internal(_)));
+        // Success replies echo the request's trace context; error replies
+        // stay traceless (their encoder predates the field and old clients
+        // must keep decoding them).
         let (ty, payload) = match &reply {
-            Ok(response) => response.encode(),
+            Ok(response) => response.encode_traced(wire_ctx.as_ref()),
             Err(error) => proto::encode_error(error),
         };
         sink.write_frame(ty, &payload)?;
@@ -111,8 +134,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
         .unwrap_or("opaque panic payload")
 }
 
-fn dispatch(core: &Core, frame_type: u8, payload: &[u8]) -> ServerResult<Response> {
-    match Request::decode(frame_type, payload)? {
+fn dispatch(core: &Core, request: Request) -> ServerResult<Response> {
+    match request {
         Request::Open { tenant, schema } => handle_open(core, tenant, &schema),
         Request::Append { token, chunk_index, table } => {
             handle_append(core, token, chunk_index, table)
@@ -120,6 +143,41 @@ fn dispatch(core: &Core, frame_type: u8, payload: &[u8]) -> ServerResult<Respons
         Request::Finish { token } => handle_finish(core, token),
         Request::Resume { tenant, token, schema } => handle_resume(core, &tenant, token, &schema),
         Request::Metrics => Ok(Response::Metrics(metrics_snapshot())),
+    }
+}
+
+/// The trace-journal kind a request frame files under.
+fn request_kind(frame_type: u8) -> &'static str {
+    match frame_type {
+        proto::REQ_OPEN => "open",
+        proto::REQ_APPEND => "append",
+        proto::REQ_FINISH => "finish",
+        proto::REQ_RESUME => "resume",
+        proto::REQ_METRICS => "metrics",
+        _ => "unknown",
+    }
+}
+
+/// Post-request accounting off the completed trace entry: per-tenant counters
+/// and the slow-request log.
+fn account(core: &Core, entry: &f2_obs::TraceEntry, elapsed: Duration) {
+    if let Some(tenant) = entry.tenant.as_deref() {
+        let tenant_metrics = obs::tenant_metrics(tenant, core.config.tenant_label_cap);
+        tenant_metrics.requests.inc();
+        tenant_metrics.rows.add(entry.count("rows"));
+        tenant_metrics.stream_bytes.add(entry.count("chunk_bytes"));
+    }
+    if elapsed >= core.config.slow_request_threshold {
+        obs::slow_requests_total().inc();
+        let mut fields: Vec<(&str, u64)> = vec![
+            ("trace_id", entry.trace_id),
+            ("request_id", entry.request_id),
+            ("total_us", u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)),
+        ];
+        for stage in &entry.stages {
+            fields.push((stage.name, stage.total_ns / 1_000));
+        }
+        f2_obs::trace_event("server.slow_request", &fields);
     }
 }
 
@@ -137,6 +195,7 @@ fn handle_open(core: &Core, tenant: String, schema: &Schema) -> ServerResult<Res
     }
     let scheme =
         core.schemes.scheme(&tenant).ok_or_else(|| ServerError::UnknownTenant(tenant.clone()))?;
+    f2_obs::ctx::note_tenant(&tenant);
     let token = core.sessions.allocate(core.stores.as_ref());
     let store = core
         .stores
@@ -158,6 +217,7 @@ fn handle_append(
     let Some(entry) = held.job.as_mut() else {
         return Err(ServerError::Internal("checkout yielded no job".into()));
     };
+    f2_obs::ctx::note_tenant(&entry.tenant);
     let rows = table.row_count();
     let cap = entry.job.chunk_rows();
     if rows > cap {
@@ -196,6 +256,7 @@ fn handle_finish(core: &Core, token: u64) -> ServerResult<Response> {
     let Some(entry) = held.job.take() else {
         return Err(ServerError::Internal("checkout yielded no job".into()));
     };
+    f2_obs::ctx::note_tenant(&entry.tenant);
     // The job is out of the guard now; this settle guard parks it if
     // `finish` fails or panics, so the token can never wedge checked-out.
     let mut settle = SlotGuard {
@@ -251,6 +312,7 @@ fn handle_resume(core: &Core, tenant: &str, token: u64, schema: &Schema) -> Serv
     if entry.tenant != tenant {
         return Err(ServerError::UnknownJob(token));
     }
+    f2_obs::ctx::note_tenant(tenant);
     if &entry.schema != schema {
         return Err(ServerError::BadRequest(
             "resume schema disagrees with the job's schema".into(),

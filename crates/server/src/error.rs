@@ -79,6 +79,27 @@ impl ServerError {
         }
     }
 
+    /// A short stable label for the variant — the `outcome` a completed
+    /// request trace is filed under (`"ok"` being the success case).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServerError::BadRequest(_) => "bad_request",
+            ServerError::UnknownTenant(_) => "unknown_tenant",
+            ServerError::UnknownJob(_) => "unknown_job",
+            ServerError::JobBusy(_) => "job_busy",
+            ServerError::WrongChunk { .. } => "wrong_chunk",
+            ServerError::TooLarge { .. } => "too_large",
+            ServerError::Overloaded { .. } => "overloaded",
+            ServerError::ShuttingDown => "shutting_down",
+            ServerError::DeadlineExpired => "deadline_expired",
+            ServerError::Engine(_) => "engine",
+            ServerError::Internal(_) => "internal",
+            ServerError::Io(_) => "io",
+            ServerError::Disconnected => "disconnected",
+        }
+    }
+
     /// Whether the client should retry the same request later (possibly on a
     /// new connection), as opposed to fixing it first.
     #[must_use]

@@ -1,0 +1,295 @@
+//! A zero-dependency HTTP/1.1 scrape listener for the service's telemetry.
+//!
+//! lint: untrusted-input
+//!
+//! Prometheus, load balancers, and humans with `curl` speak HTTP, not F2WS —
+//! so the observable surface ([`Registry`] exports, the [`TraceJournal`], and
+//! the service's drain/overload state) gets its own listener instead of
+//! riding the encryption protocol. The implementation is deliberately tiny
+//! and read-only: `GET` only, one request per connection (`Connection:
+//! close`), a hard cap on the request head, and no dependencies — the same
+//! hand-rolled discipline as the rest of the workspace.
+//!
+//! Routes:
+//!
+//! | Route           | Body                                                  |
+//! |-----------------|-------------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition of the registry            |
+//! | `/metrics.json` | The registry's JSON snapshot                          |
+//! | `/healthz`      | `ok` (200), or `draining`/`overloaded` (503)          |
+//! | `/tracez`       | Recent + slowest completed request traces (JSON)      |
+//!
+//! This module parses bytes from the network, so it sits in f2-lint's
+//! `untrusted-input` scope: no panics, no unchecked indexing, no allocation
+//! sized by unvalidated input. A hostile peer gets a `400`/`431`/`405` (or a
+//! dropped connection on I/O timeout), never undefined behavior.
+
+use crate::obs;
+use f2_obs::{Registry, TraceJournal};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cap on the request head (request line + headers). Anything longer is
+/// answered `431` without further reading — the cap bounds both memory and
+/// parse time per connection.
+pub const MAX_HEAD_BYTES: usize = 4096;
+
+/// What `/healthz` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Serving normally.
+    Ok,
+    /// Shutdown requested; the service admits no new work.
+    Draining,
+    /// The admission queue is at its high-water mark.
+    Overloaded,
+}
+
+/// A live health probe the listener polls on every `/healthz` hit.
+pub trait HealthSource: Send + Sync {
+    /// The service's current health.
+    fn health(&self) -> Health;
+}
+
+/// A fixed [`HealthSource`] — for tests and for listeners that serve
+/// metrics without a service attached.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticHealth(pub Health);
+
+impl HealthSource for StaticHealth {
+    fn health(&self) -> Health {
+        self.0
+    }
+}
+
+/// Everything a scrape can observe: the metric registry, the trace journal,
+/// and a health probe. [`Service::http_state`](crate::Service::http_state)
+/// builds the one wired to a live service; tests build scoped ones.
+#[derive(Clone)]
+pub struct HttpState {
+    registry: Registry,
+    journal: Arc<TraceJournal>,
+    health: Arc<dyn HealthSource>,
+}
+
+impl HttpState {
+    /// A scrape surface over the given registry, journal, and health probe.
+    #[must_use]
+    pub fn new(
+        registry: Registry,
+        journal: Arc<TraceJournal>,
+        health: Arc<dyn HealthSource>,
+    ) -> HttpState {
+        HttpState { registry, journal, health }
+    }
+}
+
+/// Compute the full HTTP response for one request head.
+///
+/// Pure over its inputs (no I/O), which is what lets the golden tests pin
+/// responses byte-for-byte: no `Date` header, deterministic header order,
+/// `Connection: close` always.
+#[must_use]
+pub fn respond(head: &[u8], state: &HttpState) -> Vec<u8> {
+    if head.len() > MAX_HEAD_BYTES {
+        return error_response(431, "Request Header Fields Too Large", "request head over cap\n");
+    }
+    let Some(line) = request_line(head) else {
+        return error_response(400, "Bad Request", "malformed request line\n");
+    };
+    let mut parts = line.split(' ').filter(|part| !part.is_empty());
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return error_response(400, "Bad Request", "malformed request line\n");
+    };
+    if parts.next().is_some() || !version.starts_with("HTTP/1.") {
+        return error_response(400, "Bad Request", "malformed request line\n");
+    }
+    if method != "GET" {
+        return build_response(
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            &[("Allow", "GET")],
+            b"only GET is served\n",
+        );
+    }
+    // The query string, if any, is ignored: every route is parameterless.
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/metrics" => {
+            obs::http_requests_total("metrics").inc();
+            build_response(
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &[],
+                state.registry.prometheus_string().as_bytes(),
+            )
+        }
+        "/metrics.json" => {
+            obs::http_requests_total("metrics.json").inc();
+            build_response(
+                200,
+                "OK",
+                "application/json",
+                &[],
+                state.registry.json_string().as_bytes(),
+            )
+        }
+        "/healthz" => {
+            obs::http_requests_total("healthz").inc();
+            let (status, reason, body) = match state.health.health() {
+                Health::Ok => (200, "OK", "ok\n"),
+                Health::Draining => (503, "Service Unavailable", "draining\n"),
+                Health::Overloaded => (503, "Service Unavailable", "overloaded\n"),
+            };
+            build_response(status, reason, "text/plain; charset=utf-8", &[], body.as_bytes())
+        }
+        "/tracez" => {
+            obs::http_requests_total("tracez").inc();
+            build_response(
+                200,
+                "OK",
+                "application/json",
+                &[],
+                state.journal.json_string().as_bytes(),
+            )
+        }
+        _ => {
+            obs::http_requests_total("other").inc();
+            error_response(404, "Not Found", "no such route\n")
+        }
+    }
+}
+
+/// The first line of the head, if a complete `\r\n`-terminated, valid-UTF-8
+/// one is present.
+fn request_line(head: &[u8]) -> Option<&str> {
+    let end = head.windows(2).position(|pair| pair == b"\r\n")?;
+    std::str::from_utf8(head.get(..end)?).ok()
+}
+
+/// True once the head terminator (`\r\n\r\n`) has arrived.
+fn head_complete(head: &[u8]) -> bool {
+    head.windows(4).any(|w| w == b"\r\n\r\n")
+}
+
+/// Serialize a response: fixed header order, explicit length, no `Date`.
+fn build_response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> Vec<u8> {
+    let mut out = String::new();
+    out.push_str(&format!("HTTP/1.1 {status} {reason}\r\n"));
+    out.push_str(&format!("Content-Type: {content_type}\r\n"));
+    for (name, value) in extra {
+        out.push_str(&format!("{name}: {value}\r\n"));
+    }
+    out.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    out.push_str("Connection: close\r\n\r\n");
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(body);
+    bytes
+}
+
+/// A plain-text error response.
+fn error_response(status: u16, reason: &str, body: &str) -> Vec<u8> {
+    build_response(status, reason, "text/plain; charset=utf-8", &[], body.as_bytes())
+}
+
+/// The scrape listener: one thread, non-blocking accepts, one GET per
+/// connection.
+pub struct HttpServer {
+    listener: TcpListener,
+    state: HttpState,
+    stop: Arc<AtomicBool>,
+}
+
+/// A clonable handle that stops a running [`HttpServer`] from any thread.
+#[derive(Clone)]
+pub struct HttpServerHandle {
+    stop: Arc<AtomicBool>,
+}
+
+impl HttpServerHandle {
+    /// Ask the listener's `run` loop to return after its current connection.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+}
+
+impl HttpServer {
+    /// Bind the listener on `addr`. Also touches every `f2_server_*` family
+    /// so the very first scrape already lists them at zero.
+    pub fn bind(addr: impl ToSocketAddrs, state: HttpState) -> std::io::Result<HttpServer> {
+        obs::register_server_families();
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(HttpServer { listener, state, stop: Arc::new(AtomicBool::new(false)) })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A stop handle for this listener.
+    #[must_use]
+    pub fn handle(&self) -> HttpServerHandle {
+        HttpServerHandle { stop: Arc::clone(&self.stop) }
+    }
+
+    /// Serve scrapes until [`HttpServerHandle::stop`] is called (or the
+    /// listener fails). Connections are served inline on this thread — a
+    /// scrape is one bounded read and one write, so a dedicated pool would
+    /// buy nothing.
+    pub fn run(&self) -> std::io::Result<()> {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // One slow or hostile client must not wedge the listener:
+                    // the head is capped and both directions carry timeouts.
+                    let _ = serve_conn(stream, &self.state);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Read one capped request head, answer it, close.
+fn serve_conn(mut stream: TcpStream, state: &HttpState) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    let timeout = Some(Duration::from_secs(2));
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let mut head: Vec<u8> = Vec::new();
+    let mut buf = [0u8; 512];
+    // Read until the head terminator, EOF, or one byte past the cap — the
+    // `respond` path answers the over-cap case with 431.
+    while !head_complete(&head) && head.len() <= MAX_HEAD_BYTES {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        let Some(chunk) = buf.get(..n) else { break };
+        head.extend_from_slice(chunk);
+    }
+    let response = respond(&head, state);
+    stream.write_all(&response)?;
+    stream.flush()
+}

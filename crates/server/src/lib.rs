@@ -26,7 +26,11 @@
 //!   is never lost.
 //!
 //! Everything meters into [`f2_obs`]; a `metrics` request serves the global
-//! registry as one Prometheus snapshot.
+//! registry as one Prometheus snapshot, and an [`HttpServer`] ([`http`])
+//! serves `/metrics`, `/metrics.json`, `/healthz`, and `/tracez` to anything
+//! that speaks HTTP. Every request runs under a trace context — adopted from
+//! the client's optional wire trace field or minted by the service — so
+//! `/tracez` explains recent and slowest requests stage by stage.
 //!
 //! ```
 //! use f2_server::{
@@ -67,6 +71,7 @@ pub mod client;
 mod conn;
 pub mod deadline;
 pub mod error;
+pub mod http;
 mod obs;
 pub mod pipe;
 pub mod proto;
@@ -77,6 +82,7 @@ pub mod transport;
 pub use client::{AppendAck, Client, FinishAck, JobOpened, ResumeAck};
 pub use deadline::{DeadlineGuard, DeadlineWheel};
 pub use error::{ServerError, ServerResult};
+pub use http::{Health, HealthSource, HttpServer, HttpServerHandle, HttpState, StaticHealth};
 pub use pipe::{duplex, PipeEnd};
 pub use proto::{Request, Response};
 pub use server::{

@@ -9,7 +9,12 @@
 //! latency histogram give the load picture between those events.
 
 use f2_obs::{Counter, Gauge, Histogram, Unit};
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Help text for the request counter; the per-tenant labeled samples register
+/// into the same family, so they must carry the same help string.
+const REQUESTS_HELP: &str = "Requests dispatched by the service.";
 
 /// Connections the service accepted (shed connections included).
 pub(crate) fn connections_total() -> &'static Counter {
@@ -26,13 +31,7 @@ pub(crate) fn connections_total() -> &'static Counter {
 /// Requests the service dispatched (errors included).
 pub(crate) fn requests_total() -> &'static Counter {
     static C: OnceLock<Counter> = OnceLock::new();
-    C.get_or_init(|| {
-        f2_obs::global().counter(
-            "f2_server_requests_total",
-            "Requests dispatched by the service.",
-            &[],
-        )
-    })
+    C.get_or_init(|| f2_obs::global().counter("f2_server_requests_total", REQUESTS_HELP, &[]))
 }
 
 /// Connections rejected with `Overloaded` past the admission high-water mark.
@@ -106,4 +105,88 @@ pub(crate) fn request_seconds() -> &'static Histogram {
             Unit::Seconds,
         )
     })
+}
+
+/// Requests slower than the configured slow-request threshold.
+pub(crate) fn slow_requests_total() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        f2_obs::global().counter(
+            "f2_server_slow_requests_total",
+            "Requests slower than the slow-request threshold.",
+            &[],
+        )
+    })
+}
+
+/// HTTP scrape requests served, by route (`other` for unroutable paths).
+pub(crate) fn http_requests_total(route: &'static str) -> Counter {
+    f2_obs::global().counter(
+        "f2_server_http_requests_total",
+        "HTTP scrape requests served, by route.",
+        &[("route", route)],
+    )
+}
+
+/// Per-tenant counter handles. Tenants past the cardinality cap share the
+/// `tenant="_other"` overflow sample.
+pub(crate) struct TenantMetrics {
+    /// Requests attributed to the tenant.
+    pub(crate) requests: Counter,
+    /// Plaintext rows the tenant's appends carried.
+    pub(crate) rows: Counter,
+    /// Encrypted stream bytes written for the tenant.
+    pub(crate) stream_bytes: Counter,
+}
+
+/// Look up (or register) the per-tenant handles for `tenant`, with at most
+/// `cap` distinct tenant labels before new tenants fold into `_other`.
+///
+/// The request counter registers labeled samples into the same
+/// `f2_server_requests_total` family as the unlabeled total, so one scrape
+/// shows both the service-wide count and its per-tenant breakdown.
+pub(crate) fn tenant_metrics(tenant: &str, cap: usize) -> TenantMetrics {
+    static CACHE: OnceLock<Mutex<HashMap<String, TenantMetrics>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    let key = if map.contains_key(tenant) || map.len() < cap { tenant } else { "_other" };
+    let entry = map.entry(key.to_string()).or_insert_with(|| {
+        let reg = f2_obs::global();
+        TenantMetrics {
+            requests: reg.counter("f2_server_requests_total", REQUESTS_HELP, &[("tenant", key)]),
+            rows: reg.counter(
+                "f2_server_tenant_rows_total",
+                "Plaintext rows appended, by tenant.",
+                &[("tenant", key)],
+            ),
+            stream_bytes: reg.counter(
+                "f2_server_tenant_stream_bytes_total",
+                "Encrypted stream bytes written, by tenant.",
+                &[("tenant", key)],
+            ),
+        }
+    });
+    TenantMetrics {
+        requests: entry.requests.clone(),
+        rows: entry.rows.clone(),
+        stream_bytes: entry.stream_bytes.clone(),
+    }
+}
+
+/// Touch every unlabeled server-family handle so a scrape taken before the
+/// first request still lists them (at zero). The HTTP listener calls this at
+/// bind.
+pub(crate) fn register_server_families() {
+    let _ = connections_total();
+    let _ = requests_total();
+    let _ = shed_total();
+    let _ = deadline_expired_total();
+    let _ = drained_total();
+    let _ = worker_panics_total();
+    let _ = queue_depth();
+    let _ = request_seconds();
+    let _ = slow_requests_total();
+    for route in ["metrics", "metrics.json", "healthz", "tracez", "other"] {
+        let _ = http_requests_total(route);
+    }
 }

@@ -22,6 +22,7 @@
 use crate::error::{ServerError, ServerResult};
 use f2_engine::persist::{decode_table, encode_table, put_schema, take_schema};
 use f2_engine::wire::{Reader, Writer};
+use f2_obs::TraceCtx;
 use f2_relation::{Schema, Table};
 use std::time::Duration;
 
@@ -53,6 +54,38 @@ pub const RESP_ERR: u8 = 0x2F;
 pub const MAX_TENANT_BYTES: usize = 128;
 /// Cap on an encoded schema — 64 KiB covers thousands of attributes.
 pub const MAX_SCHEMA_BYTES: usize = 64 * 1024;
+
+/// Tag byte introducing the optional trailing trace-context field.
+///
+/// A traced message appends `TRACE_TAG | trace_id | request_id` (17 bytes)
+/// after its base fields. [`Request::encode`] / [`Response::encode`] never emit
+/// it, so untraced messages are byte-identical to the previous protocol
+/// revision; [`Request::decode_traced`] / [`Response::decode_traced`] accept
+/// either shape, which is what keeps old and new peers interoperable.
+pub const TRACE_TAG: u8 = 0x01;
+
+/// Append the optional trace-context tail (tag + two little-endian `u64`s,
+/// matching [`Writer`]'s integer encoding).
+fn append_trace(payload: &mut Vec<u8>, ctx: &TraceCtx) {
+    payload.push(TRACE_TAG);
+    payload.extend_from_slice(&ctx.trace_id.to_le_bytes());
+    payload.extend_from_slice(&ctx.request_id.to_le_bytes());
+}
+
+/// Consume the optional trace-context tail. `None` when the payload ended at
+/// the base fields (an untraced peer); an error for any other trailing shape.
+fn take_trace(r: &mut Reader<'_>) -> ServerResult<Option<TraceCtx>> {
+    if r.remaining() == 0 {
+        return Ok(None);
+    }
+    let tag = r.u8().map_err(bad)?;
+    if tag != TRACE_TAG {
+        return Err(ServerError::BadRequest(format!("unknown trailing field tag {tag:#04x}")));
+    }
+    let trace_id = r.u64().map_err(bad)?;
+    let request_id = r.u64().map_err(bad)?;
+    Ok(Some(TraceCtx::new(trace_id, request_id)))
+}
 
 /// One decoded client request.
 #[derive(Debug)]
@@ -127,15 +160,46 @@ impl Request {
         }
     }
 
+    /// [`Request::encode`] plus the optional trace-context tail. `None`
+    /// produces exactly the untraced encoding.
+    #[must_use]
+    pub fn encode_traced(&self, ctx: Option<&TraceCtx>) -> (u8, Vec<u8>) {
+        let (frame_type, mut payload) = self.encode();
+        if let Some(ctx) = ctx {
+            append_trace(&mut payload, ctx);
+        }
+        (frame_type, payload)
+    }
+
     /// Decode a request frame. Any structural violation — unknown type, short
     /// payload, trailing bytes, over-cap field — is a
-    /// [`ServerError::BadRequest`].
+    /// [`ServerError::BadRequest`]. A trace-context tail is also rejected;
+    /// trace-aware callers use [`Request::decode_traced`].
     pub fn decode(frame_type: u8, payload: &[u8]) -> ServerResult<Request> {
         let mut r = Reader::raw(payload);
+        let request = Request::decode_body(frame_type, &mut r)?;
+        r.finish().map_err(bad)?;
+        Ok(request)
+    }
+
+    /// Decode a request frame plus its optional trace-context tail.
+    pub fn decode_traced(
+        frame_type: u8,
+        payload: &[u8],
+    ) -> ServerResult<(Request, Option<TraceCtx>)> {
+        let mut r = Reader::raw(payload);
+        let request = Request::decode_body(frame_type, &mut r)?;
+        let ctx = take_trace(&mut r)?;
+        r.finish().map_err(bad)?;
+        Ok((request, ctx))
+    }
+
+    /// Parse the base fields, leaving any trailing trace tail unconsumed.
+    fn decode_body(frame_type: u8, r: &mut Reader<'_>) -> ServerResult<Request> {
         let request = match frame_type {
             REQ_OPEN => {
-                let tenant = take_tenant(&mut r)?;
-                let schema = take_schema_blob(&mut r)?;
+                let tenant = take_tenant(r)?;
+                let schema = take_schema_blob(r)?;
                 Request::Open { tenant, schema }
             }
             REQ_APPEND => {
@@ -147,9 +211,9 @@ impl Request {
             }
             REQ_FINISH => Request::Finish { token: r.u64().map_err(bad)? },
             REQ_RESUME => {
-                let tenant = take_tenant(&mut r)?;
+                let tenant = take_tenant(r)?;
                 let token = r.u64().map_err(bad)?;
-                let schema = take_schema_blob(&mut r)?;
+                let schema = take_schema_blob(r)?;
                 Request::Resume { tenant, token, schema }
             }
             REQ_METRICS => Request::Metrics,
@@ -157,7 +221,6 @@ impl Request {
                 return Err(ServerError::BadRequest(format!("unknown request frame {other:#04x}")))
             }
         };
-        r.finish().map_err(bad)?;
         Ok(request)
     }
 }
@@ -249,9 +312,43 @@ impl Response {
         }
     }
 
+    /// [`Response::encode`] plus the optional trace-context tail. The service
+    /// echoes the request's context on success replies so the client can
+    /// confirm which trace the server attributed its work to.
+    #[must_use]
+    pub fn encode_traced(&self, ctx: Option<&TraceCtx>) -> (u8, Vec<u8>) {
+        let (frame_type, mut payload) = self.encode();
+        if let Some(ctx) = ctx {
+            append_trace(&mut payload, ctx);
+        }
+        (frame_type, payload)
+    }
+
     /// Decode a reply frame; [`RESP_ERR`] decodes to the carried
-    /// [`ServerError`].
+    /// [`ServerError`]. A trace-context tail is rejected; trace-aware callers
+    /// use [`Response::decode_traced`].
     pub fn decode(frame_type: u8, payload: &[u8]) -> ServerResult<Response> {
+        let (response, ctx) = Response::decode_with(frame_type, payload, false)?;
+        debug_assert!(ctx.is_none());
+        Ok(response)
+    }
+
+    /// Decode a reply frame plus its optional trace-context tail. Error
+    /// replies never carry one.
+    pub fn decode_traced(
+        frame_type: u8,
+        payload: &[u8],
+    ) -> ServerResult<(Response, Option<TraceCtx>)> {
+        Response::decode_with(frame_type, payload, true)
+    }
+
+    /// Shared reply parser; `accept_trace` selects whether a trace tail is a
+    /// valid suffix or trailing garbage.
+    fn decode_with(
+        frame_type: u8,
+        payload: &[u8],
+        accept_trace: bool,
+    ) -> ServerResult<(Response, Option<TraceCtx>)> {
         let mut r = Reader::raw(payload);
         let response = match frame_type {
             RESP_OPEN => {
@@ -288,8 +385,9 @@ impl Response {
                 return Err(ServerError::BadRequest(format!("unknown reply frame {other:#04x}")))
             }
         };
+        let ctx = if accept_trace { take_trace(&mut r)? } else { None };
         r.finish().map_err(bad)?;
-        Ok(response)
+        Ok((response, ctx))
     }
 }
 
@@ -464,6 +562,57 @@ mod tests {
         w.put_str(&"x".repeat(MAX_TENANT_BYTES + 1));
         w.put_bytes(&[]);
         assert!(Request::decode(REQ_OPEN, &w.finish()).is_err());
+    }
+
+    #[test]
+    fn trace_tail_roundtrips_and_stays_optional() {
+        let ctx = TraceCtx::new(0x1111_2222_3333_4444, 0x5555_6666_7777_8888);
+        let req = Request::Finish { token: 7 };
+        // Traceless encode is byte-identical to the previous protocol revision.
+        let (ty, plain) = req.encode();
+        let (ty_traced, traced) = req.encode_traced(Some(&ctx));
+        assert_eq!(ty, ty_traced);
+        assert_eq!(traced.get(..plain.len()), Some(plain.as_slice()));
+        assert_eq!(traced.len(), plain.len() + 17);
+        assert_eq!(req.encode_traced(None).1, plain);
+        // Both shapes decode through decode_traced.
+        let (_, none) = Request::decode_traced(ty, &plain).unwrap();
+        assert!(none.is_none());
+        let (back, some) = Request::decode_traced(ty, &traced).unwrap();
+        assert!(matches!(back, Request::Finish { token: 7 }));
+        assert_eq!(some, Some(ctx));
+        // The strict decoder rejects the tail — exactly what an old server
+        // does when a new client sends a traced request.
+        assert!(Request::decode(ty, &traced).is_err());
+        // Success replies echo the context; error replies never carry one.
+        let resp = Response::Open { token: 1, chunk_rows: 64 };
+        let (rty, rtraced) = resp.encode_traced(Some(&ctx));
+        let (_, echo) = Response::decode_traced(rty, &rtraced).unwrap();
+        assert_eq!(echo, Some(ctx));
+        let (ety, epayload) = encode_error(&ServerError::ShuttingDown);
+        assert!(Response::decode_traced(ety, &epayload).is_err());
+    }
+
+    #[test]
+    fn hostile_trace_tails_error_cleanly() {
+        let ctx = TraceCtx::new(1, 2);
+        let (ty, plain) = Request::Finish { token: 3 }.encode();
+        let (_, traced) = Request::Finish { token: 3 }.encode_traced(Some(&ctx));
+        // Every truncation strictly inside the tail is an error; cutting the
+        // whole tail off yields the valid untraced shape.
+        for cut in plain.len() + 1..traced.len() {
+            let sliced = traced.get(..cut).unwrap_or(&traced);
+            assert!(Request::decode_traced(ty, sliced).is_err(), "cut {cut}");
+        }
+        // A wrong tag byte is rejected, as is trailing garbage after the tail.
+        let mut wrong_tag = traced.clone();
+        if let Some(tag) = wrong_tag.get_mut(plain.len()) {
+            *tag = 0x7E;
+        }
+        assert!(Request::decode_traced(ty, &wrong_tag).is_err());
+        let mut overlong = traced.clone();
+        overlong.push(0x00);
+        assert!(Request::decode_traced(ty, &overlong).is_err());
     }
 
     #[test]

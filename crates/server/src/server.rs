@@ -61,6 +61,12 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Retry policy wrapped around every connection's socket I/O.
     pub retry: RetryPolicy,
+    /// Requests slower than this emit a structured `server.slow_request`
+    /// trace event with their per-stage breakdown.
+    pub slow_request_threshold: Duration,
+    /// Distinct tenants that get their own label on the per-tenant metric
+    /// families; tenants past the cap aggregate under `tenant="_other"`.
+    pub tenant_label_cap: usize,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +83,8 @@ impl Default for ServerConfig {
             frame_cap: 1 << 24,
             seed: 0xF2F2_5EED,
             retry: RetryPolicy::new(4),
+            slow_request_threshold: Duration::from_secs(1),
+            tenant_label_cap: 32,
         }
     }
 }
@@ -89,6 +97,10 @@ pub(crate) struct Core {
     pub(crate) sessions: Sessions,
     pub(crate) wheel: DeadlineWheel,
     pub(crate) conns: ConnRegistry,
+    /// Mints request/trace ids for requests that arrive without a wire trace
+    /// context. Seeded from the service seed, so replayed workloads trace
+    /// deterministically.
+    pub(crate) ids: f2_obs::IdSource,
     queue: Queue,
     shutdown: AtomicBool,
 }
@@ -97,6 +109,11 @@ impl Core {
     /// Whether shutdown has been requested (admissions refused from then on).
     pub(crate) fn is_draining(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Connections currently waiting in the admission queue.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 }
 
@@ -204,6 +221,10 @@ impl Queue {
 
     fn is_empty(&self) -> bool {
         self.state.lock().unwrap_or_else(PoisonError::into_inner).items.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner).items.len()
     }
 }
 
@@ -315,6 +336,7 @@ impl Service {
     ) -> Self {
         let sessions = Sessions::new(config.seed, config.chunk_rows.max(1), 1);
         let wheel = DeadlineWheel::with_tick(config.deadline_tick);
+        let ids = f2_obs::IdSource::seeded(config.seed ^ 0x7261_6365_5F69_6473);
         Service {
             core: Arc::new(Core {
                 config,
@@ -323,10 +345,25 @@ impl Service {
                 sessions,
                 wheel,
                 conns: ConnRegistry::new(),
+                ids,
                 queue: Queue::new(),
                 shutdown: AtomicBool::new(false),
             }),
         }
+    }
+
+    /// Shared state for an HTTP scrape listener
+    /// ([`HttpServer`](crate::http::HttpServer)) attached to this service:
+    /// the global metrics registry, the global trace journal, and a health
+    /// source that reports `draining` once shutdown starts and `overloaded`
+    /// while the admission queue is at its high-water mark.
+    #[must_use]
+    pub fn http_state(&self) -> crate::http::HttpState {
+        crate::http::HttpState::new(
+            f2_obs::global().clone(),
+            Arc::clone(f2_obs::journal()),
+            Arc::new(CoreHealth { core: Arc::clone(&self.core) }),
+        )
     }
 
     /// A shutdown handle for this service.
@@ -371,6 +408,24 @@ impl Service {
             drain(core);
             accept_result
         })
+    }
+}
+
+/// [`crate::http::HealthSource`] over the service core: draining beats
+/// overloaded beats ok.
+struct CoreHealth {
+    core: Arc<Core>,
+}
+
+impl crate::http::HealthSource for CoreHealth {
+    fn health(&self) -> crate::http::Health {
+        if self.core.is_draining() {
+            crate::http::Health::Draining
+        } else if self.core.queue_len() >= self.core.config.queue_depth.max(1) {
+            crate::http::Health::Overloaded
+        } else {
+            crate::http::Health::Ok
+        }
     }
 }
 

@@ -61,6 +61,8 @@ fn chaos_config() -> ServerConfig {
         frame_cap: 1 << 22,
         seed: SERVICE_SEED,
         retry: RetryPolicy::no_backoff(3),
+        slow_request_threshold: Duration::from_secs(1),
+        tenant_label_cap: 32,
     }
 }
 
@@ -377,7 +379,7 @@ fn excess_connections_are_shed_with_a_typed_overloaded_reply() {
         for attempt in 0..6 {
             let (ours, theirs) = duplex();
             dial.send(Box::new(theirs)).expect("dial");
-            let outcome = Client::connect(ours).and_then(|mut c| c.metrics());
+            let outcome = Client::connect(ours).and_then(|mut c| c.metrics_text());
             match outcome {
                 Err(ServerError::Overloaded { retry_after: hint }) => {
                     assert_eq!(hint, retry_after, "retry-after hint must be the configured one");
@@ -393,7 +395,7 @@ fn excess_connections_are_shed_with_a_typed_overloaded_reply() {
             let (ours, theirs) = duplex();
             dial.send(Box::new(theirs)).expect("dial");
             let served = Client::connect(ours).and_then(|mut c| {
-                let text = c.metrics()?;
+                let text = c.metrics_text()?;
                 let _ = c.close();
                 Ok(text)
             });
@@ -519,7 +521,7 @@ fn an_expired_deadline_hangs_up_but_never_corrupts_the_job() {
             let (ours, theirs) = duplex();
             dial.send(Box::new(theirs)).expect("dial");
             let mut client = Client::connect(ours).expect("client preamble");
-            if let Ok(text) = client.metrics() {
+            if let Ok(text) = client.metrics_text() {
                 served = text;
                 let _ = client.close();
                 break;
@@ -633,7 +635,7 @@ fn a_drain_preserves_half_finished_jobs_across_a_service_restart() {
         assert_eq!(fin.rows, data.row_count() as u64);
 
         // Drain events from service A are visible in B's served snapshot.
-        let text = client.metrics().expect("metrics");
+        let text = client.metrics_text().expect("metrics");
         assert!(
             metric_value(&text, "f2_server_drained_total") >= 1.0,
             "served snapshot must report f2_server_drained_total >= 1"
@@ -679,7 +681,7 @@ fn the_service_speaks_tcp() {
         let ack = client.encrypt_table("acme", &data).expect("encrypt over TCP");
         assert_eq!(ack.rows, 20);
         assert_eq!(ack.chunks, 3);
-        let text = client.metrics().expect("metrics over TCP");
+        let text = client.metrics_text().expect("metrics over TCP");
         assert!(
             metric_value(&text, "f2_server_requests_total") >= 1.0,
             "served snapshot must count requests"

@@ -1,0 +1,199 @@
+//! Byte-frozen goldens for the HTTP scrape listener.
+//!
+//! [`respond`] is pure over its inputs — no `Date` header, fixed header
+//! order, `Connection: close` always — so every response can be pinned
+//! byte-for-byte against a scoped registry/journal/health triple. If any of
+//! these tests break, a scrape consumer somewhere just broke too: change the
+//! golden only with a deliberate wire-format bump.
+
+use f2_obs::{Registry, Stage, TraceEntry, TraceJournal};
+use f2_server::http::{respond, MAX_HEAD_BYTES};
+use f2_server::{Health, HttpState, StaticHealth};
+use std::sync::Arc;
+
+/// A scrape state over a tiny deterministic registry (two counters) and an
+/// empty four-slot journal.
+fn scoped_state(health: Health) -> HttpState {
+    let registry = Registry::new();
+    registry
+        .counter("f2_demo_requests_total", "Requests observed by the demo registry.", &[])
+        .add(3);
+    registry.counter("f2_demo_rows_total", "Rows observed.", &[("tenant", "acme")]).add(7);
+    HttpState::new(
+        registry,
+        Arc::new(TraceJournal::with_capacity(4)),
+        Arc::new(StaticHealth(health)),
+    )
+}
+
+/// The exact bytes the listener serializes: status line, `Content-Type`,
+/// optional extras, computed `Content-Length`, `Connection: close`, body.
+fn golden(status: &str, content_type: &str, extra: &[(&str, &str)], body: &str) -> Vec<u8> {
+    let mut head = format!("HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n");
+    for (name, value) in extra {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\nConnection: close\r\n\r\n", body.len()));
+    let mut bytes = head.into_bytes();
+    bytes.extend_from_slice(body.as_bytes());
+    bytes
+}
+
+fn assert_response(actual: &[u8], expected: &[u8]) {
+    assert_eq!(
+        String::from_utf8_lossy(actual),
+        String::from_utf8_lossy(expected),
+        "response bytes drifted from the golden"
+    );
+    assert_eq!(actual, expected);
+}
+
+#[test]
+fn metrics_golden() {
+    let state = scoped_state(Health::Ok);
+    let response = respond(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n", &state);
+    let body = "\
+# HELP f2_demo_requests_total Requests observed by the demo registry.\n\
+# TYPE f2_demo_requests_total counter\n\
+f2_demo_requests_total 3\n\
+# HELP f2_demo_rows_total Rows observed.\n\
+# TYPE f2_demo_rows_total counter\n\
+f2_demo_rows_total{tenant=\"acme\"} 7\n";
+    assert_response(
+        &response,
+        &golden("200 OK", "text/plain; version=0.0.4; charset=utf-8", &[], body),
+    );
+}
+
+#[test]
+fn metrics_query_string_is_ignored() {
+    let state = scoped_state(Health::Ok);
+    let plain = respond(b"GET /metrics HTTP/1.1\r\n\r\n", &state);
+    let with_query = respond(b"GET /metrics?format=prometheus HTTP/1.1\r\n\r\n", &state);
+    assert_eq!(plain, with_query);
+}
+
+#[test]
+fn metrics_json_golden() {
+    let state = scoped_state(Health::Ok);
+    let response = respond(b"GET /metrics.json HTTP/1.1\r\n\r\n", &state);
+    let body = concat!(
+        "{\"metrics\":[",
+        "{\"name\":\"f2_demo_requests_total\",\"kind\":\"counter\",",
+        "\"help\":\"Requests observed by the demo registry.\",",
+        "\"samples\":[{\"labels\":{},\"value\":3}]},",
+        "{\"name\":\"f2_demo_rows_total\",\"kind\":\"counter\",",
+        "\"help\":\"Rows observed.\",",
+        "\"samples\":[{\"labels\":{\"tenant\":\"acme\"},\"value\":7}]}",
+        "]}"
+    );
+    assert_response(&response, &golden("200 OK", "application/json", &[], body));
+}
+
+#[test]
+fn healthz_goldens_cover_all_three_states() {
+    let cases = [
+        (Health::Ok, "200 OK", "ok\n"),
+        (Health::Draining, "503 Service Unavailable", "draining\n"),
+        (Health::Overloaded, "503 Service Unavailable", "overloaded\n"),
+    ];
+    for (health, status, body) in cases {
+        let state = scoped_state(health);
+        let response = respond(b"GET /healthz HTTP/1.1\r\n\r\n", &state);
+        assert_response(&response, &golden(status, "text/plain; charset=utf-8", &[], body));
+    }
+}
+
+#[test]
+fn tracez_empty_golden() {
+    let state = scoped_state(Health::Ok);
+    let response = respond(b"GET /tracez HTTP/1.1\r\n\r\n", &state);
+    let body = "{\"recent\":[],\"slowest\":[],\"dropped\":0,\"capacity\":4}";
+    assert_response(&response, &golden("200 OK", "application/json", &[], body));
+}
+
+#[test]
+fn tracez_populated_golden() {
+    let registry = Registry::new();
+    let journal = Arc::new(TraceJournal::with_capacity(4));
+    journal.record(TraceEntry {
+        trace_id: 0xA11CE,
+        request_id: 0xB0B,
+        kind: "append",
+        tenant: Some("acme".to_string()),
+        outcome: "ok".to_string(),
+        total_ns: 1_500_000,
+        stages: vec![Stage { name: "engine.chunk.encrypt", total_ns: 1_200_000, count: 1 }],
+        counts: vec![("rows", 8), ("chunk_bytes", 512)],
+    });
+    let state = HttpState::new(registry, journal, Arc::new(StaticHealth(Health::Ok)));
+    let response = respond(b"GET /tracez HTTP/1.1\r\n\r\n", &state);
+    let entry = concat!(
+        "{\"trace_id\":\"00000000000a11ce\",\"request_id\":\"0000000000000b0b\",",
+        "\"kind\":\"append\",\"tenant\":\"acme\",\"outcome\":\"ok\",\"total_ns\":1500000,",
+        "\"stages\":[{\"stage\":\"engine.chunk.encrypt\",\"total_ns\":1200000,\"count\":1}],",
+        "\"counts\":{\"rows\":8,\"chunk_bytes\":512}}"
+    );
+    let body =
+        format!("{{\"recent\":[{entry}],\"slowest\":[{entry}],\"dropped\":0,\"capacity\":4}}");
+    assert_response(&response, &golden("200 OK", "application/json", &[], &body));
+}
+
+#[test]
+fn unknown_route_is_404() {
+    let state = scoped_state(Health::Ok);
+    let response = respond(b"GET /nope HTTP/1.1\r\n\r\n", &state);
+    assert_response(
+        &response,
+        &golden("404 Not Found", "text/plain; charset=utf-8", &[], "no such route\n"),
+    );
+}
+
+#[test]
+fn non_get_is_405_with_allow_header() {
+    let state = scoped_state(Health::Ok);
+    let response = respond(b"POST /metrics HTTP/1.1\r\n\r\n", &state);
+    assert_response(
+        &response,
+        &golden(
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            &[("Allow", "GET")],
+            "only GET is served\n",
+        ),
+    );
+}
+
+#[test]
+fn malformed_request_lines_are_400() {
+    let state = scoped_state(Health::Ok);
+    let expected =
+        golden("400 Bad Request", "text/plain; charset=utf-8", &[], "malformed request line\n");
+    // No CRLF at all, not HTTP, too few request-line parts, too many parts,
+    // and invalid UTF-8 in the request line.
+    for head in [
+        b"GET /metrics".to_vec(),
+        b"SSH-2.0-OpenSSH_9.6\r\n\r\n".to_vec(),
+        b"GET /metrics\r\n\r\n".to_vec(),
+        b"GET /metrics HTTP/1.1 extra\r\n\r\n".to_vec(),
+        b"GET /\xff\xfe HTTP/1.1\r\n\r\n".to_vec(),
+    ] {
+        assert_response(&respond(&head, &state), &expected);
+    }
+}
+
+#[test]
+fn oversized_head_is_431() {
+    let state = scoped_state(Health::Ok);
+    let head = vec![b'A'; MAX_HEAD_BYTES + 1];
+    let response = respond(&head, &state);
+    assert_response(
+        &response,
+        &golden(
+            "431 Request Header Fields Too Large",
+            "text/plain; charset=utf-8",
+            &[],
+            "request head over cap\n",
+        ),
+    );
+}

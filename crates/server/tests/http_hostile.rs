@@ -1,0 +1,85 @@
+//! Hostile-input property tests for the HTTP scrape listener.
+//!
+//! The listener parses bytes straight off the network (f2-lint
+//! `untrusted-input` scope), so the contract is total: *any* byte sequence in
+//! gets a well-formed HTTP/1.1 response out — never a panic, never an
+//! unbounded allocation, never a response missing `Connection: close`.
+
+use f2_obs::{Registry, TraceJournal};
+use f2_server::http::{respond, MAX_HEAD_BYTES};
+use f2_server::{Health, HttpState, StaticHealth};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn scoped_state() -> HttpState {
+    let registry = Registry::new();
+    registry.counter("f2_demo_requests_total", "Demo.", &[]).inc();
+    HttpState::new(
+        registry,
+        Arc::new(TraceJournal::with_capacity(4)),
+        Arc::new(StaticHealth(Health::Ok)),
+    )
+}
+
+/// Every response is a complete HTTP/1.1 message with the fixed trailer.
+fn well_formed(response: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(response);
+    text.starts_with("HTTP/1.1 ")
+        && text.contains("\r\nContent-Length: ")
+        && text.contains("\r\nConnection: close\r\n\r\n")
+}
+
+/// Printable-ASCII strings of length `0..max` (the shim has no regex
+/// strategies, so strings are built from byte vectors).
+fn ascii(max: usize) -> impl Strategy<Value = String> {
+    vec(0x20u8..0x7f, 0..max).prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+proptest! {
+    /// Arbitrary bytes — including NULs, invalid UTF-8, and heads straddling
+    /// the 431 cap — never panic the responder and always produce a
+    /// well-formed reply.
+    #[test]
+    fn arbitrary_bytes_get_a_well_formed_response(
+        head in vec(0u8..=255, 0..(MAX_HEAD_BYTES + 64))
+    ) {
+        let state = scoped_state();
+        let response = respond(&head, &state);
+        prop_assert!(well_formed(&response), "malformed response for head of {} bytes", head.len());
+    }
+
+    /// Structured-but-wrong request lines (random methods, targets, and
+    /// versions) also stay total.
+    #[test]
+    fn structured_garbage_request_lines_never_panic(
+        method in ascii(10),
+        target in ascii(80),
+        version in ascii(12),
+    ) {
+        let state = scoped_state();
+        let head = format!("{method} {target} {version}\r\nHost: x\r\n\r\n");
+        let response = respond(head.as_bytes(), &state);
+        prop_assert!(well_formed(&response), "malformed response for line {head:?}");
+    }
+
+    /// Valid GETs on arbitrary non-space targets answer 200, 404, or (for
+    /// empty targets) 400 — hostile paths cannot reach an unexpected handler.
+    #[test]
+    fn get_on_arbitrary_target_is_200_404_or_400(
+        target in vec(0x21u8..0x7f, 1..64).prop_map(|bytes| {
+            let mut path = String::from("/");
+            path.push_str(&String::from_utf8_lossy(&bytes));
+            path
+        })
+    ) {
+        let state = scoped_state();
+        let head = format!("GET {target} HTTP/1.1\r\n\r\n");
+        let response = respond(head.as_bytes(), &state);
+        let text = String::from_utf8_lossy(&response);
+        prop_assert!(
+            text.starts_with("HTTP/1.1 200 ") || text.starts_with("HTTP/1.1 404 "),
+            "unexpected status for {target:?}: {text}"
+        );
+    }
+}

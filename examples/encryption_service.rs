@@ -1,7 +1,9 @@
 //! The supervised encryption service end to end: multi-tenant jobs over real
 //! TCP, a client crash healed by byte-exact resume, a graceful drain that
 //! parks a half-finished job, and a service restart that finishes it — with
-//! the whole story visible in the served Prometheus snapshot.
+//! the whole story visible in the served Prometheus snapshot, on the HTTP
+//! scrape endpoints (`/metrics`, `/healthz`, `/tracez`), and in per-request
+//! trace ids that travel client → server → trace journal.
 //!
 //! Run with `cargo run --release --example encryption_service`.
 
@@ -41,27 +43,53 @@ fn main() {
         ..ServerConfig::default()
     };
 
-    // ── Service A on a real socket ─────────────────────────────────────────
+    // ── Service A on a real socket, plus its HTTP scrape listener ──────────
+    f2::obs::install_process_metrics();
     let service = Service::new(
         config.clone(),
         Arc::clone(&tenants) as Arc<dyn SchemeProvider>,
         Arc::clone(&stores) as Arc<dyn StoreProvider>,
     );
     let handle = service.handle();
+    let http =
+        f2::server::HttpServer::bind("127.0.0.1:0", service.http_state()).expect("bind http");
+    let http_addr = http.local_addr().expect("http addr");
+    let http_handle = http.handle();
+    let http_thread = std::thread::spawn(move || http.run());
     let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind");
     let addr = acceptor.local_addr().expect("local addr");
     let server = std::thread::spawn(move || service.run(acceptor));
-    println!("service A listening on {addr}");
+    println!("service A listening on {addr}, scrape endpoints on http://{http_addr}");
 
-    // ── 1. The happy path: one call encrypts a whole table ─────────────────
+    // ── 1. The happy path: one call encrypts a whole table, traced ─────────
     let orders = Dataset::Orders.generate(256, 41);
-    let mut client = Client::connect(TcpStream::connect(addr).expect("dial")).expect("connect");
+    let mut client = Client::connect(TcpStream::connect(addr).expect("dial"))
+        .expect("connect")
+        .with_tracing(f2::obs::IdSource::seeded(0xA11CE));
     let ack = client.encrypt_table("acme", &orders).expect("encrypt");
     println!(
         "acme: {} rows -> {} encrypted rows in {} chunks ({} stream bytes)",
         ack.rows, ack.encrypted_rows, ack.chunks, ack.bytes_written
     );
+    let echoed = client.last_server_trace().expect("server echoed our trace context");
+    println!(
+        "acme: last request traced as trace {:016x} / request {:016x}",
+        echoed.trace_id, echoed.request_id
+    );
     client.close().expect("clean close");
+
+    // The journal saw the same ids; /tracez explains the requests stage by
+    // stage, and /healthz reports a serving process.
+    let tracez = http_get(http_addr, "/tracez");
+    assert!(
+        tracez.contains(&format!("{:016x}", echoed.trace_id)),
+        "the traced request shows up in /tracez"
+    );
+    let healthz = http_get(http_addr, "/healthz");
+    println!("healthz: {}", healthz.lines().last().unwrap_or_default());
+    let metrics = http_get(http_addr, "/metrics");
+    assert!(metrics.contains("f2_server_requests_total"), "server families are scraped");
+    assert!(metrics.contains("f2_uptime_seconds"), "process metrics are scraped");
 
     // ── 2. A client crash, healed by resume ────────────────────────────────
     let lineitems = Dataset::Orders.generate(200, 43);
@@ -142,13 +170,33 @@ fn main() {
 
     // ── 5. The whole story, as the service itself reports it ───────────────
     let snapshot = client.metrics().expect("metrics");
-    println!("\nserved Prometheus snapshot (f2_server_* series):");
-    for line in snapshot.lines().filter(|l| l.starts_with("f2_server_")) {
+    println!(
+        "\ntyped snapshot: {} requests total, {} from tenant acme",
+        snapshot.total("f2_server_requests_total"),
+        snapshot.value_with("f2_server_requests_total", &[("tenant", "acme")]).unwrap_or(0.0),
+    );
+    let text = client.metrics_text().expect("metrics text");
+    println!("served Prometheus snapshot (f2_server_* series):");
+    for line in text.lines().filter(|l| l.starts_with("f2_server_")) {
         println!("  {line}");
     }
     client.close().expect("clean close");
+    http_handle.stop();
+    http_thread.join().expect("http thread").expect("http listener exits cleanly");
     handle.shutdown();
     server.join().expect("server thread").expect("graceful drain completed");
+}
+
+/// A minimal scrape: one GET, whole response (headers + body) as a string.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::Read;
+    use std::io::Write;
+    let mut stream = TcpStream::connect(addr).expect("dial http");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: f2\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read response");
+    out
 }
 
 /// Resume, absorbing the small window in which the server is still noticing
